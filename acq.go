@@ -1,0 +1,238 @@
+package acq
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/acq-search/acq/internal/core"
+	"github.com/acq-search/acq/internal/datagen"
+	"github.com/acq-search/acq/internal/dataio"
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/kcore"
+)
+
+// Re-exported sentinel errors. Search and the variants wrap these; test with
+// errors.Is.
+var (
+	// ErrVertexNotFound reports an unknown query vertex (label or ID).
+	ErrVertexNotFound = errors.New("acq: query vertex not found")
+	// ErrNoKCore reports that no k-core contains the query vertex.
+	ErrNoKCore = core.ErrNoKCore
+	// ErrBadK reports a non-positive k.
+	ErrBadK = core.ErrBadK
+	// ErrBadTheta reports a threshold outside (0, 1].
+	ErrBadTheta = core.ErrBadTheta
+	// ErrNoIndex reports an index-requiring operation on an unindexed graph.
+	ErrNoIndex = errors.New("acq: no index built; call BuildIndex first")
+)
+
+// Graph is an attributed graph plus (once BuildIndex has run) its CL-tree
+// index and the incremental maintainer that keeps the two in sync.
+type Graph struct {
+	g     *graph.Graph
+	tree  *core.Tree
+	maint *core.Maintainer
+}
+
+// Builder constructs a Graph.
+type Builder struct {
+	b *graph.Builder
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return &Builder{b: graph.NewBuilder()} }
+
+// AddVertex adds a labelled vertex with keywords and returns its dense ID.
+func (b *Builder) AddVertex(label string, keywords ...string) int32 {
+	return int32(b.b.AddVertex(label, keywords...))
+}
+
+// AddEdge records an undirected edge by vertex IDs.
+func (b *Builder) AddEdge(u, v int32) {
+	b.b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+}
+
+// AddEdgeByLabel records an undirected edge by labels, creating missing
+// endpoints with empty keyword sets.
+func (b *Builder) AddEdgeByLabel(u, v string) { b.b.AddEdgeByLabel(u, v) }
+
+// Build assembles the graph (deduplicating edges, dropping self-loops).
+func (b *Builder) Build() (*Graph, error) {
+	g, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Load reads a graph in the text interchange format:
+//
+//	v <label> [keyword ...]
+//	e <labelA> <labelB>
+func Load(r io.Reader) (*Graph, error) {
+	g, err := dataio.ReadText(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// LoadSnapshot reads a binary snapshot written by SaveSnapshot, restoring
+// the prebuilt index when one was stored.
+func LoadSnapshot(r io.Reader) (*Graph, error) {
+	g, tree, err := dataio.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	G := &Graph{g: g, tree: tree}
+	if tree != nil {
+		G.maint = core.NewMaintainer(tree)
+	}
+	return G, nil
+}
+
+// Save writes the graph in the text interchange format.
+func (G *Graph) Save(w io.Writer) error { return dataio.WriteText(w, G.g) }
+
+// SaveSnapshot writes the graph and, if built, the index as a binary
+// snapshot.
+func (G *Graph) SaveSnapshot(w io.Writer) error {
+	return dataio.WriteSnapshot(w, G.g, G.tree)
+}
+
+// Synthetic generates one of the built-in synthetic dataset analogues
+// (flickr, dblp, tencent, dbpedia) at the given scale (1.0 = the default
+// laptop-scale size; see DESIGN.md).
+func Synthetic(preset string, scale float64) (*Graph, error) {
+	cfg, err := datagen.Preset(preset)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: datagen.Generate(cfg.Scale(scale))}, nil
+}
+
+// IndexMethod selects a CL-tree construction algorithm.
+type IndexMethod int
+
+const (
+	// IndexAdvanced is the bottom-up anchored-union-find build —
+	// near-linear time, the default.
+	IndexAdvanced IndexMethod = iota
+	// IndexBasic is the top-down recursive build (paper Algorithm 1);
+	// simpler, O(m·kmax). Exposed mainly for the Figure 13 comparison.
+	IndexBasic
+)
+
+// BuildIndex constructs the CL-tree with the advanced method.
+func (G *Graph) BuildIndex() { G.BuildIndexWith(IndexAdvanced) }
+
+// BuildIndexWith constructs the CL-tree with the chosen method, replacing
+// any existing index.
+func (G *Graph) BuildIndexWith(m IndexMethod) {
+	if m == IndexBasic {
+		G.tree = core.BuildBasic(G.g)
+	} else {
+		G.tree = core.BuildAdvanced(G.g)
+	}
+	G.maint = core.NewMaintainer(G.tree)
+}
+
+// HasIndex reports whether a CL-tree is available.
+func (G *Graph) HasIndex() bool { return G.tree != nil }
+
+// Stats summarises the graph and index.
+type Stats struct {
+	Vertices    int
+	Edges       int
+	KMax        int     // maximum core number
+	AvgDegree   float64 // d̂
+	AvgKeywords float64 // l̂
+	Keywords    int     // distinct keywords
+	IndexNodes  int     // 0 when no index is built
+	IndexHeight int
+}
+
+// Stats computes summary statistics (decomposing the graph if unindexed).
+func (G *Graph) Stats() Stats {
+	s := Stats{
+		Vertices:    G.g.NumVertices(),
+		Edges:       G.g.NumEdges(),
+		AvgDegree:   G.g.AvgDegree(),
+		AvgKeywords: G.g.AvgKeywords(),
+		Keywords:    G.g.Dict().Size(),
+	}
+	if G.tree != nil {
+		s.KMax = int(G.tree.KMax)
+		s.IndexNodes = G.tree.NumNodes()
+		s.IndexHeight = G.tree.Height()
+	} else {
+		s.KMax = int(kcore.MaxCore(kcore.Decompose(G.g)))
+	}
+	return s
+}
+
+// NumVertices returns |V|.
+func (G *Graph) NumVertices() int { return G.g.NumVertices() }
+
+// NumEdges returns |E|.
+func (G *Graph) NumEdges() int { return G.g.NumEdges() }
+
+// VertexID resolves a label.
+func (G *Graph) VertexID(label string) (int32, bool) {
+	v, ok := G.g.VertexByLabel(label)
+	return int32(v), ok
+}
+
+// Label returns the label of a vertex ID ("" if unlabelled).
+func (G *Graph) Label(v int32) string { return G.g.Label(graph.VertexID(v)) }
+
+// Keywords returns the keyword strings of a vertex.
+func (G *Graph) Keywords(v int32) []string {
+	return G.g.KeywordStrings(graph.VertexID(v))
+}
+
+// CoreNumber returns the core number of a vertex (requires an index).
+func (G *Graph) CoreNumber(v int32) (int, error) {
+	if G.tree == nil {
+		return 0, ErrNoIndex
+	}
+	if int(v) < 0 || int(v) >= G.g.NumVertices() {
+		return 0, fmt.Errorf("%w: id %d", ErrVertexNotFound, v)
+	}
+	return int(G.tree.Core[v]), nil
+}
+
+// --- Mutation. All mutators keep the index consistent when one is built.
+
+// InsertEdge adds an undirected edge, reporting whether it was new.
+func (G *Graph) InsertEdge(u, v int32) bool {
+	if G.maint != nil {
+		return G.maint.InsertEdge(graph.VertexID(u), graph.VertexID(v))
+	}
+	return G.g.InsertEdge(graph.VertexID(u), graph.VertexID(v))
+}
+
+// RemoveEdge deletes an undirected edge, reporting whether it existed.
+func (G *Graph) RemoveEdge(u, v int32) bool {
+	if G.maint != nil {
+		return G.maint.RemoveEdge(graph.VertexID(u), graph.VertexID(v))
+	}
+	return G.g.RemoveEdge(graph.VertexID(u), graph.VertexID(v))
+}
+
+// AddKeyword attaches a keyword to a vertex, reporting whether W(v) changed.
+func (G *Graph) AddKeyword(v int32, word string) bool {
+	if G.maint != nil {
+		return G.maint.AddKeyword(graph.VertexID(v), word)
+	}
+	return G.g.AddKeyword(graph.VertexID(v), word)
+}
+
+// RemoveKeyword detaches a keyword from a vertex.
+func (G *Graph) RemoveKeyword(v int32, word string) bool {
+	if G.maint != nil {
+		return G.maint.RemoveKeyword(graph.VertexID(v), word)
+	}
+	return G.g.RemoveKeyword(graph.VertexID(v), word)
+}

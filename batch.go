@@ -1,0 +1,52 @@
+package acq
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult pairs one query of a batch with its outcome.
+type BatchResult struct {
+	Query  Query
+	Result Result
+	Err    error
+}
+
+// SearchBatch evaluates many queries concurrently over a fixed worker pool
+// (one worker per CPU when workers ≤ 0) and returns the results in input
+// order. The graph must not be mutated while a batch is running — Search is
+// read-only, so any number of concurrent readers is safe.
+//
+// This is the "online evaluation" serving pattern of the paper's
+// introduction: the CL-tree is built once and thousands of personalised
+// community queries are answered against it.
+func (G *Graph) SearchBatch(queries []Query, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := G.Search(queries[i])
+				out[i] = BatchResult{Query: queries[i], Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,41 @@
+// Package acq implements attributed community search: given a vertex q of a
+// keyword-attributed graph, a degree bound k and a keyword set S, it finds
+// the attributed communities (ACs) of q — connected subgraphs containing q
+// in which every member has degree ≥ k (structure cohesiveness) and all
+// members share a maximal subset of S (keyword cohesiveness).
+//
+// The library is a from-scratch Go reproduction of Fang, Cheng, Luo and Hu,
+// "Effective Community Search for Large Attributed Graphs", PVLDB 9(12),
+// 2016. It provides:
+//
+//   - the CL-tree index (Section 5): the nested k-ĉores of the graph stored
+//     as a compressed tree with per-node keyword inverted lists, built either
+//     top-down (basic) or bottom-up with an anchored union-find (advanced);
+//   - the query algorithms of Section 6: Dec (default and fastest), Inc-S,
+//     Inc-T, plus the index-free baselines basic-g and basic-w;
+//   - the query variants of Appendix G: fixed keyword sets (SearchFixed) and
+//     θ-threshold keyword sharing (SearchThreshold);
+//   - incremental index maintenance under edge and keyword updates
+//     (Appendix F);
+//   - the paper's evaluation harness: community-quality metrics, the Global
+//     and Local community-search baselines, a CODICIL-style community
+//     detection baseline, star-pattern graph matching, and synthetic dataset
+//     generators mirroring the shape of the paper's Flickr, DBLP, Tencent
+//     and DBpedia graphs (see internal/bench and EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	b := acq.NewBuilder()
+//	b.AddVertex("jack", "research", "sports", "tour")
+//	b.AddVertex("bob", "research", "sports", "yoga")
+//	... // more vertices and edges
+//	g, err := b.Build()
+//	g.BuildIndex()
+//	res, err := g.Search(acq.Query{Vertex: "jack", K: 3})
+//	for _, c := range res.Communities {
+//	    fmt.Println(c.Label, c.Members) // shared keywords, member labels
+//	}
+//
+// A Graph is safe for concurrent Search calls; mutations (InsertEdge,
+// AddKeyword, ...) require external synchronisation against readers.
+package acq

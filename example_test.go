@@ -1,0 +1,104 @@
+package acq_test
+
+import (
+	"fmt"
+	"log"
+
+	acq "github.com/acq-search/acq"
+)
+
+// buildFig1 assembles the paper's Figure 1 graph.
+func buildFig1() *acq.Graph {
+	b := acq.NewBuilder()
+	b.AddVertex("Bob", "chess", "research", "sports", "yoga")
+	b.AddVertex("Tom", "research", "sports", "game")
+	b.AddVertex("Jack", "research", "sports", "web")
+	b.AddVertex("Mike", "research", "sports", "yoga")
+	b.AddVertex("John", "research", "sports", "web")
+	b.AddVertex("Alex", "chess", "web", "yoga")
+	for _, e := range [][2]string{
+		{"Jack", "Bob"}, {"Jack", "John"}, {"Jack", "Mike"}, {"Jack", "Alex"},
+		{"Bob", "John"}, {"Bob", "Mike"}, {"John", "Mike"}, {"Bob", "Alex"},
+		{"John", "Alex"}, {"Mike", "Tom"},
+	} {
+		b.AddEdgeByLabel(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func ExampleGraph_Search() {
+	g := buildFig1()
+	g.BuildIndex()
+	res, err := g.Search(acq.Query{Vertex: "Jack", K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := res.Communities[0]
+	fmt.Println(c.Label)
+	fmt.Println(c.Members)
+	// Output:
+	// [research sports]
+	// [Bob Jack Mike John]
+}
+
+func ExampleGraph_Search_personalized() {
+	g := buildFig1()
+	g.BuildIndex()
+	// Restrict the semantics of the community to one keyword.
+	res, err := g.Search(acq.Query{Vertex: "Jack", K: 2, Keywords: []string{"web"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Communities[0].Label, res.Communities[0].Members)
+	// Output: [web] [Jack John Alex]
+}
+
+func ExampleGraph_SearchFixed() {
+	g := buildFig1()
+	g.BuildIndex()
+	// Variant 1: every member must contain the whole keyword set.
+	res, err := g.SearchFixed(acq.Query{Vertex: "Bob", K: 1, Keywords: []string{"chess", "yoga"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Communities[0].Members)
+	// Output: [Bob Alex]
+}
+
+func ExampleGraph_SearchThreshold() {
+	g := buildFig1()
+	g.BuildIndex()
+	// Variant 2: members must share at least ⌈0.5·|S|⌉ = 2 of the keywords.
+	res, err := g.SearchThreshold(acq.Query{
+		Vertex:   "Jack",
+		K:        3,
+		Keywords: []string{"research", "sports", "web", "yoga"},
+	}, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Communities[0].Members)
+	// Output: [Bob Jack Mike John Alex]
+}
+
+func ExampleGraph_SearchBatch() {
+	g := buildFig1()
+	g.BuildIndex()
+	queries := []acq.Query{
+		{Vertex: "Jack", K: 3},
+		{Vertex: "Bob", K: 1, Keywords: []string{"yoga"}},
+	}
+	for _, r := range g.SearchBatch(queries, 2) {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Println(r.Query.Vertex, r.Result.Communities[0].Label)
+	}
+	// Output:
+	// Jack [research sports]
+	// Bob [yoga]
+}

@@ -1,0 +1,106 @@
+// Bibliometrics case study (paper Sections 1 and 7.2.2, Figures 2, 10 and
+// 18): a senior researcher collaborates with two distinct groups — database
+// systems people and a sky-survey project. The same query vertex with
+// different keyword sets S yields different "personalised" communities, which
+// is exactly what non-attributed community search cannot do.
+//
+//	go run ./examples/bibliometrics
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	acq "github.com/acq-search/acq"
+)
+
+func main() {
+	b := acq.NewBuilder()
+
+	// The query author: active in both worlds (cf. Jim Gray in the paper).
+	b.AddVertex("gray", "transaction", "database", "system", "sloan", "sky", "survey")
+
+	// Database-systems collaborators.
+	dbFolks := []string{"stonebraker", "garcia-molina", "zdonik", "weikum", "lindsay", "brodie"}
+	for _, name := range dbFolks {
+		b.AddVertex(name, "transaction", "database", "system", "concurrency")
+	}
+	// Sky-survey collaborators.
+	skyFolks := []string{"szalay", "kunszt", "stoughton", "raddick", "vandenberg", "thakar", "malik"}
+	for _, name := range skyFolks {
+		b.AddVertex(name, "sloan", "sky", "survey", "telescope")
+	}
+
+	clique := func(names []string) {
+		for i := range names {
+			for j := i + 1; j < len(names); j++ {
+				b.AddEdgeByLabel(names[i], names[j])
+			}
+		}
+	}
+	// Both groups collaborate heavily with gray and among themselves.
+	clique(append([]string{"gray"}, dbFolks...))
+	clique(append([]string{"gray"}, skyFolks...))
+	// A couple of incidental cross-group papers.
+	b.AddEdgeByLabel("stonebraker", "szalay")
+	b.AddEdgeByLabel("weikum", "kunszt")
+
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.BuildIndex()
+
+	show := func(title string, res acq.Result) {
+		fmt.Println(title)
+		if len(res.Communities) == 0 {
+			fmt.Println("  (no community)")
+			return
+		}
+		for _, c := range res.Communities {
+			fmt.Printf("  label %v -> %s\n", c.Label, strings.Join(c.Members, ", "))
+		}
+		fmt.Println()
+	}
+
+	// Default S = W(q): the maximal shared keyword sets split gray's world
+	// into its two collaboration circles (Figure 2 of the paper).
+	res, err := g.Search(acq.Query{Vertex: "gray", K: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("ACs with S = W(gray):", res)
+
+	// Personalised S: the database hat...
+	res, err = g.Search(acq.Query{Vertex: "gray", K: 4,
+		Keywords: []string{"transaction", "database", "system"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("ACs with S = {transaction, database, system}:", res)
+
+	// ... and the astronomy hat.
+	res, err = g.Search(acq.Query{Vertex: "gray", K: 4,
+		Keywords: []string{"sloan", "sky", "survey"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("ACs with S = {sloan, sky, survey}:", res)
+
+	// Variant 1 (Figure 18): require an exact AC-label.
+	res, err = g.SearchFixed(acq.Query{Vertex: "gray", K: 4,
+		Keywords: []string{"sloan", "survey"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Variant 1 with mandatory {sloan, survey}:", res)
+
+	// Variant 2: tolerate partial keyword overlap across both worlds.
+	res, err = g.SearchThreshold(acq.Query{Vertex: "gray", K: 4,
+		Keywords: []string{"database", "system", "sloan", "survey"}}, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Variant 2 with θ=0.5 over {database, system, sloan, survey}:", res)
+}

@@ -1,0 +1,100 @@
+// Dynamic-graph maintenance (paper Appendix F): the CL-tree index is kept
+// consistent while edges and keywords change, so there is no need to rebuild
+// after every update. This example evolves a small collaboration network and
+// re-queries after each change, then snapshots the indexed graph to disk and
+// loads it back.
+//
+//	go run ./examples/maintenance
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	acq "github.com/acq-search/acq"
+)
+
+func main() {
+	g, err := acq.Synthetic("dblp", 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.BuildIndex()
+	st := g.Stats()
+	fmt.Printf("synthetic dblp: %d vertices, %d edges, kmax %d, index nodes %d\n\n",
+		st.Vertices, st.Edges, st.KMax, st.IndexNodes)
+
+	// Find a well-connected vertex to play with.
+	var q int32
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if c, _ := g.CoreNumber(v); c >= 6 {
+			q = v
+			break
+		}
+	}
+	query := acq.Query{VertexID: q, K: 4}
+	res, err := g.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := len(res.Communities[0].Members)
+	fmt.Printf("community of #%d at k=4: %d members, shared keywords %v\n",
+		q, before, res.Communities[0].Label)
+
+	// Give a new collaborator the same profile and wire them in. The index
+	// is maintained incrementally on every call.
+	keywords := g.Keywords(q)
+	members := res.Communities[0].MemberIDs
+	fresh := int32(g.NumVertices()) - 1 // an existing low-degree vertex reused as "new hire"
+	for _, kw := range keywords {
+		g.AddKeyword(fresh, kw)
+	}
+	wired := 0
+	for _, m := range members {
+		if m != fresh && g.InsertEdge(fresh, m) {
+			wired++
+		}
+		if wired == 5 {
+			break
+		}
+	}
+	fmt.Printf("wired vertex #%d into the community with %d edges and %d keywords\n",
+		fresh, wired, len(keywords))
+
+	res, err = g.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := len(res.Communities[0].Members)
+	fmt.Printf("community size after updates: %d (was %d)\n", after, before)
+
+	// Remove the edges again — the index shrinks back without a rebuild.
+	for _, m := range members {
+		g.RemoveEdge(fresh, m)
+	}
+	res, err = g.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("community size after rollback: %d\n\n", len(res.Communities[0].Members))
+
+	// Snapshot the indexed graph and restore it: the index travels along.
+	var buf bytes.Buffer
+	if err := g.SaveSnapshot(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot size: %d KiB\n", buf.Len()/1024)
+	restored, err := acq.LoadSnapshot(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored graph has index: %v\n", restored.HasIndex())
+	res2, err := restored.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored query agrees: %v\n",
+		strings.Join(res2.Communities[0].Label, ",") == strings.Join(res.Communities[0].Label, ","))
+}

@@ -1,0 +1,59 @@
+// Quickstart: build the small social network from Figure 1 of the paper and
+// run an attributed community query for Jack.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	acq "github.com/acq-search/acq"
+)
+
+func main() {
+	b := acq.NewBuilder()
+	b.AddVertex("Bob", "chess", "research", "sports", "yoga")
+	b.AddVertex("Tom", "research", "sports", "game")
+	b.AddVertex("Alice", "art", "music", "tour")
+	b.AddVertex("Jack", "research", "sports", "web")
+	b.AddVertex("Mike", "research", "sports", "yoga")
+	b.AddVertex("Anna", "art", "cook", "tour")
+	b.AddVertex("Ada", "art", "cook", "music")
+	b.AddVertex("John", "research", "sports", "web")
+	b.AddVertex("Alex", "chess", "web", "yoga")
+	for _, e := range [][2]string{
+		{"Jack", "Bob"}, {"Jack", "John"}, {"Jack", "Mike"}, {"Jack", "Alex"},
+		{"Bob", "John"}, {"Bob", "Mike"}, {"John", "Mike"}, {"Bob", "Alex"},
+		{"John", "Alex"}, {"Mike", "Tom"}, {"Tom", "Alice"},
+		{"Alice", "Anna"}, {"Anna", "Ada"}, {"Alice", "Ada"},
+	} {
+		b.AddEdgeByLabel(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One-off index build; every query afterwards is sub-millisecond.
+	g.BuildIndex()
+
+	// Who forms a tight community with Jack (everyone connected, degree ≥ 3
+	// inside the community) and what do they have in common?
+	res, err := g.Search(acq.Query{Vertex: "Jack", K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Communities {
+		fmt.Printf("community of Jack: %s\n", strings.Join(c.Members, ", "))
+		fmt.Printf("shared interests:  %s\n", strings.Join(c.Label, ", "))
+	}
+
+	// Personalisation: focus the community on a specific interest.
+	res, err = g.Search(acq.Query{Vertex: "Jack", K: 2, Keywords: []string{"web"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nweb-flavoured community: %s\n", strings.Join(res.Communities[0].Members, ", "))
+}

@@ -1,0 +1,131 @@
+package acq_test
+
+import (
+	"bytes"
+	"testing"
+
+	acq "github.com/acq-search/acq"
+)
+
+// TestIntegrationSyntheticPipeline exercises the full public pipeline on a
+// generated dataset: build index (both methods), run every algorithm on real
+// workloads, verify agreement, snapshot, restore, mutate, re-query.
+func TestIntegrationSyntheticPipeline(t *testing.T) {
+	g, err := acq.Synthetic("dblp", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BuildIndexWith(acq.IndexBasic)
+	basicStats := g.Stats()
+	g.BuildIndexWith(acq.IndexAdvanced)
+	advStats := g.Stats()
+	if basicStats.IndexNodes != advStats.IndexNodes || basicStats.IndexHeight != advStats.IndexHeight {
+		t.Fatalf("builders disagree: %+v vs %+v", basicStats, advStats)
+	}
+
+	// Collect a handful of queryable vertices.
+	var queries []int32
+	for v := int32(0); int(v) < g.NumVertices() && len(queries) < 8; v++ {
+		if c, _ := g.CoreNumber(v); c >= 4 {
+			queries = append(queries, v)
+		}
+	}
+	if len(queries) == 0 {
+		t.Fatal("no queryable vertices in synthetic dblp")
+	}
+
+	algos := []acq.Algorithm{acq.AlgoDec, acq.AlgoIncS, acq.AlgoIncT, acq.AlgoBasicG, acq.AlgoBasicW}
+	for _, q := range queries {
+		var label0 []string
+		var size0, n0 int
+		for i, algo := range algos {
+			res, err := g.Search(acq.Query{VertexID: q, K: 4, Algorithm: algo})
+			if err != nil {
+				t.Fatalf("q=%d %s: %v", q, algo, err)
+			}
+			if i == 0 {
+				size0, n0 = res.LabelSize, len(res.Communities)
+				if n0 > 0 {
+					label0 = res.Communities[0].Label
+				}
+				continue
+			}
+			if res.LabelSize != size0 || len(res.Communities) != n0 {
+				t.Fatalf("q=%d: %s disagrees with dec: size %d vs %d, comms %d vs %d",
+					q, algo, res.LabelSize, size0, len(res.Communities), n0)
+			}
+		}
+		_ = label0
+	}
+
+	// Batch path returns the same thing as serial.
+	batch := make([]acq.Query, len(queries))
+	for i, q := range queries {
+		batch[i] = acq.Query{VertexID: q, K: 4}
+	}
+	for i, r := range g.SearchBatch(batch, 3) {
+		if r.Err != nil {
+			t.Fatalf("batch %d: %v", i, r.Err)
+		}
+		serial, _ := g.Search(batch[i])
+		if r.Result.LabelSize != serial.LabelSize {
+			t.Fatalf("batch %d disagrees with serial", i)
+		}
+	}
+
+	// Snapshot round trip preserves query results.
+	var buf bytes.Buffer
+	if err := g.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := acq.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries[:2] {
+		a, err1 := g.Search(acq.Query{VertexID: q, K: 4})
+		b, err2 := g2.Search(acq.Query{VertexID: q, K: 4})
+		if err1 != nil || err2 != nil || a.LabelSize != b.LabelSize {
+			t.Fatalf("snapshot changed results for %d", q)
+		}
+	}
+
+	// Mutations keep the maintained index equivalent to a fresh rebuild.
+	q := queries[0]
+	res, err := g.Search(acq.Query{VertexID: q, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peer int32 = -1
+	for _, m := range res.Communities[0].MemberIDs {
+		if m != q {
+			peer = m
+			break
+		}
+	}
+	if peer >= 0 {
+		g.RemoveEdge(q, peer) // may or may not be an edge; either is fine
+		g.InsertEdge(q, peer)
+		after, err := g.Search(acq.Query{VertexID: q, K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild from scratch through the text format and compare.
+		var txt bytes.Buffer
+		if err := g.Save(&txt); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := acq.Load(&txt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.BuildIndex()
+		want, err := fresh.Search(acq.Query{VertexID: q, K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.LabelSize != want.LabelSize || len(after.Communities) != len(want.Communities) {
+			t.Fatalf("maintained index diverged from rebuild: %+v vs %+v", after, want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/kcore"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+func TestGlobalFig3(t *testing.T) {
+	g := testutil.Fig3Graph()
+	ops := graph.NewSetOps(g)
+	a, _ := g.VertexByLabel("A")
+	e, _ := g.VertexByLabel("E")
+
+	got := testutil.LabelSet(g, Global(ops, a, 3))
+	if len(got) != 4 || !got["A"] || !got["D"] {
+		t.Fatalf("Global(A,3) = %v", got)
+	}
+	got = testutil.LabelSet(g, Global(ops, e, 2))
+	if len(got) != 5 || !got["E"] {
+		t.Fatalf("Global(E,2) = %v", got)
+	}
+	if Global(ops, e, 3) != nil {
+		t.Fatal("Global(E,3) must be nil (core(E)=2)")
+	}
+}
+
+func TestGlobalMaxMinDegree(t *testing.T) {
+	g := testutil.Fig3Graph()
+	a, _ := g.VertexByLabel("A")
+	e, _ := g.VertexByLabel("E")
+	comm, k := GlobalMaxMinDegree(g, a)
+	if k != 3 || len(comm) != 4 {
+		t.Fatalf("max-min-degree of A: k=%d comm=%v", k, testutil.LabelSet(g, comm))
+	}
+	comm, k = GlobalMaxMinDegree(g, e)
+	if k != 2 || len(comm) != 5 {
+		t.Fatalf("max-min-degree of E: k=%d comm=%v", k, testutil.LabelSet(g, comm))
+	}
+}
+
+func TestLocalFindsSmallCommunity(t *testing.T) {
+	// Two K4s joined by one edge; Local from a vertex of the first K4 should
+	// return just that K4 for k=3 without exploring the second.
+	b := graph.NewBuilder()
+	for i := 0; i < 8; i++ {
+		b.AddVertex("")
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			b.AddEdge(graph.VertexID(i+4), graph.VertexID(j+4))
+		}
+	}
+	b.AddEdge(0, 4)
+	g := b.MustBuild()
+	ops := graph.NewSetOps(g)
+	comm := Local(ops, 0, 3)
+	if len(comm) != 4 {
+		t.Fatalf("Local = %v, want one K4", comm)
+	}
+	for _, v := range comm {
+		if v > 3 {
+			t.Fatalf("Local leaked into the second K4: %v", comm)
+		}
+	}
+}
+
+func TestLocalDegreeTooLow(t *testing.T) {
+	g := testutil.Fig3Graph()
+	ops := graph.NewSetOps(g)
+	f, _ := g.VertexByLabel("F")
+	if got := Local(ops, f, 3); got != nil {
+		t.Fatalf("Local(F,3) = %v, want nil", got)
+	}
+}
+
+// Property: Local and Global agree on *whether* a community exists, and
+// Local's community is a valid k-core subgraph containing q that is a subset
+// of Global's k-ĉore.
+func TestLocalSoundQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 4+rng.Intn(60), 1+5*rng.Float64(), 6, 2)
+		ops := graph.NewSetOps(g)
+		core := kcore.Decompose(g)
+		q := graph.VertexID(rng.Intn(g.NumVertices()))
+		k := 1 + rng.Intn(4)
+		local := Local(ops, q, k)
+		global := Global(ops, q, k)
+		if (local == nil) != (global == nil) {
+			// Local must find a community exactly when core(q) ≥ k.
+			return false
+		}
+		if local == nil {
+			return int(core[q]) < k
+		}
+		inGlobal := map[graph.VertexID]bool{}
+		for _, v := range global {
+			inGlobal[v] = true
+		}
+		hasQ := false
+		for _, v := range local {
+			if !inGlobal[v] {
+				return false
+			}
+			if v == q {
+				hasQ = true
+			}
+		}
+		if !hasQ {
+			return false
+		}
+		for _, d := range ops.InducedDegrees(local) {
+			if d < k {
+				return false
+			}
+		}
+		comp := ops.ComponentOf(local, q)
+		return len(comp) == len(local)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package codicil implements a CODICIL-style community-detection baseline
+// (Ruan et al., WWW 2013 — the paper's reference [24], used in Section 7.2.1
+// as the representative attributed-graph CD method).
+//
+// The pipeline follows CODICIL's three stages:
+//
+//  1. Content edges: each vertex is linked to its top-t most similar vertices
+//     by TF-IDF cosine similarity over keywords, with candidates drawn from
+//     an inverted keyword index (so no O(n²) pass).
+//  2. Edge combination and sampling: content and structure edges are unioned,
+//     then each vertex retains only its strongest edges under a blended
+//     local-similarity score, sparsifying the graph.
+//  3. Clustering: the sparsified graph is partitioned by weighted label
+//     propagation, then clusters are greedily merged into their most-attached
+//     neighbours until the user-requested cluster count is reached. (CODICIL
+//     treats the partitioner as pluggable — the original used METIS/MLR-MCL,
+//     which are not reimplementable here; label propagation preserves the
+//     role of the stage: a structure-plus-content partition of the graph with
+//     a user-chosen granularity.)
+//
+// Like all CD methods in the paper, the result is an offline clustering: a
+// "community search" for q just returns the cluster containing q.
+package codicil
+
+import (
+	"math"
+	"sort"
+
+	"github.com/acq-search/acq/internal/graph"
+)
+
+// Config controls the pipeline. Zero values select defaults.
+type Config struct {
+	// ContentKNN is the number of content neighbours per vertex (default 10).
+	ContentKNN int
+	// ClusterTarget is the requested number of clusters (default n/100).
+	ClusterTarget int
+	// MaxCandidatesPerKeyword caps the inverted-index posting list scanned
+	// for candidate generation (default 200) to bound worst-case cost on
+	// very frequent keywords.
+	MaxCandidatesPerKeyword int
+	// Rounds is the number of label-propagation sweeps (default 10).
+	Rounds int
+}
+
+func (c *Config) defaults(n int) {
+	if c.ContentKNN <= 0 {
+		c.ContentKNN = 10
+	}
+	if c.ClusterTarget <= 0 {
+		c.ClusterTarget = n/100 + 1
+	}
+	if c.MaxCandidatesPerKeyword <= 0 {
+		c.MaxCandidatesPerKeyword = 200
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+}
+
+// Clustering is the offline result: a cluster ID per vertex.
+type Clustering struct {
+	// Assign maps each vertex to its cluster ID (dense, 0-based).
+	Assign []int32
+	// Members lists the vertices of every cluster, sorted.
+	Members [][]graph.VertexID
+}
+
+// NumClusters returns the number of clusters.
+func (c *Clustering) NumClusters() int { return len(c.Members) }
+
+// CommunityOf returns the cluster containing q (the CD notion of "community
+// search": look up the precomputed partition).
+func (c *Clustering) CommunityOf(q graph.VertexID) []graph.VertexID {
+	return c.Members[c.Assign[q]]
+}
+
+// Run executes the pipeline on g.
+func Run(g *graph.Graph, cfg Config) *Clustering {
+	n := g.NumVertices()
+	cfg.defaults(n)
+
+	idf, norm := tfidf(g)
+	content := contentEdges(g, idf, norm, cfg)
+	edges := combineAndSample(g, content, cfg)
+	assign := propagate(edges, n, cfg.Rounds)
+	assign = mergeToTarget(edges, assign, n, cfg.ClusterTarget)
+	return pack(assign, n)
+}
+
+// tfidf returns the IDF of every keyword and the TF-IDF vector norm of every
+// vertex (binary term frequency, as vertices carry keyword sets).
+func tfidf(g *graph.Graph) (idf []float64, norm []float64) {
+	n := g.NumVertices()
+	df := make([]int, g.Dict().Size())
+	for v := 0; v < n; v++ {
+		for _, w := range g.Keywords(graph.VertexID(v)) {
+			df[w]++
+		}
+	}
+	idf = make([]float64, len(df))
+	for w, d := range df {
+		if d > 0 {
+			idf[w] = math.Log(float64(n+1) / float64(d))
+		}
+	}
+	norm = make([]float64, n)
+	for v := 0; v < n; v++ {
+		s := 0.0
+		for _, w := range g.Keywords(graph.VertexID(v)) {
+			s += idf[w] * idf[w]
+		}
+		norm[v] = math.Sqrt(s)
+	}
+	return idf, norm
+}
+
+type wedge struct {
+	to graph.VertexID
+	w  float64
+}
+
+// contentEdges links each vertex to its ContentKNN most cosine-similar
+// vertices, using an inverted keyword index for candidate generation.
+func contentEdges(g *graph.Graph, idf, norm []float64, cfg Config) [][]wedge {
+	n := g.NumVertices()
+	posting := make([][]graph.VertexID, g.Dict().Size())
+	for v := 0; v < n; v++ {
+		for _, w := range g.Keywords(graph.VertexID(v)) {
+			if len(posting[w]) < cfg.MaxCandidatesPerKeyword {
+				posting[w] = append(posting[w], graph.VertexID(v))
+			}
+		}
+	}
+	out := make([][]wedge, n)
+	dot := make(map[graph.VertexID]float64)
+	for v := 0; v < n; v++ {
+		vid := graph.VertexID(v)
+		clear(dot)
+		for _, w := range g.Keywords(vid) {
+			contrib := idf[w] * idf[w]
+			for _, u := range posting[w] {
+				if u != vid {
+					dot[u] += contrib
+				}
+			}
+		}
+		cands := make([]wedge, 0, len(dot))
+		for u, d := range dot {
+			if norm[v] > 0 && norm[u] > 0 {
+				cands = append(cands, wedge{to: u, w: d / (norm[v] * norm[u])})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].w != cands[j].w {
+				return cands[i].w > cands[j].w
+			}
+			return cands[i].to < cands[j].to
+		})
+		if len(cands) > cfg.ContentKNN {
+			cands = cands[:cfg.ContentKNN]
+		}
+		out[v] = cands
+	}
+	return out
+}
+
+// combineAndSample unions structure and content edges and keeps, per vertex,
+// the top max(2, ⌈√deg⌉) edges by a blended score of neighbourhood Jaccard
+// similarity and content cosine — CODICIL's local sparsification.
+func combineAndSample(g *graph.Graph, content [][]wedge, cfg Config) [][]wedge {
+	n := g.NumVertices()
+	combined := make([][]wedge, n)
+	for v := 0; v < n; v++ {
+		vid := graph.VertexID(v)
+		seen := map[graph.VertexID]float64{}
+		for _, u := range g.Neighbors(vid) {
+			seen[u] = 0
+		}
+		for _, e := range content[v] {
+			seen[e.to] = e.w
+		}
+		es := make([]wedge, 0, len(seen))
+		for u, cos := range seen {
+			score := 0.5*jaccard(g.Neighbors(vid), g.Neighbors(u)) + 0.5*cos
+			es = append(es, wedge{to: u, w: score})
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].w != es[j].w {
+				return es[i].w > es[j].w
+			}
+			return es[i].to < es[j].to
+		})
+		keep := int(math.Ceil(math.Sqrt(float64(len(es)))))
+		if keep < 2 {
+			keep = 2
+		}
+		if keep > len(es) {
+			keep = len(es)
+		}
+		combined[v] = es[:keep]
+	}
+	// Symmetrise: an edge kept by either endpoint survives.
+	sym := make(map[[2]graph.VertexID]float64)
+	for v := 0; v < n; v++ {
+		for _, e := range combined[v] {
+			a, b := graph.VertexID(v), e.to
+			if a > b {
+				a, b = b, a
+			}
+			if old, ok := sym[[2]graph.VertexID{a, b}]; !ok || e.w > old {
+				sym[[2]graph.VertexID{a, b}] = e.w
+			}
+		}
+	}
+	out := make([][]wedge, n)
+	for k, w := range sym {
+		out[k[0]] = append(out[k[0]], wedge{to: k[1], w: w})
+		out[k[1]] = append(out[k[1]], wedge{to: k[0], w: w})
+	}
+	for v := range out {
+		es := out[v]
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+	}
+	return out
+}
+
+func jaccard(a, b []graph.VertexID) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// propagate runs synchronous weighted label propagation for rounds sweeps.
+func propagate(edges [][]wedge, n, rounds int) []int32 {
+	assign := make([]int32, n)
+	for v := range assign {
+		assign[v] = int32(v)
+	}
+	votes := map[int32]float64{}
+	for r := 0; r < rounds; r++ {
+		changed := 0
+		for v := 0; v < n; v++ {
+			if len(edges[v]) == 0 {
+				continue
+			}
+			clear(votes)
+			for _, e := range edges[v] {
+				votes[assign[e.to]] += e.w + 1e-9
+			}
+			best, bestW := assign[v], -1.0
+			for lbl, w := range votes {
+				if w > bestW || (w == bestW && lbl < best) {
+					best, bestW = lbl, w
+				}
+			}
+			if best != assign[v] {
+				assign[v] = best
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return assign
+}
+
+// mergeToTarget merges the smallest clusters into their most strongly
+// attached neighbouring cluster until at most target clusters remain. Only
+// the members of the shrinking cluster are scanned per merge, so the loop is
+// near-linear overall.
+func mergeToTarget(edges [][]wedge, assign []int32, n, target int) []int32 {
+	members := map[int32][]int32{}
+	for v := 0; v < n; v++ {
+		members[assign[v]] = append(members[assign[v]], int32(v))
+	}
+	attach := map[int32]float64{}
+	for len(members) > target {
+		var small int32 = -1
+		for lbl, ms := range members {
+			if small == -1 || len(ms) < len(members[small]) || (len(ms) == len(members[small]) && lbl < small) {
+				small = lbl
+			}
+		}
+		clear(attach)
+		for _, v := range members[small] {
+			for _, e := range edges[v] {
+				if lbl := assign[e.to]; lbl != small {
+					attach[lbl] += e.w + 1e-9
+				}
+			}
+		}
+		var best int32 = -1
+		bestW := -1.0
+		for lbl, w := range attach {
+			if w > bestW || (w == bestW && lbl < best) {
+				best, bestW = lbl, w
+			}
+		}
+		if best == -1 {
+			// Cluster with no outgoing edges: fold it into the largest
+			// cluster to make progress deterministically.
+			for lbl, ms := range members {
+				if lbl == small {
+					continue
+				}
+				if best == -1 || len(ms) > len(members[best]) || (len(ms) == len(members[best]) && lbl < best) {
+					best = lbl
+				}
+			}
+			if best == -1 {
+				break
+			}
+		}
+		for _, v := range members[small] {
+			assign[v] = best
+		}
+		members[best] = append(members[best], members[small]...)
+		delete(members, small)
+	}
+	return assign
+}
+
+// pack renumbers cluster IDs densely and builds member lists.
+func pack(assign []int32, n int) *Clustering {
+	remap := map[int32]int32{}
+	out := &Clustering{Assign: make([]int32, n)}
+	for v := 0; v < n; v++ {
+		id, ok := remap[assign[v]]
+		if !ok {
+			id = int32(len(remap))
+			remap[assign[v]] = id
+			out.Members = append(out.Members, nil)
+		}
+		out.Assign[v] = id
+		out.Members[id] = append(out.Members[id], graph.VertexID(v))
+	}
+	return out
+}

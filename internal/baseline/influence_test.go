@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+func TestTopInfluentialTwoBlobs(t *testing.T) {
+	// Two triangles with distinct weight ranges; k=2. The high-weight
+	// triangle must rank first.
+	b := graph.NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddVertex("")
+	}
+	tri := func(a, c, d graph.VertexID) {
+		b.AddEdge(a, c)
+		b.AddEdge(c, d)
+		b.AddEdge(a, d)
+	}
+	tri(0, 1, 2)
+	tri(3, 4, 5)
+	g := b.MustBuild()
+	weights := []float64{1, 2, 3, 10, 11, 12}
+
+	top := TopInfluential(g, weights, 2, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d communities", len(top))
+	}
+	if top[0].Influence <= top[1].Influence {
+		t.Fatalf("not descending: %v, %v", top[0].Influence, top[1].Influence)
+	}
+	if top[0].Vertices[0] != 3 || len(top[0].Vertices) != 3 {
+		t.Fatalf("top community = %+v", top[0])
+	}
+	// The most influential community overall is the sealed core {5} side:
+	// influence = min weight of the last surviving component.
+	if top[0].Influence != 10 {
+		t.Fatalf("influence = %v, want 10", top[0].Influence)
+	}
+}
+
+func TestTopInfluentialFig3(t *testing.T) {
+	g := testutil.Fig3Graph()
+	top := TopInfluential(g, DegreeWeights(g), 3, 1)
+	if len(top) != 1 {
+		t.Fatalf("top = %+v", top)
+	}
+	// The only 3-core is the K4.
+	got := testutil.LabelSet(g, top[0].Vertices)
+	for _, name := range []string{"A"} {
+		if !got[name] {
+			t.Fatalf("community = %v", got)
+		}
+	}
+	if len(top[0].Vertices) > 4 {
+		t.Fatalf("community too large: %v", got)
+	}
+}
+
+func TestTopInfluentialEdgeCases(t *testing.T) {
+	g := testutil.Fig3Graph()
+	if got := TopInfluential(g, DegreeWeights(g), 3, 0); got != nil {
+		t.Fatal("r=0 must be nil")
+	}
+	if got := TopInfluential(g, DegreeWeights(g), 99, 3); got != nil {
+		t.Fatal("k above kmax must be nil")
+	}
+	// Asking for more communities than exist returns what exists.
+	got := TopInfluential(g, DegreeWeights(g), 3, 100)
+	if len(got) == 0 || len(got) > 4 {
+		t.Fatalf("r=100 returned %d", len(got))
+	}
+}
+
+// Property: every returned community is a connected k-core whose influence
+// equals its minimum weight, and influences are non-increasing.
+func TestTopInfluentialSoundQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 5+rng.Intn(40), 1+4*rng.Float64(), 5, 2)
+		weights := make([]float64, g.NumVertices())
+		for i := range weights {
+			weights[i] = rng.Float64() * 100
+		}
+		k := 1 + rng.Intn(3)
+		r := 1 + rng.Intn(4)
+		top := TopInfluential(g, weights, k, r)
+		ops := graph.NewSetOps(g)
+		prev := 1e18
+		for _, c := range top {
+			if c.Influence > prev {
+				return false
+			}
+			prev = c.Influence
+			minW := 1e18
+			for _, v := range c.Vertices {
+				if weights[v] < minW {
+					minW = weights[v]
+				}
+			}
+			if minW != c.Influence {
+				return false
+			}
+			for _, d := range ops.InducedDegrees(c.Vertices) {
+				if d < k {
+					return false
+				}
+			}
+			comp := ops.ComponentOf(c.Vertices, c.Vertices[0])
+			if len(comp) != len(c.Vertices) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

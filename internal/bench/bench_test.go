@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testConfig is small enough for the unit-test suite while still exercising
+// every experiment driver end to end.
+func testConfig() Config {
+	return Config{Scale: 0.04, Queries: 6, MinCore: 6, Seed: 99}
+}
+
+func loadTest(t *testing.T, name string) *Dataset {
+	t.Helper()
+	ds, err := LoadDataset(name, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLoadDataset(t *testing.T) {
+	for _, name := range DatasetNames() {
+		ds := loadTest(t, name)
+		if ds.G.NumVertices() == 0 || ds.Tree == nil {
+			t.Fatalf("%s: empty dataset", name)
+		}
+		if len(ds.Queries) == 0 {
+			t.Fatalf("%s: no query workload", name)
+		}
+		for _, q := range ds.Queries {
+			if ds.Tree.Core[q] < ds.MinCore {
+				t.Fatalf("%s: query %d below min core", name, q)
+			}
+		}
+	}
+	if _, err := LoadDataset("bogus", testConfig()); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== x: demo") || !strings.Contains(out, "333") {
+		t.Fatalf("rendered table:\n%s", out)
+	}
+}
+
+func TestQualityDriversProduceRows(t *testing.T) {
+	ds := loadTest(t, "flickr")
+	if tab := Fig7(ds); len(tab.Rows) == 0 {
+		t.Error("Fig7 empty")
+	}
+	if tab := Fig9(ds); len(tab.Rows) != 3 {
+		t.Errorf("Fig9 rows = %d", len(tab.Rows))
+	}
+	if tab := Fig11(ds); len(tab.Rows) == 0 {
+		t.Error("Fig11 empty")
+	}
+	if tab := Table4(ds); len(tab.Rows) == 0 {
+		t.Error("Table4 empty")
+	}
+	if tab := Tables56(ds); len(tab.Rows) == 0 {
+		t.Error("Tables56 empty")
+	}
+	if tab := Fig12(ds, []int{1, 2, 3}); len(tab.Rows) == 0 {
+		t.Error("Fig12 empty")
+	}
+	if tab := Table7(ds); len(tab.Rows) == 0 {
+		t.Error("Table7 empty")
+	}
+	tab, err := Table3(testConfig())
+	if err != nil || len(tab.Rows) != 4 {
+		t.Errorf("Table3: %v, rows=%d", err, len(tab.Rows))
+	}
+}
+
+func TestFig8ProducesACQAndCodRows(t *testing.T) {
+	ds := loadTest(t, "dblp")
+	tab := Fig8(ds)
+	if len(tab.Rows) < 2 {
+		t.Fatalf("Fig8 rows = %d", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "ACQ" {
+		t.Fatalf("last row = %v", last)
+	}
+}
+
+func TestPerfDriversProduceRows(t *testing.T) {
+	ds := loadTest(t, "dblp")
+	fracs := []float64{0.5, 1.0}
+	if tab := Fig13(ds, fracs); len(tab.Rows) != 2 {
+		t.Error("Fig13 rows wrong")
+	}
+	if tab := Fig14QueryVsCS(ds); len(tab.Rows) == 0 {
+		t.Error("Fig14a-d empty")
+	}
+	if tab := Fig14EffectK(ds, true); len(tab.Rows) == 0 {
+		t.Error("Fig14e-h empty")
+	}
+	if tab := Fig14KeywordScale(ds, fracs); len(tab.Rows) != 2 {
+		t.Error("Fig14i-l rows wrong")
+	}
+	if tab := Fig14VertexScale(ds, []float64{1.0}, testConfig()); len(tab.Rows) == 0 {
+		t.Error("Fig14m-p empty")
+	}
+	if tab := Fig14EffectS(ds, true); len(tab.Rows) != 5 {
+		t.Error("Fig14q-t rows wrong")
+	}
+	if tab := Fig15(ds); len(tab.Rows) == 0 {
+		t.Error("Fig15 empty")
+	}
+	if tab := Fig16(ds); len(tab.Rows) == 0 {
+		t.Error("Fig16 empty")
+	}
+	if tab := Fig17Variant1(ds, true); len(tab.Rows) != 5 {
+		t.Error("Fig17a-d rows wrong")
+	}
+	if tab := Fig17Variant2(ds, true); len(tab.Rows) != 5 {
+		t.Error("Fig17e-h rows wrong")
+	}
+	if tab := AblationFPM(ds); len(tab.Rows) == 0 {
+		t.Error("AblationFPM empty")
+	}
+	if tab := AblationLemma3(ds); len(tab.Rows) == 0 {
+		t.Error("AblationLemma3 empty")
+	}
+	if tab := AblationMaintenance(ds, 5); len(tab.Rows) != 2 {
+		t.Error("AblationMaintenance rows wrong")
+	}
+	if tab := ExtTruss(ds); len(tab.Rows) == 0 {
+		t.Error("ExtTruss empty")
+	}
+	if tab := ExtInfluence(ds, 3); len(tab.Rows) == 0 {
+		t.Error("ExtInfluence empty")
+	}
+}

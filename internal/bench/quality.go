@@ -1,0 +1,401 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/acq-search/acq/internal/baseline"
+	"github.com/acq-search/acq/internal/baseline/codicil"
+	"github.com/acq-search/acq/internal/core"
+	"github.com/acq-search/acq/internal/gpm"
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/measure"
+)
+
+// defaultK is the paper's default degree bound (Section 7.1).
+const defaultK = 6
+
+// dsK returns the effective k for a dataset: the paper's default, clamped to
+// the workload's minimum core so tiny test-scale graphs still run.
+func dsK(ds *Dataset) int {
+	if int(ds.MinCore) < defaultK {
+		return int(ds.MinCore)
+	}
+	return defaultK
+}
+
+// Fig7 reproduces Figure 7: CMF and CPJ of ACs grouped by the number of
+// shared keywords (AC-label length 1..5).
+func Fig7(ds *Dataset) *Table {
+	t := &Table{
+		ID:     "fig7",
+		Title:  fmt.Sprintf("keyword cohesiveness vs #shared keywords (%s, k=%d)", ds.Name, dsK(ds)),
+		Header: []string{"#shared", "CMF", "CPJ", "communities"},
+	}
+	// Verifying every candidate keyword set is exhaustive; a modest query
+	// sample and a per-level community cap keep the figure tractable without
+	// changing its shape.
+	const maxLen = 5
+	const maxQueries = 20
+	const maxCommsPerLevel = 60
+	byLen := make([][][]graph.VertexID, maxLen)
+	cmfByLen := make([]float64, maxLen)
+	nQueriesByLen := make([]int, maxLen)
+	qs := ds.Queries
+	if len(qs) > maxQueries {
+		qs = qs[:maxQueries]
+	}
+	for _, q := range qs {
+		levels, err := core.CommunitiesByLabelSize(ds.Tree, q, dsK(ds), nil, maxLen, core.DefaultOptions())
+		if err != nil {
+			continue
+		}
+		for l, comms := range levels {
+			if len(comms) == 0 {
+				continue
+			}
+			vs := communitiesOf(core.Result{Communities: comms})
+			cmfByLen[l] += measure.CMF(ds.G, q, vs)
+			nQueriesByLen[l]++
+			if room := maxCommsPerLevel - len(byLen[l]); room > 0 {
+				if len(vs) > room {
+					vs = vs[:room]
+				}
+				byLen[l] = append(byLen[l], vs...)
+			}
+		}
+	}
+	for l := 0; l < maxLen; l++ {
+		if nQueriesByLen[l] == 0 {
+			continue
+		}
+		cmf := cmfByLen[l] / float64(nQueriesByLen[l])
+		cpj := measure.CPJ(ds.G, byLen[l], 500)
+		t.AddRow(fmt.Sprintf("%d", l+1), f3(cmf), f3(cpj), fmt.Sprintf("%d", len(byLen[l])))
+	}
+	return t
+}
+
+// Fig8 reproduces Figure 8: ACQ versus the CODICIL community-detection
+// baseline at several cluster granularities, on keyword cohesiveness (CMF,
+// CPJ) and structure cohesiveness (average member degree, fraction of
+// members with community degree ≥ 6).
+func Fig8(ds *Dataset) *Table {
+	k := dsK(ds)
+	t := &Table{
+		ID:    "fig8",
+		Title: fmt.Sprintf("ACQ vs community detection (%s, k=%d)", ds.Name, k),
+		Header: []string{"method", "clusters", "CMF", "CPJ", "avg-deg",
+			fmt.Sprintf("frac-deg≥%d", k)},
+	}
+	ops := graph.NewSetOps(ds.G)
+	n := ds.G.NumVertices()
+	// Cluster counts proportional to the paper's 1K..100K sweep: average
+	// cluster sizes of ~500 down to ~5 members.
+	targets := []int{n / 500, n / 100, n / 50, n / 10, n / 5}
+	for _, target := range targets {
+		if target < 1 {
+			target = 1
+		}
+		clu := codicil.Run(ds.G, codicil.Config{ClusterTarget: target})
+		var comms [][]graph.VertexID
+		cmf, avgDeg, frac := 0.0, 0.0, 0.0
+		for _, q := range ds.Queries {
+			c := clu.CommunityOf(q)
+			comms = append(comms, c)
+			cmf += measure.CMF(ds.G, q, [][]graph.VertexID{c})
+			avgDeg += measure.AvgInducedDegree(ops, c)
+			frac += measure.FracDegreeAtLeast(ops, c, k)
+		}
+		nq := float64(len(ds.Queries))
+		t.AddRow(fmt.Sprintf("Cod%d", target), fmt.Sprintf("%d", clu.NumClusters()),
+			f3(cmf/nq), f3(measure.CPJ(ds.G, comms, 500)), f3(avgDeg/nq), f3(frac/nq))
+	}
+	// ACQ row (Dec).
+	var comms [][]graph.VertexID
+	cmf, avgDeg, frac := 0.0, 0.0, 0.0
+	for _, q := range ds.Queries {
+		res, err := core.Dec(ds.Tree, q, k, nil, core.DefaultOptions())
+		if err != nil {
+			continue
+		}
+		vs := communitiesOf(res)
+		comms = append(comms, vs...)
+		cmf += measure.CMF(ds.G, q, vs)
+		for _, c := range vs {
+			avgDeg += measure.AvgInducedDegree(ops, c) / float64(len(vs))
+			frac += measure.FracDegreeAtLeast(ops, c, k) / float64(len(vs))
+		}
+	}
+	nq := float64(len(ds.Queries))
+	t.AddRow("ACQ", "-", f3(cmf/nq), f3(measure.CPJ(ds.G, comms, 500)), f3(avgDeg/nq), f3(frac/nq))
+	return t
+}
+
+// Fig9 reproduces Figure 9: keyword cohesiveness of ACQ versus the
+// community-search baselines Global and Local (which ignore keywords).
+func Fig9(ds *Dataset) *Table {
+	k := dsK(ds)
+	t := &Table{
+		ID:     "fig9",
+		Title:  fmt.Sprintf("ACQ vs community search (%s, k=%d)", ds.Name, k),
+		Header: []string{"method", "CMF", "CPJ"},
+	}
+	ops := graph.NewSetOps(ds.G)
+	type method struct {
+		name string
+		run  func(q graph.VertexID) [][]graph.VertexID
+	}
+	methods := []method{
+		{"Global", func(q graph.VertexID) [][]graph.VertexID {
+			if c := baseline.Global(ops, q, k); c != nil {
+				return [][]graph.VertexID{c}
+			}
+			return nil
+		}},
+		{"Local", func(q graph.VertexID) [][]graph.VertexID {
+			if c := baseline.Local(ops, q, k); c != nil {
+				return [][]graph.VertexID{c}
+			}
+			return nil
+		}},
+		{"ACQ", func(q graph.VertexID) [][]graph.VertexID {
+			res, err := core.Dec(ds.Tree, q, k, nil, core.DefaultOptions())
+			if err != nil {
+				return nil
+			}
+			return communitiesOf(res)
+		}},
+	}
+	for _, m := range methods {
+		var all [][]graph.VertexID
+		cmf := 0.0
+		nq := 0
+		for _, q := range ds.Queries {
+			vs := m.run(q)
+			if len(vs) == 0 {
+				continue
+			}
+			nq++
+			cmf += measure.CMF(ds.G, q, vs)
+			all = append(all, vs...)
+		}
+		if nq == 0 {
+			continue
+		}
+		t.AddRow(m.name, f3(cmf/float64(nq)), f3(measure.CPJ(ds.G, all, 500)))
+	}
+	return t
+}
+
+// caseStudyVertices picks the dataset's most prominent vertices (highest
+// degree among the query workload), standing in for the paper's Jim Gray /
+// Jiawei Han case studies.
+func caseStudyVertices(ds *Dataset, count int) []graph.VertexID {
+	sorted := append([]graph.VertexID(nil), ds.Queries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		di, dj := ds.G.Degree(sorted[i]), ds.G.Degree(sorted[j])
+		if di != dj {
+			return di > dj
+		}
+		return sorted[i] < sorted[j]
+	})
+	if len(sorted) > count {
+		sorted = sorted[:count]
+	}
+	return sorted
+}
+
+// caseStudyMethods yields each method's communities for a case-study vertex.
+func caseStudyMethods(ds *Dataset, k int, codTarget int) map[string]func(q graph.VertexID) [][]graph.VertexID {
+	ops := graph.NewSetOps(ds.G)
+	clu := codicil.Run(ds.G, codicil.Config{ClusterTarget: codTarget})
+	return map[string]func(q graph.VertexID) [][]graph.VertexID{
+		"Cod": func(q graph.VertexID) [][]graph.VertexID {
+			return [][]graph.VertexID{clu.CommunityOf(q)}
+		},
+		"Global": func(q graph.VertexID) [][]graph.VertexID {
+			if c := baseline.Global(ops, q, k); c != nil {
+				return [][]graph.VertexID{c}
+			}
+			return nil
+		},
+		"Local": func(q graph.VertexID) [][]graph.VertexID {
+			if c := baseline.Local(ops, q, k); c != nil {
+				return [][]graph.VertexID{c}
+			}
+			return nil
+		},
+		"ACQ": func(q graph.VertexID) [][]graph.VertexID {
+			res, err := core.Dec(ds.Tree, q, k, nil, core.DefaultOptions())
+			if err != nil {
+				return nil
+			}
+			return communitiesOf(res)
+		},
+	}
+}
+
+// caseK is the case-study degree bound (the paper uses k=4 there).
+func caseK(ds *Dataset) int {
+	if ds.MinCore < 4 {
+		return int(ds.MinCore)
+	}
+	return 4
+}
+
+// Fig11 reproduces Figure 11: the member frequency of each method's top-30
+// community keywords, for the case-study vertices.
+func Fig11(ds *Dataset) *Table {
+	k := caseK(ds)
+	t := &Table{
+		ID:     "fig11",
+		Title:  fmt.Sprintf("MF of top community keywords (%s case study, k=%d)", ds.Name, k),
+		Header: []string{"method", "rank1", "rank5", "rank10", "rank20", "rank30"},
+	}
+	methods := caseStudyMethods(ds, k, ds.G.NumVertices()/10)
+	for _, name := range []string{"Cod", "Global", "Local", "ACQ"} {
+		run := methods[name]
+		ranks := make([]float64, 30)
+		n := 0
+		for _, q := range caseStudyVertices(ds, 2) {
+			comms := run(q)
+			if len(comms) == 0 {
+				continue
+			}
+			n++
+			top := measure.TopKeywordsByMF(ds.G, comms, 30)
+			for i, kw := range top {
+				ranks[i] += kw.MF
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		row := []string{name}
+		for _, idx := range []int{0, 4, 9, 19, 29} {
+			row = append(row, f3(ranks[idx]/float64(n)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table4 reproduces Table 4: the number of distinct keywords across each
+// method's communities for the case-study vertices.
+func Table4(ds *Dataset) *Table {
+	k := caseK(ds)
+	t := &Table{
+		ID:     "table4",
+		Title:  fmt.Sprintf("# distinct community keywords (%s case study, k=%d)", ds.Name, k),
+		Header: []string{"query", "Cod", "Global", "Local", "ACQ"},
+	}
+	methods := caseStudyMethods(ds, k, ds.G.NumVertices()/10)
+	for _, q := range caseStudyVertices(ds, 2) {
+		row := []string{fmt.Sprintf("v%d(deg=%d)", q, ds.G.Degree(q))}
+		for _, name := range []string{"Cod", "Global", "Local", "ACQ"} {
+			comms := methods[name](q)
+			row = append(row, fmt.Sprintf("%d", measure.DistinctKeywords(ds.G, comms)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Tables56 reproduces Tables 5 and 6: the top-6 keywords (by member
+// frequency) of each method's communities for the case-study vertices.
+func Tables56(ds *Dataset) *Table {
+	k := caseK(ds)
+	t := &Table{
+		ID:     "table5-6",
+		Title:  fmt.Sprintf("top-6 community keywords (%s case study, k=%d)", ds.Name, k),
+		Header: []string{"query", "method", "keywords"},
+	}
+	methods := caseStudyMethods(ds, k, ds.G.NumVertices()/10)
+	for _, q := range caseStudyVertices(ds, 2) {
+		for _, name := range []string{"Cod", "Global", "Local", "ACQ"} {
+			comms := methods[name](q)
+			top := measure.TopKeywordsByMF(ds.G, comms, 6)
+			words := make([]string, 0, len(top))
+			for _, kw := range top {
+				words = append(words, ds.G.Dict().Word(kw.Keyword))
+			}
+			t.AddRow(fmt.Sprintf("v%d", q), name, fmt.Sprintf("%v", words))
+		}
+	}
+	return t
+}
+
+// Fig12 reproduces Figure 12: community size versus k for Global, Local and
+// ACQ on the case-study vertices.
+func Fig12(ds *Dataset, ks []int) *Table {
+	t := &Table{
+		ID:     "fig12",
+		Title:  fmt.Sprintf("community size vs k (%s case study)", ds.Name),
+		Header: []string{"k", "Global", "Local", "ACQ"},
+	}
+	ops := graph.NewSetOps(ds.G)
+	for _, k := range ks {
+		gs, ls, as := 0.0, 0.0, 0.0
+		n := 0
+		for _, q := range caseStudyVertices(ds, 2) {
+			if int(ds.Tree.Core[q]) < k {
+				continue
+			}
+			n++
+			gs += float64(len(baseline.Global(ops, q, k)))
+			ls += float64(len(baseline.Local(ops, q, k)))
+			if res, err := core.Dec(ds.Tree, q, k, nil, core.DefaultOptions()); err == nil {
+				as += measure.AvgSize(communitiesOf(res))
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.0f", gs/float64(n)),
+			fmt.Sprintf("%.0f", ls/float64(n)),
+			fmt.Sprintf("%.0f", as/float64(n)))
+	}
+	return t
+}
+
+// Table7 reproduces Table 7: the fraction of star-a GPM queries returning a
+// non-empty community, as |S| grows. S is drawn from the case-study vertex's
+// keyword set, 100 random draws per size, as in the paper.
+func Table7(ds *Dataset) *Table {
+	t := &Table{
+		ID:     "table7",
+		Title:  fmt.Sprintf("%% GPM star queries with ≥1 match (%s case study)", ds.Name),
+		Header: []string{"|S|", "Star-6", "Star-8", "Star-10"},
+	}
+	qs := caseStudyVertices(ds, 1)
+	if len(qs) == 0 {
+		return t
+	}
+	q := qs[0]
+	wq := ds.G.Keywords(q)
+	rng := rand.New(rand.NewSource(7))
+	const draws = 100
+	for size := 1; size <= 5 && size <= len(wq); size++ {
+		row := []string{fmt.Sprintf("%d", size)}
+		for _, a := range []int{6, 8, 10} {
+			hits := 0
+			for d := 0; d < draws; d++ {
+				perm := rng.Perm(len(wq))
+				s := make([]graph.KeywordID, size)
+				for i := 0; i < size; i++ {
+					s[i] = wq[perm[i]]
+				}
+				s = graph.SortKeywordSet(s)
+				if gpm.Matches(ds.G, q, a, s) {
+					hits++
+				}
+			}
+			row = append(row, fmt.Sprintf("%.0f%%", 100*float64(hits)/draws))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

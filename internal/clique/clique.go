@@ -1,0 +1,206 @@
+// Package clique implements k-clique community machinery: maximal-clique
+// enumeration (Bron–Kerbosch with pivoting) and clique-percolation
+// communities, the third structure-cohesiveness measure named in the paper's
+// conclusion (its reference [4], Cui et al., SIGMOD 2013, searches
+// overlapping communities through k-cliques).
+//
+// Under the clique-percolation model, two cliques of size ≥ k are adjacent
+// when they share at least k−1 vertices; a k-clique community is the union
+// of all cliques in one connected component of that adjacency relation. The
+// standard implementation (used here) percolates over maximal cliques.
+package clique
+
+import (
+	"sort"
+
+	"github.com/acq-search/acq/internal/graph"
+)
+
+// MaxCliques bounds enumeration; graphs with more maximal cliques than this
+// abort with ok=false rather than running away (Bron–Kerbosch is worst-case
+// exponential, though near-linear on sparse social graphs).
+const MaxCliques = 200000
+
+// Maximal enumerates the maximal cliques of the subgraph induced by cand
+// (each clique sorted). ok is false when the MaxCliques cap was hit; the
+// returned prefix is still valid.
+func Maximal(g *graph.Graph, cand []graph.VertexID) (cliques [][]graph.VertexID, ok bool) {
+	in := map[graph.VertexID]bool{}
+	for _, v := range cand {
+		in[v] = true
+	}
+	neighbors := func(v graph.VertexID) []graph.VertexID {
+		var out []graph.VertexID
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	ok = true
+	var r []graph.VertexID
+	var bk func(p, x []graph.VertexID)
+	bk = func(p, x []graph.VertexID) {
+		if !ok {
+			return
+		}
+		if len(p) == 0 && len(x) == 0 {
+			if len(r) == 0 {
+				return // empty input graph, not a clique
+			}
+			if len(cliques) >= MaxCliques {
+				ok = false
+				return
+			}
+			c := append([]graph.VertexID(nil), r...)
+			sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+			cliques = append(cliques, c)
+			return
+		}
+		// Pivot: the vertex of P ∪ X with most neighbours in P.
+		var pivot graph.VertexID = -1
+		best := -1
+		for _, set := range [][]graph.VertexID{p, x} {
+			for _, u := range set {
+				cnt := countIn(g, u, p)
+				if cnt > best {
+					best, pivot = cnt, u
+				}
+			}
+		}
+		pn := map[graph.VertexID]bool{}
+		if pivot >= 0 {
+			for _, u := range g.Neighbors(pivot) {
+				pn[u] = true
+			}
+		}
+		// Iterate over a copy: p and x mutate during the loop.
+		for _, v := range append([]graph.VertexID(nil), p...) {
+			if pn[v] {
+				continue
+			}
+			nv := neighbors(v)
+			r = append(r, v)
+			bk(intersect(p, nv), intersect(x, nv))
+			r = r[:len(r)-1]
+			p = remove(p, v)
+			x = append(x, v)
+		}
+	}
+	p := append([]graph.VertexID(nil), cand...)
+	bk(p, nil)
+	return cliques, ok
+}
+
+func countIn(g *graph.Graph, u graph.VertexID, set []graph.VertexID) int {
+	cnt := 0
+	for _, v := range set {
+		if g.HasEdge(u, v) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func intersect(set, sortedOther []graph.VertexID) []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(set))
+	for _, v := range set {
+		i := sort.Search(len(sortedOther), func(i int) bool { return sortedOther[i] >= v })
+		if i < len(sortedOther) && sortedOther[i] == v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func remove(set []graph.VertexID, v graph.VertexID) []graph.VertexID {
+	out := set[:0]
+	for _, u := range set {
+		if u != v {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// CommunityOf returns the k-clique-percolation community of q within the
+// subgraph induced by cand: the union of all maximal cliques of size ≥ k
+// reachable (via ≥ k−1 vertex overlaps) from a clique containing q. nil
+// means q is in no clique of size ≥ k (or enumeration hit MaxCliques).
+func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int) []graph.VertexID {
+	if k < 2 {
+		k = 2
+	}
+	all, ok := Maximal(g, cand)
+	if !ok {
+		return nil
+	}
+	var cliques [][]graph.VertexID
+	for _, c := range all {
+		if len(c) >= k {
+			cliques = append(cliques, c)
+		}
+	}
+	if len(cliques) == 0 {
+		return nil
+	}
+	// Percolation BFS from the cliques containing q.
+	containsQ := func(c []graph.VertexID) bool {
+		i := sort.Search(len(c), func(i int) bool { return c[i] >= q })
+		return i < len(c) && c[i] == q
+	}
+	visited := make([]bool, len(cliques))
+	var queue []int
+	for i, c := range cliques {
+		if containsQ(c) {
+			visited[i] = true
+			queue = append(queue, i)
+		}
+	}
+	if len(queue) == 0 {
+		return nil
+	}
+	for head := 0; head < len(queue); head++ {
+		a := queue[head]
+		for b := range cliques {
+			if !visited[b] && overlapAtLeast(cliques[a], cliques[b], k-1) {
+				visited[b] = true
+				queue = append(queue, b)
+			}
+		}
+	}
+	member := map[graph.VertexID]bool{}
+	for _, i := range queue {
+		for _, v := range cliques[i] {
+			member[v] = true
+		}
+	}
+	out := make([]graph.VertexID, 0, len(member))
+	for v := range member {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// overlapAtLeast reports whether two sorted cliques share ≥ want vertices.
+func overlapAtLeast(a, b []graph.VertexID, want int) bool {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			if n >= want {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return n >= want
+}

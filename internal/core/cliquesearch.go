@@ -1,0 +1,52 @@
+package core
+
+import (
+	"github.com/acq-search/acq/internal/clique"
+	"github.com/acq-search/acq/internal/fpm"
+	"github.com/acq-search/acq/internal/graph"
+)
+
+// CliqueSearch answers the attributed community query under k-clique
+// percolation cohesiveness, the third structure measure the paper's
+// conclusion proposes (after k-core and k-truss): the returned communities
+// are unions of overlapping cliques of size ≥ k reachable from q whose
+// members all share a maximal subset of S.
+//
+// Candidate keyword sets are mined from q's neighbourhood with minimum
+// support k−1 (a member of a k-clique has k−1 clique neighbours), and
+// verified from the largest candidates downward. A k-clique is contained in
+// the (k−1)-core, so the CL-tree prunes the scope first. k ≥ 2.
+func CliqueSearch(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result, error) {
+	s, err := normalizeQuery(t.g, q, k, s)
+	if err != nil {
+		return Result{}, err
+	}
+	if k < 2 {
+		k = 2
+	}
+	if int(t.Core[q]) < k-1 {
+		return Result{}, ErrNoKCore
+	}
+	root := t.LocateRoot(q, int32(k-1))
+	scope := t.SubtreeVertices(root)
+	ops := graph.NewSetOps(t.g)
+
+	levels := mineCandidates(t.g, q, k-1, s, fpm.FPGrowth)
+	for l := len(levels); l >= 1; l-- {
+		var out []Community
+		for _, set := range levels[l-1] {
+			cand := ops.FilterByKeywords(scope, set)
+			if comm := clique.CommunityOf(t.g, cand, q, k); comm != nil {
+				out = append(out, Community{Label: set, Vertices: comm})
+			}
+		}
+		if len(out) > 0 {
+			return Result{Communities: out, LabelSize: l}, nil
+		}
+	}
+	comm := clique.CommunityOf(t.g, scope, q, k)
+	if comm == nil {
+		return Result{}, ErrNoKCore
+	}
+	return fallbackResult(comm), nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+func TestCliqueSearchFig3(t *testing.T) {
+	g := testutil.Fig3Graph()
+	tr := BuildAdvanced(g)
+	a, _ := g.VertexByLabel("A")
+
+	// k=4: only the K4 {A,B,C,D}; shared keyword {x}.
+	res, err := CliqueSearch(tr, a, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback || res.LabelSize != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	label, members := labelsOfCommunity(g, res.Communities[0])
+	if !reflect.DeepEqual(label, []string{"x"}) || !reflect.DeepEqual(members, []string{"A", "B", "C", "D"}) {
+		t.Fatalf("label=%v members=%v", label, members)
+	}
+
+	// k=3, S={x,y}: triangles among x∧y vertices: {A,C,D}.
+	res, err = CliqueSearch(tr, a, 3, kws(g, "x", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, members = labelsOfCommunity(g, res.Communities[0])
+	if !reflect.DeepEqual(members, []string{"A", "C", "D"}) {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestCliqueSearchErrors(t *testing.T) {
+	g := testutil.Fig3Graph()
+	tr := BuildAdvanced(g)
+	j, _ := g.VertexByLabel("J")
+	a, _ := g.VertexByLabel("A")
+	if _, err := CliqueSearch(tr, j, 3, nil); !errors.Is(err, ErrNoKCore) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := CliqueSearch(tr, a, 9, nil); !errors.Is(err, ErrNoKCore) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := CliqueSearch(tr, graph.VertexID(-3), 3, nil); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: every clique community member shares the AC-label and q is a
+// member; the community is connected.
+func TestCliqueSearchSoundQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 5+rng.Intn(25), 2+3*rng.Float64(), 6, 3)
+		tr := BuildAdvanced(g)
+		ops := graph.NewSetOps(g)
+		var q graph.VertexID = -1
+		for _, v := range rng.Perm(g.NumVertices()) {
+			if tr.Core[v] >= 2 {
+				q = graph.VertexID(v)
+				break
+			}
+		}
+		if q < 0 {
+			return true
+		}
+		res, err := CliqueSearch(tr, q, 3, nil)
+		if err != nil {
+			return errors.Is(err, ErrNoKCore)
+		}
+		for _, c := range res.Communities {
+			hasQ := false
+			for _, v := range c.Vertices {
+				hasQ = hasQ || v == q
+				if !g.HasAllKeywords(v, c.Label) {
+					return false
+				}
+			}
+			if !hasQ {
+				return false
+			}
+			comp := ops.ComponentOf(c.Vertices, q)
+			if len(comp) != len(c.Vertices) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package core implements the paper's primary contribution: the CL-tree
+// (Core Label tree) index and the ACQ query algorithms that run on it
+// (Fang et al., "Effective Community Search for Large Attributed Graphs",
+// PVLDB 9(12), 2016, Sections 5–6 and Appendices B–G).
+//
+// The CL-tree organises the laminar family of k-ĉores of a graph: a
+// (k+1)-ĉore is always contained in exactly one k-ĉore, so the ĉores form a
+// tree. The tree is stored compressed — each graph vertex appears in exactly
+// one node, the node whose core number equals the vertex's core number — and
+// every node carries an inverted list from keyword to the node's own vertices
+// containing it. Two primitives drive all query algorithms:
+//
+//   - core-locating: find the c-ĉore containing a vertex q by walking up
+//     from q's node (LocateRoot);
+//   - keyword-checking: find the vertices inside a ĉore that contain a
+//     keyword set, by intersecting per-node inverted lists over the subtree
+//     (Candidates).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/kcore"
+)
+
+// Node is one CL-tree node: a k-ĉore, holding only the vertices whose core
+// number equals the node's core number (the compressed representation of
+// Section 5.1).
+type Node struct {
+	// Core is the core number of the ĉore this node represents.
+	Core int32
+	// Vertices are the node's own vertices (core number == Core), sorted.
+	Vertices []graph.VertexID
+	// Inverted maps a keyword to the sorted own vertices containing it.
+	Inverted map[graph.KeywordID][]graph.VertexID
+	// Children are the nested ĉores with the next-present core numbers.
+	Children []*Node
+	// Parent is nil for the root.
+	Parent *Node
+}
+
+// Tree is the CL-tree index over a fixed attributed graph.
+type Tree struct {
+	g *graph.Graph
+	// Root represents the 0-core (the entire graph, possibly disconnected).
+	Root *Node
+	// NodeOf maps every vertex to the unique node that owns it.
+	NodeOf []*Node
+	// Core holds the core number of every vertex (Definition 2).
+	Core []int32
+	// KMax is the maximum core number.
+	KMax int32
+
+	nodeCount int
+}
+
+// Graph returns the indexed graph.
+func (t *Tree) Graph() *graph.Graph { return t.g }
+
+// NumNodes returns the number of CL-tree nodes.
+func (t *Tree) NumNodes() int { return t.nodeCount }
+
+// Height returns the number of nodes on the longest root-to-leaf path.
+func (t *Tree) Height() int {
+	var h func(*Node) int
+	h = func(n *Node) int {
+		best := 0
+		for _, c := range n.Children {
+			if d := h(c); d > best {
+				best = d
+			}
+		}
+		return best + 1
+	}
+	if t.Root == nil {
+		return 0
+	}
+	return h(t.Root)
+}
+
+// LocateRoot performs core-locating: it returns the node whose subtree is
+// exactly the c-ĉore containing q, or nil when core(q) < c. Because node
+// core numbers strictly increase from root to leaf, this is the shallowest
+// ancestor of q's node with core number ≥ c.
+func (t *Tree) LocateRoot(q graph.VertexID, c int32) *Node {
+	if t.Core[q] < c {
+		return nil
+	}
+	n := t.NodeOf[q]
+	for n.Parent != nil && n.Parent.Core >= c {
+		n = n.Parent
+	}
+	return n
+}
+
+// SubtreeVertices returns every vertex of the ĉore represented by n (the
+// union of own-vertex sets over n's subtree), in unspecified order.
+func (t *Tree) SubtreeVertices(n *Node) []graph.VertexID {
+	var out []graph.VertexID
+	stack := []*Node{n}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, nd.Vertices...)
+		stack = append(stack, nd.Children...)
+	}
+	return out
+}
+
+// Candidates performs keyword-checking: it returns the vertices of n's
+// subtree whose keyword sets contain every keyword of set (sorted). With
+// useInverted=false it scans vertex keyword sets instead of intersecting the
+// per-node inverted lists; that is the Inc-S*/Inc-T* ablation of Figure 15.
+// An empty set returns all subtree vertices.
+func (t *Tree) Candidates(n *Node, set []graph.KeywordID, useInverted bool) []graph.VertexID {
+	if len(set) == 0 {
+		return t.SubtreeVertices(n)
+	}
+	var out []graph.VertexID
+	stack := []*Node{n}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stack = append(stack, nd.Children...)
+		if len(nd.Vertices) == 0 {
+			continue
+		}
+		if useInverted {
+			out = appendInvertedMatches(out, nd, set)
+		} else {
+			for _, v := range nd.Vertices {
+				if t.g.HasAllKeywords(v, set) {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// appendInvertedMatches intersects nd's inverted lists for set and appends
+// the matches to out.
+func appendInvertedMatches(out []graph.VertexID, nd *Node, set []graph.KeywordID) []graph.VertexID {
+	// Find the shortest list; bail out if any keyword is absent.
+	base := -1
+	for i, w := range set {
+		l, ok := nd.Inverted[w]
+		if !ok {
+			return out
+		}
+		if base == -1 || len(l) < len(nd.Inverted[set[base]]) {
+			base = i
+		}
+	}
+	lists := make([][]graph.VertexID, 0, len(set)-1)
+	for i, w := range set {
+		if i != base {
+			lists = append(lists, nd.Inverted[w])
+		}
+	}
+	cursor := make([]int, len(lists))
+outer:
+	for _, v := range nd.Inverted[set[base]] {
+		for li, l := range lists {
+			j := cursor[li]
+			for j < len(l) && l[j] < v {
+				j++
+			}
+			cursor[li] = j
+			if j == len(l) {
+				break outer
+			}
+			if l[j] != v {
+				continue outer
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// finalize sorts vertex sets and children, fills NodeOf, builds inverted
+// lists, and counts nodes. Both builders call it; the incremental maintainer
+// calls finalizeNode on rebuilt subtrees.
+func (t *Tree) finalize() {
+	t.NodeOf = make([]*Node, t.g.NumVertices())
+	t.nodeCount = 0
+	var walk func(*Node)
+	walk = func(n *Node) {
+		t.nodeCount++
+		t.finalizeNode(n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+}
+
+// finalizeNode canonicalises a single node: sorts own vertices, orders
+// children by (core, first vertex), points NodeOf at it and rebuilds its
+// inverted list.
+func (t *Tree) finalizeNode(n *Node) {
+	sort.Slice(n.Vertices, func(i, j int) bool { return n.Vertices[i] < n.Vertices[j] })
+	sortChildren(n)
+	n.Inverted = make(map[graph.KeywordID][]graph.VertexID)
+	for _, v := range n.Vertices {
+		t.NodeOf[v] = n
+		for _, w := range t.g.Keywords(v) {
+			n.Inverted[w] = append(n.Inverted[w], v)
+		}
+	}
+}
+
+// sortChildren restores the canonical child order: ascending core number,
+// then ascending first subtree vertex.
+func sortChildren(n *Node) {
+	sort.Slice(n.Children, func(i, j int) bool {
+		a, b := n.Children[i], n.Children[j]
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		return firstVertex(a) < firstVertex(b)
+	})
+}
+
+func firstVertex(n *Node) graph.VertexID {
+	for len(n.Vertices) == 0 && len(n.Children) > 0 {
+		n = n.Children[0]
+	}
+	if len(n.Vertices) == 0 {
+		return -1
+	}
+	return n.Vertices[0]
+}
+
+// Rehydrate reconstructs a Tree from a deserialised node skeleton (core
+// numbers and own-vertex sets with parent/child links already wired). Core
+// numbers per vertex are derived from node membership; inverted lists and
+// lookup tables are rebuilt. It fails if the nodes do not partition the
+// graph's vertices.
+func Rehydrate(g *graph.Graph, root *Node) (*Tree, error) {
+	t := &Tree{g: g, Root: root, Core: make([]int32, g.NumVertices())}
+	seen := make([]bool, g.NumVertices())
+	count := 0
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		for _, v := range n.Vertices {
+			if seen[v] {
+				return fmt.Errorf("cltree: rehydrate: vertex %d appears twice", v)
+			}
+			seen[v] = true
+			count++
+			t.Core[v] = n.Core
+			if n.Core > t.KMax {
+				t.KMax = n.Core
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	if count != g.NumVertices() {
+		return nil, fmt.Errorf("cltree: rehydrate: %d of %d vertices covered", count, g.NumVertices())
+	}
+	t.finalize()
+	return t, nil
+}
+
+// Validate checks the CL-tree invariants against the graph and core numbers:
+// vertices partitioned across nodes, node core == own vertices' core, parent
+// cores strictly smaller, each subtree connected in the induced ≥core
+// subgraph, and inverted lists consistent. Intended for tests.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("cltree: nil root")
+	}
+	if t.Root.Core != 0 {
+		return fmt.Errorf("cltree: root core %d != 0", t.Root.Core)
+	}
+	want := kcore.Decompose(t.g)
+	seen := make([]bool, t.g.NumVertices())
+	ops := graph.NewSetOps(t.g)
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		for _, v := range n.Vertices {
+			if seen[v] {
+				return fmt.Errorf("cltree: vertex %d in two nodes", v)
+			}
+			seen[v] = true
+			if want[v] != n.Core {
+				return fmt.Errorf("cltree: vertex %d core %d in node with core %d", v, want[v], n.Core)
+			}
+			if t.NodeOf[v] != n {
+				return fmt.Errorf("cltree: NodeOf[%d] inconsistent", v)
+			}
+		}
+		if n != t.Root {
+			if len(n.Vertices) == 0 {
+				return fmt.Errorf("cltree: non-root node with core %d has no own vertices", n.Core)
+			}
+			sub := t.SubtreeVertices(n)
+			comp := ops.ComponentOf(sub, sub[0])
+			if len(comp) != len(sub) {
+				return fmt.Errorf("cltree: subtree at core %d not connected (%d of %d reachable)", n.Core, len(comp), len(sub))
+			}
+		}
+		for _, c := range n.Children {
+			if c.Core <= n.Core {
+				return fmt.Errorf("cltree: child core %d <= parent core %d", c.Core, n.Core)
+			}
+			if c.Parent != n {
+				return fmt.Errorf("cltree: broken parent pointer at core %d", c.Core)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		for w, list := range n.Inverted {
+			for i, v := range list {
+				if i > 0 && list[i-1] >= v {
+					return fmt.Errorf("cltree: inverted list for keyword %d not sorted", w)
+				}
+				if !t.g.HasKeyword(v, w) {
+					return fmt.Errorf("cltree: inverted list claims keyword %d on vertex %d", w, v)
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	for v, s := range seen {
+		if !s {
+			return fmt.Errorf("cltree: vertex %d missing from tree", v)
+		}
+	}
+	for v, c := range want {
+		if t.Core[v] != c {
+			return fmt.Errorf("cltree: stored core of %d is %d, want %d", v, t.Core[v], c)
+		}
+	}
+	return nil
+}

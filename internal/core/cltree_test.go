@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+// nodeShape captures a CL-tree node for structural comparison.
+type nodeShape struct {
+	core     int32
+	vertices string
+	children []string // canonical child keys
+}
+
+// shape flattens a tree into a canonical map keyed by sorted own-vertex list.
+func shape(t *Tree, g *graph.Graph) map[string]nodeShape {
+	out := map[string]nodeShape{}
+	var walk func(n *Node) string
+	walk = func(n *Node) string {
+		names := make([]string, 0, len(n.Vertices))
+		for _, v := range n.Vertices {
+			names = append(names, g.Label(v))
+		}
+		sort.Strings(names)
+		key := ""
+		for _, s := range names {
+			key += s + ","
+		}
+		var childKeys []string
+		for _, c := range n.Children {
+			childKeys = append(childKeys, walk(c))
+		}
+		sort.Strings(childKeys)
+		out[key] = nodeShape{core: n.Core, vertices: key, children: childKeys}
+		return key
+	}
+	walk(t.Root)
+	return out
+}
+
+func TestBuildBasicFig3(t *testing.T) {
+	g := testutil.Fig3Graph()
+	tr := BuildBasic(g)
+	checkFig3Tree(t, g, tr)
+}
+
+func TestBuildAdvancedFig3(t *testing.T) {
+	g := testutil.Fig3Graph()
+	tr := BuildAdvanced(g)
+	checkFig3Tree(t, g, tr)
+}
+
+// checkFig3Tree verifies the tree of the paper's Figure 4(b): root (0,{J})
+// with children (1,{F,G}) and (1,{H,I}); under (1,{F,G}) comes (2,{E}) and
+// then (3,{A,B,C,D}).
+func checkFig3Tree(t *testing.T, g *graph.Graph, tr *Tree) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := shape(tr, g)
+	if len(s) != 5 {
+		t.Fatalf("tree has %d nodes, want 5: %v", len(s), s)
+	}
+	root := s["J,"]
+	if root.core != 0 || len(root.children) != 2 {
+		t.Fatalf("root = %+v", root)
+	}
+	fg := s["F,G,"]
+	if fg.core != 1 || len(fg.children) != 1 || fg.children[0] != "E," {
+		t.Fatalf("node FG = %+v", fg)
+	}
+	hi := s["H,I,"]
+	if hi.core != 1 || len(hi.children) != 0 {
+		t.Fatalf("node HI = %+v", hi)
+	}
+	e := s["E,"]
+	if e.core != 2 || len(e.children) != 1 || e.children[0] != "A,B,C,D," {
+		t.Fatalf("node E = %+v", e)
+	}
+	abcd := s["A,B,C,D,"]
+	if abcd.core != 3 || len(abcd.children) != 0 {
+		t.Fatalf("node ABCD = %+v", abcd)
+	}
+	if tr.Height() != 4 {
+		t.Fatalf("height = %d, want 4 (Example 2)", tr.Height())
+	}
+}
+
+// TestBuildFig5 checks the paper's Figure 5 tree, whose advanced build the
+// paper walks through in Example 3: p6(0,{N}) → p4(1,{H}) → p3(2,{E,F,G}) →
+// p1(3,{A,B,C,D}) and p6 → p5(1,{M}) → p2(3,{I,J,K,L}). Note p2 hangs
+// directly under a core-1 node — the level-2 chain node is compressed away.
+func TestBuildFig5(t *testing.T) {
+	g := testutil.Fig5Graph()
+	for name, build := range map[string]func(*graph.Graph) *Tree{
+		"basic": BuildBasic, "advanced": BuildAdvanced,
+	} {
+		tr := build(g)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := shape(tr, g)
+		if len(s) != 6 {
+			t.Fatalf("%s: %d nodes, want 6: %v", name, len(s), s)
+		}
+		if got := s["N,"]; got.core != 0 || len(got.children) != 2 {
+			t.Fatalf("%s: root = %+v", name, got)
+		}
+		if got := s["H,"]; got.core != 1 || len(got.children) != 1 || got.children[0] != "E,F,G," {
+			t.Fatalf("%s: p4 = %+v", name, got)
+		}
+		if got := s["M,"]; got.core != 1 || len(got.children) != 1 || got.children[0] != "I,J,K,L," {
+			t.Fatalf("%s: p5 = %+v", name, got)
+		}
+		if got := s["E,F,G,"]; got.core != 2 || len(got.children) != 1 || got.children[0] != "A,B,C,D," {
+			t.Fatalf("%s: p3 = %+v", name, got)
+		}
+		if got := s["I,J,K,L,"]; got.core != 3 {
+			t.Fatalf("%s: p2 = %+v", name, got)
+		}
+	}
+}
+
+func TestBuildersAgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 2+rng.Intn(80), 1+5*rng.Float64(), 12, 4)
+		a := BuildBasic(g)
+		b := BuildAdvanced(g)
+		if a.Validate() != nil || b.Validate() != nil {
+			return false
+		}
+		sa := treeShapeByID(a)
+		sb := treeShapeByID(b)
+		if len(sa) != len(sb) {
+			return false
+		}
+		for k, v := range sa {
+			w, ok := sb[k]
+			if !ok || v != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// treeShapeByID canonicalises a tree as node-key → (core, parent-key).
+func treeShapeByID(t *Tree) map[string]string {
+	out := map[string]string{}
+	var keyOf func(n *Node) string
+	keyOf = func(n *Node) string {
+		b := make([]byte, 0, 4*len(n.Vertices))
+		for _, v := range n.Vertices {
+			b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return string(b)
+	}
+	var walk func(n *Node, parentKey string)
+	walk = func(n *Node, parentKey string) {
+		k := keyOf(n)
+		out[k] = string(rune(n.Core)) + "|" + parentKey
+		for _, c := range n.Children {
+			walk(c, k)
+		}
+	}
+	walk(t.Root, "")
+	return out
+}
+
+func TestLocateRoot(t *testing.T) {
+	g := testutil.Fig3Graph()
+	tr := BuildAdvanced(g)
+	a, _ := g.VertexByLabel("A")
+	j, _ := g.VertexByLabel("J")
+
+	for c, wantKey := range map[int32]string{
+		0: "J,",
+		1: "F,G,",
+		2: "E,",
+		3: "A,B,C,D,",
+	} {
+		n := tr.LocateRoot(a, c)
+		if n == nil {
+			t.Fatalf("LocateRoot(A, %d) = nil", c)
+		}
+		names := ""
+		for _, v := range n.Vertices {
+			names += g.Label(v) + ","
+		}
+		if names != wantKey {
+			t.Fatalf("LocateRoot(A, %d) owns %q, want %q", c, names, wantKey)
+		}
+	}
+	if tr.LocateRoot(a, 4) != nil {
+		t.Fatal("LocateRoot above core(q) must be nil")
+	}
+	if tr.LocateRoot(j, 1) != nil {
+		t.Fatal("J has core 0; LocateRoot(J,1) must be nil")
+	}
+	if tr.LocateRoot(j, 0) != tr.Root {
+		t.Fatal("LocateRoot(J,0) must be the root")
+	}
+}
+
+// TestLocateRootSkipsMissingLevels: in Fig5, the 2-ĉore containing I equals
+// the 3-ĉore {I,J,K,L} (no core-2 vertices in that branch), so r_2 is the
+// core-3 node.
+func TestLocateRootSkipsMissingLevels(t *testing.T) {
+	g := testutil.Fig5Graph()
+	tr := BuildAdvanced(g)
+	i, _ := g.VertexByLabel("I")
+	n := tr.LocateRoot(i, 2)
+	if n == nil || n.Core != 3 {
+		t.Fatalf("LocateRoot(I, 2) = %+v, want the core-3 node", n)
+	}
+	set := testutil.LabelSet(g, tr.SubtreeVertices(n))
+	if len(set) != 4 || !set["I"] || !set["L"] {
+		t.Fatalf("2-ĉore of I = %v", set)
+	}
+}
+
+func TestSubtreeVerticesAndCandidates(t *testing.T) {
+	g := testutil.Fig3Graph()
+	tr := BuildAdvanced(g)
+	a, _ := g.VertexByLabel("A")
+
+	r1 := tr.LocateRoot(a, 1)
+	all := testutil.LabelSet(g, tr.SubtreeVertices(r1))
+	if len(all) != 7 {
+		t.Fatalf("subtree of r1 = %v", all)
+	}
+
+	x, _ := g.Dict().Lookup("x")
+	y, _ := g.Dict().Lookup("y")
+	for _, useInv := range []bool{true, false} {
+		got := testutil.LabelSet(g, tr.Candidates(r1, []graph.KeywordID{x, y}, useInv))
+		// Vertices with both x and y inside {A..G}: A, C, D, G.
+		if len(got) != 4 || !got["A"] || !got["C"] || !got["D"] || !got["G"] {
+			t.Fatalf("candidates(x,y) useInv=%v = %v", useInv, got)
+		}
+	}
+	// Empty set = whole subtree.
+	if got := tr.Candidates(r1, nil, true); len(got) != 7 {
+		t.Fatalf("candidates(∅) = %d vertices", len(got))
+	}
+}
+
+// Property: the inverted-list candidate path and the scan path agree on
+// random graphs and random keyword sets.
+func TestCandidatesPathsAgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 2+rng.Intn(60), 1+4*rng.Float64(), 10, 4)
+		tr := BuildAdvanced(g)
+		dict := g.Dict()
+		if dict.Size() == 0 {
+			return true
+		}
+		var set []graph.KeywordID
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			set = append(set, graph.KeywordID(rng.Intn(dict.Size())))
+		}
+		set = graph.SortKeywordSet(set)
+		// Random node: walk down from root randomly.
+		n := tr.Root
+		for len(n.Children) > 0 && rng.Intn(2) == 0 {
+			n = n.Children[rng.Intn(len(n.Children))]
+		}
+		a := tr.Candidates(n, set, true)
+		b := tr.Candidates(n, set, false)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeStatsAndEmptyGraph(t *testing.T) {
+	b := graph.NewBuilder()
+	g := b.MustBuild()
+	tr := BuildBasic(g)
+	if tr.NumNodes() != 1 || tr.Height() != 1 {
+		t.Fatalf("empty graph tree: nodes=%d height=%d", tr.NumNodes(), tr.Height())
+	}
+	tr2 := BuildAdvanced(g)
+	if tr2.NumNodes() != 1 {
+		t.Fatalf("advanced empty graph tree: nodes=%d", tr2.NumNodes())
+	}
+
+	g5 := testutil.Fig5Graph()
+	tr = BuildAdvanced(g5)
+	if tr.NumNodes() != 6 {
+		t.Fatalf("fig5 nodes = %d, want 6", tr.NumNodes())
+	}
+	if tr.KMax != 3 {
+		t.Fatalf("kmax = %d", tr.KMax)
+	}
+}

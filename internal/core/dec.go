@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/acq-search/acq/internal/fpm"
+	"github.com/acq-search/acq/internal/graph"
+)
+
+// Dec answers an ACQ with the CL-tree using the decremental strategy (paper
+// Algorithm 4), the fastest of the paper's algorithms. It exploits two
+// observations:
+//
+//  1. If S' is a qualified keyword set then at least k of q's neighbours
+//     contain S' (q needs degree ≥ k inside Gk[S'], and every member of
+//     Gk[S'] contains S'). All candidates can therefore be enumerated up
+//     front by mining q's neighbourhood keyword sets with minimum support k —
+//     the paper (and this implementation) uses FP-Growth.
+//  2. Larger keyword sets are contained by fewer vertices, so verifying from
+//     the largest candidates downward reaches the maximal qualified size with
+//     far less work than growing from singletons.
+//
+// MineWithApriori in Options-like ablations is exposed via DecWithMiner.
+func Dec(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (Result, error) {
+	return DecWithMiner(t, q, k, s, opt, fpm.FPGrowth)
+}
+
+// Miner enumerates all itemsets with support ≥ minSupport; fpm.FPGrowth and
+// fpm.Apriori both satisfy it.
+type Miner func(txns [][]fpm.Item, minSupport int) []fpm.Itemset
+
+// DecWithMiner is Dec with a pluggable frequent-itemset miner (used by the
+// FP-Growth vs Apriori ablation bench).
+func DecWithMiner(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options, mine Miner) (Result, error) {
+	s, err := normalizeQuery(t.g, q, k, s)
+	if err != nil {
+		return Result{}, err
+	}
+	if int(t.Core[q]) < k {
+		return Result{}, ErrNoKCore
+	}
+	e := &env{g: t.g, ops: graph.NewSetOps(t.g), q: q, k: k, opt: opt}
+	kRoot := t.LocateRoot(q, int32(k))
+
+	// --- Candidate generation from q's neighbourhood (Section 6.2 step 1).
+	levels := mineCandidates(t.g, q, k, s, mine)
+	if len(levels) == 0 {
+		return fallbackResult(t.SubtreeVertices(kRoot)), nil
+	}
+
+	// --- Verification, largest candidates first (Section 6.2 step 2).
+	// Bucket the k-ĉore's vertices by how many query keywords they share
+	// with q; R̂ accumulates the vertices sharing ≥ l keywords as l descends.
+	sub := t.SubtreeVertices(kRoot)
+	h := len(levels) // largest candidate size
+	shared := make([][]graph.VertexID, h+1)
+	for _, v := range sub {
+		i := t.g.CountSharedKeywords(v, s)
+		if i > h {
+			i = h
+		}
+		shared[i] = append(shared[i], v)
+	}
+	rHat := append([]graph.VertexID(nil), shared[h]...)
+
+	for l := h; l >= 1; l-- {
+		var out []Community
+		for _, set := range levels[l-1] {
+			cand := e.ops.FilterByKeywords(rHat, set)
+			if comm := e.communityOf(cand); comm != nil {
+				out = append(out, Community{Label: set, Vertices: comm})
+			}
+		}
+		if len(out) > 0 {
+			return Result{Communities: out, LabelSize: l}, nil
+		}
+		if l >= 2 {
+			rHat = append(rHat, shared[l-1]...)
+		}
+	}
+	return fallbackResult(sub), nil
+}
+
+// CommunitiesByLabelSize verifies every candidate keyword set mined from q's
+// neighbourhood and returns the qualifying communities bucketed by AC-label
+// size (index l-1 holds communities sharing exactly l keywords). It backs the
+// paper's Figure 7 study of keyword cohesiveness versus shared-keyword count.
+// maxSize caps the label size examined (0 means no cap).
+func CommunitiesByLabelSize(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, maxSize int, opt Options) ([][]Community, error) {
+	s, err := normalizeQuery(t.g, q, k, s)
+	if err != nil {
+		return nil, err
+	}
+	if int(t.Core[q]) < k {
+		return nil, ErrNoKCore
+	}
+	e := &env{g: t.g, ops: graph.NewSetOps(t.g), q: q, k: k, opt: opt}
+	kRoot := t.LocateRoot(q, int32(k))
+	levels := mineCandidates(t.g, q, k, s, fpm.FPGrowth)
+	if maxSize > 0 && len(levels) > maxSize {
+		levels = levels[:maxSize]
+	}
+	sub := t.SubtreeVertices(kRoot)
+	out := make([][]Community, len(levels))
+	for i, bucket := range levels {
+		for _, set := range bucket {
+			cand := e.ops.FilterByKeywords(sub, set)
+			if comm := e.communityOf(cand); comm != nil {
+				out[i] = append(out[i], Community{Label: set, Vertices: comm})
+			}
+		}
+	}
+	return out, nil
+}
+
+// mineCandidates returns the candidate keyword sets bucketed by size (index
+// l-1 holds the size-l sets, each sorted), mined from the keyword sets of
+// q's neighbours restricted to s with minimum support k.
+func mineCandidates(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, mine Miner) [][][]graph.KeywordID {
+	if len(s) == 0 {
+		return nil
+	}
+	neighbors := g.Neighbors(q)
+	if len(neighbors) < k {
+		return nil
+	}
+	txns := make([][]fpm.Item, 0, len(neighbors))
+	for _, v := range neighbors {
+		var txn []fpm.Item
+		for _, w := range s {
+			if g.HasKeyword(v, w) {
+				txn = append(txn, fpm.Item(w))
+			}
+		}
+		if len(txn) > 0 {
+			txns = append(txns, txn)
+		}
+	}
+	sets := mine(txns, k)
+	if len(sets) == 0 {
+		return nil
+	}
+	grouped := fpm.GroupBySize(sets)
+	out := make([][][]graph.KeywordID, len(grouped))
+	for i, bucket := range grouped {
+		for _, itemset := range bucket {
+			set := make([]graph.KeywordID, len(itemset.Items))
+			for j, it := range itemset.Items {
+				set[j] = graph.KeywordID(it)
+			}
+			sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+			out[i] = append(out[i], set)
+		}
+	}
+	return out
+}

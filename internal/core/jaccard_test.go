@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+func TestSJFig3(t *testing.T) {
+	g := testutil.Fig3Graph()
+	tr := BuildAdvanced(g)
+	a, _ := g.VertexByLabel("A") // W(A) = {w, x, y}
+
+	// tau = 0.5 against S = W(A): C {x,y} → J = 2/4 = 0.5 ✓;
+	// D {x,y,z} → 2/4 = 0.5 ✓; B {x} → 1/3 < 0.5 ✗.
+	res, err := SJ(tr, a, 2, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	_, members := labelsOfCommunity(g, res.Communities[0])
+	if !reflect.DeepEqual(members, []string{"A", "C", "D"}) {
+		t.Fatalf("members = %v", members)
+	}
+
+	// Lower tau admits B: {A,B,C,D} all within J ≥ 1/3.
+	res, err = SJ(tr, a, 2, nil, 1.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, members = labelsOfCommunity(g, res.Communities[0])
+	if !reflect.DeepEqual(members, []string{"A", "B", "C", "D"}) {
+		t.Fatalf("members = %v", members)
+	}
+
+	// tau = 1 requires identical keyword sets: only A itself → degree 0 → no
+	// community.
+	res, err = SJ(tr, a, 2, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 0 {
+		t.Fatalf("tau=1 res = %+v", res)
+	}
+}
+
+func TestSJErrorsAndParity(t *testing.T) {
+	g := testutil.Fig3Graph()
+	tr := BuildAdvanced(g)
+	a, _ := g.VertexByLabel("A")
+	if _, err := SJ(tr, a, 2, nil, 0); !errors.Is(err, ErrBadTheta) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := SJ(tr, a, 9, nil, 0.5); !errors.Is(err, ErrNoKCore) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := BasicGJ(g, a, 2, nil, 1.5); !errors.Is(err, ErrBadTheta) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: SJ and BasicGJ agree, and every member satisfies the predicate.
+func TestSJAgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 4+rng.Intn(50), 1+4*rng.Float64(), 8, 4)
+		tr := BuildAdvanced(g)
+		var q graph.VertexID = -1
+		for _, v := range rng.Perm(g.NumVertices()) {
+			if tr.Core[v] >= 1 && len(g.Keywords(graph.VertexID(v))) > 0 {
+				q = graph.VertexID(v)
+				break
+			}
+		}
+		if q < 0 {
+			return true
+		}
+		k := 1 + rng.Intn(int(tr.Core[q]))
+		tau := 0.2 + 0.6*rng.Float64()
+		r1, e1 := SJ(tr, q, k, nil, tau)
+		r2, e2 := BasicGJ(g, q, k, nil, tau)
+		if (e1 != nil) != (e2 != nil) {
+			return false
+		}
+		if e1 != nil {
+			return true
+		}
+		if !reflect.DeepEqual(canonical(r1), canonical(r2)) {
+			return false
+		}
+		s := g.Keywords(q)
+		for _, c := range r1.Communities {
+			for _, v := range c.Vertices {
+				shared := g.CountSharedKeywords(v, s)
+				union := len(g.Keywords(v)) + len(s) - shared
+				if union == 0 || float64(shared)/float64(union) < tau {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditDistanceAtMost(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		limit int
+		want  bool
+	}{
+		{"data", "data", 0, true},
+		{"data", "date", 1, true},
+		{"data", "date", 0, false},
+		{"mining", "minning", 1, true},
+		{"graph", "grpah", 2, true},
+		{"graph", "grpah", 1, false}, // transposition costs 2 in Levenshtein
+		{"a", "abc", 2, true},
+		{"a", "abcd", 2, false},
+		{"", "xy", 2, true},
+		{"kitten", "sitting", 3, true},
+		{"kitten", "sitting", 2, false},
+	}
+	for _, c := range cases {
+		if got := editDistanceAtMost(c.a, c.b, c.limit); got != c.want {
+			t.Errorf("editDistanceAtMost(%q, %q, %d) = %v", c.a, c.b, c.limit, got)
+		}
+	}
+}
+
+func TestExpandByEditDistance(t *testing.T) {
+	d := graph.NewDict()
+	ids := map[string]graph.KeywordID{}
+	for _, w := range []string{"data", "date", "dates", "mining", "query", "queue"} {
+		ids[w] = d.Intern(w)
+	}
+	got := ExpandByEditDistance(d, []string{"data"}, 1)
+	want := []graph.KeywordID{ids["data"], ids["date"]}
+	if !reflect.DeepEqual(got, graph.SortKeywordSet(want)) {
+		t.Fatalf("expand(data,1) = %v, want %v", got, want)
+	}
+	got = ExpandByEditDistance(d, []string{"data"}, 2)
+	if len(got) != 3 { // data, date, dates
+		t.Fatalf("expand(data,2) = %v", got)
+	}
+	// Distance 0: exact matches only.
+	got = ExpandByEditDistance(d, []string{"query", "nope"}, 0)
+	if len(got) != 1 || got[0] != ids["query"] {
+		t.Fatalf("expand exact = %v", got)
+	}
+	// Clamping.
+	if got := ExpandByEditDistance(d, []string{"x"}, -5); len(got) != 0 {
+		t.Fatalf("negative limit = %v", got)
+	}
+}
+
+// Property: typo-tolerant expansion is monotone in the distance limit and
+// always contains the exact matches.
+func TestExpandMonotoneQuick(t *testing.T) {
+	words := []string{"data", "date", "gate", "mining", "mine", "graph", "grape", "query"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := graph.NewDict()
+		for _, w := range words {
+			d.Intern(w)
+		}
+		w := words[rng.Intn(len(words))]
+		prev := -1
+		for dist := 0; dist <= 3; dist++ {
+			got := ExpandByEditDistance(d, []string{w}, dist)
+			if len(got) < prev {
+				return false
+			}
+			if dist == 0 {
+				if len(got) != 1 {
+					return false
+				}
+				id, _ := d.Lookup(w)
+				if got[0] != id {
+					return false
+				}
+			}
+			prev = len(got)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+// These tests check the paper's Lemmas 2 and 4 directly on random graphs —
+// they are the correctness foundations of Inc-S and Inc-T respectively.
+
+// gkOf computes Gk[S'] from scratch (the reference implementation).
+func gkOf(g *graph.Graph, ops *graph.SetOps, q graph.VertexID, k int, set []graph.KeywordID) []graph.VertexID {
+	e := &env{g: g, ops: ops, q: q, k: k, opt: Options{UseInvertedLists: true, UseLemma3: false}}
+	return e.communityOf(ops.FilterByKeywords(allVertices(g), set))
+}
+
+// TestLemma2Quick: if Gk[S1 ∪ S2] exists, its subgraph core number is at
+// least max(core(Gk[S1]), core(Gk[S2])) — the shrinking-scope rule of Inc-S.
+func TestLemma2Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 5+rng.Intn(40), 1+5*rng.Float64(), 6, 4)
+		tr := BuildAdvanced(g)
+		ops := graph.NewSetOps(g)
+		var q graph.VertexID = -1
+		for _, v := range rng.Perm(g.NumVertices()) {
+			if tr.Core[v] >= 1 && len(g.Keywords(graph.VertexID(v))) >= 2 {
+				q = graph.VertexID(v)
+				break
+			}
+		}
+		if q < 0 {
+			return true
+		}
+		wq := g.Keywords(q)
+		s1 := []graph.KeywordID{wq[rng.Intn(len(wq))]}
+		s2 := []graph.KeywordID{wq[rng.Intn(len(wq))]}
+		if s1[0] == s2[0] {
+			return true
+		}
+		k := 1 + rng.Intn(int(tr.Core[q]))
+		g1 := gkOf(g, ops, q, k, s1)
+		g2 := gkOf(g, ops, q, k, s2)
+		if g1 == nil || g2 == nil {
+			return true // premise requires both to exist
+		}
+		union := graph.SortKeywordSet([]graph.KeywordID{s1[0], s2[0]})
+		gu := gkOf(g, ops, q, k, union)
+		if gu == nil {
+			return true // lemma only constrains existing unions
+		}
+		bound := subgraphCore(tr.Core, g1)
+		if c2 := subgraphCore(tr.Core, g2); c2 > bound {
+			bound = c2
+		}
+		return subgraphCore(tr.Core, gu) >= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma4Quick: Gk[S1 ∪ S2] ⊆ Gk[S1] ∩ Gk[S2] — the no-further-keyword-
+// checking rule of Inc-T.
+func TestLemma4Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 5+rng.Intn(40), 1+5*rng.Float64(), 6, 4)
+		tr := BuildAdvanced(g)
+		ops := graph.NewSetOps(g)
+		var q graph.VertexID = -1
+		for _, v := range rng.Perm(g.NumVertices()) {
+			if tr.Core[v] >= 1 && len(g.Keywords(graph.VertexID(v))) >= 2 {
+				q = graph.VertexID(v)
+				break
+			}
+		}
+		if q < 0 {
+			return true
+		}
+		wq := g.Keywords(q)
+		s1 := []graph.KeywordID{wq[rng.Intn(len(wq))]}
+		s2 := []graph.KeywordID{wq[rng.Intn(len(wq))]}
+		k := 1 + rng.Intn(int(tr.Core[q]))
+		g1 := gkOf(g, ops, q, k, s1)
+		g2 := gkOf(g, ops, q, k, s2)
+		if g1 == nil || g2 == nil {
+			return true
+		}
+		union := graph.SortKeywordSet([]graph.KeywordID{s1[0], s2[0]})
+		gu := gkOf(g, ops, q, k, union)
+		if gu == nil {
+			return true
+		}
+		inter := map[graph.VertexID]bool{}
+		for _, v := range graph.IntersectVertices(g1, g2) {
+			inter[v] = true
+		}
+		for _, v := range gu {
+			if !inter[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProposition1Quick: Gk[S] ⊆ Gk[S'] for any S' ⊆ S (Appendix A).
+func TestProposition1Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 5+rng.Intn(40), 1+5*rng.Float64(), 6, 4)
+		ops := graph.NewSetOps(g)
+		tr := BuildAdvanced(g)
+		var q graph.VertexID = -1
+		for _, v := range rng.Perm(g.NumVertices()) {
+			if tr.Core[v] >= 1 && len(g.Keywords(graph.VertexID(v))) >= 2 {
+				q = graph.VertexID(v)
+				break
+			}
+		}
+		if q < 0 {
+			return true
+		}
+		wq := g.Keywords(q)
+		full := graph.SortKeywordSet(append([]graph.KeywordID(nil), wq[:2]...))
+		k := 1 + rng.Intn(int(tr.Core[q]))
+		gFull := gkOf(g, ops, q, k, full)
+		if gFull == nil {
+			return true
+		}
+		for _, w := range full {
+			sub := gkOf(g, ops, q, k, []graph.KeywordID{w})
+			if sub == nil {
+				return false // anti-monotonicity (Lemma 1) violated
+			}
+			in := map[graph.VertexID]bool{}
+			for _, v := range sub {
+				in[v] = true
+			}
+			for _, v := range gFull {
+				if !in[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommunitiesByLabelSizeConsistent: the Figure-7 enumeration helper's
+// deepest non-empty level matches Dec's maximal label size.
+func TestCommunitiesByLabelSizeConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 5+rng.Intn(40), 1+5*rng.Float64(), 6, 4)
+		tr := BuildAdvanced(g)
+		var q graph.VertexID = -1
+		for _, v := range rng.Perm(g.NumVertices()) {
+			if tr.Core[v] >= 1 {
+				q = graph.VertexID(v)
+				break
+			}
+		}
+		if q < 0 {
+			return true
+		}
+		k := 1 + rng.Intn(int(tr.Core[q]))
+		levels, err := CommunitiesByLabelSize(tr, q, k, nil, 0, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		deepest := 0
+		for l, comms := range levels {
+			if len(comms) > 0 {
+				deepest = l + 1
+			}
+		}
+		res, err := Dec(tr, q, k, nil, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		if res.Fallback {
+			return deepest == 0
+		}
+		return deepest == res.LabelSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"github.com/acq-search/acq/internal/fpm"
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/truss"
+)
+
+// TrussSearchD answers the attributed (k,d)-truss community query, after the
+// follow-up attribute-driven community search line of work: like TrussSearch
+// but every member must additionally be within hop distance d of q measured
+// INSIDE the community. Peeling and the distance constraint interact — a far
+// vertex's removal can break edge supports — so verification alternates
+// truss peeling and distance filtering until a fixpoint. d ≤ 0 means
+// unbounded (plain TrussSearch).
+func TrussSearchD(t *Tree, q graph.VertexID, k, d int, s []graph.KeywordID) (Result, error) {
+	if d <= 0 {
+		return TrussSearch(t, q, k, s)
+	}
+	s, err := normalizeQuery(t.g, q, k, s)
+	if err != nil {
+		return Result{}, err
+	}
+	if k < 2 {
+		k = 2
+	}
+	if int(t.Core[q]) < k-1 {
+		return Result{}, ErrNoKCore
+	}
+	root := t.LocateRoot(q, int32(k-1))
+	scope := t.SubtreeVertices(root)
+	ops := graph.NewSetOps(t.g)
+
+	levels := mineCandidates(t.g, q, k-1, s, fpm.FPGrowth)
+	verify := func(set []graph.KeywordID) []graph.VertexID {
+		cand := ops.FilterByKeywords(scope, set)
+		return kdTrussFixpoint(t.g, cand, q, k, d)
+	}
+	for l := len(levels); l >= 1; l-- {
+		var out []Community
+		for _, set := range levels[l-1] {
+			if comm := verify(set); comm != nil {
+				out = append(out, Community{Label: set, Vertices: comm})
+			}
+		}
+		if len(out) > 0 {
+			return Result{Communities: out, LabelSize: l}, nil
+		}
+	}
+	comm := kdTrussFixpoint(t.g, scope, q, k, d)
+	if comm == nil {
+		return Result{}, ErrNoKCore
+	}
+	return fallbackResult(comm), nil
+}
+
+// kdTrussFixpoint alternates truss peeling with in-community distance
+// filtering until both constraints hold simultaneously.
+func kdTrussFixpoint(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k, d int) []graph.VertexID {
+	cur := cand
+	for {
+		comm, edges := truss.CommunityOf(g, cur, q, k)
+		if comm == nil {
+			return nil
+		}
+		near := ballWithin(comm, edges, q, d)
+		if len(near) == len(comm) {
+			return comm
+		}
+		if len(near) == 0 {
+			return nil
+		}
+		cur = near
+	}
+}
+
+// ballWithin returns the members of comm within hop distance d of q over the
+// given community edges.
+func ballWithin(comm []graph.VertexID, edges [][2]graph.VertexID, q graph.VertexID, d int) []graph.VertexID {
+	adj := map[graph.VertexID][]graph.VertexID{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	dist := map[graph.VertexID]int{q: 0}
+	queue := []graph.VertexID{q}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if dist[v] == d {
+			continue
+		}
+		for _, u := range adj[v] {
+			if _, seen := dist[u]; !seen {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	var out []graph.VertexID
+	for _, v := range comm {
+		if _, ok := dist[v]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TrussSearch answers the attributed community query under k-truss structure
+// cohesiveness — the extension named in the paper's conclusion ("we will
+// study the use of other measures of structure cohesiveness (e.g., k-truss,
+// k-clique)"). The returned communities are connected k-trusses containing q
+// (every community edge closes ≥ k−2 triangles inside the community) whose
+// members share a maximal subset of S.
+//
+// The search reuses Dec's strategy: candidate keyword sets are mined from
+// q's neighbourhood — a vertex of a k-truss has degree ≥ k−1 inside it, so
+// every qualified set must be shared by at least k−1 neighbours of q — and
+// verified from the largest candidates down, with keyword filtering feeding
+// truss.CommunityOf instead of the k-core pipeline. k must be ≥ 2.
+func TrussSearch(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result, error) {
+	s, err := normalizeQuery(t.g, q, k, s)
+	if err != nil {
+		return Result{}, err
+	}
+	if k < 2 {
+		k = 2
+	}
+	// A k-truss is contained in the (k−1)-core: use the CL-tree to restrict
+	// the search space before any triangle counting.
+	if int(t.Core[q]) < k-1 {
+		return Result{}, ErrNoKCore
+	}
+	root := t.LocateRoot(q, int32(k-1))
+	scope := t.SubtreeVertices(root)
+	ops := graph.NewSetOps(t.g)
+
+	levels := mineCandidates(t.g, q, k-1, s, fpm.FPGrowth)
+	verify := func(set []graph.KeywordID) []graph.VertexID {
+		cand := ops.FilterByKeywords(scope, set)
+		comm, _ := truss.CommunityOf(t.g, cand, q, k)
+		return comm
+	}
+	for l := len(levels); l >= 1; l-- {
+		var out []Community
+		for _, set := range levels[l-1] {
+			if comm := verify(set); comm != nil {
+				out = append(out, Community{Label: set, Vertices: comm})
+			}
+		}
+		if len(out) > 0 {
+			return Result{Communities: out, LabelSize: l}, nil
+		}
+	}
+	// No shared keywords: fall back to the plain k-truss community of q.
+	comm, _ := truss.CommunityOf(t.g, scope, q, k)
+	if comm == nil {
+		return Result{}, ErrNoKCore
+	}
+	return fallbackResult(comm), nil
+}

@@ -1,0 +1,136 @@
+package datagen
+
+import (
+	"testing"
+
+	"github.com/acq-search/acq/internal/kcore"
+)
+
+func TestPresetsExist(t *testing.T) {
+	for _, name := range PresetNames() {
+		if _, err := Preset(name); err != nil {
+			t.Fatalf("Preset(%s): %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg, _ := Preset("dblp")
+	cfg = cfg.Scale(0.05)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("nondeterministic sizes: %d/%d vs %d/%d",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	ca, cb := kcore.Decompose(a), kcore.Decompose(b)
+	for v := range ca {
+		if ca[v] != cb[v] {
+			t.Fatalf("nondeterministic core at %d", v)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, _ := Preset(name)
+		cfg = cfg.Scale(0.1)
+		g := Generate(cfg)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d := g.AvgDegree()
+		if d < cfg.AvgDegree*0.5 || d > cfg.AvgDegree*1.3 {
+			t.Errorf("%s: avg degree %.1f too far from target %.1f", name, d, cfg.AvgDegree)
+		}
+		l := g.AvgKeywords()
+		if l < float64(cfg.KeywordsPerVertex)*0.6 || l > float64(cfg.KeywordsPerVertex)*1.05 {
+			t.Errorf("%s: avg keywords %.1f too far from target %d", name, l, cfg.KeywordsPerVertex)
+		}
+	}
+}
+
+// TestQueryVerticesAvailable ensures the paper's methodology is feasible on
+// the presets: enough vertices of core ≥ 6 to sample queries from.
+func TestQueryVerticesAvailable(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, _ := Preset(name)
+		g := Generate(cfg.Scale(0.1))
+		core := kcore.Decompose(g)
+		qs := QueryVertices(core, 6, 30, 42)
+		if name == "dblp" {
+			// Sparsest preset: requiring some core-6 vertices is enough.
+			if len(qs) == 0 {
+				t.Errorf("%s: no core-6 query vertices", name)
+			}
+			continue
+		}
+		if len(qs) < 30 {
+			t.Errorf("%s: only %d core-6 query vertices", name, len(qs))
+		}
+		for _, q := range qs {
+			if core[q] < 6 {
+				t.Fatalf("%s: query vertex %d has core %d", name, q, core[q])
+			}
+		}
+	}
+}
+
+func TestQueryVerticesDeterministic(t *testing.T) {
+	core := []int32{7, 2, 9, 6, 6, 1, 8}
+	a := QueryVertices(core, 6, 3, 7)
+	b := QueryVertices(core, 6, 3, 7)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("lens = %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic query sample")
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	cfg, _ := Preset("flickr")
+	small := cfg.Scale(0.01)
+	if small.N >= cfg.N || small.N < 16 {
+		t.Fatalf("Scale: N=%d", small.N)
+	}
+	if small.AvgDegree != cfg.AvgDegree {
+		t.Fatal("Scale must not change intensive parameters")
+	}
+	tiny := cfg.Scale(0)
+	if tiny.N != 16 || tiny.Communities != 2 {
+		t.Fatalf("Scale floor: %+v", tiny)
+	}
+}
+
+func TestGenerateTinyAndCommunityEdgeCases(t *testing.T) {
+	cfg := Config{Name: "tiny", N: 16, AvgDegree: 3, Communities: 40, // more communities than useful
+		IntraFrac: 0.8, Vocab: 10, KeywordsPerVertex: 3, TopicKeywords: 4,
+		TopicFrac: 0.5, Seed: 9}
+	g := Generate(cfg)
+	if g.NumVertices() != 16 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Communities = 0 // clamped to 1
+	g = Generate(cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cfg := Config{Name: "lab", N: 20, AvgDegree: 3, Communities: 2, IntraFrac: 0.8,
+		Vocab: 10, KeywordsPerVertex: 2, TopicKeywords: 3, TopicFrac: 0.5, Labels: true, Seed: 1}
+	g := Generate(cfg)
+	if v, ok := g.VertexByLabel("v7"); !ok || g.Label(v) != "v7" {
+		t.Fatal("labels missing")
+	}
+}

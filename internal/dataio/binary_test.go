@@ -1,0 +1,113 @@
+package dataio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/datagen"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := testutil.Fig3Graph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	cfg, _ := datagen.Preset("dblp")
+	g := datagen.Generate(cfg.Scale(0.03))
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("binary %d ≥ text %d bytes", bin.Len(), txt.Len())
+	}
+	got, err := ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatal("sizes changed")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad magic":   "NOPE\x01",
+		"short magic": "AC",
+		"bad version": "ACQG\x63",
+		"truncated":   "ACQG\x01\x05",
+	}
+	for name, input := range cases {
+		if _, err := ReadBinary(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestBinaryCorruptionInjection flips bytes all over a valid stream; the
+// reader must fail cleanly (error, not panic) or produce a structurally
+// valid graph (flips can land in label bytes, which parse fine).
+func TestBinaryCorruptionInjection(t *testing.T) {
+	g := testutil.Fig5Graph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		corrupt := append([]byte(nil), base...)
+		pos := rng.Intn(len(corrupt))
+		corrupt[pos] ^= byte(1 + rng.Intn(255))
+		got, err := ReadBinary(bytes.NewReader(corrupt))
+		if err != nil {
+			continue
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("trial %d (byte %d): corrupted graph passed ReadBinary but fails Validate: %v", trial, pos, verr)
+		}
+	}
+	// Truncation at every prefix length must never panic.
+	for n := 0; n < len(base); n += 7 {
+		ReadBinary(bytes.NewReader(base[:n]))
+	}
+}
+
+// Property: round trip is lossless on random graphs.
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 1+rng.Intn(40), 4*rng.Float64(), 8, 4)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

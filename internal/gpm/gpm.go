@@ -1,0 +1,34 @@
+// Package gpm implements the graph-pattern-matching comparison of the
+// paper's Section 7.2.2 (Table 7): star-a patterns whose every vertex is
+// annotated with a keyword set S. For these patterns exact matching is
+// straightforward — the centre must be the query vertex and each of the a
+// leaves must be a distinct neighbour containing S — so no bounded-simulation
+// machinery is needed to reproduce the experiment.
+package gpm
+
+import "github.com/acq-search/acq/internal/graph"
+
+// StarMatch evaluates the Star-a pattern: q at the centre, a leaves, every
+// pattern vertex labelled with keyword set s (sorted). It returns the matched
+// community (q plus all qualifying neighbours) or nil when the pattern has no
+// match — i.e. when q itself lacks s or fewer than a neighbours contain s.
+func StarMatch(g *graph.Graph, q graph.VertexID, a int, s []graph.KeywordID) []graph.VertexID {
+	if !g.HasAllKeywords(q, s) {
+		return nil
+	}
+	matched := []graph.VertexID{q}
+	for _, u := range g.Neighbors(q) {
+		if g.HasAllKeywords(u, s) {
+			matched = append(matched, u)
+		}
+	}
+	if len(matched)-1 < a {
+		return nil
+	}
+	return matched
+}
+
+// Matches reports whether the Star-a pattern with keyword set s matches at q.
+func Matches(g *graph.Graph, q graph.VertexID, a int, s []graph.KeywordID) bool {
+	return StarMatch(g, q, a, s) != nil
+}

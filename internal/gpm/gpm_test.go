@@ -1,0 +1,49 @@
+package gpm
+
+import (
+	"testing"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+func kws(g *graph.Graph, words ...string) []graph.KeywordID {
+	var out []graph.KeywordID
+	for _, w := range words {
+		id, ok := g.Dict().Lookup(w)
+		if !ok {
+			panic("unknown keyword " + w)
+		}
+		out = append(out, id)
+	}
+	return graph.SortKeywordSet(out)
+}
+
+func TestStarMatch(t *testing.T) {
+	g := testutil.Fig3Graph()
+	a, _ := g.VertexByLabel("A")
+	// A's neighbours: B, C, D. With S={x} all three contain x → Star-3
+	// matches, Star-4 does not.
+	if got := StarMatch(g, a, 3, kws(g, "x")); len(got) != 4 {
+		t.Fatalf("Star-3(x) = %v", got)
+	}
+	if got := StarMatch(g, a, 4, kws(g, "x")); got != nil {
+		t.Fatalf("Star-4(x) = %v, want nil", got)
+	}
+	// S={x,y}: neighbours containing both: C, D → Star-2 matches.
+	if !Matches(g, a, 2, kws(g, "x", "y")) {
+		t.Fatal("Star-2(x,y) should match")
+	}
+	if Matches(g, a, 3, kws(g, "x", "y")) {
+		t.Fatal("Star-3(x,y) should not match")
+	}
+	// q itself must contain S.
+	b, _ := g.VertexByLabel("B") // W(B) = {x}
+	if Matches(g, b, 1, kws(g, "y")) {
+		t.Fatal("q lacking S must not match")
+	}
+	// Empty S matches degree-many leaves.
+	if got := StarMatch(g, a, 3, nil); len(got) != 4 {
+		t.Fatalf("Star-3(∅) = %v", got)
+	}
+}

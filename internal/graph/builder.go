@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices and edges and produces a validated Graph.
+// It tolerates duplicate edges, self-loops and duplicate keywords in the
+// input (they are dropped), which makes it suitable for loading messy
+// real-world edge lists.
+type Builder struct {
+	dict   *Dict
+	kw     [][]KeywordID
+	labels []string
+	byName map[string]VertexID
+	edges  [][2]VertexID
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		dict:   NewDict(),
+		byName: make(map[string]VertexID),
+	}
+}
+
+// AddVertex appends a vertex with the given label and keywords and returns
+// its ID. An empty label is allowed (the vertex is then only addressable by
+// ID). Duplicate labels return an error at Build time.
+func (b *Builder) AddVertex(label string, keywords ...string) VertexID {
+	id := VertexID(len(b.kw))
+	b.kw = append(b.kw, b.dict.InternAll(keywords))
+	b.labels = append(b.labels, label)
+	if label != "" {
+		if _, dup := b.byName[label]; !dup {
+			b.byName[label] = id
+		} else {
+			// Mark the duplicate; Build reports it.
+			b.byName[label] = -1
+		}
+	}
+	return id
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.kw) }
+
+// AddEdge records the undirected edge {u, v}. Self-loops and duplicates are
+// silently dropped at Build time; out-of-range endpoints fail Build.
+func (b *Builder) AddEdge(u, v VertexID) {
+	b.edges = append(b.edges, [2]VertexID{u, v})
+}
+
+// AddEdgeByLabel records an edge between two labelled vertices, creating any
+// endpoint that does not exist yet (with no keywords).
+func (b *Builder) AddEdgeByLabel(u, v string) {
+	b.AddEdge(b.ensure(u), b.ensure(v))
+}
+
+func (b *Builder) ensure(label string) VertexID {
+	if id, ok := b.byName[label]; ok && id >= 0 {
+		return id
+	}
+	return b.AddVertex(label)
+}
+
+// Build assembles the Graph. It returns an error on out-of-range edge
+// endpoints or duplicate vertex labels.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.kw)
+	for name, id := range b.byName {
+		if id < 0 {
+			return nil, fmt.Errorf("graph: duplicate vertex label %q", name)
+		}
+	}
+	deg := make([]int, n)
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		if int(u) < 0 || int(u) >= n || int(v) < 0 || int(v) >= n {
+			return nil, fmt.Errorf("graph: edge (%d, %d) out of range [0, %d)", u, v, n)
+		}
+		if u == v {
+			continue
+		}
+		deg[u]++
+		deg[v]++
+	}
+	adj := make([][]VertexID, n)
+	for v := range adj {
+		adj[v] = make([]VertexID, 0, deg[v])
+	}
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	m := 0
+	for v := range adj {
+		ns := adj[v]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		out := ns[:0]
+		for i, u := range ns {
+			if i == 0 || ns[i-1] != u {
+				out = append(out, u)
+			}
+		}
+		adj[v] = out
+		m += len(out)
+	}
+	g := &Graph{
+		adj:    adj,
+		kw:     b.kw,
+		dict:   b.dict,
+		labels: b.labels,
+		byName: b.byName,
+		m:      m / 2,
+	}
+	return g, nil
+}
+
+// MustBuild is Build for tests and generated data where errors are bugs.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,75 @@
+package graph
+
+import "math/rand"
+
+// Induced returns the subgraph induced by keep (relabelled to dense IDs in
+// keep's order), preserving labels and keywords. It backs the paper's vertex
+// scalability experiments (Figures 13 and 14(m–p)): "randomly select 20%,
+// 40%, ... of its vertices and obtain subgraphs induced by these vertex
+// sets".
+func Induced(g *Graph, keep []VertexID) *Graph {
+	remap := make([]int32, g.NumVertices())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range keep {
+		remap[v] = int32(i)
+	}
+	b := NewBuilder()
+	for _, v := range keep {
+		b.AddVertex(g.Label(v), g.KeywordStrings(v)...)
+	}
+	for _, v := range keep {
+		for _, u := range g.Neighbors(v) {
+			if u > v && remap[u] >= 0 {
+				b.AddEdge(VertexID(remap[v]), VertexID(remap[u]))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// SampleVertices returns a deterministic random sample of ⌈frac·n⌉ vertices.
+func SampleVertices(g *Graph, frac float64, seed int64) []VertexID {
+	n := g.NumVertices()
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	want := int(frac * float64(n))
+	if want > n {
+		want = n
+	}
+	out := make([]VertexID, want)
+	for i := 0; i < want; i++ {
+		out[i] = VertexID(perm[i])
+	}
+	return out
+}
+
+// WithKeywordFraction returns a copy of g in which every vertex keeps a
+// deterministic random fraction frac of its keywords (at least one when it
+// had any and frac > 0). It backs the keyword scalability experiments
+// (Figure 14(i–l)).
+func WithKeywordFraction(g *Graph, frac float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for v := 0; v < g.NumVertices(); v++ {
+		id := VertexID(v)
+		words := g.KeywordStrings(id)
+		rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+		want := int(frac * float64(len(words)))
+		if want < 1 && len(words) > 0 && frac > 0 {
+			want = 1
+		}
+		if want > len(words) {
+			want = len(words)
+		}
+		b.AddVertex(g.Label(id), words[:want]...)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(VertexID(v)) {
+			if u > VertexID(v) {
+				b.AddEdge(VertexID(v), u)
+			}
+		}
+	}
+	return b.MustBuild()
+}

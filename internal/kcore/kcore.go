@@ -1,0 +1,129 @@
+// Package kcore implements the k-core machinery underlying attributed
+// community search: the O(m) core-decomposition of Batagelj and Zaversnik
+// (paper reference [2]), k-ĉore extraction, the Lemma 3 edge-count prune,
+// and incremental core-number maintenance under edge insertions and
+// deletions (paper Appendix F, following the traversal approach of
+// reference [20]).
+//
+// Terminology follows the paper (Section 3): the k-core H_k is the largest
+// subgraph with minimum degree ≥ k; its connected components are k-ĉores;
+// core(v) is the largest k such that v ∈ H_k.
+package kcore
+
+import "github.com/acq-search/acq/internal/graph"
+
+// Decompose computes the core number of every vertex with the
+// Batagelj–Zaversnik bucket algorithm in O(n + m) time.
+func Decompose(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		d := int32(g.Degree(graph.VertexID(v)))
+		deg[v] = d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	start := int32(0)
+	for d := int32(0); d <= maxDeg; d++ {
+		cnt := bin[d]
+		bin[d] = start
+		start += cnt
+	}
+	pos := make([]int32, n)  // position of vertex in vert
+	vert := make([]int32, n) // vertices sorted by degree
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = int32(v)
+		bin[deg[v]]++
+	}
+	// Restore bin starts.
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := deg // peels in place: after the loop deg[v] is core(v)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if core[u] > core[v] {
+				du := core[u]
+				pu := pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != graph.VertexID(w) {
+					vert[pu], vert[pw] = w, int32(u)
+					pos[u], pos[w] = pw, pu
+				}
+				bin[du]++
+				core[u]--
+			}
+		}
+	}
+	return core
+}
+
+// MaxCore returns the maximum core number kmax (0 for an empty graph).
+func MaxCore(core []int32) int32 {
+	kmax := int32(0)
+	for _, c := range core {
+		if c > kmax {
+			kmax = c
+		}
+	}
+	return kmax
+}
+
+// CoreVertices returns all vertices with core number ≥ k, i.e. the vertex
+// set of the k-core H_k.
+func CoreVertices(core []int32, k int32) []graph.VertexID {
+	out := make([]graph.VertexID, 0)
+	for v, c := range core {
+		if c >= k {
+			out = append(out, graph.VertexID(v))
+		}
+	}
+	return out
+}
+
+// KHatCore returns the k-ĉore containing q: the connected component of q in
+// the subgraph induced by vertices of core number ≥ k. It returns nil when
+// core(q) < k. ops must wrap the same graph the core numbers were computed
+// on.
+func KHatCore(ops *graph.SetOps, core []int32, q graph.VertexID, k int) []graph.VertexID {
+	if int(core[q]) < k {
+		return nil
+	}
+	return ops.ComponentOf(CoreVertices(core, int32(k)), q)
+}
+
+// KHatCoreScratch is KHatCore without the CoreVertices allocation pattern:
+// it peels the whole graph to min degree k and takes q's component. It exists
+// for the index-free baselines (basic-g/basic-w, Global), which by
+// construction may not use precomputed core numbers.
+func KHatCoreScratch(ops *graph.SetOps, q graph.VertexID, k int) []graph.VertexID {
+	g := ops.Graph()
+	all := make([]graph.VertexID, g.NumVertices())
+	for v := range all {
+		all[v] = graph.VertexID(v)
+	}
+	surv := ops.PeelToMinDegree(all, k)
+	return ops.ComponentOf(surv, q)
+}
+
+// CanContainKCore applies Lemma 3 of the paper: a connected graph with n
+// vertices and m edges can only contain a k-ĉore if m − n ≥ k(k−1)/2 − 1.
+// It returns false when the prune applies (no k-ĉore possible).
+func CanContainKCore(n, m, k int) bool {
+	if n == 0 {
+		return false
+	}
+	return m-n >= k*(k-1)/2-1
+}

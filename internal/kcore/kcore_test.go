@@ -1,0 +1,225 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+func TestDecomposeFig3(t *testing.T) {
+	g := testutil.Fig3Graph()
+	core := Decompose(g)
+	want := map[string]int32{
+		"A": 3, "B": 3, "C": 3, "D": 3,
+		"E": 2,
+		"F": 1, "G": 1, "H": 1, "I": 1,
+		"J": 0,
+	}
+	for name, c := range want {
+		v, _ := g.VertexByLabel(name)
+		if core[v] != c {
+			t.Errorf("core(%s) = %d, want %d", name, core[v], c)
+		}
+	}
+	if MaxCore(core) != 3 {
+		t.Errorf("kmax = %d, want 3", MaxCore(core))
+	}
+}
+
+func TestDecomposeFig5(t *testing.T) {
+	g := testutil.Fig5Graph()
+	core := Decompose(g)
+	want := map[string]int32{
+		"A": 3, "B": 3, "C": 3, "D": 3, "I": 3, "J": 3, "K": 3, "L": 3,
+		"E": 2, "F": 2, "G": 2,
+		"H": 1, "M": 1,
+		"N": 0,
+	}
+	for name, c := range want {
+		v, _ := g.VertexByLabel(name)
+		if core[v] != c {
+			t.Errorf("core(%s) = %d, want %d", name, core[v], c)
+		}
+	}
+}
+
+func TestDecomposeEdgeCases(t *testing.T) {
+	b := graph.NewBuilder()
+	g := b.MustBuild()
+	if got := Decompose(g); len(got) != 0 {
+		t.Fatalf("empty graph core = %v", got)
+	}
+
+	b = graph.NewBuilder()
+	b.AddVertex("lonely")
+	g = b.MustBuild()
+	if got := Decompose(g); got[0] != 0 {
+		t.Fatalf("isolated vertex core = %d", got[0])
+	}
+
+	// Clique of 6: everyone core 5.
+	b = graph.NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddVertex("")
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	g = b.MustBuild()
+	for v, c := range Decompose(g) {
+		if c != 5 {
+			t.Fatalf("clique core(%d) = %d, want 5", v, c)
+		}
+	}
+}
+
+// Property: Decompose agrees with the peeling definition — for every k, the
+// vertices with core ≥ k are exactly the k-core fixpoint.
+func TestDecomposeMatchesPeelingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 2+rng.Intn(50), 1+4*rng.Float64(), 10, 3)
+		core := Decompose(g)
+		ops := graph.NewSetOps(g)
+		all := make([]graph.VertexID, g.NumVertices())
+		for i := range all {
+			all[i] = graph.VertexID(i)
+		}
+		for k := 0; k <= int(MaxCore(core))+1; k++ {
+			want := map[graph.VertexID]bool{}
+			for _, v := range ops.PeelToMinDegree(all, k) {
+				want[v] = true
+			}
+			got := CoreVertices(core, int32(k))
+			if len(got) != len(want) {
+				return false
+			}
+			for _, v := range got {
+				if !want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cores are nested — H_{k+1} ⊆ H_k (paper Section 3).
+func TestCoreNestingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 2+rng.Intn(60), 1+5*rng.Float64(), 10, 3)
+		core := Decompose(g)
+		for k := int32(1); k <= MaxCore(core); k++ {
+			inner := map[graph.VertexID]bool{}
+			for _, v := range CoreVertices(core, k) {
+				inner[v] = true
+			}
+			outerList := CoreVertices(core, k-1)
+			outer := map[graph.VertexID]bool{}
+			for _, v := range outerList {
+				outer[v] = true
+			}
+			for v := range inner {
+				if !outer[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKHatCore(t *testing.T) {
+	g := testutil.Fig3Graph()
+	core := Decompose(g)
+	ops := graph.NewSetOps(g)
+	a, _ := g.VertexByLabel("A")
+	h, _ := g.VertexByLabel("H")
+	j, _ := g.VertexByLabel("J")
+
+	got := testutil.LabelSet(g, KHatCore(ops, core, a, 1))
+	for _, name := range []string{"A", "B", "C", "D", "E", "F", "G"} {
+		if !got[name] {
+			t.Fatalf("1-ĉore of A = %v, missing %s", got, name)
+		}
+	}
+	if got["H"] || got["J"] {
+		t.Fatalf("1-ĉore of A leaked: %v", got)
+	}
+
+	got = testutil.LabelSet(g, KHatCore(ops, core, h, 1))
+	if len(got) != 2 || !got["H"] || !got["I"] {
+		t.Fatalf("1-ĉore of H = %v", got)
+	}
+
+	if KHatCore(ops, core, j, 1) != nil {
+		t.Fatal("J has no 1-ĉore")
+	}
+	if KHatCore(ops, core, a, 4) != nil {
+		t.Fatal("no 4-ĉore exists")
+	}
+
+	scratch := KHatCoreScratch(ops, a, 3)
+	if len(scratch) != 4 {
+		t.Fatalf("scratch 3-ĉore = %v", testutil.LabelSet(g, scratch))
+	}
+}
+
+func TestCanContainKCore(t *testing.T) {
+	// A k-ĉore needs ≥ k+1 vertices and (k+1)k/2 edges; Lemma 3 states the
+	// connected-graph bound m − n ≥ k(k−1)/2 − 1.
+	if CanContainKCore(0, 0, 3) {
+		t.Fatal("empty graph cannot contain a core")
+	}
+	// Triangle: n=3, m=3 → can contain 2-core (it is one).
+	if !CanContainKCore(3, 3, 2) {
+		t.Fatal("triangle must pass for k=2")
+	}
+	// Path of 4: n=4, m=3 → cannot contain a 2-core: m-n = -1 < 0 = 2·1/2-1.
+	if CanContainKCore(4, 3, 2) {
+		t.Fatal("path must be pruned for k=2")
+	}
+	// K5 minus nothing: n=5, m=10, k=4: m-n=5 ≥ 4·3/2-1=5 → allowed.
+	if !CanContainKCore(5, 10, 4) {
+		t.Fatal("K5 must pass for k=4")
+	}
+}
+
+// Property: Lemma 3 is sound — whenever the prune fires on a connected
+// subgraph, peeling really finds no k-core.
+func TestLemma3SoundnessQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 2+rng.Intn(40), 1+3*rng.Float64(), 10, 3)
+		ops := graph.NewSetOps(g)
+		all := make([]graph.VertexID, g.NumVertices())
+		for i := range all {
+			all[i] = graph.VertexID(i)
+		}
+		k := 2 + rng.Intn(3)
+		for _, comp := range ops.Components(all) {
+			m := ops.InducedEdgeCount(comp)
+			if !CanContainKCore(len(comp), m, k) {
+				if len(ops.PeelToMinDegree(comp, k)) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

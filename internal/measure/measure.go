@@ -1,0 +1,226 @@
+// Package measure implements the community-quality metrics of the paper's
+// Section 7.2: CMF (community member frequency, Eq. 3), CPJ (community
+// pair-wise Jaccard, Eq. 4), MF (per-keyword member frequency, Section
+// 7.2.2), and the structural statistics used in Figure 8 (average degree and
+// the fraction of members with degree ≥ k inside the community).
+package measure
+
+import (
+	"sort"
+
+	"github.com/acq-search/acq/internal/graph"
+)
+
+// CMF computes the community member frequency of Eq. 3 for a set of
+// communities returned for query vertex q: the relative occurrence frequency
+// of q's keywords among community members, averaged over all keywords of
+// W(q) and all communities. Result is in [0, 1]; higher is more cohesive.
+func CMF(g *graph.Graph, q graph.VertexID, communities [][]graph.VertexID) float64 {
+	wq := g.Keywords(q)
+	if len(wq) == 0 || len(communities) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, c := range communities {
+		if len(c) == 0 {
+			continue
+		}
+		for _, w := range wq {
+			cnt := 0
+			for _, v := range c {
+				if g.HasKeyword(v, w) {
+					cnt++
+				}
+			}
+			total += float64(cnt) / float64(len(c))
+		}
+	}
+	return total / (float64(len(communities)) * float64(len(wq)))
+}
+
+// CPJ computes the community pair-wise Jaccard of Eq. 4: the Jaccard
+// similarity of member keyword sets averaged over all ordered member pairs
+// (self-pairs included, matching the paper's 1/|Ci|² normalisation) and over
+// all communities. Communities larger than maxExact members are estimated
+// from a deterministic sample of pairs; pass 0 for the default (2000).
+func CPJ(g *graph.Graph, communities [][]graph.VertexID, maxExact int) float64 {
+	if len(communities) == 0 {
+		return 0
+	}
+	if maxExact <= 0 {
+		maxExact = 2000
+	}
+	total := 0.0
+	for _, c := range communities {
+		total += cpjOne(g, c, maxExact)
+	}
+	return total / float64(len(communities))
+}
+
+func cpjOne(g *graph.Graph, c []graph.VertexID, maxExact int) float64 {
+	n := len(c)
+	if n == 0 {
+		return 0
+	}
+	if n <= maxExact {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum += keywordJaccard(g, c[i], c[j])
+			}
+		}
+		return sum / float64(n*n)
+	}
+	// Deterministic sample: a fixed linear-congruential stream over pairs.
+	const samples = 20000
+	sum := 0.0
+	state := uint64(0x9E3779B97F4A7C15)
+	for s := 0; s < samples; s++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		i := int((state >> 33) % uint64(n))
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int((state >> 33) % uint64(n))
+		sum += keywordJaccard(g, c[i], c[j])
+	}
+	return sum / samples
+}
+
+func keywordJaccard(g *graph.Graph, a, b graph.VertexID) float64 {
+	wa, wb := g.Keywords(a), g.Keywords(b)
+	if len(wa) == 0 && len(wb) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(wa) && j < len(wb) {
+		switch {
+		case wa[i] < wb[j]:
+			i++
+		case wa[i] > wb[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	return float64(inter) / float64(len(wa)+len(wb)-inter)
+}
+
+// MF computes the member frequency of keyword w over a set of communities
+// (Section 7.2.2): the fraction of members containing w, averaged across
+// communities.
+func MF(g *graph.Graph, w graph.KeywordID, communities [][]graph.VertexID) float64 {
+	if len(communities) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, c := range communities {
+		if len(c) == 0 {
+			continue
+		}
+		cnt := 0
+		for _, v := range c {
+			if g.HasKeyword(v, w) {
+				cnt++
+			}
+		}
+		total += float64(cnt) / float64(len(c))
+	}
+	return total / float64(len(communities))
+}
+
+// KeywordMF pairs a keyword with its member frequency.
+type KeywordMF struct {
+	Keyword graph.KeywordID
+	MF      float64
+}
+
+// TopKeywordsByMF returns the top (at most) limit keywords appearing in the
+// communities, ranked by member frequency descending (ties by keyword ID).
+// This is the ranking behind Figure 11 and Tables 5/6.
+func TopKeywordsByMF(g *graph.Graph, communities [][]graph.VertexID, limit int) []KeywordMF {
+	counts := map[graph.KeywordID]float64{}
+	for _, c := range communities {
+		if len(c) == 0 {
+			continue
+		}
+		local := map[graph.KeywordID]int{}
+		for _, v := range c {
+			for _, w := range g.Keywords(v) {
+				local[w]++
+			}
+		}
+		for w, cnt := range local {
+			counts[w] += float64(cnt) / float64(len(c)) / float64(len(communities))
+		}
+	}
+	out := make([]KeywordMF, 0, len(counts))
+	for w, mf := range counts {
+		out = append(out, KeywordMF{Keyword: w, MF: mf})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MF != out[j].MF {
+			return out[i].MF > out[j].MF
+		}
+		return out[i].Keyword < out[j].Keyword
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// DistinctKeywords counts the distinct keywords appearing across the members
+// of all communities (Table 4).
+func DistinctKeywords(g *graph.Graph, communities [][]graph.VertexID) int {
+	seen := map[graph.KeywordID]bool{}
+	for _, c := range communities {
+		for _, v := range c {
+			for _, w := range g.Keywords(v) {
+				seen[w] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// AvgInducedDegree returns the average member degree inside the community
+// (Figure 8c).
+func AvgInducedDegree(ops *graph.SetOps, c []graph.VertexID) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	total := 0
+	for _, d := range ops.InducedDegrees(c) {
+		total += d
+	}
+	return float64(total) / float64(len(c))
+}
+
+// FracDegreeAtLeast returns the fraction of members whose degree inside the
+// community is ≥ k (Figure 8d).
+func FracDegreeAtLeast(ops *graph.SetOps, c []graph.VertexID, k int) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	cnt := 0
+	for _, d := range ops.InducedDegrees(c) {
+		if d >= k {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(len(c))
+}
+
+// AvgSize returns the mean community size.
+func AvgSize(communities [][]graph.VertexID) float64 {
+	if len(communities) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range communities {
+		total += len(c)
+	}
+	return float64(total) / float64(len(communities))
+}

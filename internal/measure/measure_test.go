@@ -1,0 +1,130 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCMF(t *testing.T) {
+	g := testutil.Fig3Graph()
+	a, _ := g.VertexByLabel("A") // W(A) = {w, x, y}
+	c, _ := g.VertexByLabel("C")
+	d, _ := g.VertexByLabel("D")
+	comm := [][]graph.VertexID{{a, c, d}}
+	// Frequencies among {A,C,D}: w: 1/3, x: 3/3, y: 3/3 → mean 7/9.
+	if got := CMF(g, a, comm); !approx(got, 7.0/9.0) {
+		t.Fatalf("CMF = %v, want 7/9", got)
+	}
+	if got := CMF(g, a, nil); got != 0 {
+		t.Fatalf("CMF with no communities = %v", got)
+	}
+}
+
+func TestCPJ(t *testing.T) {
+	g := testutil.Fig3Graph()
+	a, _ := g.VertexByLabel("A") // {w,x,y}
+	b, _ := g.VertexByLabel("B") // {x}
+	// Pairs (ordered, with self-pairs): AA=1, BB=1, AB=BA=1/3 → mean = (1+1+2/3)/4 = 2/3.
+	if got := CPJ(g, [][]graph.VertexID{{a, b}}, 0); !approx(got, 2.0/3.0) {
+		t.Fatalf("CPJ = %v, want 2/3", got)
+	}
+	// Sampled path stays within a few percent of exact on a bigger set.
+	vs := make([]graph.VertexID, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		vs = append(vs, graph.VertexID(v))
+	}
+	exact := CPJ(g, [][]graph.VertexID{vs}, len(vs))
+	sampled := CPJ(g, [][]graph.VertexID{vs}, 2)
+	if math.Abs(exact-sampled) > 0.05 {
+		t.Fatalf("sampled CPJ %v too far from exact %v", sampled, exact)
+	}
+}
+
+func TestMFAndTopKeywords(t *testing.T) {
+	g := testutil.Fig3Graph()
+	a, _ := g.VertexByLabel("A")
+	c, _ := g.VertexByLabel("C")
+	d, _ := g.VertexByLabel("D")
+	comm := [][]graph.VertexID{{a, c, d}}
+	x, _ := g.Dict().Lookup("x")
+	w, _ := g.Dict().Lookup("w")
+	if got := MF(g, x, comm); !approx(got, 1) {
+		t.Fatalf("MF(x) = %v", got)
+	}
+	if got := MF(g, w, comm); !approx(got, 1.0/3.0) {
+		t.Fatalf("MF(w) = %v", got)
+	}
+	top := TopKeywordsByMF(g, comm, 2)
+	if len(top) != 2 || !approx(top[0].MF, 1) || !approx(top[1].MF, 1) {
+		t.Fatalf("top = %+v", top)
+	}
+	if got := TopKeywordsByMF(g, comm, 100); len(got) != 4 {
+		t.Fatalf("all keywords = %+v", got)
+	}
+}
+
+func TestDistinctKeywords(t *testing.T) {
+	g := testutil.Fig3Graph()
+	a, _ := g.VertexByLabel("A")
+	b, _ := g.VertexByLabel("B")
+	if got := DistinctKeywords(g, [][]graph.VertexID{{a, b}}); got != 3 {
+		t.Fatalf("distinct = %d, want 3 ({w,x,y})", got)
+	}
+	if got := DistinctKeywords(g, nil); got != 0 {
+		t.Fatalf("distinct(nil) = %d", got)
+	}
+}
+
+func TestStructuralMetrics(t *testing.T) {
+	g := testutil.Fig3Graph()
+	ops := graph.NewSetOps(g)
+	abcd := testutil.Labels(g, "A", "B", "C", "D")
+	if got := AvgInducedDegree(ops, abcd); !approx(got, 3) {
+		t.Fatalf("avg degree = %v", got)
+	}
+	if got := FracDegreeAtLeast(ops, abcd, 3); !approx(got, 1) {
+		t.Fatalf("frac = %v", got)
+	}
+	if got := FracDegreeAtLeast(ops, abcd, 4); !approx(got, 0) {
+		t.Fatalf("frac = %v", got)
+	}
+	if got := AvgSize([][]graph.VertexID{abcd, abcd[:2]}); !approx(got, 3) {
+		t.Fatalf("avg size = %v", got)
+	}
+}
+
+// Property: CMF, CPJ and MF always land in [0, 1].
+func TestMetricRangesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 3+rng.Intn(40), 1+3*rng.Float64(), 8, 4)
+		var comm []graph.VertexID
+		for v := 0; v < g.NumVertices(); v += 1 + rng.Intn(3) {
+			comm = append(comm, graph.VertexID(v))
+		}
+		comms := [][]graph.VertexID{comm}
+		q := graph.VertexID(rng.Intn(g.NumVertices()))
+		cmf := CMF(g, q, comms)
+		cpj := CPJ(g, comms, 0)
+		if cmf < 0 || cmf > 1 || cpj < 0 || cpj > 1 {
+			return false
+		}
+		if g.Dict().Size() > 0 {
+			mf := MF(g, graph.KeywordID(rng.Intn(g.Dict().Size())), comms)
+			if mf < 0 || mf > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

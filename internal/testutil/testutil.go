@@ -1,0 +1,133 @@
+// Package testutil provides shared fixtures and random-graph generators for
+// the test suites. The fixtures encode the paper's worked examples exactly
+// (Figure 3/4 graph A–J, Figure 5 graph A–N, Figure 6 neighbourhood), so the
+// tests double as a check that this implementation matches the published
+// semantics.
+package testutil
+
+import (
+	"math/rand"
+
+	"github.com/acq-search/acq/internal/graph"
+)
+
+// Fig3Graph builds the 10-vertex graph of the paper's Figure 3(a) with the
+// keyword sets printed there. Core numbers: A–D:3, E:2, F–I:1, J:0. The
+// 1-ĉores are {A..G} and {H, I}; the 2-ĉore is {A..E}; the 3-ĉore is {A..D}.
+func Fig3Graph() *graph.Graph {
+	b := graph.NewBuilder()
+	b.AddVertex("A", "w", "x", "y")
+	b.AddVertex("B", "x")
+	b.AddVertex("C", "x", "y")
+	b.AddVertex("D", "x", "y", "z")
+	b.AddVertex("E", "y", "z")
+	b.AddVertex("F", "y")
+	b.AddVertex("G", "x", "y")
+	b.AddVertex("H", "y", "z")
+	b.AddVertex("I", "x")
+	b.AddVertex("J", "x")
+	for _, e := range [][2]string{
+		{"A", "B"}, {"A", "C"}, {"A", "D"}, {"B", "C"}, {"B", "D"}, {"C", "D"}, // K4: 3-core
+		{"C", "E"}, {"D", "E"}, // E joins the 2-core
+		{"E", "G"}, {"F", "G"}, // F, G at core 1
+		{"H", "I"}, // separate 1-ĉore; J stays isolated at core 0
+	} {
+		b.AddEdgeByLabel(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+// Fig5Graph builds the 14-vertex graph of the paper's Figure 5 / Example 3.
+// Core numbers: A–D and I–L: 3, E–G: 2, H and M: 1, N: 0. The CL-tree is
+// p6(0,{N}) → p4(1,{H}) → p3(2,{E,F,G}) → p1(3,{A,B,C,D}) and
+// p6 → p5(1,{M}) → p2(3,{I,J,K,L}).
+func Fig5Graph() *graph.Graph {
+	b := graph.NewBuilder()
+	for _, v := range []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N"} {
+		b.AddVertex(v, "t"+v) // one unique keyword each; keywords are not the point here
+	}
+	for _, e := range [][2]string{
+		{"A", "B"}, {"A", "C"}, {"A", "D"}, {"B", "C"}, {"B", "D"}, {"C", "D"},
+		{"I", "J"}, {"I", "K"}, {"I", "L"}, {"J", "K"}, {"J", "L"}, {"K", "L"},
+		{"E", "F"}, {"E", "G"}, {"F", "G"}, {"E", "A"},
+		{"H", "A"},
+		{"M", "I"},
+	} {
+		b.AddEdgeByLabel(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+// Fig6Neighborhood builds the query neighbourhood of the paper's Figure 6:
+// Q with six neighbours A–F carrying the listed keyword sets. With k=3 and
+// S={v,x,y,z}, FP-Growth must produce Ψ1={v},{x},{y},{z}, Ψ2={x,y},{x,z},
+// {y,z}, Ψ3={x,y,z}.
+func Fig6Neighborhood() *graph.Graph {
+	b := graph.NewBuilder()
+	b.AddVertex("Q", "v", "x", "y", "z")
+	b.AddVertex("A", "v", "x", "y", "z")
+	b.AddVertex("B", "v", "x")
+	b.AddVertex("C", "v", "y")
+	b.AddVertex("D", "x", "y", "z")
+	b.AddVertex("E", "w", "x", "y", "z")
+	b.AddVertex("F", "v", "w")
+	for _, n := range []string{"A", "B", "C", "D", "E", "F"} {
+		b.AddEdgeByLabel("Q", n)
+	}
+	return b.MustBuild()
+}
+
+// RandomGraph returns a connected-ish Erdős–Rényi-style attributed graph for
+// differential tests: n vertices, ~n·avgDeg/2 random edges, each vertex
+// holding up to kws keywords drawn Zipf-ish from a vocabulary of vocab words.
+// It is intentionally a different generator from internal/datagen so the two
+// cannot share bugs.
+func RandomGraph(rng *rand.Rand, n int, avgDeg float64, vocab, kws int) *graph.Graph {
+	b := graph.NewBuilder()
+	words := make([]string, vocab)
+	for i := range words {
+		words[i] = "w" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+	}
+	for v := 0; v < n; v++ {
+		nw := rng.Intn(kws + 1)
+		set := make([]string, 0, nw)
+		for i := 0; i < nw; i++ {
+			// Squared uniform gives a mild popularity skew.
+			f := rng.Float64()
+			set = append(set, words[int(f*f*float64(vocab))%vocab])
+		}
+		b.AddVertex("", set...)
+	}
+	edges := int(float64(n) * avgDeg / 2)
+	for i := 0; i < edges; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Labels resolves a list of vertex labels to IDs; missing labels panic (the
+// fixtures control their own labels).
+func Labels(g *graph.Graph, names ...string) []graph.VertexID {
+	out := make([]graph.VertexID, len(names))
+	for i, n := range names {
+		v, ok := g.VertexByLabel(n)
+		if !ok {
+			panic("testutil: unknown label " + n)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// LabelSet renders a vertex set as a sorted set of labels for comparisons.
+func LabelSet(g *graph.Graph, vs []graph.VertexID) map[string]bool {
+	out := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		out[g.Label(v)] = true
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package unionfind implements the classical disjoint-set forest with union
+// by rank and path compression, and the paper's Anchored Union-Find (AUF)
+// extension (Fang et al., PVLDB 2016, Section 5.2.2 and Appendix D).
+//
+// The AUF attaches to every tree root an anchor vertex: the member with the
+// smallest core number seen so far. During the bottom-up CL-tree build the
+// anchor of a merged component is exactly the vertex whose CL-tree node is
+// the subtree root for that component, which is what lets the builder link
+// parent nodes to child nodes in O(α(n)) per edge.
+package unionfind
+
+// UF is a disjoint-set forest over elements 0..n-1.
+type UF struct {
+	parent []int32
+	rank   []int8
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UF {
+	u := &UF{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the representative of x's set, compressing the path.
+func (u *UF) Find(x int32) int32 {
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of x and y and returns the representative of the
+// merged set.
+func (u *UF) Union(x, y int32) int32 {
+	xr, yr := u.Find(x), u.Find(y)
+	if xr == yr {
+		return xr
+	}
+	switch {
+	case u.rank[xr] < u.rank[yr]:
+		u.parent[xr] = yr
+		return yr
+	case u.rank[xr] > u.rank[yr]:
+		u.parent[yr] = xr
+		return xr
+	default:
+		u.parent[yr] = xr
+		u.rank[xr]++
+		return xr
+	}
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int32) bool { return u.Find(x) == u.Find(y) }
+
+// AUF is a disjoint-set forest whose roots carry an anchor element. The
+// anchor of a set is maintained as the member with the minimum value of the
+// supplied core function among those explicitly recorded via UpdateAnchor.
+type AUF struct {
+	UF
+	anchor []int32
+	core   []int32
+}
+
+// NewAUF returns an anchored forest of n singleton sets; core[v] is the core
+// number of element v (Definition 2 of the paper). Each singleton's anchor is
+// itself, matching MAKESET in the paper's Algorithm 8.
+func NewAUF(n int, core []int32) *AUF {
+	a := &AUF{UF: *New(n), anchor: make([]int32, n), core: core}
+	for i := range a.anchor {
+		a.anchor[i] = int32(i)
+	}
+	return a
+}
+
+// Union merges the sets of x and y, keeping the anchor with the smaller core
+// number (ties keep the surviving root's anchor).
+func (a *AUF) Union(x, y int32) int32 {
+	xr, yr := a.Find(x), a.Find(y)
+	if xr == yr {
+		return xr
+	}
+	ax, ay := a.anchor[xr], a.anchor[yr]
+	r := a.UF.Union(xr, yr)
+	if a.core[ay] < a.core[ax] {
+		a.anchor[r] = ay
+	} else {
+		a.anchor[r] = ax
+	}
+	return r
+}
+
+// Anchor returns the anchor vertex of x's set.
+func (a *AUF) Anchor(x int32) int32 { return a.anchor[a.Find(x)] }
+
+// UpdateAnchor lowers the anchor of x's set to y if y's core number is
+// smaller than the current anchor's core number (UPDATEANCHOR in the paper's
+// Algorithm 8).
+func (a *AUF) UpdateAnchor(x, y int32) {
+	r := a.Find(x)
+	if a.core[a.anchor[r]] > a.core[y] {
+		a.anchor[r] = y
+	}
+}

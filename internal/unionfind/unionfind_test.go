@@ -1,0 +1,155 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUFBasics(t *testing.T) {
+	u := New(5)
+	if u.Same(0, 1) {
+		t.Fatal("fresh sets must be disjoint")
+	}
+	u.Union(0, 1)
+	u.Union(2, 3)
+	if !u.Same(0, 1) || !u.Same(2, 3) || u.Same(1, 2) {
+		t.Fatal("union/same wrong")
+	}
+	u.Union(1, 3)
+	if !u.Same(0, 2) {
+		t.Fatal("transitive union broken")
+	}
+	if u.Same(0, 4) {
+		t.Fatal("vertex 4 should remain solo")
+	}
+	// Union of already-joined elements is a no-op.
+	r := u.Union(0, 3)
+	if r != u.Find(0) {
+		t.Fatal("idempotent union returned wrong root")
+	}
+}
+
+// Property: UF partitions match a naive label array under random unions.
+func TestUFMatchesNaiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		u := New(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for op := 0; op < 80; op++ {
+			x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+			u.Union(x, y)
+			relabel(labels[x], labels[y])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Same(int32(i), int32(j)) != (labels[i] == labels[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAUFAnchorFollowsMinCore(t *testing.T) {
+	core := []int32{5, 3, 4, 1, 2}
+	a := NewAUF(5, core)
+	for i := int32(0); i < 5; i++ {
+		if a.Anchor(i) != i {
+			t.Fatalf("singleton anchor of %d = %d", i, a.Anchor(i))
+		}
+	}
+	a.Union(0, 1) // cores 5,3 → anchor 1
+	if a.Anchor(0) != 1 {
+		t.Fatalf("anchor = %d, want 1", a.Anchor(0))
+	}
+	a.Union(2, 3) // cores 4,1 → anchor 3
+	if a.Anchor(2) != 3 {
+		t.Fatalf("anchor = %d, want 3", a.Anchor(2))
+	}
+	a.Union(0, 2) // anchors 1(core 3) vs 3(core 1) → 3
+	if a.Anchor(1) != 3 {
+		t.Fatalf("anchor = %d, want 3", a.Anchor(1))
+	}
+	// UpdateAnchor only lowers.
+	a.UpdateAnchor(0, 4) // core 2 > core(3)=1? no, 2 > 1 so no change
+	if a.Anchor(0) != 3 {
+		t.Fatalf("UpdateAnchor raised the anchor to %d", a.Anchor(0))
+	}
+}
+
+func TestAUFUpdateAnchorLowers(t *testing.T) {
+	core := []int32{9, 7}
+	a := NewAUF(2, core)
+	a.Union(0, 1)
+	if a.Anchor(0) != 1 {
+		t.Fatalf("anchor = %d", a.Anchor(0))
+	}
+	// Simulate the CL-tree build pattern: a new own vertex at a lower level
+	// becomes the anchor explicitly.
+	core2 := []int32{9, 7, 3}
+	b := NewAUF(3, core2)
+	b.Union(0, 1)
+	b.Union(0, 2)
+	if b.Anchor(1) != 2 {
+		t.Fatalf("anchor = %d, want 2", b.Anchor(1))
+	}
+}
+
+// Property: the anchor of any set is always the member with minimal core
+// number among the elements unioned so far (ties arbitrary but stable core).
+func TestAUFAnchorInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		core := make([]int32, n)
+		for i := range core {
+			core[i] = int32(rng.Intn(10))
+		}
+		a := NewAUF(n, core)
+		groups := make([]int, n)
+		for i := range groups {
+			groups[i] = i
+		}
+		for op := 0; op < 60; op++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			a.Union(int32(x), int32(y))
+			gx, gy := groups[x], groups[y]
+			for i := range groups {
+				if groups[i] == gx {
+					groups[i] = gy
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			minCore := int32(1 << 30)
+			for j := 0; j < n; j++ {
+				if groups[j] == groups[i] && core[j] < minCore {
+					minCore = core[j]
+				}
+			}
+			if core[a.Anchor(int32(i))] != minCore {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

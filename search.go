@@ -1,0 +1,282 @@
+package acq
+
+import (
+	"fmt"
+
+	"github.com/acq-search/acq/internal/core"
+	"github.com/acq-search/acq/internal/graph"
+)
+
+// Algorithm selects an ACQ evaluation strategy.
+type Algorithm string
+
+const (
+	// AlgoDec is the decremental algorithm — the paper's fastest; default.
+	AlgoDec Algorithm = "dec"
+	// AlgoIncS is the space-efficient incremental algorithm.
+	AlgoIncS Algorithm = "inc-s"
+	// AlgoIncT is the time-efficient incremental algorithm.
+	AlgoIncT Algorithm = "inc-t"
+	// AlgoBasicG is the index-free baseline that filters inside the k-ĉore.
+	AlgoBasicG Algorithm = "basic-g"
+	// AlgoBasicW is the index-free baseline that filters the whole graph.
+	AlgoBasicW Algorithm = "basic-w"
+)
+
+// Query describes one attributed community query.
+type Query struct {
+	// Vertex is the query vertex's label; when empty, VertexID is used.
+	Vertex string
+	// VertexID is the query vertex's dense ID (used when Vertex == "").
+	VertexID int32
+	// K is the minimum degree bound (structure cohesiveness); must be ≥ 1.
+	K int
+	// Keywords is the input keyword set S. nil or empty means S = W(q),
+	// the paper's default. For Search, keywords q does not carry are
+	// ignored; for SearchFixed/SearchThreshold they are honoured as given.
+	Keywords []string
+	// Algorithm picks the evaluation strategy; empty means AlgoDec.
+	// Index-free algorithms (basic-g, basic-w) work without BuildIndex.
+	Algorithm Algorithm
+	// DisableInvertedLists turns off the CL-tree inverted lists during
+	// keyword-checking (the paper's Inc-S*/Inc-T* ablation).
+	DisableInvertedLists bool
+	// FuzzDistance, when > 0, expands Keywords with every dictionary word
+	// within that Levenshtein distance before the search — typo-tolerant
+	// keyword queries ("reserch" still finds "research"). Ignored when
+	// Keywords is empty. Clamped to 3.
+	FuzzDistance int
+	// MaxHops bounds the hop distance from the query vertex measured inside
+	// the community — the (k,d)-truss constraint. Only honoured by
+	// SearchTruss; 0 means unbounded.
+	MaxHops int
+}
+
+// Community is one attributed community.
+type Community struct {
+	// Label is the AC-label: the keywords shared by every member.
+	Label []string
+	// Members holds the member labels (or "#<id>" for unlabelled vertices).
+	Members []string
+	// MemberIDs holds the member vertex IDs, sorted.
+	MemberIDs []int32
+}
+
+// Result is the outcome of a community search.
+type Result struct {
+	// Communities holds one community per maximal shared keyword set.
+	Communities []Community
+	// LabelSize is the number of shared keywords (0 for a fallback).
+	LabelSize int
+	// Fallback is true when no keywords could be shared and the plain
+	// k-ĉore was returned instead.
+	Fallback bool
+}
+
+// Search answers an ACQ (the paper's Problem 1): among the connected
+// subgraphs containing q with minimum internal degree ≥ k, return those
+// sharing the largest subset of S.
+func (G *Graph) Search(q Query) (Result, error) {
+	qv, s, err := G.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	opt := core.DefaultOptions()
+	opt.UseInvertedLists = !q.DisableInvertedLists
+
+	var res core.Result
+	switch q.Algorithm {
+	case AlgoBasicG:
+		res, err = core.BasicG(G.g, qv, q.K, s, opt)
+	case AlgoBasicW:
+		res, err = core.BasicW(G.g, qv, q.K, s, opt)
+	case AlgoIncS, AlgoIncT, AlgoDec, "":
+		if G.tree == nil {
+			return Result{}, ErrNoIndex
+		}
+		switch q.Algorithm {
+		case AlgoIncS:
+			res, err = core.IncS(G.tree, qv, q.K, s, opt)
+		case AlgoIncT:
+			res, err = core.IncT(G.tree, qv, q.K, s, opt)
+		default:
+			res, err = core.Dec(G.tree, qv, q.K, s, opt)
+		}
+	default:
+		return Result{}, fmt.Errorf("acq: unknown algorithm %q", q.Algorithm)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return G.render(res), nil
+}
+
+// SearchFixed answers Variant 1 (Appendix G): every member must contain the
+// whole keyword set. An empty Communities list (with nil error) means no
+// such community exists.
+func (G *Graph) SearchFixed(q Query) (Result, error) {
+	qv, s, err := G.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	var res core.Result
+	switch q.Algorithm {
+	case AlgoBasicG:
+		res, err = core.BasicGV1(G.g, qv, q.K, s)
+	case AlgoBasicW:
+		res, err = core.BasicWV1(G.g, qv, q.K, s)
+	default:
+		if G.tree == nil {
+			return Result{}, ErrNoIndex
+		}
+		res, err = core.SW(G.tree, qv, q.K, s)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return G.render(res), nil
+}
+
+// SearchThreshold answers Variant 2 (Appendix G): every member must contain
+// at least ⌈θ·|S|⌉ of the keywords, θ ∈ (0, 1].
+func (G *Graph) SearchThreshold(q Query, theta float64) (Result, error) {
+	qv, s, err := G.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	var res core.Result
+	switch q.Algorithm {
+	case AlgoBasicG:
+		res, err = core.BasicGV2(G.g, qv, q.K, s, theta)
+	case AlgoBasicW:
+		res, err = core.BasicWV2(G.g, qv, q.K, s, theta)
+	default:
+		if G.tree == nil {
+			return Result{}, ErrNoIndex
+		}
+		res, err = core.SWT(G.tree, qv, q.K, s, theta)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return G.render(res), nil
+}
+
+// SearchClique answers the ACQ under k-clique percolation cohesiveness
+// (conclusion extension): communities are unions of overlapping cliques of
+// size ≥ k reachable from q sharing a maximal keyword subset. Requires an
+// index; k ≥ 2.
+func (G *Graph) SearchClique(q Query) (Result, error) {
+	qv, s, err := G.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	if G.tree == nil {
+		return Result{}, ErrNoIndex
+	}
+	res, err := core.CliqueSearch(G.tree, qv, q.K, s)
+	if err != nil {
+		return Result{}, err
+	}
+	return G.render(res), nil
+}
+
+// SearchSimilar returns the connected community of q (minimum degree ≥ k)
+// whose members' keyword sets all have Jaccard similarity ≥ tau to S
+// (default W(q)) — the Jaccard keyword cohesiveness the paper's conclusion
+// proposes. Requires an index unless Algorithm is AlgoBasicG.
+func (G *Graph) SearchSimilar(q Query, tau float64) (Result, error) {
+	qv, s, err := G.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	var res core.Result
+	if q.Algorithm == AlgoBasicG {
+		res, err = core.BasicGJ(G.g, qv, q.K, s, tau)
+	} else {
+		if G.tree == nil {
+			return Result{}, ErrNoIndex
+		}
+		res, err = core.SJ(G.tree, qv, q.K, s, tau)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return G.render(res), nil
+}
+
+// SearchTruss answers the ACQ under k-truss structure cohesiveness (the
+// extension the paper's conclusion calls for): every community edge must
+// close at least k−2 triangles inside the community, a strictly stronger
+// requirement than minimum degree. Requires an index; k ≥ 2.
+func (G *Graph) SearchTruss(q Query) (Result, error) {
+	qv, s, err := G.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	if G.tree == nil {
+		return Result{}, ErrNoIndex
+	}
+	res, err := core.TrussSearchD(G.tree, qv, q.K, q.MaxHops, s)
+	if err != nil {
+		return Result{}, err
+	}
+	return G.render(res), nil
+}
+
+// resolve maps the public query to internal identifiers. Keywords unknown to
+// the dictionary cannot appear in any community and are dropped.
+func (G *Graph) resolve(q Query) (graph.VertexID, []graph.KeywordID, error) {
+	var qv graph.VertexID
+	if q.Vertex != "" {
+		v, ok := G.g.VertexByLabel(q.Vertex)
+		if !ok {
+			return 0, nil, fmt.Errorf("%w: label %q", ErrVertexNotFound, q.Vertex)
+		}
+		qv = v
+	} else {
+		if int(q.VertexID) < 0 || int(q.VertexID) >= G.g.NumVertices() {
+			return 0, nil, fmt.Errorf("%w: id %d", ErrVertexNotFound, q.VertexID)
+		}
+		qv = graph.VertexID(q.VertexID)
+	}
+	var s []graph.KeywordID
+	if len(q.Keywords) > 0 {
+		if q.FuzzDistance > 0 {
+			s = core.ExpandByEditDistance(G.g.Dict(), q.Keywords, q.FuzzDistance)
+		} else {
+			s, _ = G.g.Dict().LookupAll(q.Keywords)
+		}
+		if len(s) == 0 {
+			// All requested keywords are unknown: keep a non-nil empty set so
+			// the query semantics stay "no shared keywords possible" rather
+			// than defaulting to W(q).
+			s = []graph.KeywordID{}
+		}
+	}
+	return qv, s, nil
+}
+
+func (G *Graph) render(res core.Result) Result {
+	out := Result{LabelSize: res.LabelSize, Fallback: res.Fallback}
+	for _, c := range res.Communities {
+		comm := Community{
+			Label:     make([]string, 0, len(c.Label)),
+			Members:   make([]string, 0, len(c.Vertices)),
+			MemberIDs: make([]int32, 0, len(c.Vertices)),
+		}
+		for _, w := range c.Label {
+			comm.Label = append(comm.Label, G.g.Dict().Word(w))
+		}
+		for _, v := range c.Vertices {
+			name := G.g.Label(v)
+			if name == "" {
+				name = fmt.Sprintf("#%d", v)
+			}
+			comm.Members = append(comm.Members, name)
+			comm.MemberIDs = append(comm.MemberIDs, int32(v))
+		}
+		out.Communities = append(out.Communities, comm)
+	}
+	return out
+}
