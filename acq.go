@@ -2,14 +2,14 @@ package acq
 
 import (
 	"errors"
-	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"github.com/acq-search/acq/internal/core"
 	"github.com/acq-search/acq/internal/datagen"
 	"github.com/acq-search/acq/internal/dataio"
 	"github.com/acq-search/acq/internal/graph"
-	"github.com/acq-search/acq/internal/kcore"
 )
 
 // Re-exported sentinel errors. Search and the variants wrap these; test with
@@ -29,10 +29,55 @@ var (
 
 // Graph is an attributed graph plus (once BuildIndex has run) its CL-tree
 // index and the incremental maintainer that keeps the two in sync.
+//
+// # Concurrency
+//
+// Two read paths exist:
+//
+//   - Direct reads (Search, Stats, ...) run against the live master copy with
+//     no synchronisation. Any number of concurrent direct readers is safe,
+//     but direct reads must not overlap with mutators.
+//   - Snapshot reads (Snapshot().Search, ...) run against an immutable
+//     published copy resolved through a single atomic pointer load — readers
+//     never block writers and the index read path takes no lock. (The
+//     optional per-snapshot result cache is the one structure with internal
+//     sharded locking; disable it via SetResultCacheSize(-1) for a strictly
+//     lock-free path.)
+//
+// Mutators (InsertEdge, RemoveEdge, AddKeyword, RemoveKeyword, BuildIndex)
+// are always safe to call from multiple goroutines: they serialise on an
+// internal mutex. While snapshots are in use, each effective mutation applies
+// incrementally to the master copy and then publishes a fresh copy-on-write
+// snapshot, so in-flight readers keep the version they pinned.
 type Graph struct {
 	g     *graph.Graph
 	tree  *core.Tree
 	maint *core.Maintainer
+
+	// Snapshot machinery (see snapshot.go). mu serialises mutators and
+	// snapshot publication. snap holds the latest published snapshot and is
+	// nil until Snapshot is first called — before that, mutations cost
+	// nothing beyond the incremental index maintenance. version counts
+	// effective mutations so caches and metrics can tell graph versions
+	// apart.
+	mu        sync.Mutex
+	snap      atomic.Pointer[Snapshot]
+	version   atomic.Uint64
+	snapRead  atomic.Bool // current snapshot handed to a reader since publish?
+	cacheSize int
+	stats     *cacheStats
+}
+
+// newGraph wraps an internal graph (and optional prebuilt tree) in the
+// public type. All constructors funnel through here so the shared cache
+// statistics exist up front and the serving paths never need a lock to
+// reach them.
+func newGraph(g *graph.Graph, tree *core.Tree) *Graph {
+	G := &Graph{g: g, tree: tree, stats: &cacheStats{}}
+	if tree != nil {
+		G.maint = core.NewMaintainer(tree)
+	}
+	return G
 }
 
 // Builder constructs a Graph.
@@ -63,7 +108,7 @@ func (b *Builder) Build() (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return newGraph(g, nil), nil
 }
 
 // Load reads a graph in the text interchange format:
@@ -75,28 +120,25 @@ func Load(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return newGraph(g, nil), nil
 }
 
-// LoadSnapshot reads a binary snapshot written by SaveSnapshot, restoring
-// the prebuilt index when one was stored.
+// LoadSnapshot reads a binary snapshot file written by SaveSnapshot,
+// restoring the prebuilt index when one was stored. (File snapshots are
+// unrelated to the in-memory Snapshot type used for concurrent serving.)
 func LoadSnapshot(r io.Reader) (*Graph, error) {
 	g, tree, err := dataio.ReadSnapshot(r)
 	if err != nil {
 		return nil, err
 	}
-	G := &Graph{g: g, tree: tree}
-	if tree != nil {
-		G.maint = core.NewMaintainer(tree)
-	}
-	return G, nil
+	return newGraph(g, tree), nil
 }
 
 // Save writes the graph in the text interchange format.
 func (G *Graph) Save(w io.Writer) error { return dataio.WriteText(w, G.g) }
 
 // SaveSnapshot writes the graph and, if built, the index as a binary
-// snapshot.
+// snapshot file.
 func (G *Graph) SaveSnapshot(w io.Writer) error {
 	return dataio.WriteSnapshot(w, G.g, G.tree)
 }
@@ -109,7 +151,7 @@ func Synthetic(preset string, scale float64) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: datagen.Generate(cfg.Scale(scale))}, nil
+	return newGraph(datagen.Generate(cfg.Scale(scale)), nil), nil
 }
 
 // IndexMethod selects a CL-tree construction algorithm.
@@ -130,12 +172,15 @@ func (G *Graph) BuildIndex() { G.BuildIndexWith(IndexAdvanced) }
 // BuildIndexWith constructs the CL-tree with the chosen method, replacing
 // any existing index.
 func (G *Graph) BuildIndexWith(m IndexMethod) {
+	G.mu.Lock()
+	defer G.mu.Unlock()
 	if m == IndexBasic {
 		G.tree = core.BuildBasic(G.g)
 	} else {
 		G.tree = core.BuildAdvanced(G.g)
 	}
 	G.maint = core.NewMaintainer(G.tree)
+	G.mutatedLocked()
 }
 
 // HasIndex reports whether a CL-tree is available.
@@ -154,23 +199,7 @@ type Stats struct {
 }
 
 // Stats computes summary statistics (decomposing the graph if unindexed).
-func (G *Graph) Stats() Stats {
-	s := Stats{
-		Vertices:    G.g.NumVertices(),
-		Edges:       G.g.NumEdges(),
-		AvgDegree:   G.g.AvgDegree(),
-		AvgKeywords: G.g.AvgKeywords(),
-		Keywords:    G.g.Dict().Size(),
-	}
-	if G.tree != nil {
-		s.KMax = int(G.tree.KMax)
-		s.IndexNodes = G.tree.NumNodes()
-		s.IndexHeight = G.tree.Height()
-	} else {
-		s.KMax = int(kcore.MaxCore(kcore.Decompose(G.g)))
-	}
-	return s
-}
+func (G *Graph) Stats() Stats { return G.view().stats() }
 
 // NumVertices returns |V|.
 func (G *Graph) NumVertices() int { return G.g.NumVertices() }
@@ -193,46 +222,174 @@ func (G *Graph) Keywords(v int32) []string {
 }
 
 // CoreNumber returns the core number of a vertex (requires an index).
-func (G *Graph) CoreNumber(v int32) (int, error) {
-	if G.tree == nil {
-		return 0, ErrNoIndex
+func (G *Graph) CoreNumber(v int32) (int, error) { return G.view().coreNumber(v) }
+
+// --- Snapshot publication.
+
+// Snapshot returns the current immutable snapshot of the graph and index,
+// publishing one first if none exists yet. The returned snapshot is safe for
+// unlimited concurrent readers with zero locking: acquiring it is a single
+// atomic pointer load, and nothing it references is ever mutated again.
+//
+// Calling Snapshot switches the graph into serving mode: while readers keep
+// acquiring snapshots, every effective mutation publishes a fresh snapshot
+// (copy-on-write over the incrementally maintained master), so the cost of a
+// mutation grows from the incremental-maintenance cost to an additional
+// O(n+m) copy. Write bursts coalesce: mutations applied while nobody has
+// acquired the latest snapshot skip the copy, and the next Snapshot call
+// pays for a single republication instead. Readers that need one consistent
+// view across several queries should call Snapshot once and reuse it;
+// SearchBatch does exactly that.
+func (G *Graph) Snapshot() *Snapshot {
+	if s := G.snap.Load(); s != nil && s.version == G.version.Load() {
+		// Mark the snapshot consumed, but only when the flag isn't already
+		// set: the common hot-read case then stays free of shared writes
+		// (no cache-line ping-pong between parallel readers).
+		if !G.snapRead.Load() {
+			G.snapRead.Store(true)
+		}
+		return s
 	}
-	if int(v) < 0 || int(v) >= G.g.NumVertices() {
-		return 0, fmt.Errorf("%w: id %d", ErrVertexNotFound, v)
+	G.mu.Lock()
+	defer G.mu.Unlock()
+	s := G.snap.Load()
+	if s == nil || s.version != G.version.Load() {
+		s = G.publishLocked()
 	}
-	return int(G.tree.Core[v]), nil
+	G.snapRead.Store(true)
+	return s
 }
 
-// --- Mutation. All mutators keep the index consistent when one is built.
+// EndServing leaves serving mode: the published snapshot is released (its
+// memory becomes reclaimable once in-flight readers drop their references)
+// and mutations go back to costing only the incremental index maintenance,
+// until the next Snapshot call re-activates publication. Use it after a
+// batch-then-mutate phase that doesn't need snapshot isolation anymore.
+// Snapshots already held by readers remain valid — they are immutable.
+func (G *Graph) EndServing() {
+	G.mu.Lock()
+	defer G.mu.Unlock()
+	G.snap.Store(nil)
+	G.snapRead.Store(false)
+}
+
+// Version returns the number of effective mutations applied so far. Two
+// equal versions imply an identical graph and index.
+func (G *Graph) Version() uint64 { return G.version.Load() }
+
+// SetResultCacheSize configures the capacity of the per-snapshot query-result
+// cache: 0 restores DefaultResultCacheSize, negative disables caching. The
+// setting applies to the next published snapshot; if one is already
+// published, it is republished immediately so the new size takes effect.
+func (G *Graph) SetResultCacheSize(n int) {
+	G.mu.Lock()
+	defer G.mu.Unlock()
+	G.cacheSize = n
+	if G.snap.Load() != nil {
+		G.publishLocked()
+	}
+}
+
+// ResultCacheStats returns the cumulative snapshot-cache hit and miss counts
+// across all snapshots published by this graph. Lock-free: safe to poll from
+// a metrics scraper while writers publish.
+func (G *Graph) ResultCacheStats() (hits, misses uint64) {
+	return G.stats.hits.Load(), G.stats.misses.Load()
+}
+
+// mutatedLocked records an effective mutation and decides how the next
+// snapshot comes about. Callers hold G.mu.
+//
+// While the published snapshot is being consumed (a reader acquired it since
+// publication), the next one is built eagerly so the read path stays a pure
+// atomic load. When writes arrive back-to-back with no reader in between,
+// the copies coalesce: the stale snapshot stays published but its version no
+// longer matches, and the next Snapshot call rebuilds once under the mutex.
+func (G *Graph) mutatedLocked() {
+	G.version.Add(1)
+	if G.snap.Load() != nil && G.snapRead.Load() {
+		G.publishLocked()
+	}
+}
+
+// publishLocked deep-copies the master graph and tree into a fresh immutable
+// snapshot and publishes it with an atomic store. Callers hold G.mu.
+func (G *Graph) publishLocked() *Snapshot {
+	g2 := G.g.Clone()
+	var t2 *core.Tree
+	if G.tree != nil {
+		t2 = G.tree.Clone(g2)
+	}
+	s := newSnapshot(view{g: g2, tree: t2}, G.version.Load(), G.cacheSize, G.stats)
+	G.snap.Store(s)
+	G.snapRead.Store(false)
+	return s
+}
+
+// --- Mutation. All mutators keep the index consistent when one is built,
+// serialise against each other, and republish the snapshot when serving
+// mode is active.
 
 // InsertEdge adds an undirected edge, reporting whether it was new.
 func (G *Graph) InsertEdge(u, v int32) bool {
+	G.mu.Lock()
+	defer G.mu.Unlock()
+	var changed bool
 	if G.maint != nil {
-		return G.maint.InsertEdge(graph.VertexID(u), graph.VertexID(v))
+		changed = G.maint.InsertEdge(graph.VertexID(u), graph.VertexID(v))
+	} else {
+		changed = G.g.InsertEdge(graph.VertexID(u), graph.VertexID(v))
 	}
-	return G.g.InsertEdge(graph.VertexID(u), graph.VertexID(v))
+	if changed {
+		G.mutatedLocked()
+	}
+	return changed
 }
 
 // RemoveEdge deletes an undirected edge, reporting whether it existed.
 func (G *Graph) RemoveEdge(u, v int32) bool {
+	G.mu.Lock()
+	defer G.mu.Unlock()
+	var changed bool
 	if G.maint != nil {
-		return G.maint.RemoveEdge(graph.VertexID(u), graph.VertexID(v))
+		changed = G.maint.RemoveEdge(graph.VertexID(u), graph.VertexID(v))
+	} else {
+		changed = G.g.RemoveEdge(graph.VertexID(u), graph.VertexID(v))
 	}
-	return G.g.RemoveEdge(graph.VertexID(u), graph.VertexID(v))
+	if changed {
+		G.mutatedLocked()
+	}
+	return changed
 }
 
 // AddKeyword attaches a keyword to a vertex, reporting whether W(v) changed.
 func (G *Graph) AddKeyword(v int32, word string) bool {
+	G.mu.Lock()
+	defer G.mu.Unlock()
+	var changed bool
 	if G.maint != nil {
-		return G.maint.AddKeyword(graph.VertexID(v), word)
+		changed = G.maint.AddKeyword(graph.VertexID(v), word)
+	} else {
+		changed = G.g.AddKeyword(graph.VertexID(v), word)
 	}
-	return G.g.AddKeyword(graph.VertexID(v), word)
+	if changed {
+		G.mutatedLocked()
+	}
+	return changed
 }
 
 // RemoveKeyword detaches a keyword from a vertex.
 func (G *Graph) RemoveKeyword(v int32, word string) bool {
+	G.mu.Lock()
+	defer G.mu.Unlock()
+	var changed bool
 	if G.maint != nil {
-		return G.maint.RemoveKeyword(graph.VertexID(v), word)
+		changed = G.maint.RemoveKeyword(graph.VertexID(v), word)
+	} else {
+		changed = G.g.RemoveKeyword(graph.VertexID(v), word)
 	}
-	return G.g.RemoveKeyword(graph.VertexID(v), word)
+	if changed {
+		G.mutatedLocked()
+	}
+	return changed
 }

@@ -14,22 +14,41 @@ type BatchResult struct {
 
 // SearchBatch evaluates many queries concurrently over a fixed worker pool
 // (one worker per CPU when workers ≤ 0) and returns the results in input
-// order. The graph must not be mutated while a batch is running — Search is
-// read-only, so any number of concurrent readers is safe.
+// order.
+//
+// The batch pins a single snapshot before any worker starts: every query of
+// the batch observes the same immutable graph and index version, and edge or
+// keyword updates applied while the batch runs only become visible to later
+// batches. (This replaces the old contract that the graph "must not be
+// mutated" during a batch — mutating concurrently is now safe.) Results are
+// caller-owned as before, even when served from the snapshot's result cache.
+// Pinning switches the graph into serving mode — call EndServing afterwards
+// if a long mutation-only phase follows and the retained snapshot copy is
+// unwanted.
 //
 // This is the "online evaluation" serving pattern of the paper's
 // introduction: the CL-tree is built once and thousands of personalised
 // community queries are answered against it.
 func (G *Graph) SearchBatch(queries []Query, workers int) []BatchResult {
+	if len(queries) == 0 {
+		return []BatchResult{}
+	}
+	return G.Snapshot().SearchBatch(queries, workers)
+}
+
+// SearchBatch evaluates many queries concurrently against this snapshot and
+// returns the results in input order; see Graph.SearchBatch. A zero-query
+// batch returns immediately without spawning any workers.
+func (s *Snapshot) SearchBatch(queries []Query, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(queries) {
 		workers = len(queries)
-	}
-	out := make([]BatchResult, len(queries))
-	if len(queries) == 0 {
-		return out
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -38,7 +57,7 @@ func (G *Graph) SearchBatch(queries []Query, workers int) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res, err := G.Search(queries[i])
+				res, err := s.Search(queries[i])
 				out[i] = BatchResult{Query: queries[i], Result: res, Err: err}
 			}
 		}()

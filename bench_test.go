@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	acq "github.com/acq-search/acq"
 	"github.com/acq-search/acq/internal/baseline"
 	"github.com/acq-search/acq/internal/bench"
 	"github.com/acq-search/acq/internal/core"
@@ -352,4 +353,161 @@ func BenchmarkOpQueryLocal(b *testing.B) {
 			baseline.Local(ops, ds.Queries[i%len(ds.Queries)], int(ds.MinCore))
 		}
 	})
+}
+
+// --- Serving-path benchmarks: snapshot acquire + Search under concurrent
+// writers, the cache-hit fast path, pinned-snapshot batch throughput, and
+// the copy-on-write publication cost a mutation pays in serving mode.
+
+// servingBenchGraph builds an indexed synthetic graph plus a set of queries
+// whose vertices sit in a reasonably deep core, so every query does real
+// work.
+func servingBenchGraph(b *testing.B) (*acq.Graph, []acq.Query) {
+	b.Helper()
+	g, err := acq.Synthetic("dblp", benchConfig().Scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.BuildIndex()
+	k := g.Stats().KMax / 2
+	if k < 2 {
+		k = 2
+	}
+	var queries []acq.Query
+	for v := int32(0); int(v) < g.NumVertices() && len(queries) < 64; v++ {
+		if c, err := g.CoreNumber(v); err == nil && c >= k {
+			queries = append(queries, acq.Query{VertexID: v, K: k})
+		}
+	}
+	if len(queries) == 0 {
+		b.Skip("no suitable query vertices")
+	}
+	return g, queries
+}
+
+// toggleEdges flips one inter-vertex edge as fast as it can until stop is
+// closed — each effective toggle publishes a fresh snapshot.
+func toggleEdges(g *acq.Graph, u, v int32, stop <-chan struct{}, done *sync.WaitGroup) {
+	defer done.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if !g.InsertEdge(u, v) {
+			g.RemoveEdge(u, v)
+		}
+	}
+}
+
+// BenchmarkServingSnapshotSearch measures the lock-free read path alone:
+// snapshot acquisition plus an uncached Search, across parallel readers.
+func BenchmarkServingSnapshotSearch(b *testing.B) {
+	g, queries := servingBenchGraph(b)
+	g.SetResultCacheSize(-1) // measure the search, not the cache
+	g.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			snap := g.Snapshot()
+			if _, err := snap.Search(queries[i%len(queries)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServingSnapshotSearchUnderWrites is the serving story end to end:
+// parallel readers keep querying while a writer continuously toggles an edge
+// (and therefore republishes snapshots copy-on-write). Compare with
+// BenchmarkServingSnapshotSearch to see what write pressure costs readers.
+func BenchmarkServingSnapshotSearchUnderWrites(b *testing.B) {
+	g, queries := servingBenchGraph(b)
+	g.SetResultCacheSize(-1)
+	g.Snapshot()
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go toggleEdges(g, queries[0].VertexID, queries[len(queries)-1].VertexID, stop, &writers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			snap := g.Snapshot()
+			if _, err := snap.Search(queries[i%len(queries)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	writers.Wait()
+}
+
+// BenchmarkServingCachedSearch measures the hot-query fast path: repeated
+// identical queries answered from the per-snapshot LRU result cache.
+func BenchmarkServingCachedSearch(b *testing.B) {
+	g, queries := servingBenchGraph(b)
+	snap := g.Snapshot()
+	if _, err := snap.Search(queries[0]); err != nil { // warm the entry
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := snap.Search(queries[0]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServingSearchBatch measures pinned-snapshot batch throughput:
+// one snapshot acquisition amortised over the whole query set, with the
+// worker pool fanning out across CPUs. ns/op is per batch.
+func BenchmarkServingSearchBatch(b *testing.B) {
+	g, queries := servingBenchGraph(b)
+	g.SetResultCacheSize(-1)
+	g.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range g.SearchBatch(queries, 0) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkServingSnapshotPublish measures what one effective mutation costs
+// in serving mode: incremental index maintenance plus the copy-on-write
+// snapshot publication. Acquiring the snapshot after each mutation marks it
+// consumed, so the next mutation must publish eagerly — without that, write
+// bursts coalesce and the clone cost would never be measured (one insert and
+// one remove per iteration, each followed by an acquire → two publications).
+func BenchmarkServingSnapshotPublish(b *testing.B) {
+	g, queries := servingBenchGraph(b)
+	g.Snapshot() // activate serving mode
+	u, v := queries[0].VertexID, queries[len(queries)-1].VertexID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.InsertEdge(u, v) {
+			b.Skip("benchmark edge already present")
+		}
+		g.Snapshot()
+		g.RemoveEdge(u, v)
+		g.Snapshot()
+	}
 }

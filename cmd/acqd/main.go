@@ -1,220 +1,39 @@
 // Command acqd serves attributed community queries over HTTP — the paper's
 // "online evaluation" scenario: the graph is indexed once at startup and
-// queries are answered in milliseconds.
+// queries are answered in milliseconds. It is a thin wrapper over the
+// importable engine package; see package engine for the endpoint list and
+// the snapshot-isolation serving architecture (lock-free reads against
+// immutable index snapshots, copy-on-write updates).
 //
 // Usage:
 //
 //	acqd -in graph.snap [-addr :8475]
 //	acqd -preset dblp -scale 0.5          # serve a synthetic dataset
-//
-// Endpoints:
-//
-//	GET /stats
-//	GET /query?q=<label>&k=6[&s=kw1,kw2][&algo=dec][&fixed=1][&theta=0.6]
-//	POST /edges {"op":"insert"|"remove","u":"<label>","v":"<label>"}
-//	POST /keywords {"op":"add"|"remove","vertex":"<label>","keyword":"yoga"}
-//
-// Queries run concurrently under a read lock; updates take the write lock
-// and maintain the CL-tree incrementally.
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
-	"net/http"
-	"os"
-	"strconv"
-	"strings"
-	"sync"
 
-	acq "github.com/acq-search/acq"
+	"github.com/acq-search/acq/engine"
 )
-
-type server struct {
-	mu sync.RWMutex
-	g  *acq.Graph
-}
 
 func main() {
 	in := flag.String("in", "", "graph file (text or .snap)")
 	preset := flag.String("preset", "", "serve a synthetic preset instead of a file")
 	scale := flag.Float64("scale", 1.0, "synthetic preset scale")
-	addr := flag.String("addr", ":8475", "listen address")
+	addr := flag.String("addr", engine.DefaultAddr, "listen address")
+	cache := flag.Int("cache", 0, "per-snapshot result cache size (0 = default, negative disables)")
+	workers := flag.Int("batch-workers", 0, "worker pool size for /batch (0 = one per CPU)")
 	flag.Parse()
 
-	var g *acq.Graph
-	var err error
-	switch {
-	case *preset != "":
-		g, err = acq.Synthetic(*preset, *scale)
-	case *in != "":
-		g, err = load(*in)
-	default:
-		err = errors.New("need -in or -preset")
-	}
+	g, err := engine.LoadSource(*in, *preset, *scale)
 	if err != nil {
 		log.Fatal("acqd: ", err)
 	}
-	if !g.HasIndex() {
-		log.Print("acqd: building CL-tree index...")
-		g.BuildIndex()
-	}
-	s := &server{g: g}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("POST /edges", s.handleEdges)
-	mux.HandleFunc("POST /keywords", s.handleKeywords)
-	st := g.Stats()
-	log.Printf("acqd: serving %d vertices / %d edges (kmax %d) on %s", st.Vertices, st.Edges, st.KMax, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-func load(path string) (*acq.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".snap") {
-		return acq.LoadSnapshot(f)
-	}
-	return acq.Load(f)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	st := s.g.Stats()
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, st)
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	qp := r.URL.Query()
-	k := 6
-	if v := qp.Get("k"); v != "" {
-		parsed, err := strconv.Atoi(v)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad k: %v", err)
-			return
-		}
-		k = parsed
-	}
-	query := acq.Query{
-		Vertex:    qp.Get("q"),
-		K:         k,
-		Algorithm: acq.Algorithm(qp.Get("algo")),
-	}
-	if query.Vertex == "" {
-		httpError(w, http.StatusBadRequest, "missing q parameter")
-		return
-	}
-	if sArg := qp.Get("s"); sArg != "" {
-		query.Keywords = strings.Split(sArg, ",")
-	}
-
-	var res acq.Result
-	var err error
-	s.mu.RLock()
-	switch {
-	case qp.Get("fixed") != "":
-		res, err = s.g.SearchFixed(query)
-	case qp.Get("theta") != "":
-		theta, perr := strconv.ParseFloat(qp.Get("theta"), 64)
-		if perr != nil {
-			err = fmt.Errorf("bad theta: %w", perr)
-		} else {
-			res, err = s.g.SearchThreshold(query, theta)
-		}
-	default:
-		res, err = s.g.Search(query)
-	}
-	s.mu.RUnlock()
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, acq.ErrVertexNotFound) {
-			status = http.StatusNotFound
-		}
-		httpError(w, status, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, res)
-}
-
-type edgeReq struct {
-	Op string `json:"op"`
-	U  string `json:"u"`
-	V  string `json:"v"`
-}
-
-func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	var req edgeReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	u, ok1 := s.g.VertexID(req.U)
-	v, ok2 := s.g.VertexID(req.V)
-	if !ok1 || !ok2 {
-		httpError(w, http.StatusNotFound, "unknown vertex")
-		return
-	}
-	var changed bool
-	switch req.Op {
-	case "insert":
-		changed = s.g.InsertEdge(u, v)
-	case "remove":
-		changed = s.g.RemoveEdge(u, v)
-	default:
-		httpError(w, http.StatusBadRequest, "op must be insert or remove")
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
-}
-
-type keywordReq struct {
-	Op      string `json:"op"`
-	Vertex  string `json:"vertex"`
-	Keyword string `json:"keyword"`
-}
-
-func (s *server) handleKeywords(w http.ResponseWriter, r *http.Request) {
-	var req keywordReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.g.VertexID(req.Vertex)
-	if !ok {
-		httpError(w, http.StatusNotFound, "unknown vertex")
-		return
-	}
-	var changed bool
-	switch req.Op {
-	case "add":
-		changed = s.g.AddKeyword(v, req.Keyword)
-	case "remove":
-		changed = s.g.RemoveKeyword(v, req.Keyword)
-	default:
-		httpError(w, http.StatusBadRequest, "op must be add or remove")
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	log.Fatal(engine.Serve(g, engine.Config{
+		Addr:         *addr,
+		CacheSize:    *cache,
+		BatchWorkers: *workers,
+	}))
 }

@@ -1,181 +1,48 @@
 package main
 
+// The handler-level tests for the HTTP API live in the engine package, which
+// acqd wraps. What remains here checks the wrapper's own responsibilities:
+// resolving the bootstrap flags into a graph and handing it to the engine.
+
 import (
-	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"strings"
+	"os"
+	"path/filepath"
 	"testing"
 
-	acq "github.com/acq-search/acq"
+	"github.com/acq-search/acq/engine"
 )
 
-func testServer(t *testing.T) *server {
-	t.Helper()
-	b := acq.NewBuilder()
-	b.AddVertex("jack", "research", "sports", "web")
-	b.AddVertex("bob", "research", "sports", "yoga")
-	b.AddVertex("john", "research", "sports", "web")
-	b.AddVertex("mike", "research", "sports", "yoga")
-	b.AddVertex("loner", "cats")
-	for _, e := range [][2]string{{"jack", "bob"}, {"jack", "john"}, {"jack", "mike"},
-		{"bob", "john"}, {"bob", "mike"}, {"john", "mike"}} {
-		b.AddEdgeByLabel(e[0], e[1])
+func TestLoadSourceErrors(t *testing.T) {
+	if _, err := engine.LoadSource("/nonexistent/path.txt", "", 1.0); err == nil {
+		t.Fatal("LoadSource accepted a missing file")
 	}
-	g, err := b.Build()
+	if _, err := engine.LoadSource("", "", 1.0); err == nil {
+		t.Fatal("LoadSource accepted empty flags")
+	}
+	if _, err := engine.LoadSource("", "no-such-preset", 1.0); err == nil {
+		t.Fatal("LoadSource accepted an unknown preset")
+	}
+}
+
+// TestServeFromFile walks the acqd bootstrap end to end: write a graph file,
+// load it the way main does, and serve a query through the engine handler.
+func TestServeFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	data := "v a x\nv b x\nv c x\ne a b\ne b c\ne c a\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := engine.LoadSource(path, "", 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g.BuildIndex()
-	return &server{g: g}
-}
-
-func do(t *testing.T, h func(http.ResponseWriter, *http.Request), method, target, body string) *httptest.ResponseRecorder {
-	t.Helper()
-	req := httptest.NewRequest(method, target, strings.NewReader(body))
+	e := engine.New(g, engine.Config{Logf: func(string, ...any) {}})
+	req := httptest.NewRequest("GET", "/query?q=a&k=2", nil)
 	rec := httptest.NewRecorder()
-	h(rec, req)
-	return rec
-}
-
-func TestHandleStats(t *testing.T) {
-	s := testServer(t)
-	rec := do(t, s.handleStats, "GET", "/stats", "")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status = %d", rec.Code)
-	}
-	var st acq.Stats
-	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
-		t.Fatal(err)
-	}
-	if st.Vertices != 5 || st.Edges != 6 || st.KMax != 3 {
-		t.Fatalf("stats = %+v", st)
-	}
-}
-
-func TestHandleQuery(t *testing.T) {
-	s := testServer(t)
-	rec := do(t, s.handleQuery, "GET", "/query?q=jack&k=3", "")
+	e.Handler().ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
-	}
-	var res acq.Result
-	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
-		t.Fatal(err)
-	}
-	if res.LabelSize != 2 || len(res.Communities) != 1 || len(res.Communities[0].Members) != 4 {
-		t.Fatalf("result = %+v", res)
-	}
-}
-
-func TestHandleQueryVariants(t *testing.T) {
-	s := testServer(t)
-	rec := do(t, s.handleQuery, "GET", "/query?q=jack&k=3&s=research,sports&fixed=1", "")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("fixed: status = %d body=%s", rec.Code, rec.Body)
-	}
-	rec = do(t, s.handleQuery, "GET", "/query?q=jack&k=3&s=research,sports,web&theta=0.5", "")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("theta: status = %d body=%s", rec.Code, rec.Body)
-	}
-	rec = do(t, s.handleQuery, "GET", "/query?q=jack&k=3&theta=oops", "")
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad theta accepted: %d", rec.Code)
-	}
-}
-
-func TestHandleQueryErrors(t *testing.T) {
-	s := testServer(t)
-	cases := []struct {
-		target string
-		status int
-	}{
-		{"/query?k=3", http.StatusBadRequest},           // missing q
-		{"/query?q=ghost&k=3", http.StatusNotFound},     // unknown vertex
-		{"/query?q=jack&k=zero", http.StatusBadRequest}, // malformed k
-		{"/query?q=jack&k=0", http.StatusBadRequest},    // bad k
-		{"/query?q=loner&k=1", http.StatusBadRequest},   // no k-core
-		{"/query?q=jack&k=3&algo=bad", http.StatusBadRequest},
-	}
-	for _, c := range cases {
-		rec := do(t, s.handleQuery, "GET", c.target, "")
-		if rec.Code != c.status {
-			t.Errorf("%s: status = %d, want %d (%s)", c.target, rec.Code, c.status, rec.Body)
-		}
-	}
-}
-
-func TestHandleEdges(t *testing.T) {
-	s := testServer(t)
-	rec := do(t, s.handleEdges, "POST", "/edges", `{"op":"insert","u":"loner","v":"jack"}`)
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
-		t.Fatalf("insert: %d %s", rec.Code, rec.Body)
-	}
-	// Duplicate insert reports changed=false.
-	rec = do(t, s.handleEdges, "POST", "/edges", `{"op":"insert","u":"loner","v":"jack"}`)
-	if !strings.Contains(rec.Body.String(), "false") {
-		t.Fatalf("duplicate insert: %s", rec.Body)
-	}
-	rec = do(t, s.handleEdges, "POST", "/edges", `{"op":"remove","u":"loner","v":"jack"}`)
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
-		t.Fatalf("remove: %d %s", rec.Code, rec.Body)
-	}
-	rec = do(t, s.handleEdges, "POST", "/edges", `{"op":"explode","u":"a","v":"b"}`)
-	if rec.Code != http.StatusNotFound && rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad op: %d", rec.Code)
-	}
-	rec = do(t, s.handleEdges, "POST", "/edges", `{"op":"insert","u":"ghost","v":"jack"}`)
-	if rec.Code != http.StatusNotFound {
-		t.Fatalf("unknown vertex: %d", rec.Code)
-	}
-	rec = do(t, s.handleEdges, "POST", "/edges", `not json`)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("garbage body: %d", rec.Code)
-	}
-}
-
-func TestHandleKeywords(t *testing.T) {
-	s := testServer(t)
-	rec := do(t, s.handleKeywords, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"research"}`)
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
-		t.Fatalf("add: %d %s", rec.Code, rec.Body)
-	}
-	rec = do(t, s.handleKeywords, "POST", "/keywords", `{"op":"remove","vertex":"loner","keyword":"research"}`)
-	if !strings.Contains(rec.Body.String(), "true") {
-		t.Fatalf("remove: %s", rec.Body)
-	}
-	rec = do(t, s.handleKeywords, "POST", "/keywords", `{"op":"zap","vertex":"loner","keyword":"x"}`)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad op: %d", rec.Code)
-	}
-	rec = do(t, s.handleKeywords, "POST", "/keywords", `{"op":"add","vertex":"ghost","keyword":"x"}`)
-	if rec.Code != http.StatusNotFound {
-		t.Fatalf("unknown vertex: %d", rec.Code)
-	}
-}
-
-// TestUpdateThenQuery exercises the full read-write cycle: an update changes
-// subsequent query results, under the same locking the live server uses.
-func TestUpdateThenQuery(t *testing.T) {
-	s := testServer(t)
-	do(t, s.handleKeywords, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"sports"}`)
-	do(t, s.handleKeywords, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"research"}`)
-	for _, other := range []string{"jack", "bob", "john"} {
-		do(t, s.handleEdges, "POST", "/edges", `{"op":"insert","u":"loner","v":"`+other+`"}`)
-	}
-	rec := do(t, s.handleQuery, "GET", "/query?q=loner&k=3", "")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status = %d %s", rec.Code, rec.Body)
-	}
-	var res acq.Result
-	json.Unmarshal(rec.Body.Bytes(), &res)
-	if len(res.Communities) != 1 || len(res.Communities[0].Members) != 5 {
-		t.Fatalf("loner's community = %+v", res)
-	}
-}
-
-func TestLoadFunction(t *testing.T) {
-	if _, err := load("/nonexistent/path.txt"); err == nil {
-		t.Fatal("load accepted missing file")
 	}
 }

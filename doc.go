@@ -36,6 +36,16 @@
 //	    fmt.Println(c.Label, c.Members) // shared keywords, member labels
 //	}
 //
-// A Graph is safe for concurrent Search calls; mutations (InsertEdge,
-// AddKeyword, ...) require external synchronisation against readers.
+// # Concurrency and serving
+//
+// A Graph is safe for concurrent direct Search calls, and mutators
+// (InsertEdge, AddKeyword, ...) serialise internally — but direct reads must
+// not overlap with mutations. For the paper's online-serving scenario use
+// Snapshot: it returns an immutable graph+index view through a single atomic
+// pointer load, safe for unlimited lock-free readers while updates keep
+// flowing. Each effective mutation maintains the index incrementally and
+// publishes the next snapshot copy-on-write; SearchBatch pins one snapshot
+// per batch. Successful snapshot queries are memoised in a bounded
+// per-snapshot LRU cache. The engine package wraps all of this in an
+// embeddable HTTP serving engine (used by cmd/acqd).
 package acq

@@ -1,0 +1,121 @@
+// Package engine is the importable ACQ serving engine: it wraps an
+// *acq.Graph in the HTTP API that cmd/acqd exposes, serving reads from
+// immutable index snapshots and writes through the incremental maintainer.
+//
+// # Architecture
+//
+// Every query handler pins the current snapshot with one atomic pointer load
+// (acq.Graph.Snapshot) and runs entirely against that immutable copy — the
+// read path holds no lock, so a burst of edge inserts can never stall
+// queries. Updates serialise inside acq.Graph: each effective mutation is
+// applied incrementally to the master copy (Appendix F maintenance) and a
+// fresh copy-on-write snapshot is published for subsequent readers. Repeated
+// queries against one snapshot are answered from its bounded LRU result
+// cache.
+//
+// Use New + Handler to mount the API inside an existing server, or Serve as
+// a one-call production entry point (what cmd/acqd does).
+package engine
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	acq "github.com/acq-search/acq"
+)
+
+// Config tunes the engine. The zero value serves on DefaultAddr with default
+// cache and worker settings.
+type Config struct {
+	// Addr is the listen address for ListenAndServe/Serve (default ":8475").
+	Addr string
+	// CacheSize is the per-snapshot query-result cache capacity: 0 keeps
+	// acq.DefaultResultCacheSize, negative disables result caching.
+	CacheSize int
+	// BatchWorkers bounds the worker pool of POST /batch; ≤ 0 means one
+	// worker per CPU.
+	BatchWorkers int
+	// Logf receives serving log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// DefaultAddr is the address served when Config.Addr is empty.
+const DefaultAddr = ":8475"
+
+// Engine serves attributed community queries for one graph.
+type Engine struct {
+	g   *acq.Graph
+	cfg Config
+	met metrics
+}
+
+// New wraps g in a serving engine, building the CL-tree index if g does not
+// have one yet and publishing the first snapshot so the initial queries
+// never pay the copy.
+func New(g *acq.Graph, cfg Config) *Engine {
+	if cfg.Addr == "" {
+		cfg.Addr = DefaultAddr
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	e := &Engine{g: g, cfg: cfg}
+	if !g.HasIndex() {
+		cfg.Logf("engine: building CL-tree index...")
+		g.BuildIndex()
+	}
+	if cfg.CacheSize != 0 {
+		g.SetResultCacheSize(cfg.CacheSize)
+	}
+	g.Snapshot() // warm: publish the first snapshot before serving
+	return e
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *acq.Graph { return e.g }
+
+// ListenAndServe serves the engine's Handler on the configured address,
+// blocking like http.ListenAndServe.
+func (e *Engine) ListenAndServe() error {
+	st := e.g.Stats()
+	e.cfg.Logf("engine: serving %d vertices / %d edges (kmax %d) on %s",
+		st.Vertices, st.Edges, st.KMax, e.cfg.Addr)
+	return http.ListenAndServe(e.cfg.Addr, e.Handler())
+}
+
+// Serve is the one-call entry point: New(g, cfg).ListenAndServe().
+func Serve(g *acq.Graph, cfg Config) error {
+	return New(g, cfg).ListenAndServe()
+}
+
+// LoadFile reads a graph from disk: binary snapshot files (".snap", written
+// by acq.Graph.SaveSnapshot) restore their prebuilt index, anything else is
+// parsed as the text interchange format.
+func LoadFile(path string) (*acq.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".snap") {
+		return acq.LoadSnapshot(f)
+	}
+	return acq.Load(f)
+}
+
+// LoadSource resolves the two bootstrap flags of cmd/acqd: a synthetic
+// preset (with scale) takes precedence, then a file path. Exactly one of
+// preset and path must be non-empty.
+func LoadSource(path, preset string, scale float64) (*acq.Graph, error) {
+	switch {
+	case preset != "":
+		return acq.Synthetic(preset, scale)
+	case path != "":
+		return LoadFile(path)
+	default:
+		return nil, fmt.Errorf("engine: need a graph file or a synthetic preset")
+	}
+}

@@ -1,0 +1,338 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	acq "github.com/acq-search/acq"
+)
+
+func testGraph(t testing.TB) *acq.Graph {
+	t.Helper()
+	b := acq.NewBuilder()
+	b.AddVertex("jack", "research", "sports", "web")
+	b.AddVertex("bob", "research", "sports", "yoga")
+	b.AddVertex("john", "research", "sports", "web")
+	b.AddVertex("mike", "research", "sports", "yoga")
+	b.AddVertex("loner", "cats")
+	for _, e := range [][2]string{{"jack", "bob"}, {"jack", "john"}, {"jack", "mike"},
+		{"bob", "john"}, {"bob", "mike"}, {"john", "mike"}} {
+		b.AddEdgeByLabel(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testEngine(t testing.TB) *Engine {
+	t.Helper()
+	return New(testGraph(t), Config{Logf: func(string, ...any) {}})
+}
+
+func do(t testing.TB, h http.Handler, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, target, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHandleStats(t *testing.T) {
+	h := testEngine(t).Handler()
+	rec := do(t, h, "GET", "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var st acq.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices != 5 || st.Edges != 6 || st.KMax != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHandleQuery(t *testing.T) {
+	h := testEngine(t).Handler()
+	rec := do(t, h, "GET", "/query?q=jack&k=3", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
+	}
+	var res acq.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.LabelSize != 2 || len(res.Communities) != 1 || len(res.Communities[0].Members) != 4 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestHandleQueryVariants(t *testing.T) {
+	h := testEngine(t).Handler()
+	rec := do(t, h, "GET", "/query?q=jack&k=3&s=research,sports&fixed=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fixed: status = %d body=%s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "GET", "/query?q=jack&k=3&s=research,sports,web&theta=0.5", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("theta: status = %d body=%s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "GET", "/query?q=jack&k=3&theta=oops", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad theta accepted: %d", rec.Code)
+	}
+	rec = do(t, h, "GET", "/query?q=jack&k=3&s=reserch&fuzz=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fuzz: status = %d body=%s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "GET", "/query?id=0&k=3", "") // jack by dense ID
+	if rec.Code != http.StatusOK {
+		t.Fatalf("id: status = %d body=%s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "GET", "/query?id=oops&k=3", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id accepted: %d", rec.Code)
+	}
+}
+
+func TestHandleQueryErrors(t *testing.T) {
+	h := testEngine(t).Handler()
+	cases := []struct {
+		target string
+		status int
+	}{
+		{"/query?k=3", http.StatusBadRequest},           // missing q
+		{"/query?q=ghost&k=3", http.StatusNotFound},     // unknown vertex
+		{"/query?q=jack&k=zero", http.StatusBadRequest}, // malformed k
+		{"/query?q=jack&k=0", http.StatusBadRequest},    // bad k
+		{"/query?q=loner&k=1", http.StatusBadRequest},   // no k-core
+		{"/query?q=jack&k=3&algo=bad", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := do(t, h, "GET", c.target, "")
+		if rec.Code != c.status {
+			t.Errorf("%s: status = %d, want %d (%s)", c.target, rec.Code, c.status, rec.Body)
+		}
+	}
+}
+
+func TestHandleEdges(t *testing.T) {
+	h := testEngine(t).Handler()
+	rec := do(t, h, "POST", "/edges", `{"op":"insert","u":"loner","v":"jack"}`)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
+		t.Fatalf("insert: %d %s", rec.Code, rec.Body)
+	}
+	// Duplicate insert reports changed=false.
+	rec = do(t, h, "POST", "/edges", `{"op":"insert","u":"loner","v":"jack"}`)
+	if !strings.Contains(rec.Body.String(), "false") {
+		t.Fatalf("duplicate insert: %s", rec.Body)
+	}
+	rec = do(t, h, "POST", "/edges", `{"op":"remove","u":"loner","v":"jack"}`)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
+		t.Fatalf("remove: %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "POST", "/edges", `{"op":"explode","u":"jack","v":"bob"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad op: %d", rec.Code)
+	}
+	rec = do(t, h, "POST", "/edges", `{"op":"insert","u":"ghost","v":"jack"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown vertex: %d", rec.Code)
+	}
+	rec = do(t, h, "POST", "/edges", `not json`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", rec.Code)
+	}
+}
+
+func TestHandleKeywords(t *testing.T) {
+	h := testEngine(t).Handler()
+	rec := do(t, h, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"research"}`)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
+		t.Fatalf("add: %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "POST", "/keywords", `{"op":"remove","vertex":"loner","keyword":"research"}`)
+	if !strings.Contains(rec.Body.String(), "true") {
+		t.Fatalf("remove: %s", rec.Body)
+	}
+	rec = do(t, h, "POST", "/keywords", `{"op":"zap","vertex":"loner","keyword":"x"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad op: %d", rec.Code)
+	}
+	rec = do(t, h, "POST", "/keywords", `{"op":"add","vertex":"ghost","keyword":"x"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown vertex: %d", rec.Code)
+	}
+}
+
+// TestUpdateThenQuery exercises the full read-write cycle: an update
+// publishes a new snapshot and changes subsequent query results.
+func TestUpdateThenQuery(t *testing.T) {
+	e := testEngine(t)
+	h := e.Handler()
+	v0 := e.Graph().Version()
+	do(t, h, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"sports"}`)
+	do(t, h, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"research"}`)
+	for _, other := range []string{"jack", "bob", "john"} {
+		do(t, h, "POST", "/edges", `{"op":"insert","u":"loner","v":"`+other+`"}`)
+	}
+	if e.Graph().Version() != v0+5 {
+		t.Fatalf("version = %d, want %d", e.Graph().Version(), v0+5)
+	}
+	rec := do(t, h, "GET", "/query?q=loner&k=3", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d %s", rec.Code, rec.Body)
+	}
+	var res acq.Result
+	json.Unmarshal(rec.Body.Bytes(), &res)
+	if len(res.Communities) != 1 || len(res.Communities[0].Members) != 5 {
+		t.Fatalf("loner's community = %+v", res)
+	}
+}
+
+func TestHandleBatch(t *testing.T) {
+	h := testEngine(t).Handler()
+	body := `{"queries":[{"q":"jack","k":3},{"q":"ghost","k":3},{"q":"bob","k":3,"s":["research","sports"]},{"k":3}]}`
+	rec := do(t, h, "POST", "/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Version uint64 `json:"version"`
+		Results []struct {
+			Result *acq.Result `json:"result"`
+			Error  string      `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	if resp.Results[0].Result == nil || len(resp.Results[0].Result.Communities) != 1 {
+		t.Fatalf("result[0] = %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" {
+		t.Fatal("ghost query should report an error")
+	}
+	if resp.Results[2].Result == nil {
+		t.Fatalf("result[2] = %+v", resp.Results[2])
+	}
+	// Neither label nor ID: a per-item error, not a silent vertex-0 query.
+	if !strings.Contains(resp.Results[3].Error, "missing q") {
+		t.Fatalf("result[3] = %+v, want missing-address error", resp.Results[3])
+	}
+
+	// Client-requested workers are clamped by the operator bound — a huge
+	// value must not fan out past BatchWorkers (and must still succeed).
+	capped := New(testGraph(t), Config{BatchWorkers: 1, Logf: func(string, ...any) {}})
+	rec = do(t, capped.Handler(), "POST", "/batch", `{"queries":[{"q":"jack","k":3},{"q":"bob","k":3}],"workers":100000}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("capped batch: %d %s", rec.Code, rec.Body)
+	}
+
+	// Empty batch: no workers, still a valid response.
+	rec = do(t, h, "POST", "/batch", `{"queries":[]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty batch: %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "POST", "/batch", `garbage`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage batch accepted: %d", rec.Code)
+	}
+}
+
+func TestMetricsAndCaching(t *testing.T) {
+	e := testEngine(t)
+	h := e.Handler()
+	for i := 0; i < 3; i++ {
+		if rec := do(t, h, "GET", "/query?q=jack&k=3", ""); rec.Code != http.StatusOK {
+			t.Fatalf("query %d: %d", i, rec.Code)
+		}
+	}
+	m := e.Metrics()
+	if m.Queries != 3 || m.QueryErrors != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// Identical repeated queries on one snapshot: 1 miss, 2 hits.
+	if m.CacheMisses != 1 || m.CacheHits != 2 {
+		t.Fatalf("cache hits/misses = %d/%d, want 2/1", m.CacheHits, m.CacheMisses)
+	}
+	// An update publishes a new snapshot with a cold cache.
+	do(t, h, "POST", "/edges", `{"op":"insert","u":"loner","v":"jack"}`)
+	do(t, h, "GET", "/query?q=jack&k=3", "")
+	m = e.Metrics()
+	if m.Updates != 1 {
+		t.Fatalf("updates = %d", m.Updates)
+	}
+	if m.CacheMisses != 2 {
+		t.Fatalf("post-update misses = %d, want 2 (new snapshot, cold cache)", m.CacheMisses)
+	}
+	rec := do(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "snapshot_version") {
+		t.Fatalf("metrics endpoint: %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	e := New(testGraph(t), Config{CacheSize: -1, Logf: func(string, ...any) {}})
+	h := e.Handler()
+	for i := 0; i < 3; i++ {
+		do(t, h, "GET", "/query?q=jack&k=3", "")
+	}
+	m := e.Metrics()
+	if m.CacheHits != 0 || m.CacheMisses != 0 {
+		t.Fatalf("disabled cache counted hits/misses: %+v", m)
+	}
+}
+
+// TestConcurrentQueriesAndUpdates hammers the handler from parallel readers
+// while writers toggle edges — the serving-layer version of the snapshot
+// race regression test (run with -race).
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	e := testEngine(t)
+	h := e.Handler()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			targets := []string{"jack", "bob", "john", "mike"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := do(t, h, "GET", fmt.Sprintf("/query?q=%s&k=3", targets[(r+i)%len(targets)]), "")
+				if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+					t.Errorf("reader: unexpected status %d: %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 60; i++ {
+		op := "insert"
+		if i%2 == 1 {
+			op = "remove"
+		}
+		do(t, h, "POST", "/edges", `{"op":"`+op+`","u":"loner","v":"jack"}`)
+		do(t, h, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"k`+fmt.Sprint(i%7)+`"}`)
+	}
+	close(stop)
+	wg.Wait()
+}

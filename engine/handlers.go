@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	acq "github.com/acq-search/acq"
+)
+
+// Handler returns the engine's HTTP API:
+//
+//	GET  /stats     graph + index summary (snapshot-consistent)
+//	GET  /query     one community query (?q=&k=&s=&algo=&fixed=&theta=&fuzz=)
+//	POST /batch     many queries against one pinned snapshot
+//	POST /edges     {"op":"insert"|"remove","u":"<label>","v":"<label>"}
+//	POST /keywords  {"op":"add"|"remove","vertex":"<label>","keyword":"yoga"}
+//	GET  /metrics   serving counters (queries, cache hits, snapshot version)
+//	GET  /healthz   liveness probe
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", e.handleStats)
+	mux.HandleFunc("GET /query", e.handleQuery)
+	mux.HandleFunc("POST /batch", e.handleBatch)
+	mux.HandleFunc("POST /edges", e.handleEdges)
+	mux.HandleFunc("POST /keywords", e.handleKeywords)
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	return mux
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, e.pin().Stats())
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Graph.Version, not pin(): a liveness probe must not mark the snapshot
+	// consumed and thereby trigger eager republication on the next write.
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": e.g.Version()})
+}
+
+// parseQuery decodes the shared query parameters of GET /query. The query
+// vertex is addressed by label (q=) or, for unlabelled graphs such as the
+// synthetic presets, by dense vertex ID (id=).
+func parseQuery(qp url.Values) (acq.Query, error) {
+	q := acq.Query{
+		Vertex:    qp.Get("q"),
+		K:         6,
+		Algorithm: acq.Algorithm(qp.Get("algo")),
+	}
+	if q.Vertex == "" {
+		idArg := qp.Get("id")
+		if idArg == "" {
+			return q, fmt.Errorf("missing q (label) or id (vertex ID) parameter")
+		}
+		id, err := strconv.ParseInt(idArg, 10, 32)
+		if err != nil {
+			return q, fmt.Errorf("bad id: %v", err)
+		}
+		q.VertexID = int32(id)
+	}
+	if v := qp.Get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			return q, fmt.Errorf("bad k: %v", err)
+		}
+		q.K = k
+	}
+	if s := qp.Get("s"); s != "" {
+		q.Keywords = strings.Split(s, ",")
+	}
+	if f := qp.Get("fuzz"); f != "" {
+		d, err := strconv.Atoi(f)
+		if err != nil {
+			return q, fmt.Errorf("bad fuzz: %v", err)
+		}
+		q.FuzzDistance = d
+	}
+	return q, nil
+}
+
+func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	query, err := parseQuery(qp)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Pin once: the whole request, including variant dispatch, observes one
+	// immutable graph version without taking any lock.
+	snap := e.pin()
+	start := time.Now()
+	var res acq.Result
+	switch {
+	case qp.Get("fixed") != "":
+		res, err = snap.SearchFixed(query)
+	case qp.Get("theta") != "":
+		theta, perr := strconv.ParseFloat(qp.Get("theta"), 64)
+		if perr != nil {
+			err = fmt.Errorf("bad theta: %w", perr)
+		} else {
+			res, err = snap.SearchThreshold(query, theta)
+		}
+	default:
+		res, err = snap.Search(query)
+	}
+	e.met.queries.Add(1)
+	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		e.met.queryErrors.Add(1)
+		httpError(w, queryStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// batchReq is the wire format of POST /batch. Each query addresses its
+// vertex by label ("q") or dense ID ("id", for unlabelled graphs). ID is a
+// pointer so an omitted field is distinguishable from the valid vertex 0.
+type batchReq struct {
+	Queries []struct {
+		Q    string   `json:"q"`
+		ID   *int32   `json:"id"`
+		K    int      `json:"k"`
+		S    []string `json:"s"`
+		Algo string   `json:"algo"`
+	} `json:"queries"`
+	Workers int `json:"workers"`
+}
+
+// batchItem is one entry of the POST /batch response, in input order.
+type batchItem struct {
+	Result *acq.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	// Validate addressing up front: entries with neither a label nor an ID
+	// get a per-item error instead of silently querying vertex 0.
+	items := make([]batchItem, len(req.Queries))
+	queries := make([]acq.Query, 0, len(req.Queries))
+	itemOf := make([]int, 0, len(req.Queries))
+	for i, q := range req.Queries {
+		if q.Q == "" && q.ID == nil {
+			items[i].Error = "missing q (label) or id (vertex ID)"
+			continue
+		}
+		k := q.K
+		if k == 0 {
+			k = 6
+		}
+		var vid int32
+		if q.ID != nil {
+			vid = *q.ID
+		}
+		queries = append(queries, acq.Query{Vertex: q.Q, VertexID: vid, K: k, Keywords: q.S, Algorithm: acq.Algorithm(q.Algo)})
+		itemOf = append(itemOf, i)
+	}
+	// The client may request fewer workers than the server allows, never
+	// more: the operator's BatchWorkers bound (one per CPU when unset) caps
+	// the per-request fan-out.
+	limit := e.cfg.BatchWorkers
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > limit {
+		workers = limit
+	}
+
+	snap := e.pin() // one snapshot for the whole batch
+	start := time.Now()
+	results := snap.SearchBatch(queries, workers)
+	e.met.batches.Add(1)
+	e.met.batchQueries.Add(uint64(len(queries)))
+	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
+
+	for j := range results {
+		i := itemOf[j]
+		if results[j].Err != nil {
+			items[i].Error = results[j].Err.Error()
+		} else {
+			items[i].Result = &results[j].Result
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": snap.Version(),
+		"results": items,
+	})
+}
+
+type edgeReq struct {
+	Op string `json:"op"`
+	U  string `json:"u"`
+	V  string `json:"v"`
+}
+
+func (e *Engine) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var req edgeReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	changed, err := e.applyEdge(req.Op, req.U, req.V)
+	if err != nil {
+		httpError(w, updateStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
+}
+
+type keywordReq struct {
+	Op      string `json:"op"`
+	Vertex  string `json:"vertex"`
+	Keyword string `json:"keyword"`
+}
+
+func (e *Engine) handleKeywords(w http.ResponseWriter, r *http.Request) {
+	var req keywordReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	changed, err := e.applyKeyword(req.Op, req.Vertex, req.Keyword)
+	if err != nil {
+		httpError(w, updateStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
+}
+
+// queryStatus maps a search error to its HTTP status.
+func queryStatus(err error) int {
+	if errors.Is(err, acq.ErrVertexNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// updateStatus maps a write-path error to its HTTP status.
+func updateStatus(err error) int {
+	if errors.Is(err, errUnknownVertex) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

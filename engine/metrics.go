@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// metrics holds the engine's hot-path counters. Everything is atomic: the
+// serving paths never take a lock to account for a request.
+type metrics struct {
+	queries      atomic.Uint64 // single queries served (incl. errors)
+	queryErrors  atomic.Uint64
+	batches      atomic.Uint64 // batch requests served
+	batchQueries atomic.Uint64 // queries inside batches
+	updates      atomic.Uint64 // effective or attempted graph updates
+	queryNanos   atomic.Int64  // total time inside Search*, single + batch
+}
+
+// Metrics is the exported counter snapshot returned by Engine.Metrics and
+// GET /metrics.
+type Metrics struct {
+	// Queries counts single /query requests; QueryErrors those that failed.
+	Queries     uint64 `json:"queries"`
+	QueryErrors uint64 `json:"query_errors"`
+	// Batches counts /batch requests, BatchQueries the queries inside them.
+	Batches      uint64 `json:"batches"`
+	BatchQueries uint64 `json:"batch_queries"`
+	// Updates counts applied edge/keyword updates.
+	Updates uint64 `json:"updates"`
+	// QueryNanos is the cumulative wall time spent evaluating queries.
+	QueryNanos int64 `json:"query_nanos"`
+	// SnapshotVersion is the graph version of the currently published
+	// snapshot; it increases by one per effective mutation.
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	// CacheHits/CacheMisses accumulate the per-snapshot result-cache
+	// counters across all snapshots published so far.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// Metrics returns the current serving counters. Deliberately observational:
+// it reads Graph.Version rather than pinning a snapshot, so a metrics
+// scraper on a write-heavy, read-idle server never marks snapshots consumed
+// (which would force eager copy-on-write publications no query reader uses).
+func (e *Engine) Metrics() Metrics {
+	hits, misses := e.g.ResultCacheStats()
+	return Metrics{
+		Queries:         e.met.queries.Load(),
+		QueryErrors:     e.met.queryErrors.Load(),
+		Batches:         e.met.batches.Load(),
+		BatchQueries:    e.met.batchQueries.Load(),
+		Updates:         e.met.updates.Load(),
+		QueryNanos:      e.met.queryNanos.Load(),
+		SnapshotVersion: e.g.Version(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+	}
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, e.Metrics())
+}

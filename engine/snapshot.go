@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	acq "github.com/acq-search/acq"
+)
+
+// This file is the engine's seam between the two data paths:
+//
+//   - pin, the read path: one atomic load yields the immutable snapshot a
+//     request (or a whole batch) runs against. No lock, no copy.
+//   - applyEdge/applyKeyword, the write path: label resolution plus the
+//     mutators of acq.Graph, which serialise internally, maintain the
+//     CL-tree incrementally and publish the next snapshot copy-on-write.
+
+// Errors surfaced by the write path; handlers map them to HTTP statuses.
+var (
+	errUnknownVertex = errors.New("unknown vertex")
+	errBadOp         = errors.New("bad op")
+)
+
+// pin returns the snapshot this request will run against. Calls are
+// lock-free; two pins during one request may observe different versions, so
+// handlers pin exactly once and pass the snapshot down.
+func (e *Engine) pin() *acq.Snapshot { return e.g.Snapshot() }
+
+// applyEdge applies one edge update by vertex labels. It reports whether the
+// graph changed (false for duplicate inserts / missing removals).
+func (e *Engine) applyEdge(op, uLabel, vLabel string) (bool, error) {
+	// Labels resolve against the master graph directly: the label table is
+	// immutable after build, so this is safe without a lock — and unlike
+	// pin(), it does not mark the snapshot consumed, so write-only bursts
+	// keep coalescing instead of paying a full copy per HTTP update.
+	u, ok1 := e.g.VertexID(uLabel)
+	v, ok2 := e.g.VertexID(vLabel)
+	if !ok1 || !ok2 {
+		return false, errUnknownVertex
+	}
+	var changed bool
+	switch op {
+	case "insert":
+		changed = e.g.InsertEdge(u, v)
+	case "remove":
+		changed = e.g.RemoveEdge(u, v)
+	default:
+		return false, fmt.Errorf("%w: edge op must be insert or remove, got %q", errBadOp, op)
+	}
+	e.met.updates.Add(1)
+	return changed, nil
+}
+
+// applyKeyword applies one keyword update by vertex label; label resolution
+// follows the same non-consuming rule as applyEdge.
+func (e *Engine) applyKeyword(op, vertexLabel, keyword string) (bool, error) {
+	v, ok := e.g.VertexID(vertexLabel)
+	if !ok {
+		return false, errUnknownVertex
+	}
+	var changed bool
+	switch op {
+	case "add":
+		changed = e.g.AddKeyword(v, keyword)
+	case "remove":
+		changed = e.g.RemoveKeyword(v, keyword)
+	default:
+		return false, fmt.Errorf("%w: keyword op must be add or remove, got %q", errBadOp, op)
+	}
+	e.met.updates.Add(1)
+	return changed, nil
+}

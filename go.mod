@@ -1,0 +1,3 @@
+module github.com/acq-search/acq
+
+go 1.24

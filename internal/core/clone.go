@@ -1,0 +1,51 @@
+package core
+
+import "github.com/acq-search/acq/internal/graph"
+
+// Clone returns a deep copy of t bound to g2. g2 must describe the same
+// vertices and attributes as t's own graph — in practice it is always
+// graph.Clone() of the graph t was built on, taken at the same instant.
+//
+// The copy shares no mutable state with t: node sets, inverted lists, core
+// numbers and lookup tables are all duplicated. It is the building block of
+// the snapshot-isolation scheme in the public acq package: the live tree
+// keeps evolving under the incremental Maintainer while published clones
+// serve lock-free readers.
+func (t *Tree) Clone(g2 *graph.Graph) *Tree {
+	nt := &Tree{
+		g:         g2,
+		Core:      append([]int32(nil), t.Core...),
+		KMax:      t.KMax,
+		NodeOf:    make([]*Node, len(t.NodeOf)),
+		nodeCount: t.nodeCount,
+	}
+	nt.Root = nt.cloneNode(t.Root, nil)
+	return nt
+}
+
+// cloneNode deep-copies one node and its subtree, wiring parent pointers and
+// the new tree's NodeOf entries as it goes. Recursion depth is the tree
+// height, which is bounded by kmax+1.
+func (t *Tree) cloneNode(n *Node, parent *Node) *Node {
+	c := &Node{
+		Core:     n.Core,
+		Vertices: append([]graph.VertexID(nil), n.Vertices...),
+		Parent:   parent,
+	}
+	if n.Inverted != nil {
+		c.Inverted = make(map[graph.KeywordID][]graph.VertexID, len(n.Inverted))
+		for w, list := range n.Inverted {
+			c.Inverted[w] = append([]graph.VertexID(nil), list...)
+		}
+	}
+	for _, v := range c.Vertices {
+		t.NodeOf[v] = c
+	}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = t.cloneNode(ch, c)
+		}
+	}
+	return c
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+// TestCloneIsDeep verifies that a cloned tree validates against the cloned
+// graph and that no mutable state is shared: mutating the original through
+// its maintainer must leave the clone byte-for-byte intact.
+func TestCloneIsDeep(t *testing.T) {
+	g := testutil.Fig5Graph()
+	tr := BuildAdvanced(g)
+	m := NewMaintainer(tr)
+
+	g2 := g.Clone()
+	cl := tr.Clone(g2)
+	if cl.Graph() != g2 {
+		t.Fatal("clone not bound to the cloned graph")
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatalf("fresh clone invalid: %v", err)
+	}
+	if cl.NumNodes() != tr.NumNodes() || cl.Height() != tr.Height() || cl.KMax != tr.KMax {
+		t.Fatalf("clone shape differs: nodes %d/%d height %d/%d kmax %d/%d",
+			cl.NumNodes(), tr.NumNodes(), cl.Height(), tr.Height(), cl.KMax, tr.KMax)
+	}
+
+	// Hammer the original with random maintenance; the clone must not move.
+	rng := rand.New(rand.NewSource(7))
+	n := g.NumVertices()
+	for i := 0; i < 50; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			m.InsertEdge(u, v)
+		} else {
+			m.RemoveEdge(u, v)
+		}
+		m.AddKeyword(u, "cloneprobe")
+		m.RemoveKeyword(u, "cloneprobe")
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatalf("clone corrupted by mutations to the original: %v", err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("cloned graph corrupted: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("original invalid after maintenance: %v", err)
+	}
+}
+
+// TestCloneQueriesMatch runs the same query on original and clone and expects
+// identical communities.
+func TestCloneQueriesMatch(t *testing.T) {
+	g := testutil.Fig3Graph()
+	tr := BuildAdvanced(g)
+	cl := tr.Clone(g.Clone())
+
+	q, _ := g.VertexByLabel("A")
+	want, err := Dec(tr, q, 2, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Dec(cl, q, 2, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Communities) != len(want.Communities) || got.LabelSize != want.LabelSize {
+		t.Fatalf("clone query differs: got %+v want %+v", got, want)
+	}
+	for i := range want.Communities {
+		if len(got.Communities[i].Vertices) != len(want.Communities[i].Vertices) {
+			t.Fatalf("community %d size differs", i)
+		}
+	}
+}

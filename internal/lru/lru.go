@@ -1,0 +1,162 @@
+// Package lru provides a small, concurrency-safe, bounded LRU cache. It backs
+// the per-snapshot query-result cache of the public acq package: each
+// published index snapshot carries one cache, so cached results can never
+// outlive the graph version they were computed on.
+package lru
+
+import "sync"
+
+// Cache is a bounded least-recently-used cache safe for concurrent use.
+// The zero value is not usable; call New.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[K]*entry[K, V]
+	// Intrusive doubly-linked list, head = most recently used. Sentinel-free:
+	// head/tail are nil when empty.
+	head, tail *entry[K, V]
+}
+
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// New returns an empty cache evicting beyond capacity entries. Capacity must
+// be positive.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		panic("lru: capacity must be positive")
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		items:    make(map[K]*entry[K, V], capacity),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put stores value under key, evicting the least recently used entry when the
+// cache is full.
+func (c *Cache[K, V]) Put(key K, value V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.val = value
+		c.moveToFront(e)
+		return
+	}
+	if len(c.items) >= c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+	}
+	e := &entry[K, V]{key: key, val: value}
+	c.items[key] = e
+	c.pushFront(e)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// numShards is the shard count of ShardedCache — a fixed power of two, large
+// enough that parallel readers rarely collide on one shard's mutex.
+const numShards = 16
+
+// ShardedCache is a string-keyed LRU split across fixed shards so that
+// parallel readers contend on per-shard mutexes instead of one global lock.
+// Recency is tracked per shard; total capacity is divided evenly, so
+// eviction is approximate LRU (exact within each shard).
+type ShardedCache[V any] struct {
+	shards [numShards]*Cache[string, V]
+}
+
+// NewSharded returns an empty sharded cache bounding roughly capacity
+// entries in total. Capacity must be positive.
+func NewSharded[V any](capacity int) *ShardedCache[V] {
+	if capacity <= 0 {
+		panic("lru: capacity must be positive")
+	}
+	per := (capacity + numShards - 1) / numShards
+	c := &ShardedCache[V]{}
+	for i := range c.shards {
+		c.shards[i] = New[string, V](per)
+	}
+	return c
+}
+
+// shard maps a key to its shard by FNV-1a hash.
+func (c *ShardedCache[V]) shard(key string) *Cache[string, V] {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%numShards]
+}
+
+// Get returns the cached value for key, marking it most recently used in
+// its shard.
+func (c *ShardedCache[V]) Get(key string) (V, bool) { return c.shard(key).Get(key) }
+
+// Put stores value under key, evicting within the key's shard when full.
+func (c *ShardedCache[V]) Put(key string, value V) { c.shard(key).Put(key, value) }
+
+// Len returns the total number of cached entries.
+func (c *ShardedCache[V]) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.Len()
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // a becomes MRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // evicts b, the LRU
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestPutUpdatesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 9 {
+		t.Fatalf("a = %d", v)
+	}
+}
+
+func TestSingleCapacity(t *testing.T) {
+	c := New[int, int](1)
+	for i := 0; i < 10; i++ {
+		c.Put(i, i)
+		if v, ok := c.Get(i); !ok || v != i {
+			t.Fatalf("get %d = %d, %v", i, v, ok)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int, int](0)
+}
+
+func TestShardedBasics(t *testing.T) {
+	c := NewSharded[int](64)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() > 64+16 { // per-shard rounding can exceed capacity slightly
+		t.Fatalf("len = %d, want ≤ 80", c.Len())
+	}
+	c.Put("stable", 7)
+	if v, ok := c.Get("stable"); !ok || v != 7 {
+		t.Fatalf("stable = %d, %v", v, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSharded(0) did not panic")
+		}
+	}()
+	NewSharded[int](0)
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	c := NewSharded[int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*13+i)%96)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrent exercises the cache from many goroutines; run with -race.
+func TestConcurrent(t *testing.T) {
+	c := New[string, int](32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%64)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/acq-search/acq/internal/core"
 	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/kcore"
 )
 
 // Algorithm selects an ACQ evaluation strategy.
@@ -73,11 +74,62 @@ type Result struct {
 	Fallback bool
 }
 
+// view is the read-only pairing of a graph with its (possibly nil) CL-tree
+// that every search algorithm runs against. Both Graph (the live, mutable
+// master copy) and Snapshot (an immutable published copy) evaluate queries
+// through a view, so the two paths cannot drift apart.
+type view struct {
+	g    *graph.Graph
+	tree *core.Tree
+}
+
+// view captures the master graph and index. The returned view aliases live
+// state: it is only safe to query while no mutator runs concurrently. Use
+// Snapshot for lock-free reads under concurrent updates.
+func (G *Graph) view() view { return view{g: G.g, tree: G.tree} }
+
 // Search answers an ACQ (the paper's Problem 1): among the connected
 // subgraphs containing q with minimum internal degree ≥ k, return those
 // sharing the largest subset of S.
-func (G *Graph) Search(q Query) (Result, error) {
-	qv, s, err := G.resolve(q)
+//
+// Search reads the live graph without synchronisation; it is safe for any
+// number of concurrent callers, but not concurrently with mutators. For
+// serving reads during updates, use Snapshot().Search.
+func (G *Graph) Search(q Query) (Result, error) { return G.view().search(q) }
+
+// SearchFixed answers Variant 1 (Appendix G): every member must contain the
+// whole keyword set. An empty Communities list (with nil error) means no
+// such community exists.
+func (G *Graph) SearchFixed(q Query) (Result, error) { return G.view().searchFixed(q) }
+
+// SearchThreshold answers Variant 2 (Appendix G): every member must contain
+// at least ⌈θ·|S|⌉ of the keywords, θ ∈ (0, 1].
+func (G *Graph) SearchThreshold(q Query, theta float64) (Result, error) {
+	return G.view().searchThreshold(q, theta)
+}
+
+// SearchClique answers the ACQ under k-clique percolation cohesiveness
+// (conclusion extension): communities are unions of overlapping cliques of
+// size ≥ k reachable from q sharing a maximal keyword subset. Requires an
+// index; k ≥ 2.
+func (G *Graph) SearchClique(q Query) (Result, error) { return G.view().searchClique(q) }
+
+// SearchSimilar returns the connected community of q (minimum degree ≥ k)
+// whose members' keyword sets all have Jaccard similarity ≥ tau to S
+// (default W(q)) — the Jaccard keyword cohesiveness the paper's conclusion
+// proposes. Requires an index unless Algorithm is AlgoBasicG.
+func (G *Graph) SearchSimilar(q Query, tau float64) (Result, error) {
+	return G.view().searchSimilar(q, tau)
+}
+
+// SearchTruss answers the ACQ under k-truss structure cohesiveness (the
+// extension the paper's conclusion calls for): every community edge must
+// close at least k−2 triangles inside the community, a strictly stronger
+// requirement than minimum degree. Requires an index; k ≥ 2.
+func (G *Graph) SearchTruss(q Query) (Result, error) { return G.view().searchTruss(q) }
+
+func (v view) search(q Query) (Result, error) {
+	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -87,20 +139,20 @@ func (G *Graph) Search(q Query) (Result, error) {
 	var res core.Result
 	switch q.Algorithm {
 	case AlgoBasicG:
-		res, err = core.BasicG(G.g, qv, q.K, s, opt)
+		res, err = core.BasicG(v.g, qv, q.K, s, opt)
 	case AlgoBasicW:
-		res, err = core.BasicW(G.g, qv, q.K, s, opt)
+		res, err = core.BasicW(v.g, qv, q.K, s, opt)
 	case AlgoIncS, AlgoIncT, AlgoDec, "":
-		if G.tree == nil {
+		if v.tree == nil {
 			return Result{}, ErrNoIndex
 		}
 		switch q.Algorithm {
 		case AlgoIncS:
-			res, err = core.IncS(G.tree, qv, q.K, s, opt)
+			res, err = core.IncS(v.tree, qv, q.K, s, opt)
 		case AlgoIncT:
-			res, err = core.IncT(G.tree, qv, q.K, s, opt)
+			res, err = core.IncT(v.tree, qv, q.K, s, opt)
 		default:
-			res, err = core.Dec(G.tree, qv, q.K, s, opt)
+			res, err = core.Dec(v.tree, qv, q.K, s, opt)
 		}
 	default:
 		return Result{}, fmt.Errorf("acq: unknown algorithm %q", q.Algorithm)
@@ -108,134 +160,117 @@ func (G *Graph) Search(q Query) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return G.render(res), nil
+	return v.render(res), nil
 }
 
-// SearchFixed answers Variant 1 (Appendix G): every member must contain the
-// whole keyword set. An empty Communities list (with nil error) means no
-// such community exists.
-func (G *Graph) SearchFixed(q Query) (Result, error) {
-	qv, s, err := G.resolve(q)
+func (v view) searchFixed(q Query) (Result, error) {
+	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
 	var res core.Result
 	switch q.Algorithm {
 	case AlgoBasicG:
-		res, err = core.BasicGV1(G.g, qv, q.K, s)
+		res, err = core.BasicGV1(v.g, qv, q.K, s)
 	case AlgoBasicW:
-		res, err = core.BasicWV1(G.g, qv, q.K, s)
+		res, err = core.BasicWV1(v.g, qv, q.K, s)
 	default:
-		if G.tree == nil {
+		if v.tree == nil {
 			return Result{}, ErrNoIndex
 		}
-		res, err = core.SW(G.tree, qv, q.K, s)
+		res, err = core.SW(v.tree, qv, q.K, s)
 	}
 	if err != nil {
 		return Result{}, err
 	}
-	return G.render(res), nil
+	return v.render(res), nil
 }
 
-// SearchThreshold answers Variant 2 (Appendix G): every member must contain
-// at least ⌈θ·|S|⌉ of the keywords, θ ∈ (0, 1].
-func (G *Graph) SearchThreshold(q Query, theta float64) (Result, error) {
-	qv, s, err := G.resolve(q)
+func (v view) searchThreshold(q Query, theta float64) (Result, error) {
+	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
 	var res core.Result
 	switch q.Algorithm {
 	case AlgoBasicG:
-		res, err = core.BasicGV2(G.g, qv, q.K, s, theta)
+		res, err = core.BasicGV2(v.g, qv, q.K, s, theta)
 	case AlgoBasicW:
-		res, err = core.BasicWV2(G.g, qv, q.K, s, theta)
+		res, err = core.BasicWV2(v.g, qv, q.K, s, theta)
 	default:
-		if G.tree == nil {
+		if v.tree == nil {
 			return Result{}, ErrNoIndex
 		}
-		res, err = core.SWT(G.tree, qv, q.K, s, theta)
+		res, err = core.SWT(v.tree, qv, q.K, s, theta)
 	}
 	if err != nil {
 		return Result{}, err
 	}
-	return G.render(res), nil
+	return v.render(res), nil
 }
 
-// SearchClique answers the ACQ under k-clique percolation cohesiveness
-// (conclusion extension): communities are unions of overlapping cliques of
-// size ≥ k reachable from q sharing a maximal keyword subset. Requires an
-// index; k ≥ 2.
-func (G *Graph) SearchClique(q Query) (Result, error) {
-	qv, s, err := G.resolve(q)
+func (v view) searchClique(q Query) (Result, error) {
+	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
-	if G.tree == nil {
+	if v.tree == nil {
 		return Result{}, ErrNoIndex
 	}
-	res, err := core.CliqueSearch(G.tree, qv, q.K, s)
+	res, err := core.CliqueSearch(v.tree, qv, q.K, s)
 	if err != nil {
 		return Result{}, err
 	}
-	return G.render(res), nil
+	return v.render(res), nil
 }
 
-// SearchSimilar returns the connected community of q (minimum degree ≥ k)
-// whose members' keyword sets all have Jaccard similarity ≥ tau to S
-// (default W(q)) — the Jaccard keyword cohesiveness the paper's conclusion
-// proposes. Requires an index unless Algorithm is AlgoBasicG.
-func (G *Graph) SearchSimilar(q Query, tau float64) (Result, error) {
-	qv, s, err := G.resolve(q)
+func (v view) searchSimilar(q Query, tau float64) (Result, error) {
+	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
 	var res core.Result
 	if q.Algorithm == AlgoBasicG {
-		res, err = core.BasicGJ(G.g, qv, q.K, s, tau)
+		res, err = core.BasicGJ(v.g, qv, q.K, s, tau)
 	} else {
-		if G.tree == nil {
+		if v.tree == nil {
 			return Result{}, ErrNoIndex
 		}
-		res, err = core.SJ(G.tree, qv, q.K, s, tau)
+		res, err = core.SJ(v.tree, qv, q.K, s, tau)
 	}
 	if err != nil {
 		return Result{}, err
 	}
-	return G.render(res), nil
+	return v.render(res), nil
 }
 
-// SearchTruss answers the ACQ under k-truss structure cohesiveness (the
-// extension the paper's conclusion calls for): every community edge must
-// close at least k−2 triangles inside the community, a strictly stronger
-// requirement than minimum degree. Requires an index; k ≥ 2.
-func (G *Graph) SearchTruss(q Query) (Result, error) {
-	qv, s, err := G.resolve(q)
+func (v view) searchTruss(q Query) (Result, error) {
+	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
-	if G.tree == nil {
+	if v.tree == nil {
 		return Result{}, ErrNoIndex
 	}
-	res, err := core.TrussSearchD(G.tree, qv, q.K, q.MaxHops, s)
+	res, err := core.TrussSearchD(v.tree, qv, q.K, q.MaxHops, s)
 	if err != nil {
 		return Result{}, err
 	}
-	return G.render(res), nil
+	return v.render(res), nil
 }
 
 // resolve maps the public query to internal identifiers. Keywords unknown to
 // the dictionary cannot appear in any community and are dropped.
-func (G *Graph) resolve(q Query) (graph.VertexID, []graph.KeywordID, error) {
+func (v view) resolve(q Query) (graph.VertexID, []graph.KeywordID, error) {
 	var qv graph.VertexID
 	if q.Vertex != "" {
-		v, ok := G.g.VertexByLabel(q.Vertex)
+		vid, ok := v.g.VertexByLabel(q.Vertex)
 		if !ok {
 			return 0, nil, fmt.Errorf("%w: label %q", ErrVertexNotFound, q.Vertex)
 		}
-		qv = v
+		qv = vid
 	} else {
-		if int(q.VertexID) < 0 || int(q.VertexID) >= G.g.NumVertices() {
+		if int(q.VertexID) < 0 || int(q.VertexID) >= v.g.NumVertices() {
 			return 0, nil, fmt.Errorf("%w: id %d", ErrVertexNotFound, q.VertexID)
 		}
 		qv = graph.VertexID(q.VertexID)
@@ -243,9 +278,9 @@ func (G *Graph) resolve(q Query) (graph.VertexID, []graph.KeywordID, error) {
 	var s []graph.KeywordID
 	if len(q.Keywords) > 0 {
 		if q.FuzzDistance > 0 {
-			s = core.ExpandByEditDistance(G.g.Dict(), q.Keywords, q.FuzzDistance)
+			s = core.ExpandByEditDistance(v.g.Dict(), q.Keywords, q.FuzzDistance)
 		} else {
-			s, _ = G.g.Dict().LookupAll(q.Keywords)
+			s, _ = v.g.Dict().LookupAll(q.Keywords)
 		}
 		if len(s) == 0 {
 			// All requested keywords are unknown: keep a non-nil empty set so
@@ -257,7 +292,7 @@ func (G *Graph) resolve(q Query) (graph.VertexID, []graph.KeywordID, error) {
 	return qv, s, nil
 }
 
-func (G *Graph) render(res core.Result) Result {
+func (v view) render(res core.Result) Result {
 	out := Result{LabelSize: res.LabelSize, Fallback: res.Fallback}
 	for _, c := range res.Communities {
 		comm := Community{
@@ -266,17 +301,47 @@ func (G *Graph) render(res core.Result) Result {
 			MemberIDs: make([]int32, 0, len(c.Vertices)),
 		}
 		for _, w := range c.Label {
-			comm.Label = append(comm.Label, G.g.Dict().Word(w))
+			comm.Label = append(comm.Label, v.g.Dict().Word(w))
 		}
-		for _, v := range c.Vertices {
-			name := G.g.Label(v)
+		for _, vid := range c.Vertices {
+			name := v.g.Label(vid)
 			if name == "" {
-				name = fmt.Sprintf("#%d", v)
+				name = fmt.Sprintf("#%d", vid)
 			}
 			comm.Members = append(comm.Members, name)
-			comm.MemberIDs = append(comm.MemberIDs, int32(v))
+			comm.MemberIDs = append(comm.MemberIDs, int32(vid))
 		}
 		out.Communities = append(out.Communities, comm)
 	}
 	return out
+}
+
+// stats computes summary statistics for the view's graph and index.
+func (v view) stats() Stats {
+	s := Stats{
+		Vertices:    v.g.NumVertices(),
+		Edges:       v.g.NumEdges(),
+		AvgDegree:   v.g.AvgDegree(),
+		AvgKeywords: v.g.AvgKeywords(),
+		Keywords:    v.g.Dict().Size(),
+	}
+	if v.tree != nil {
+		s.KMax = int(v.tree.KMax)
+		s.IndexNodes = v.tree.NumNodes()
+		s.IndexHeight = v.tree.Height()
+	} else {
+		s.KMax = int(kcore.MaxCore(kcore.Decompose(v.g)))
+	}
+	return s
+}
+
+// coreNumber returns the core number of a vertex (requires an index).
+func (v view) coreNumber(vid int32) (int, error) {
+	if v.tree == nil {
+		return 0, ErrNoIndex
+	}
+	if int(vid) < 0 || int(vid) >= v.g.NumVertices() {
+		return 0, fmt.Errorf("%w: id %d", ErrVertexNotFound, vid)
+	}
+	return int(v.tree.Core[vid]), nil
 }

@@ -1,0 +1,240 @@
+package acq
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"github.com/acq-search/acq/internal/dataio"
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/lru"
+)
+
+// DefaultResultCacheSize is the per-snapshot query-result cache capacity used
+// when Graph.SetResultCacheSize has not been called.
+const DefaultResultCacheSize = 256
+
+// cacheStats accumulates snapshot-cache hits and misses across every
+// snapshot a graph publishes (each snapshot has its own cache, but the
+// counters are shared so serving metrics survive republication).
+type cacheStats struct {
+	hits, misses atomic.Uint64
+}
+
+// Snapshot is an immutable, point-in-time view of a Graph and its CL-tree.
+//
+// A snapshot is obtained from Graph.Snapshot with a single atomic pointer
+// load and never changes afterwards: all its query methods are lock-free and
+// safe for unlimited concurrent callers, even while the originating Graph is
+// being mutated. A reader holding a snapshot observes one consistent graph
+// version for as long as it keeps the reference; updates become visible only
+// by acquiring a newer snapshot.
+//
+// Successful query results are memoised in a bounded per-snapshot LRU cache
+// keyed by the normalised query, so repeated hot queries against the same
+// graph version cost one cache probe. The cache is dropped wholesale with
+// the snapshot, which makes stale results structurally impossible. The cache
+// is the one serving structure with internal (sharded, per-probe) locking;
+// disable it with Graph.SetResultCacheSize(-1) for a strictly lock-free read
+// path. Results are deep-copied at the cache boundary, so callers own every
+// Result they receive and may mutate it freely.
+type Snapshot struct {
+	v       view
+	version uint64
+	cache   *lru.ShardedCache[Result]
+	stats   *cacheStats
+}
+
+// newSnapshot assembles a snapshot around an already-cloned view. cacheSize
+// follows the SetResultCacheSize convention: 0 means the default capacity,
+// negative disables result caching.
+func newSnapshot(v view, version uint64, cacheSize int, stats *cacheStats) *Snapshot {
+	s := &Snapshot{v: v, version: version, stats: stats}
+	if cacheSize == 0 {
+		cacheSize = DefaultResultCacheSize
+	}
+	if cacheSize > 0 {
+		s.cache = lru.NewSharded[Result](cacheSize)
+	}
+	return s
+}
+
+// Version identifies the graph version this snapshot was published at: the
+// value of Graph.Version at publication time.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Search answers an ACQ against the snapshot; see Graph.Search.
+func (s *Snapshot) Search(q Query) (Result, error) {
+	return s.cached('s', q, 0, s.v.search)
+}
+
+// SearchFixed answers Variant 1 against the snapshot; see Graph.SearchFixed.
+func (s *Snapshot) SearchFixed(q Query) (Result, error) {
+	return s.cached('f', q, 0, s.v.searchFixed)
+}
+
+// SearchThreshold answers Variant 2 against the snapshot; see
+// Graph.SearchThreshold.
+func (s *Snapshot) SearchThreshold(q Query, theta float64) (Result, error) {
+	return s.cached('t', q, theta, func(q Query) (Result, error) {
+		return s.v.searchThreshold(q, theta)
+	})
+}
+
+// SearchClique answers the clique-percolation variant against the snapshot;
+// see Graph.SearchClique.
+func (s *Snapshot) SearchClique(q Query) (Result, error) {
+	return s.cached('c', q, 0, s.v.searchClique)
+}
+
+// SearchSimilar answers the Jaccard-similarity variant against the snapshot;
+// see Graph.SearchSimilar.
+func (s *Snapshot) SearchSimilar(q Query, tau float64) (Result, error) {
+	return s.cached('j', q, tau, func(q Query) (Result, error) {
+		return s.v.searchSimilar(q, tau)
+	})
+}
+
+// SearchTruss answers the k-truss variant against the snapshot; see
+// Graph.SearchTruss.
+func (s *Snapshot) SearchTruss(q Query) (Result, error) {
+	return s.cached('r', q, 0, s.v.searchTruss)
+}
+
+// Stats computes summary statistics of the snapshot.
+func (s *Snapshot) Stats() Stats { return s.v.stats() }
+
+// HasIndex reports whether the snapshot carries a CL-tree.
+func (s *Snapshot) HasIndex() bool { return s.v.tree != nil }
+
+// NumVertices returns |V|.
+func (s *Snapshot) NumVertices() int { return s.v.g.NumVertices() }
+
+// NumEdges returns |E|.
+func (s *Snapshot) NumEdges() int { return s.v.g.NumEdges() }
+
+// VertexID resolves a label.
+func (s *Snapshot) VertexID(label string) (int32, bool) {
+	v, ok := s.v.g.VertexByLabel(label)
+	return int32(v), ok
+}
+
+// Label returns the label of a vertex ID ("" if unlabelled).
+func (s *Snapshot) Label(v int32) string { return s.v.g.Label(graph.VertexID(v)) }
+
+// Keywords returns the keyword strings of a vertex.
+func (s *Snapshot) Keywords(v int32) []string {
+	return s.v.g.KeywordStrings(graph.VertexID(v))
+}
+
+// CoreNumber returns the core number of a vertex (requires an index).
+func (s *Snapshot) CoreNumber(v int32) (int, error) { return s.v.coreNumber(v) }
+
+// Save writes the snapshot's graph in the text interchange format — unlike
+// Graph.Save, this is safe while the originating graph is being mutated.
+func (s *Snapshot) Save(w io.Writer) error { return dataio.WriteText(w, s.v.g) }
+
+// SaveSnapshot writes the snapshot's graph and index as a binary snapshot
+// file, again safe under concurrent mutation of the originating graph.
+func (s *Snapshot) SaveSnapshot(w io.Writer) error {
+	return dataio.WriteSnapshot(w, s.v.g, s.v.tree)
+}
+
+// cached memoises successful results of run in the snapshot's LRU cache.
+// Errors are never cached: they are cheap to recompute and callers expect
+// errors.Is to keep working on fresh wrap chains.
+//
+// Results are deep-copied at the cache boundary — a clone is stored on miss
+// and a clone is returned on hit — so every caller fully owns what it gets
+// back (sorting or truncating a returned Result never corrupts the cache,
+// and identical queries racing in one batch never share slices). A hit
+// therefore costs one probe plus a copy proportional to the result size,
+// still far below recomputing the search.
+func (s *Snapshot) cached(kind byte, q Query, param float64, run func(Query) (Result, error)) (Result, error) {
+	if s.cache == nil {
+		return run(q)
+	}
+	key := cacheKey(kind, q, param)
+	if res, ok := s.cache.Get(key); ok {
+		s.stats.hits.Add(1)
+		return res.clone(), nil
+	}
+	s.stats.misses.Add(1)
+	res, err := run(q)
+	if err != nil {
+		return res, err
+	}
+	s.cache.Put(key, res.clone())
+	return res, nil
+}
+
+// clone deep-copies a Result so cache-resident values are never aliased by
+// callers.
+func (r Result) clone() Result {
+	out := Result{LabelSize: r.LabelSize, Fallback: r.Fallback}
+	if r.Communities != nil {
+		out.Communities = make([]Community, len(r.Communities))
+		for i, c := range r.Communities {
+			out.Communities[i] = Community{
+				Label:     append([]string(nil), c.Label...),
+				Members:   append([]string(nil), c.Members...),
+				MemberIDs: append([]int32(nil), c.MemberIDs...),
+			}
+		}
+	}
+	return out
+}
+
+// cacheKey normalises a query into a deterministic string: equivalent
+// queries (same vertex, k, algorithm, flags and keyword multiset, in any
+// order) map to the same key. Labels and keywords are quoted so arbitrary
+// user strings cannot collide across field boundaries.
+func cacheKey(kind byte, q Query, param float64) string {
+	var b strings.Builder
+	b.WriteByte(kind)
+	b.WriteByte('|')
+	if q.Vertex != "" {
+		b.WriteString(strconv.Quote(q.Vertex))
+	} else {
+		b.WriteByte('#')
+		b.WriteString(strconv.Itoa(int(q.VertexID)))
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.K))
+	b.WriteByte('|')
+	algo := q.Algorithm
+	if algo == "" {
+		algo = AlgoDec
+	}
+	b.WriteString(string(algo))
+	b.WriteByte('|')
+	if q.DisableInvertedLists {
+		b.WriteByte('I')
+	}
+	if q.FuzzDistance > 0 {
+		b.WriteByte('z')
+		b.WriteString(strconv.Itoa(q.FuzzDistance))
+	}
+	if q.MaxHops > 0 {
+		b.WriteByte('h')
+		b.WriteString(strconv.Itoa(q.MaxHops))
+	}
+	b.WriteByte('|')
+	if len(q.Keywords) > 0 {
+		kws := append([]string(nil), q.Keywords...)
+		sort.Strings(kws)
+		for i, w := range kws {
+			if i > 0 && kws[i-1] == w {
+				continue // deduplicate
+			}
+			b.WriteString(strconv.Quote(w))
+		}
+	}
+	if param != 0 {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(param, 'g', -1, 64))
+	}
+	return b.String()
+}
