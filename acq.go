@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/acq-search/acq/internal/core"
 	"github.com/acq-search/acq/internal/datagen"
@@ -66,6 +67,14 @@ type Graph struct {
 	snapRead  atomic.Bool // current snapshot handed to a reader since publish?
 	cacheSize int
 	stats     *cacheStats
+
+	// buildWorkers is the default parallel fan-out for index builds and
+	// copy-on-write snapshot publication (0 = auto, 1 = serial); guarded by
+	// mu. The last-build telemetry is atomic so metrics scrapers can read it
+	// without taking the mutator lock.
+	buildWorkers     int
+	lastBuildNanos   atomic.Int64
+	lastBuildWorkers atomic.Int32
 }
 
 // newGraph wraps an internal graph (and optional prebuilt tree) in the
@@ -166,21 +175,70 @@ const (
 	IndexBasic
 )
 
-// BuildIndex constructs the CL-tree with the advanced method.
-func (G *Graph) BuildIndex() { G.BuildIndexWith(IndexAdvanced) }
+// BuildOptions configures BuildIndexOpts.
+type BuildOptions struct {
+	// Method selects the construction algorithm (default IndexAdvanced).
+	Method IndexMethod
+	// Workers bounds the parallel fan-out of the advanced build's
+	// parallelisable phases: 0 uses the graph's default (SetBuildWorkers,
+	// itself defaulting to auto = one worker per CPU on large graphs),
+	// 1 forces the serial path, negative values force auto. The built tree
+	// is identical for every worker count. IndexBasic is always serial.
+	Workers int
+}
+
+// BuildIndex constructs the CL-tree with the advanced method and the graph's
+// default worker setting.
+func (G *Graph) BuildIndex() { G.BuildIndexOpts(BuildOptions{}) }
 
 // BuildIndexWith constructs the CL-tree with the chosen method, replacing
 // any existing index.
-func (G *Graph) BuildIndexWith(m IndexMethod) {
+func (G *Graph) BuildIndexWith(m IndexMethod) { G.BuildIndexOpts(BuildOptions{Method: m}) }
+
+// BuildIndexOpts constructs the CL-tree, replacing any existing index, and
+// records build telemetry readable via IndexBuildStats.
+func (G *Graph) BuildIndexOpts(o BuildOptions) {
 	G.mu.Lock()
 	defer G.mu.Unlock()
-	if m == IndexBasic {
-		G.tree = core.BuildBasic(G.g)
-	} else {
-		G.tree = core.BuildAdvanced(G.g)
+	workers := o.Workers
+	if workers == 0 {
+		workers = G.buildWorkers
 	}
+	if workers < 0 {
+		workers = 0 // auto: one per CPU above the size threshold
+	}
+	start := time.Now()
+	if o.Method == IndexBasic {
+		G.tree = core.BuildBasic(G.g)
+		G.lastBuildWorkers.Store(1)
+	} else {
+		opts := core.BuildOptions{Workers: workers}
+		G.tree = core.BuildAdvancedOpts(G.g, opts)
+		G.lastBuildWorkers.Store(int32(opts.ResolvedWorkers(G.g)))
+	}
+	G.lastBuildNanos.Store(time.Since(start).Nanoseconds())
 	G.maint = core.NewMaintainer(G.tree)
 	G.mutatedLocked()
+}
+
+// SetBuildWorkers sets the default parallel fan-out used by BuildIndex and by
+// copy-on-write snapshot publication: 0 (the initial value) sizes the pool
+// automatically — one worker per CPU, serial below the size threshold — and
+// 1 forces the serial path everywhere.
+func (G *Graph) SetBuildWorkers(n int) {
+	G.mu.Lock()
+	defer G.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	G.buildWorkers = n
+}
+
+// IndexBuildStats reports the wall-clock duration of the most recent index
+// build and the resolved worker count it used (zero values before any build).
+// Lock-free: safe to poll from a metrics scraper while writers publish.
+func (G *Graph) IndexBuildStats() (d time.Duration, workers int) {
+	return time.Duration(G.lastBuildNanos.Load()), int(G.lastBuildWorkers.Load())
 }
 
 // HasIndex reports whether a CL-tree is available.
@@ -313,12 +371,16 @@ func (G *Graph) mutatedLocked() {
 }
 
 // publishLocked deep-copies the master graph and tree into a fresh immutable
-// snapshot and publishes it with an atomic store. Callers hold G.mu.
+// snapshot and publishes it with an atomic store. Callers hold G.mu. The
+// copies fan out over the graph's build-worker setting, so a mutator
+// republishing a large index under copy-on-write stalls for as little as the
+// hardware allows instead of paying the whole O(n+m) copy on one core.
 func (G *Graph) publishLocked() *Snapshot {
-	g2 := G.g.Clone()
+	workers := core.BuildOptions{Workers: G.buildWorkers}.ResolvedWorkers(G.g)
+	g2 := G.g.CloneWorkers(workers)
 	var t2 *core.Tree
 	if G.tree != nil {
-		t2 = G.tree.Clone(g2)
+		t2 = G.tree.CloneOpts(g2, core.BuildOptions{Workers: workers})
 	}
 	s := newSnapshot(view{g: g2, tree: t2}, G.version.Load(), G.cacheSize, G.stats)
 	G.snap.Store(s)

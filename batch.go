@@ -1,8 +1,7 @@
 package acq
 
 import (
-	"runtime"
-	"sync"
+	"github.com/acq-search/acq/internal/para"
 )
 
 // BatchResult pairs one query of a batch with its outcome.
@@ -38,34 +37,15 @@ func (G *Graph) SearchBatch(queries []Query, workers int) []BatchResult {
 
 // SearchBatch evaluates many queries concurrently against this snapshot and
 // returns the results in input order; see Graph.SearchBatch. A zero-query
-// batch returns immediately without spawning any workers.
+// batch returns immediately without spawning any workers. The fan-out runs on
+// the same bounded-pool primitive as the parallel index build (internal/para):
+// queries are handed to workers one at a time, so one expensive query cannot
+// strand the rest of the batch behind a single worker.
 func (s *Snapshot) SearchBatch(queries []Query, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
-	if len(queries) == 0 {
-		return out
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				res, err := s.Search(queries[i])
-				out[i] = BatchResult{Query: queries[i], Result: res, Err: err}
-			}
-		}()
-	}
-	for i := range queries {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	para.Dynamic(workers, len(queries), func(i int) {
+		res, err := s.Search(queries[i])
+		out[i] = BatchResult{Query: queries[i], Result: res, Err: err}
+	})
 	return out
 }

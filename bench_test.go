@@ -11,6 +11,7 @@
 package acq_test
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -298,6 +299,23 @@ func BenchmarkOpBuildBasic(b *testing.B) {
 			core.BuildBasic(ds.G)
 		}
 	})
+}
+
+// BenchmarkOpBuildParallel sweeps the parallel index pipeline's worker counts
+// (1 = the serial path BuildAdvanced uses). Compare ns/op across sub-runs to
+// read the speedup; the differential tests guarantee the output is identical.
+func BenchmarkOpBuildParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			perDataset(b, func(b *testing.B, ds *bench.Dataset) {
+				opts := core.BuildOptions{Workers: workers}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.BuildAdvancedOpts(ds.G, opts)
+				}
+			})
+		})
+	}
 }
 
 func benchQuery(b *testing.B, run func(ds *bench.Dataset, q graph.VertexID)) {

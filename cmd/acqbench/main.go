@@ -3,19 +3,27 @@
 //
 // Usage:
 //
-//	acqbench [-scale 1.0] [-queries 50] [-datasets flickr,dblp,tencent,dbpedia] [-exp all]
+//	acqbench [-scale 1.0] [-queries 50] [-datasets flickr,dblp,tencent,dbpedia]
+//	         [-exp all] [-json out.json] [-workers 1,2,4,8]
 //
 // -exp selects experiments by paper artefact ID (comma separated):
 // table3, fig7, fig8, fig9, fig11, table4, table5-6, fig12, table7, fig13,
 // fig14a-d, fig14e-h, fig14i-l, fig14m-p, fig14q-t, fig15, fig16, fig17a-d,
-// fig17e-h, ablations. "all" runs everything; "quality" and "perf" select
-// the two groups.
+// fig17e-h, index-parallel, ablations. "all" runs everything; "quality" and
+// "perf" select the two groups.
+//
+// -json additionally writes every selected experiment's results as a
+// machine-readable report (dataset, experiment ID, ns/op, bytes/op) so the
+// perf trajectory lands in BENCH_*.json files and CI artifacts instead of
+// only aligned-text tables. -workers sets the worker counts swept by the
+// index-parallel experiment.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/acq-search/acq/internal/bench"
@@ -27,21 +35,38 @@ func main() {
 	datasets := flag.String("datasets", strings.Join(bench.DatasetNames(), ","), "comma-separated dataset list")
 	exps := flag.String("exp", "all", "comma-separated experiment IDs, or all/quality/perf")
 	noBasic := flag.Bool("nobasic", false, "skip the slow index-free baselines in fig14/fig17")
+	jsonOut := flag.String("json", "", "also write results as a machine-readable JSON report to this path")
+	workersArg := flag.String("workers", "1,2,4,8", "worker counts swept by the index-parallel experiment")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Queries = *queries
 
+	workerCounts, err := parseWorkers(*workersArg)
+	if err != nil {
+		fatal(err)
+	}
+
 	want := expandSelection(*exps)
 	out := os.Stdout
+	var rep *bench.Report
+	if *jsonOut != "" {
+		rep = bench.NewReport(cfg)
+	}
+	record := func(dataset string, t *bench.Table) {
+		t.Fprint(out)
+		if rep != nil {
+			rep.AddTable(dataset, t)
+		}
+	}
 
 	if want["table3"] {
 		tab, err := bench.Table3(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		tab.Fprint(out)
+		record("", tab)
 	}
 
 	names := strings.Split(*datasets, ",")
@@ -67,7 +92,7 @@ func main() {
 		}
 		run := func(id string, f func() *bench.Table) {
 			if want[id] {
-				f().Fprint(out)
+				record(name, f())
 			}
 		}
 		run("fig7", func() *bench.Table { return bench.Fig7(ds) })
@@ -79,6 +104,15 @@ func main() {
 		run("fig12", func() *bench.Table { return bench.Fig12(ds, []int{4, 5, 6, 7, 8}) })
 		run("table7", func() *bench.Table { return bench.Table7(ds) })
 		run("fig13", func() *bench.Table { return bench.Fig13(ds, fracs) })
+		if want["index-parallel"] {
+			// AddTable skips flattening for this ID; the driver supplies
+			// allocation-aware samples instead.
+			tab, samples := bench.IndexParallel(ds, workerCounts)
+			record(name, tab)
+			if rep != nil {
+				rep.AddSamples(samples...)
+			}
+		}
 		run("fig14a-d", func() *bench.Table { return bench.Fig14QueryVsCS(ds) })
 		run("fig14e-h", func() *bench.Table { return bench.Fig14EffectK(ds, !*noBasic) })
 		run("fig14i-l", func() *bench.Table { return bench.Fig14KeywordScale(ds, fracs) })
@@ -92,15 +126,41 @@ func main() {
 		run("ext-influence", func() *bench.Table { return bench.ExtInfluence(ds, 5) })
 		run("ablations", func() *bench.Table { return bench.AblationFPM(ds) })
 		if want["ablations"] {
-			bench.AblationLemma3(ds).Fprint(out)
-			bench.AblationMaintenance(ds, 50).Fprint(out)
+			record(name, bench.AblationLemma3(ds))
+			record(name, bench.AblationMaintenance(ds, 50))
 		}
 	}
+
+	if rep != nil {
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %d tables / %d samples to %s\n", len(rep.Tables), len(rep.Samples), *jsonOut)
+	}
+}
+
+func parseWorkers(arg string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		w, err := strconv.Atoi(tok)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q (want positive integers)", tok)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers needs at least one count")
+	}
+	return out, nil
 }
 
 func expandSelection(arg string) map[string]bool {
 	quality := []string{"table3", "fig7", "fig8", "fig9", "fig11", "table4", "table5-6", "fig12", "table7"}
-	perf := []string{"fig13", "fig14a-d", "fig14e-h", "fig14i-l", "fig14m-p", "fig14q-t",
+	perf := []string{"fig13", "index-parallel", "fig14a-d", "fig14e-h", "fig14i-l", "fig14m-p", "fig14q-t",
 		"fig15", "fig16", "fig17a-d", "fig17e-h", "ext-truss", "ext-influence", "ablations"}
 	out := map[string]bool{}
 	for _, tok := range strings.Split(arg, ",") {

@@ -25,6 +25,7 @@ func main() {
 	addr := flag.String("addr", engine.DefaultAddr, "listen address")
 	cache := flag.Int("cache", 0, "per-snapshot result cache size (0 = default, negative disables)")
 	workers := flag.Int("batch-workers", 0, "worker pool size for /batch (0 = one per CPU)")
+	buildWorkers := flag.Int("workers", 0, "parallel fan-out for index builds and snapshot publication (0 = auto, 1 = serial)")
 	flag.Parse()
 
 	g, err := engine.LoadSource(*in, *preset, *scale)
@@ -35,5 +36,6 @@ func main() {
 		Addr:         *addr,
 		CacheSize:    *cache,
 		BatchWorkers: *workers,
+		BuildWorkers: *buildWorkers,
 	}))
 }

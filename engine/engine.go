@@ -38,6 +38,10 @@ type Config struct {
 	// BatchWorkers bounds the worker pool of POST /batch; ≤ 0 means one
 	// worker per CPU.
 	BatchWorkers int
+	// BuildWorkers bounds the parallel fan-out of index construction and
+	// copy-on-write snapshot republication: 0 sizes it automatically (one
+	// worker per CPU on large graphs), 1 forces the serial build.
+	BuildWorkers int
 	// Logf receives serving log lines; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -63,9 +67,16 @@ func New(g *acq.Graph, cfg Config) *Engine {
 		cfg.Logf = log.Printf
 	}
 	e := &Engine{g: g, cfg: cfg}
+	if cfg.BuildWorkers != 0 {
+		// Leave the zero value alone: a caller may have configured the graph's
+		// worker setting before handing it to the engine.
+		g.SetBuildWorkers(cfg.BuildWorkers)
+	}
 	if !g.HasIndex() {
 		cfg.Logf("engine: building CL-tree index...")
 		g.BuildIndex()
+		d, workers := g.IndexBuildStats()
+		cfg.Logf("engine: CL-tree built in %v (%d workers)", d, workers)
 	}
 	if cfg.CacheSize != 0 {
 		g.SetResultCacheSize(cfg.CacheSize)

@@ -276,9 +276,17 @@ func TestMetricsAndCaching(t *testing.T) {
 	if m.CacheMisses != 2 {
 		t.Fatalf("post-update misses = %d, want 2 (new snapshot, cold cache)", m.CacheMisses)
 	}
+	// The engine built the index at New time, so the build telemetry must be
+	// populated: a positive duration and a resolved worker count ≥ 1.
+	if m.IndexBuildNanos <= 0 || m.IndexBuildWorkers < 1 {
+		t.Fatalf("index build telemetry = %d ns / %d workers, want positive", m.IndexBuildNanos, m.IndexBuildWorkers)
+	}
 	rec := do(t, h, "GET", "/metrics", "")
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "snapshot_version") {
 		t.Fatalf("metrics endpoint: %d %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "index_build_nanos") {
+		t.Fatalf("metrics endpoint missing index build fields: %s", rec.Body)
 	}
 	rec = do(t, h, "GET", "/healthz", "")
 	if rec.Code != http.StatusOK {

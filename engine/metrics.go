@@ -36,6 +36,12 @@ type Metrics struct {
 	// counters across all snapshots published so far.
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// IndexBuildNanos is the wall-clock duration of the most recent CL-tree
+	// (re)build; IndexBuildWorkers is the resolved parallel fan-out it used
+	// (1 = serial path). Zero until the first build, so the speedup of the
+	// parallel index pipeline is observable in serving, not just benchmarks.
+	IndexBuildNanos   int64 `json:"index_build_nanos"`
+	IndexBuildWorkers int   `json:"index_build_workers"`
 }
 
 // Metrics returns the current serving counters. Deliberately observational:
@@ -44,16 +50,19 @@ type Metrics struct {
 // (which would force eager copy-on-write publications no query reader uses).
 func (e *Engine) Metrics() Metrics {
 	hits, misses := e.g.ResultCacheStats()
+	buildDur, buildWorkers := e.g.IndexBuildStats()
 	return Metrics{
-		Queries:         e.met.queries.Load(),
-		QueryErrors:     e.met.queryErrors.Load(),
-		Batches:         e.met.batches.Load(),
-		BatchQueries:    e.met.batchQueries.Load(),
-		Updates:         e.met.updates.Load(),
-		QueryNanos:      e.met.queryNanos.Load(),
-		SnapshotVersion: e.g.Version(),
-		CacheHits:       hits,
-		CacheMisses:     misses,
+		IndexBuildNanos:   buildDur.Nanoseconds(),
+		IndexBuildWorkers: buildWorkers,
+		Queries:           e.met.queries.Load(),
+		QueryErrors:       e.met.queryErrors.Load(),
+		Batches:           e.met.batches.Load(),
+		BatchQueries:      e.met.batchQueries.Load(),
+		Updates:           e.met.updates.Load(),
+		QueryNanos:        e.met.queryNanos.Load(),
+		SnapshotVersion:   e.g.Version(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
 	}
 }
 

@@ -1,3 +1,3 @@
 module github.com/acq-search/acq
 
-go 1.24
+go 1.23

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Sample is one machine-readable benchmark measurement: an experiment cell
+// flattened to (dataset, experiment, row, series) coordinates with its cost
+// in ns/op. BytesPerOp and AllocsPerOp are populated only by drivers that
+// measure allocation (the index-parallel build benchmark); table cells
+// converted from milliseconds carry timing only.
+type Sample struct {
+	Dataset     string  `json:"dataset"`
+	Experiment  string  `json:"experiment"`
+	Row         string  `json:"row"`
+	Series      string  `json:"series"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// ReportTable is a Table annotated with the dataset it was measured on,
+// preserved verbatim so the JSON artifact can reproduce the aligned-text
+// output exactly.
+type ReportTable struct {
+	Dataset string     `json:"dataset"`
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Report is the machine-readable result set emitted by acqbench -json: the
+// perf trajectory of the repo lands in committed BENCH_*.json files and CI
+// artifacts instead of only aligned-text tables.
+type Report struct {
+	Schema     string        `json:"schema"` // "acqbench/v1"
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Timestamp  string        `json:"timestamp"` // RFC 3339
+	Scale      float64       `json:"scale"`
+	Queries    int           `json:"queries"`
+	Tables     []ReportTable `json:"tables"`
+	Samples    []Sample      `json:"samples"`
+}
+
+// NewReport returns an empty report stamped with the run's configuration and
+// environment.
+func NewReport(cfg Config) *Report {
+	return &Report{
+		Schema:     "acqbench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      cfg.Scale,
+		Queries:    cfg.Queries,
+	}
+}
+
+// msTables lists the experiment IDs whose non-label cells are all
+// milliseconds (the ms() harness convention) and may therefore be flattened
+// into ns/op samples. Quality tables (fig7–fig12, table*) carry scores and
+// counts, ext-truss/ext-influence mix metrics with timings, and
+// index-parallel supplies its own allocation-aware samples — none of those
+// may be reinterpreted as timings.
+var msTables = map[string]bool{
+	"fig13": true, "fig14a-d": true, "fig14e-h": true, "fig14i-l": true,
+	"fig14m-p": true, "fig14q-t": true, "fig15": true, "fig16": true,
+	"fig17a-d": true, "fig17e-h": true,
+	"ablation-fpm": true, "ablation-lemma3": true, "ablation-maint": true,
+}
+
+// AddTable records a driver's table under the given dataset name ("" for
+// dataset-independent tables such as Table 3). Tables whose cells follow the
+// ms() timing convention are additionally flattened into Samples, scaled to
+// ns/op; non-numeric cells ("-") are skipped. All other tables are preserved
+// verbatim but contribute no samples.
+func (r *Report) AddTable(dataset string, t *Table) {
+	r.Tables = append(r.Tables, ReportTable{
+		Dataset: dataset, ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows,
+	})
+	if !msTables[t.ID] {
+		return
+	}
+	for _, row := range t.Rows {
+		for col := 1; col < len(row) && col < len(t.Header); col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				continue
+			}
+			r.Samples = append(r.Samples, Sample{
+				Dataset:    dataset,
+				Experiment: t.ID,
+				Row:        row[0],
+				Series:     t.Header[col],
+				NsPerOp:    v * 1e6, // ms → ns
+			})
+		}
+	}
+}
+
+// AddSamples appends fully formed samples (used by drivers that measure
+// allocation alongside time).
+func (r *Report) AddSamples(samples ...Sample) {
+	r.Samples = append(r.Samples, samples...)
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

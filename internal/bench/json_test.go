@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := NewReport(testConfig())
+	if rep.Schema != "acqbench/v1" || rep.GOMAXPROCS < 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	tab := &Table{ID: "fig13", Title: "demo", Header: []string{"vertices%", "basic", "advanced"}}
+	tab.AddRow("50%", "1.500", "0.500")
+	tab.AddRow("100%", "-", "1.000")
+	rep.AddTable("dblp", tab)
+	if len(rep.Tables) != 1 {
+		t.Fatalf("tables = %d", len(rep.Tables))
+	}
+	// Three numeric cells → three samples, milliseconds scaled to ns.
+	if len(rep.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(rep.Samples))
+	}
+	if s := rep.Samples[0]; s.Dataset != "dblp" || s.Experiment != "fig13" ||
+		s.Row != "50%" || s.Series != "basic" || s.NsPerOp != 1.5e6 {
+		t.Fatalf("sample[0] = %+v", s)
+	}
+
+	// Stats tables, quality tables (scores, not timings) and the
+	// allocation-aware index-parallel table are stored but never flattened.
+	stats := &Table{ID: "table3", Header: []string{"dataset", "vertices"}}
+	stats.AddRow("dblp", "30000")
+	rep.AddTable("", stats)
+	quality := &Table{ID: "fig7", Header: []string{"|L|", "CMF", "CPJ"}}
+	quality.AddRow("2", "0.532", "0.881")
+	rep.AddTable("dblp", quality)
+	par := &Table{ID: "index-parallel", Header: []string{"workers", "ms/op"}}
+	par.AddRow("1", "2.000")
+	rep.AddTable("dblp", par)
+	if len(rep.Samples) != 3 {
+		t.Fatalf("non-timing cells flattened: %d samples", len(rep.Samples))
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written report does not parse: %v", err)
+	}
+	if len(back.Tables) != 4 || len(back.Samples) != 3 || back.Schema != rep.Schema {
+		t.Fatalf("round trip lost data: %d tables, %d samples", len(back.Tables), len(back.Samples))
+	}
+}
+
+func TestIndexParallelDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testing.Benchmark sweep in -short mode")
+	}
+	ds := loadTest(t, "dblp")
+	tab, samples := IndexParallel(ds, []int{1, 2})
+	if len(tab.Rows) != 2 || len(samples) != 2 {
+		t.Fatalf("rows = %d, samples = %d, want 2/2", len(tab.Rows), len(samples))
+	}
+	for _, s := range samples {
+		if s.NsPerOp <= 0 || s.BytesPerOp <= 0 || s.AllocsPerOp <= 0 {
+			t.Fatalf("sample not populated: %+v", s)
+		}
+		if s.Experiment != "index-parallel" || s.Dataset != "dblp" {
+			t.Fatalf("sample coordinates: %+v", s)
+		}
+	}
+}

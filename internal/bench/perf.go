@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"testing"
 	"time"
 
 	"github.com/acq-search/acq/internal/baseline"
@@ -38,6 +40,63 @@ func Fig13(ds *Dataset, fracs []float64) *Table {
 		)
 	}
 	return t
+}
+
+// IndexParallel measures the parallel CL-tree pipeline against the serial
+// build — the PR-level extension of Figure 13: one row per worker count,
+// ns/op and bytes/op via testing.Benchmark, and the speedup relative to the
+// workers=1 serial baseline. The returned samples carry the raw measurements
+// for the -json artifact.
+func IndexParallel(ds *Dataset, workerCounts []int) (*Table, []Sample) {
+	t := &Table{
+		ID:     "index-parallel",
+		Title:  fmt.Sprintf("CL-tree build, serial vs parallel (%s, %d vertices, %d edges)", ds.Name, ds.G.NumVertices(), ds.G.NumEdges()),
+		Header: []string{"workers", "ms/op", "KB/op", "allocs/op", "speedup"},
+	}
+	var samples []Sample
+	results := make([]testing.BenchmarkResult, len(workerCounts))
+	for i, w := range workerCounts {
+		results[i] = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.BuildAdvancedOpts(ds.G, core.BuildOptions{Workers: w})
+			}
+		})
+	}
+	// The speedup baseline is the workers=1 serial measurement wherever it
+	// appears in the sweep; without one the column stays empty rather than
+	// silently re-anchoring on an arbitrary row.
+	serialNs := 0.0
+	for i, w := range workerCounts {
+		if w == 1 {
+			serialNs = float64(results[i].NsPerOp())
+			break
+		}
+	}
+	for i, w := range workerCounts {
+		res := results[i]
+		ns := float64(res.NsPerOp())
+		speedup := "-"
+		if serialNs > 0 {
+			speedup = fmt.Sprintf("%.2fx", serialNs/ns)
+		}
+		t.AddRow(strconv.Itoa(w),
+			ms(ns/1e6),
+			fmt.Sprintf("%.0f", float64(res.AllocedBytesPerOp())/1024),
+			strconv.FormatInt(res.AllocsPerOp(), 10),
+			speedup,
+		)
+		samples = append(samples, Sample{
+			Dataset:     ds.Name,
+			Experiment:  "index-parallel",
+			Row:         strconv.Itoa(w),
+			Series:      "BuildAdvancedOpts",
+			NsPerOp:     ns,
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return t, samples
 }
 
 // queriesWithCore filters the workload to vertices whose core number

@@ -3,8 +3,44 @@ package core
 import (
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
+	"github.com/acq-search/acq/internal/para"
 	"github.com/acq-search/acq/internal/unionfind"
 )
+
+// BuildOptions configures BuildAdvancedOpts.
+type BuildOptions struct {
+	// Workers bounds the fan-out of the parallelisable build phases: the
+	// per-vertex degree scan of the core decomposition and the per-node
+	// canonicalisation pass (vertex sorting, keyword inverted lists, lookup
+	// tables). 1 forces the fully serial path. Values ≤ 0 resolve to one
+	// worker per CPU, falling back to serial below ParallelThreshold so small
+	// graphs pay no goroutine overhead. Any value yields a tree identical to
+	// the serial build.
+	Workers int
+}
+
+// ParallelThreshold is the work size (vertices + edges) below which an
+// auto-sized build (Workers ≤ 0) stays serial: under ~32k elements the
+// goroutine fan-out costs more than the parallel phases save.
+const ParallelThreshold = 1 << 15
+
+// resolve maps the option to the worker count actually used for g: explicit
+// requests (Workers > 1) are honoured as-is so tests can force parallelism on
+// tiny graphs, automatic sizing applies the serial threshold.
+func (o BuildOptions) resolve(g *graph.Graph) int {
+	if o.Workers == 1 {
+		return 1
+	}
+	if o.Workers <= 0 && g.NumVertices()+g.NumEdges() < ParallelThreshold {
+		return 1
+	}
+	return para.Workers(o.Workers, g.NumVertices())
+}
+
+// ResolvedWorkers reports the worker count BuildAdvancedOpts would use for g —
+// exposed so callers recording build telemetry (engine /metrics) can report
+// the effective fan-out rather than the requested one.
+func (o BuildOptions) ResolvedWorkers(g *graph.Graph) int { return o.resolve(g) }
 
 // BuildBasic constructs the CL-tree top-down (paper Algorithm 1): starting
 // from the 0-core (whole graph), it repeatedly extracts the connected
@@ -67,8 +103,30 @@ func buildDown(t *Tree, ops *graph.SetOps, vs []graph.VertexID, level int32, par
 // chunk's subtree root, which is how parent/child tree edges are created
 // without revisiting the deeper levels.
 func BuildAdvanced(g *graph.Graph) *Tree {
-	t := &Tree{g: g, Core: kcore.Decompose(g)}
+	return BuildAdvancedOpts(g, BuildOptions{Workers: 1})
+}
+
+// BuildAdvancedOpts is BuildAdvanced with the embarrassingly parallel phases —
+// the degree scan feeding the core decomposition, and the per-node keyword
+// map / inverted-list construction plus canonicalisation — fanned out over
+// o.Workers goroutines. The level-by-level anchored-union-find skeleton pass
+// stays serial (each level consumes the union-find state of the deeper
+// levels), but it is the cheap O(m·α(n)) part; the parallel phases carry the
+// allocation-heavy work. The resulting tree is identical to the serial build:
+// same shape, same canonical ordering, same inverted lists.
+func BuildAdvancedOpts(g *graph.Graph, o BuildOptions) *Tree {
+	workers := o.resolve(g)
+	t := &Tree{g: g, Core: kcore.DecomposeWorkers(g, workers)}
 	t.KMax = kcore.MaxCore(t.Core)
+	buildAdvancedSkeleton(t, g)
+	t.finalizeWorkers(workers)
+	return t
+}
+
+// buildAdvancedSkeleton runs Algorithm 9's bottom-up pass: it wires up the
+// node structure (own vertices, parent/child links) for t, leaving the
+// canonicalisation (sorting, inverted lists, lookup tables) to finalize.
+func buildAdvancedSkeleton(t *Tree, g *graph.Graph) {
 	n := g.NumVertices()
 
 	// Group vertices by core number.
@@ -195,6 +253,4 @@ func BuildAdvanced(g *graph.Graph) *Tree {
 		root.Children = append(root.Children, child)
 	}
 	t.Root = root
-	t.finalize()
-	return t
 }

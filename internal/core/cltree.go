@@ -23,6 +23,7 @@ import (
 
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
+	"github.com/acq-search/acq/internal/para"
 )
 
 // Node is one CL-tree node: a k-ĉore, holding only the vertices whose core
@@ -183,27 +184,54 @@ outer:
 
 // finalize sorts vertex sets and children, fills NodeOf, builds inverted
 // lists, and counts nodes. Both builders call it; the incremental maintainer
-// calls finalizeNode on rebuilt subtrees.
-func (t *Tree) finalize() {
+// runs the same two passes over rebuilt subtrees.
+func (t *Tree) finalize() { t.finalizeWorkers(1) }
+
+// finalizeWorkers canonicalises the whole tree, fanning the per-node work out
+// over workers goroutines (1 runs inline). Two passes keep the result
+// identical for every worker count: pass one sorts each node's own vertices
+// and rebuilds its inverted list and NodeOf entries (nodes own disjoint
+// vertex sets, so per-node tasks never write the same memory); pass two
+// orders children, which must not start until every node's vertex set is
+// sorted because the canonical child order reads the children's minimum
+// vertices.
+func (t *Tree) finalizeWorkers(workers int) {
 	t.NodeOf = make([]*Node, t.g.NumVertices())
-	t.nodeCount = 0
-	var walk func(*Node)
-	walk = func(n *Node) {
-		t.nodeCount++
-		t.finalizeNode(n)
-		for _, c := range n.Children {
-			walk(c)
-		}
-	}
-	walk(t.Root)
+	nodes := t.collectNodes()
+	t.nodeCount = len(nodes)
+	t.finalizeNodes(workers, nodes)
 }
 
-// finalizeNode canonicalises a single node: sorts own vertices, orders
-// children by (core, first vertex), points NodeOf at it and rebuilds its
-// inverted list.
-func (t *Tree) finalizeNode(n *Node) {
+// finalizeNodes runs the two canonicalisation passes over the given nodes —
+// the one place the "sort all vertex sets before ordering any children"
+// invariant lives; the incremental maintainer reuses it on rebuilt subtrees.
+func (t *Tree) finalizeNodes(workers int, nodes []*Node) {
+	para.Dynamic(workers, len(nodes), func(i int) { t.finalizeOwn(nodes[i]) })
+	para.Dynamic(workers, len(nodes), func(i int) { sortChildren(nodes[i]) })
+}
+
+// collectNodes returns every node of the tree in pre-order.
+func (t *Tree) collectNodes() []*Node {
+	hint := t.nodeCount
+	if hint == 0 {
+		hint = 64
+	}
+	nodes := make([]*Node, 0, hint)
+	stack := []*Node{t.Root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes = append(nodes, n)
+		stack = append(stack, n.Children...)
+	}
+	return nodes
+}
+
+// finalizeOwn canonicalises a node's own state: sorts its vertices, points
+// NodeOf at it and rebuilds its inverted list. Child ordering is a separate
+// pass (sortChildren) because it reads the sorted vertex sets of other nodes.
+func (t *Tree) finalizeOwn(n *Node) {
 	sort.Slice(n.Vertices, func(i, j int) bool { return n.Vertices[i] < n.Vertices[j] })
-	sortChildren(n)
 	n.Inverted = make(map[graph.KeywordID][]graph.VertexID)
 	for _, v := range n.Vertices {
 		t.NodeOf[v] = n

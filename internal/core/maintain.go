@@ -154,9 +154,10 @@ func (m *Maintainer) rebuildRegion(uNode, vNode *Node, changed []graph.VertexID)
 	}
 	// Re-canonicalise only the rebuilt part: new nodes need inverted lists
 	// and NodeOf entries; the parent just needs its child order restored.
+	var fresh []*Node
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		t.finalizeNode(n)
+		fresh = append(fresh, n)
 		for _, c := range n.Children {
 			walk(c)
 		}
@@ -164,6 +165,7 @@ func (m *Maintainer) rebuildRegion(uNode, vNode *Node, changed []graph.VertexID)
 	for _, c := range parent.Children[before:] {
 		walk(c)
 	}
+	t.finalizeNodes(1, fresh)
 	sortChildren(parent)
 	countNodes(t)
 }

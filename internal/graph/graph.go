@@ -13,6 +13,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"github.com/acq-search/acq/internal/para"
 )
 
 // VertexID identifies a vertex. IDs are dense: 0..NumVertices-1.
@@ -201,7 +203,13 @@ func (g *Graph) RemoveKeyword(v VertexID, word string) bool {
 // Clone returns a deep copy of g. The dictionary is shared copy-on-write
 // semantics are NOT provided: the clone gets its own Dict copy so mutations
 // stay independent.
-func (g *Graph) Clone() *Graph {
+func (g *Graph) Clone() *Graph { return g.CloneWorkers(1) }
+
+// CloneWorkers is Clone with the per-vertex adjacency and keyword copying
+// fanned out over workers goroutines (≤ 0 means one per CPU, 1 runs inline).
+// The copy is identical for any worker count; the snapshot-publication path
+// uses it so copy-on-write republication scales with the cores available.
+func (g *Graph) CloneWorkers(workers int) *Graph {
 	c := &Graph{
 		adj:    make([][]VertexID, len(g.adj)),
 		kw:     make([][]KeywordID, len(g.kw)),
@@ -210,12 +218,16 @@ func (g *Graph) Clone() *Graph {
 		byName: make(map[string]VertexID, len(g.byName)),
 		m:      g.m,
 	}
-	for i := range g.adj {
-		c.adj[i] = append([]VertexID(nil), g.adj[i]...)
-	}
-	for i := range g.kw {
-		c.kw[i] = append([]KeywordID(nil), g.kw[i]...)
-	}
+	para.ForEachChunk(workers, len(g.adj), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.adj[i] = append([]VertexID(nil), g.adj[i]...)
+		}
+	})
+	para.ForEachChunk(workers, len(g.kw), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.kw[i] = append([]KeywordID(nil), g.kw[i]...)
+		}
+	})
 	for k, v := range g.byName {
 		c.byName[k] = v
 	}

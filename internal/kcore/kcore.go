@@ -10,19 +10,32 @@
 // core(v) is the largest k such that v ∈ H_k.
 package kcore
 
-import "github.com/acq-search/acq/internal/graph"
+import (
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/para"
+)
 
 // Decompose computes the core number of every vertex with the
 // Batagelj–Zaversnik bucket algorithm in O(n + m) time.
-func Decompose(g *graph.Graph) []int32 {
+func Decompose(g *graph.Graph) []int32 { return DecomposeWorkers(g, 1) }
+
+// DecomposeWorkers is Decompose with the initial per-vertex degree scan fanned
+// out over the given number of workers (≤ 0 means one per CPU). The peeling
+// phase itself is inherently sequential — each peel step depends on the
+// previous one — so it stays serial; the result is identical to Decompose for
+// any worker count.
+func DecomposeWorkers(g *graph.Graph, workers int) []int32 {
 	n := g.NumVertices()
 	deg := make([]int32, n)
+	para.ForEachChunk(workers, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			deg[v] = int32(g.Degree(graph.VertexID(v)))
+		}
+	})
 	maxDeg := int32(0)
 	for v := 0; v < n; v++ {
-		d := int32(g.Degree(graph.VertexID(v)))
-		deg[v] = d
-		if d > maxDeg {
-			maxDeg = d
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
 		}
 	}
 	// Bucket sort vertices by degree.

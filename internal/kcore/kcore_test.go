@@ -2,6 +2,7 @@ package kcore
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -220,6 +221,26 @@ func TestLemma3SoundnessQuick(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parallel degree scan changes nothing — DecomposeWorkers must
+// return exactly Decompose's core numbers at every worker count.
+func TestDecomposeWorkersIdenticalQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 2+rng.Intn(200), 1+4*rng.Float64(), 10, 3)
+		want := Decompose(g)
+		for _, workers := range []int{2, 8, 0} {
+			if got := DecomposeWorkers(g, workers); !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d workers %d: core numbers differ", seed, workers)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
 }

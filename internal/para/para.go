@@ -1,0 +1,106 @@
+// Package para provides the bounded parallel-execution primitives shared by
+// the index-construction pipeline and the batch serving path: GOMAXPROCS-aware
+// worker resolution, static chunked fan-out for evenly sized work, and a
+// channel-fed pool for uneven work items (CL-tree nodes, batch queries).
+//
+// Every primitive is deterministic in the sense that matters for the parallel
+// CL-tree build: each index in [0, n) is handed to exactly one worker, chunk
+// boundaries depend only on n and the resolved worker count, and callers write
+// results into per-index slots — so the merged output is identical to a serial
+// run regardless of goroutine scheduling. With one resolved worker every
+// primitive runs inline on the calling goroutine, so small inputs pay no
+// goroutine or channel overhead.
+package para
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count against the machine and the work
+// size: requested ≤ 0 means one worker per schedulable CPU (GOMAXPROCS), and
+// the result never exceeds n when n ≥ 1, so no worker is ever spawned without
+// work. The result is always ≥ 1.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n >= 1 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEachChunk splits [0, n) into one contiguous chunk per resolved worker and
+// runs fn(lo, hi) on each chunk concurrently, returning when all chunks are
+// done. fn must confine its writes to state owned by indices in [lo, hi).
+func ForEachChunk(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n) using static chunking. Suited to
+// items of comparable cost (per-vertex scans); for items of wildly uneven
+// cost, use Dynamic.
+func ForEach(workers, n int, fn func(i int)) {
+	ForEachChunk(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Dynamic runs fn(i) for every i in [0, n), feeding indices to a bounded
+// worker pool one at a time so a few expensive items (a huge CL-tree node, a
+// slow query) cannot strand the rest of the batch behind one worker.
+func Dynamic(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,84 @@
+package para
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cpus := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100000, cpus},
+		{-5, 100000, cpus},
+		{4, 100000, 4},
+		{4, 2, 2},    // capped at the work size
+		{0, 0, cpus}, // n < 1 leaves the CPU default
+		{8, -1, 8},   // negative n leaves the request
+		{1, 100, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+// each checks that a fan-out primitive visits every index exactly once and
+// waits for all work before returning.
+func each(t *testing.T, name string, run func(workers, n int, fn func(i int))) {
+	t.Helper()
+	for _, workers := range []int{1, 2, 3, 8, 0} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1001} {
+			counts := make([]int32, n)
+			run(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("%s(workers=%d, n=%d): index %d visited %d times", name, workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEach(t *testing.T) { each(t, "ForEach", ForEach) }
+func TestDynamic(t *testing.T) { each(t, "Dynamic", Dynamic) }
+
+func TestForEachChunk(t *testing.T) {
+	each(t, "ForEachChunk", func(workers, n int, fn func(i int)) {
+		ForEachChunk(workers, n, func(lo, hi int) {
+			if lo > hi || lo < 0 || hi > n {
+				t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		})
+	})
+}
+
+// TestChunksDeterministic pins the chunk-boundary contract: boundaries depend
+// only on (n, resolved workers), so two runs fan identical index ranges out.
+func TestChunksDeterministic(t *testing.T) {
+	collect := func() map[int]int {
+		bounds := map[int]int{}
+		ch := make(chan [2]int, 8)
+		ForEachChunk(4, 103, func(lo, hi int) { ch <- [2]int{lo, hi} })
+		close(ch)
+		for b := range ch {
+			bounds[b[0]] = b[1]
+		}
+		return bounds
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("chunk count differs between runs: %d vs %d", len(a), len(b))
+	}
+	for lo, hi := range a {
+		if b[lo] != hi {
+			t.Fatalf("chunk [%d,%d) missing or different in second run", lo, hi)
+		}
+	}
+}
