@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/core"
 	"github.com/acq-search/acq/internal/datagen"
 	"github.com/acq-search/acq/internal/dataio"
@@ -22,10 +23,20 @@ var (
 	ErrNoKCore = core.ErrNoKCore
 	// ErrBadK reports a non-positive k.
 	ErrBadK = core.ErrBadK
-	// ErrBadTheta reports a threshold outside (0, 1].
+	// ErrBadTheta reports a ModeThreshold Theta (or ModeSimilar Tau) outside
+	// (0, 1].
 	ErrBadTheta = core.ErrBadTheta
+	// ErrBadMode reports an unknown Query.Mode.
+	ErrBadMode = errors.New("acq: unknown query mode")
+	// ErrBadAlgorithm reports an unknown Query.Algorithm.
+	ErrBadAlgorithm = errors.New("acq: unknown algorithm")
 	// ErrNoIndex reports an index-requiring operation on an unindexed graph.
 	ErrNoIndex = errors.New("acq: no index built; call BuildIndex first")
+	// ErrCanceled reports a search stopped by context cancellation or
+	// deadline expiry before completing. The returned error additionally
+	// wraps context.Cause(ctx), so errors.Is(err, context.DeadlineExceeded)
+	// distinguishes a deadline from a plain cancel.
+	ErrCanceled = cancel.ErrCanceled
 )
 
 // Graph is an attributed graph plus (once BuildIndex has run) its CL-tree

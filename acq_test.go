@@ -43,7 +43,7 @@ func figure1Graph(t testing.TB) *acq.Graph {
 func TestSearchFigure1(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
-	res, err := g.Search(acq.Query{Vertex: "Jack", K: 3})
+	res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestSearchAlgorithmsAgreeOnFacade(t *testing.T) {
 	g.BuildIndex()
 	var want acq.Result
 	for i, algo := range []acq.Algorithm{acq.AlgoDec, acq.AlgoIncS, acq.AlgoIncT, acq.AlgoBasicG, acq.AlgoBasicW} {
-		res, err := g.Search(acq.Query{Vertex: "Jack", K: 3, Algorithm: algo})
+		res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Algorithm: algo})
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -96,7 +96,7 @@ func TestSearchPersonalization(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
 	// Restricting S changes the community semantics (paper Section 1).
-	res, err := g.Search(acq.Query{Vertex: "Jack", K: 2, Keywords: []string{"web"}})
+	res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 2, Keywords: []string{"web"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +115,11 @@ func TestSearchPersonalization(t *testing.T) {
 
 func TestSearchWithoutIndex(t *testing.T) {
 	g := figure1Graph(t)
-	if _, err := g.Search(acq.Query{Vertex: "Jack", K: 2}); !errors.Is(err, acq.ErrNoIndex) {
+	if _, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 2}); !errors.Is(err, acq.ErrNoIndex) {
 		t.Fatalf("err = %v, want ErrNoIndex", err)
 	}
 	// Index-free algorithms still work.
-	if _, err := g.Search(acq.Query{Vertex: "Jack", K: 2, Algorithm: acq.AlgoBasicG}); err != nil {
+	if _, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 2, Algorithm: acq.AlgoBasicG}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -127,22 +127,25 @@ func TestSearchWithoutIndex(t *testing.T) {
 func TestSearchErrors(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
-	if _, err := g.Search(acq.Query{Vertex: "Nobody", K: 2}); !errors.Is(err, acq.ErrVertexNotFound) {
+	if _, err := g.Search(bgCtx, acq.Query{Vertex: "Nobody", K: 2}); !errors.Is(err, acq.ErrVertexNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := g.Search(acq.Query{VertexID: 999, K: 2}); !errors.Is(err, acq.ErrVertexNotFound) {
+	if _, err := g.Search(bgCtx, acq.Query{VertexID: 999, K: 2}); !errors.Is(err, acq.ErrVertexNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := g.Search(acq.Query{Vertex: "Jack", K: 0}); !errors.Is(err, acq.ErrBadK) {
+	if _, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 0}); !errors.Is(err, acq.ErrBadK) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := g.Search(acq.Query{Vertex: "Jack", K: 99}); !errors.Is(err, acq.ErrNoKCore) {
+	if _, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 99}); !errors.Is(err, acq.ErrNoKCore) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := g.Search(acq.Query{Vertex: "Jack", K: 2, Algorithm: "quantum"}); err == nil {
+	if _, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 2, Algorithm: "quantum"}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if _, err := g.SearchThreshold(acq.Query{Vertex: "Jack", K: 2}, 0); !errors.Is(err, acq.ErrBadTheta) {
+	if _, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 2, Mode: acq.ModeThreshold}); !errors.Is(err, acq.ErrBadTheta) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 2, Mode: "bogus"}); !errors.Is(err, acq.ErrBadMode) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -150,7 +153,7 @@ func TestSearchErrors(t *testing.T) {
 func TestSearchUnknownKeywordsFallback(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
-	res, err := g.Search(acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"zzz-unknown"}})
+	res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"zzz-unknown"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,14 +165,14 @@ func TestSearchUnknownKeywordsFallback(t *testing.T) {
 func TestVariantsOnFacade(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
-	res, err := g.SearchFixed(acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"research", "sports"}})
+	res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"research", "sports"}, Mode: acq.ModeFixed})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Communities) != 1 || len(res.Communities[0].Members) != 4 {
 		t.Fatalf("SearchFixed = %+v", res)
 	}
-	res, err = g.SearchThreshold(acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"research", "sports", "yoga", "web"}}, 0.5)
+	res, err = g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"research", "sports", "yoga", "web"}, Mode: acq.ModeThreshold, Theta: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +184,7 @@ func TestVariantsOnFacade(t *testing.T) {
 		t.Fatalf("threshold members = %v", res.Communities[0].Members)
 	}
 	// Variant parity between indexed and index-free paths.
-	res2, err := g.SearchFixed(acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"research", "sports"}, Algorithm: acq.AlgoBasicG})
+	res2, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"research", "sports"}, Algorithm: acq.AlgoBasicG, Mode: acq.ModeFixed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +205,7 @@ func TestMutationKeepsIndexFresh(t *testing.T) {
 	g.InsertEdge(tom, jack)
 	g.InsertEdge(tom, bob)
 	g.InsertEdge(tom, john)
-	res, err := g.Search(acq.Query{Vertex: "Jack", K: 3})
+	res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +219,7 @@ func TestMutationKeepsIndexFresh(t *testing.T) {
 
 	// Keyword removal: drop "research" from Tom; he leaves the AC.
 	g.RemoveKeyword(tom, "research")
-	res, err = g.Search(acq.Query{Vertex: "Jack", K: 3})
+	res, err = g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +278,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if !g3.HasIndex() {
 		t.Fatal("snapshot lost the index")
 	}
-	res, err := g3.Search(acq.Query{Vertex: "Jack", K: 3})
+	res, err := g3.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3})
 	if err != nil || res.LabelSize != 2 {
 		t.Fatalf("search on snapshot: %v %+v", err, res)
 	}
@@ -323,7 +326,7 @@ func TestSearchBatch(t *testing.T) {
 			acq.Query{Vertex: "Nobody", K: 3}, // error case interleaved
 		)
 	}
-	results := g.SearchBatch(queries, 4)
+	results := g.SearchBatch(bgCtx, queries, acq.BatchOptions{Workers: 4})
 	if len(results) != len(queries) {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -340,10 +343,10 @@ func TestSearchBatch(t *testing.T) {
 		}
 	}
 	// Degenerate worker counts.
-	if got := g.SearchBatch(nil, 3); len(got) != 0 {
+	if got := g.SearchBatch(bgCtx, nil, acq.BatchOptions{Workers: 3}); len(got) != 0 {
 		t.Fatal("empty batch")
 	}
-	if got := g.SearchBatch(queries[:1], -1); len(got) != 1 || got[0].Err != nil {
+	if got := g.SearchBatch(bgCtx, queries[:1], acq.BatchOptions{Workers: -1}); len(got) != 1 || got[0].Err != nil {
 		t.Fatalf("auto workers: %+v", got)
 	}
 }
@@ -351,7 +354,7 @@ func TestSearchBatch(t *testing.T) {
 func TestSearchTruss(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
-	res, err := g.SearchTruss(acq.Query{Vertex: "Jack", K: 4})
+	res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 4, Mode: acq.ModeTruss})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +368,7 @@ func TestSearchTruss(t *testing.T) {
 	}
 	// Without index.
 	g2 := figure1Graph(t)
-	if _, err := g2.SearchTruss(acq.Query{Vertex: "Jack", K: 4}); !errors.Is(err, acq.ErrNoIndex) {
+	if _, err := g2.Search(bgCtx, acq.Query{Vertex: "Jack", K: 4, Mode: acq.ModeTruss}); !errors.Is(err, acq.ErrNoIndex) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -373,7 +376,7 @@ func TestSearchTruss(t *testing.T) {
 func TestSearchClique(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
-	res, err := g.SearchClique(acq.Query{Vertex: "Jack", K: 4})
+	res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 4, Mode: acq.ModeClique})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +384,7 @@ func TestSearchClique(t *testing.T) {
 		t.Fatalf("clique result = %+v", res)
 	}
 	g2 := figure1Graph(t)
-	if _, err := g2.SearchClique(acq.Query{Vertex: "Jack", K: 4}); !errors.Is(err, acq.ErrNoIndex) {
+	if _, err := g2.Search(bgCtx, acq.Query{Vertex: "Jack", K: 4, Mode: acq.ModeClique}); !errors.Is(err, acq.ErrNoIndex) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -389,7 +392,7 @@ func TestSearchClique(t *testing.T) {
 func TestSearchSimilar(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
-	res, err := g.SearchSimilar(acq.Query{Vertex: "Jack", K: 3}, 0.4)
+	res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Mode: acq.ModeSimilar, Tau: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,14 +405,14 @@ func TestSearchSimilar(t *testing.T) {
 		t.Fatalf("members = %v", res.Communities[0].Members)
 	}
 	// Index-free parity.
-	res2, err := g.SearchSimilar(acq.Query{Vertex: "Jack", K: 3, Algorithm: acq.AlgoBasicG}, 0.4)
+	res2, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Algorithm: acq.AlgoBasicG, Mode: acq.ModeSimilar, Tau: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res2.Communities) != 1 || len(res2.Communities[0].Members) != len(res.Communities[0].Members) {
 		t.Fatalf("parity broken: %+v vs %+v", res2, res)
 	}
-	if _, err := g.SearchSimilar(acq.Query{Vertex: "Jack", K: 3}, 0); !errors.Is(err, acq.ErrBadTheta) {
+	if _, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Mode: acq.ModeSimilar}); !errors.Is(err, acq.ErrBadTheta) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -418,14 +421,14 @@ func TestSearchFuzzyKeywords(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
 	// "reserch" is one edit from "research"; without fuzz it matches nothing.
-	res, err := g.Search(acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"reserch"}})
+	res, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"reserch"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Fallback {
 		t.Fatalf("typo matched exactly: %+v", res)
 	}
-	res, err = g.Search(acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"reserch"}, FuzzDistance: 1})
+	res, err = g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"reserch"}, FuzzDistance: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,24 @@
 package acq
 
 import (
+	"context"
+	"time"
+
 	"github.com/acq-search/acq/internal/para"
 )
+
+// BatchOptions configures SearchBatch.
+type BatchOptions struct {
+	// Workers bounds the worker pool; ≤ 0 means one worker per CPU.
+	Workers int
+	// PerQueryTimeout, when > 0, derives an individual deadline from the
+	// batch context for every query: a slow query is interrupted at its
+	// deadline (its BatchResult.Err wraps ErrCanceled and
+	// context.DeadlineExceeded) without disturbing the other queries or the
+	// input-order result slice. The batch context's own deadline still
+	// applies on top.
+	PerQueryTimeout time.Duration
+}
 
 // BatchResult pairs one query of a batch with its outcome.
 type BatchResult struct {
@@ -12,27 +28,29 @@ type BatchResult struct {
 }
 
 // SearchBatch evaluates many queries concurrently over a fixed worker pool
-// (one worker per CPU when workers ≤ 0) and returns the results in input
-// order.
+// and returns the results in input order.
+//
+// ctx bounds the whole batch: canceling it interrupts in-flight queries and
+// fails the remaining ones promptly with ErrCanceled (the result slice keeps
+// its full length and order — canceled entries carry the error). Per-query
+// deadlines are available via BatchOptions.PerQueryTimeout.
 //
 // The batch pins a single snapshot before any worker starts: every query of
 // the batch observes the same immutable graph and index version, and edge or
 // keyword updates applied while the batch runs only become visible to later
-// batches. (This replaces the old contract that the graph "must not be
-// mutated" during a batch — mutating concurrently is now safe.) Results are
-// caller-owned as before, even when served from the snapshot's result cache.
-// Pinning switches the graph into serving mode — call EndServing afterwards
-// if a long mutation-only phase follows and the retained snapshot copy is
-// unwanted.
+// batches. Results are caller-owned, even when served from the snapshot's
+// result cache. Pinning switches the graph into serving mode — call
+// EndServing afterwards if a long mutation-only phase follows and the
+// retained snapshot copy is unwanted.
 //
 // This is the "online evaluation" serving pattern of the paper's
 // introduction: the CL-tree is built once and thousands of personalised
 // community queries are answered against it.
-func (G *Graph) SearchBatch(queries []Query, workers int) []BatchResult {
+func (G *Graph) SearchBatch(ctx context.Context, queries []Query, opts BatchOptions) []BatchResult {
 	if len(queries) == 0 {
 		return []BatchResult{}
 	}
-	return G.Snapshot().SearchBatch(queries, workers)
+	return G.Snapshot().SearchBatch(ctx, queries, opts)
 }
 
 // SearchBatch evaluates many queries concurrently against this snapshot and
@@ -41,10 +59,21 @@ func (G *Graph) SearchBatch(queries []Query, workers int) []BatchResult {
 // the same bounded-pool primitive as the parallel index build (internal/para):
 // queries are handed to workers one at a time, so one expensive query cannot
 // strand the rest of the batch behind a single worker.
-func (s *Snapshot) SearchBatch(queries []Query, workers int) []BatchResult {
+func (s *Snapshot) SearchBatch(ctx context.Context, queries []Query, opts BatchOptions) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]BatchResult, len(queries))
-	para.Dynamic(workers, len(queries), func(i int) {
-		res, err := s.Search(queries[i])
+	para.Dynamic(opts.Workers, len(queries), func(i int) {
+		qctx := ctx
+		var done context.CancelFunc
+		if opts.PerQueryTimeout > 0 {
+			qctx, done = context.WithTimeout(ctx, opts.PerQueryTimeout)
+		}
+		res, err := s.Search(qctx, queries[i])
+		if done != nil {
+			done()
+		}
 		out[i] = BatchResult{Query: queries[i], Result: res, Err: err}
 	})
 	return out

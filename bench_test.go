@@ -11,6 +11,7 @@
 package acq_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -331,19 +332,19 @@ func benchQuery(b *testing.B, run func(ds *bench.Dataset, q graph.VertexID)) {
 
 func BenchmarkOpQueryDec(b *testing.B) {
 	benchQuery(b, func(ds *bench.Dataset, q graph.VertexID) {
-		core.Dec(ds.Tree, q, int(ds.MinCore), nil, core.DefaultOptions())
+		core.Dec(bgCtx, ds.Tree, q, int(ds.MinCore), nil, core.DefaultOptions())
 	})
 }
 
 func BenchmarkOpQueryIncS(b *testing.B) {
 	benchQuery(b, func(ds *bench.Dataset, q graph.VertexID) {
-		core.IncS(ds.Tree, q, int(ds.MinCore), nil, core.DefaultOptions())
+		core.IncS(bgCtx, ds.Tree, q, int(ds.MinCore), nil, core.DefaultOptions())
 	})
 }
 
 func BenchmarkOpQueryIncT(b *testing.B) {
 	benchQuery(b, func(ds *bench.Dataset, q graph.VertexID) {
-		core.IncT(ds.Tree, q, int(ds.MinCore), nil, core.DefaultOptions())
+		core.IncT(bgCtx, ds.Tree, q, int(ds.MinCore), nil, core.DefaultOptions())
 	})
 }
 
@@ -431,7 +432,7 @@ func BenchmarkServingSnapshotSearch(b *testing.B) {
 		i := 0
 		for pb.Next() {
 			snap := g.Snapshot()
-			if _, err := snap.Search(queries[i%len(queries)]); err != nil {
+			if _, err := snap.Search(bgCtx, queries[i%len(queries)]); err != nil {
 				b.Error(err)
 				return
 			}
@@ -458,7 +459,7 @@ func BenchmarkServingSnapshotSearchUnderWrites(b *testing.B) {
 		i := 0
 		for pb.Next() {
 			snap := g.Snapshot()
-			if _, err := snap.Search(queries[i%len(queries)]); err != nil {
+			if _, err := snap.Search(bgCtx, queries[i%len(queries)]); err != nil {
 				b.Error(err)
 				return
 			}
@@ -475,14 +476,14 @@ func BenchmarkServingSnapshotSearchUnderWrites(b *testing.B) {
 func BenchmarkServingCachedSearch(b *testing.B) {
 	g, queries := servingBenchGraph(b)
 	snap := g.Snapshot()
-	if _, err := snap.Search(queries[0]); err != nil { // warm the entry
+	if _, err := snap.Search(bgCtx, queries[0]); err != nil { // warm the entry
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := snap.Search(queries[0]); err != nil {
+			if _, err := snap.Search(bgCtx, queries[0]); err != nil {
 				b.Error(err)
 				return
 			}
@@ -500,12 +501,41 @@ func BenchmarkServingSearchBatch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, r := range g.SearchBatch(queries, 0) {
+		for _, r := range g.SearchBatch(bgCtx, queries, acq.BatchOptions{}) {
 			if r.Err != nil {
 				b.Fatal(r.Err)
 			}
 		}
 	}
+}
+
+// BenchmarkSearchCtxOverhead measures what the cancellation checkpoints cost
+// on the hot path. The background sub-benchmark evaluates with an
+// uncancellable context (the checker is nil and every Tick is a no-op); the
+// cancellable sub-benchmark carries a live context.WithCancel, paying the
+// amortised decrement-and-poll in every peeling/BFS loop. The two ns/op
+// figures must stay within noise of each other — that is the acceptance bar
+// for threading ctx through internal/core, asserted by eye in CI's
+// bench-smoke artifact and recorded in EXPERIMENTS.md.
+func BenchmarkSearchCtxOverhead(b *testing.B) {
+	// Graph.Search evaluates directly against the live view — no snapshot,
+	// no result cache — so every iteration measures the full search.
+	g, queries := servingBenchGraph(b)
+	run := func(ctx context.Context) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Search(ctx, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("background", run(context.Background()))
+
+	ctx, cancelFn := context.WithCancel(context.Background())
+	defer cancelFn()
+	b.Run("cancellable", run(ctx))
 }
 
 // BenchmarkServingSnapshotPublish measures what one effective mutation costs

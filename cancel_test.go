@@ -1,0 +1,223 @@
+package acq_test
+
+// Cancellation-semantics tests for the context-aware Search surface: an
+// already-canceled context fails fast, a deadline interrupts an in-flight
+// search on the large synthetic preset (the acceptance criterion for the v1
+// API), and per-query batch timeouts stop slow queries without disturbing
+// the rest of the batch. Run with -race in CI.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	acq "github.com/acq-search/acq"
+)
+
+var (
+	slowOnce  sync.Once
+	slowGraph *acq.Graph
+	slowQ     int32 // a deep-core query vertex
+)
+
+// slowFixture builds the full-scale synthetic dblp analogue once. Its
+// index-free basic-w query takes on the order of 100ms, giving deadline
+// tests two orders of magnitude of headroom over millisecond timeouts.
+func slowFixture(t *testing.T) (*acq.Graph, int32) {
+	t.Helper()
+	slowOnce.Do(func() {
+		g, err := acq.Synthetic("dblp", 1.0)
+		if err != nil {
+			return
+		}
+		g.BuildIndex()
+		best := 0
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			if c, _ := g.CoreNumber(v); c > best {
+				best, slowQ = c, v
+			}
+		}
+		slowGraph = g
+	})
+	if slowGraph == nil {
+		t.Fatal("synthetic dblp fixture failed to build")
+	}
+	return slowGraph, slowQ
+}
+
+// slowQuery is an index-free whole-graph search — deliberately the most
+// expensive evaluation path, the one a deadline must be able to stop.
+func slowQuery(q int32) acq.Query {
+	return acq.Query{VertexID: q, K: 3, Algorithm: acq.AlgoBasicW}
+}
+
+func TestSearchAlreadyCanceledReturnsPromptly(t *testing.T) {
+	g, qv := slowFixture(t)
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+
+	start := time.Now()
+	_, err := g.Search(ctx, slowQuery(qv))
+	elapsed := time.Since(start)
+	if !errors.Is(err, acq.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	// "Promptly" = before any graph work: the uncancelled query takes ~100ms
+	// on this fixture, so even a very slow CI box finishes far under that.
+	if elapsed > 50*time.Millisecond {
+		t.Fatalf("already-canceled search took %v", elapsed)
+	}
+
+	// Snapshot path fails fast too, without polluting the result cache.
+	_, err = g.Snapshot().Search(ctx, slowQuery(qv))
+	if !errors.Is(err, acq.ErrCanceled) {
+		t.Fatalf("snapshot err = %v, want ErrCanceled", err)
+	}
+	if res, err := g.Snapshot().Search(bgCtx, acq.Query{VertexID: qv, K: 3}); err != nil || len(res.Communities) == 0 {
+		t.Fatalf("graph unusable after canceled search: %v %+v", err, res)
+	}
+}
+
+// TestSearchDeadlineInterruptsInFlight is the acceptance-criteria test: a
+// deadline measurably interrupts an in-flight search on the large synthetic
+// preset, rather than being checked only after the evaluation finishes.
+func TestSearchDeadlineInterruptsInFlight(t *testing.T) {
+	g, qv := slowFixture(t)
+
+	// Baseline: how long the query runs to completion on this machine.
+	start := time.Now()
+	if _, err := g.Search(bgCtx, slowQuery(qv)); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+	if full < 40*time.Millisecond {
+		t.Skipf("baseline query too fast to interrupt meaningfully (%v)", full)
+	}
+
+	deadline := full / 8
+	ctx, cancelFn := context.WithTimeout(context.Background(), deadline)
+	defer cancelFn()
+	start = time.Now()
+	_, err := g.Search(ctx, slowQuery(qv))
+	elapsed := time.Since(start)
+	if !errors.Is(err, acq.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	// The search must stop well before running to completion. Allow slack
+	// for checkpoint granularity and scheduler noise: half the baseline is
+	// still 4x the deadline.
+	if elapsed >= full/2 {
+		t.Fatalf("deadline %v did not interrupt: ran %v of a %v query", deadline, elapsed, full)
+	}
+}
+
+// TestSearchCancelMidFlight cancels from another goroutine while the search
+// runs, exercising the checkpoint path with context.Canceled (not a
+// deadline).
+func TestSearchCancelMidFlight(t *testing.T) {
+	g, qv := slowFixture(t)
+	ctx, cancelFn := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancelFn()
+	}()
+	_, err := g.Search(ctx, slowQuery(qv))
+	if err == nil {
+		t.Skip("query completed before the cancel landed")
+	}
+	if !errors.Is(err, acq.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+// TestSearchBatchPerQueryTimeout checks the batch deadline contract: slow
+// queries time out individually, fast queries are untouched, and the result
+// slice keeps input order. The timeout is calibrated against this machine:
+// a hardcoded deadline flakes under race instrumentation (5–20x slowdown)
+// when the fast query time-shares one CPU with the slow one.
+func TestSearchBatchPerQueryTimeout(t *testing.T) {
+	g, qv := slowFixture(t)
+	fast := acq.Query{VertexID: qv, K: 3} // indexed Dec: ~ms
+	queries := []acq.Query{fast, slowQuery(qv), fast}
+
+	start := time.Now()
+	if _, err := g.Search(bgCtx, fast); err != nil {
+		t.Fatal(err)
+	}
+	fastDur := time.Since(start)
+	start = time.Now()
+	if _, err := g.Search(bgCtx, slowQuery(qv)); err != nil {
+		t.Fatal(err)
+	}
+	slowDur := time.Since(start)
+	// The fast query may run concurrently with (and get time-shared against)
+	// the slow one, so give it an order of magnitude of headroom — while the
+	// slow query must still overshoot the deadline by a comfortable margin.
+	timeout := max(10*fastDur, 15*time.Millisecond)
+	if timeout > slowDur/3 {
+		t.Skipf("fast (%v) and slow (%v) queries too close to separate a deadline between them", fastDur, slowDur)
+	}
+
+	results := g.SearchBatch(bgCtx, queries, acq.BatchOptions{
+		Workers:         2,
+		PerQueryTimeout: timeout,
+	})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Query.Algorithm != queries[i].Algorithm {
+			t.Fatalf("result %d out of order", i)
+		}
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("fast queries disturbed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if err := results[1].Err; !errors.Is(err, acq.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow query err = %v, want per-query deadline", err)
+	}
+	if len(results[0].Result.Communities) == 0 {
+		t.Fatal("fast query returned no communities")
+	}
+}
+
+// TestSearchBatchCanceledContext: a canceled batch context fails every
+// query promptly while preserving length and order.
+func TestSearchBatchCanceledContext(t *testing.T) {
+	g, qv := slowFixture(t)
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	queries := []acq.Query{slowQuery(qv), slowQuery(qv), slowQuery(qv)}
+	start := time.Now()
+	results := g.SearchBatch(ctx, queries, acq.BatchOptions{Workers: 2})
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("canceled batch took %v", elapsed)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, acq.ErrCanceled) {
+			t.Fatalf("result %d err = %v, want ErrCanceled", i, r.Err)
+		}
+	}
+}
+
+// TestCanceledResultsNeverCached: a timed-out evaluation must not poison the
+// snapshot result cache — the same query re-run with a live context returns
+// the real result.
+func TestCanceledResultsNeverCached(t *testing.T) {
+	g, qv := slowFixture(t)
+	snap := g.Snapshot()
+	ctx, cancelFn := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancelFn()
+	if _, err := snap.Search(ctx, slowQuery(qv)); err == nil {
+		t.Skip("query beat a 1ms deadline; nothing to verify")
+	}
+	res, err := snap.Search(bgCtx, slowQuery(qv))
+	if err != nil || len(res.Communities) == 0 {
+		t.Fatalf("re-run after timeout: %v %+v", err, res)
+	}
+}

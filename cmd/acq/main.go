@@ -14,11 +14,15 @@
 //
 //	acq query -in graph.snap -q <vertex> -k 6 [-s kw1,kw2] [-algo dec]
 //	    Run an attributed community query and print the communities.
-//	    -fixed makes every keyword mandatory (Variant 1); -theta 0.5
-//	    requires each member to share half the keywords (Variant 2).
+//	    -mode selects the community model (core|fixed|threshold|clique|
+//	    similar|truss) with -theta/-tau as its parameters; -timeout bounds
+//	    the evaluation (the search is interrupted mid-evaluation when it
+//	    expires). -fixed is a deprecated alias for -mode fixed, and a bare
+//	    -theta implies -mode threshold.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,7 +63,8 @@ func usage() {
   index  -in graph.txt -out graph.snap [-method advanced|basic]
   stats  -in graph.txt|graph.snap
   query  -in graph.snap -q <vertex> -k 6 [-s kw1,kw2] [-algo dec|inc-s|inc-t|basic-g|basic-w]
-         [-fixed] [-theta 0.6]`)
+         [-mode core|fixed|threshold|clique|similar|truss] [-theta 0.6] [-tau 0.5]
+         [-timeout 5s] [-fixed (deprecated alias for -mode fixed)]`)
 	os.Exit(2)
 }
 
@@ -136,8 +141,11 @@ func cmdQuery(args []string) error {
 	k := fs.Int("k", 6, "minimum degree bound")
 	s := fs.String("s", "", "comma-separated query keywords (default: all of q's)")
 	algo := fs.String("algo", "dec", "algorithm (dec|inc-s|inc-t|basic-g|basic-w)")
-	fixed := fs.Bool("fixed", false, "Variant 1: every keyword of -s is mandatory")
-	theta := fs.Float64("theta", 0, "Variant 2: require ⌈θ·|S|⌉ shared keywords, θ ∈ (0,1]")
+	mode := fs.String("mode", "", "community model (core|fixed|threshold|clique|similar|truss)")
+	fixed := fs.Bool("fixed", false, "deprecated alias for -mode fixed")
+	theta := fs.Float64("theta", 0, "threshold mode: require ⌈θ·|S|⌉ shared keywords, θ ∈ (0,1]")
+	tau := fs.Float64("tau", 0, "similar mode: Jaccard similarity bound τ ∈ (0,1]")
+	timeout := fs.Duration("timeout", 0, "bound the evaluation; 0 = no deadline")
 	fs.Parse(args)
 	if *qv == "" {
 		return fmt.Errorf("query: -q is required")
@@ -149,19 +157,33 @@ func cmdQuery(args []string) error {
 	if !g.HasIndex() && (*algo == "dec" || *algo == "inc-s" || *algo == "inc-t") {
 		g.BuildIndex()
 	}
-	query := acq.Query{Vertex: *qv, K: *k, Algorithm: acq.Algorithm(*algo)}
+	query := acq.Query{
+		Vertex:    *qv,
+		K:         *k,
+		Algorithm: acq.Algorithm(*algo),
+		Mode:      acq.Mode(*mode),
+		Theta:     *theta,
+		Tau:       *tau,
+	}
 	if *s != "" {
 		query.Keywords = strings.Split(*s, ",")
 	}
-	var res acq.Result
-	switch {
-	case *fixed:
-		res, err = g.SearchFixed(query)
-	case *theta > 0:
-		res, err = g.SearchThreshold(query, *theta)
-	default:
-		res, err = g.Search(query)
+	// Back-compat conveniences from before the unified Mode field.
+	if query.Mode == "" {
+		switch {
+		case *fixed:
+			query.Mode = acq.ModeFixed
+		case *theta > 0:
+			query.Mode = acq.ModeThreshold
+		}
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancelFn context.CancelFunc
+		ctx, cancelFn = context.WithTimeout(ctx, *timeout)
+		defer cancelFn()
+	}
+	res, err := g.Search(ctx, query)
 	if err != nil {
 		return err
 	}

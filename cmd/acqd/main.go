@@ -9,6 +9,7 @@
 //
 //	acqd -in graph.snap [-addr :8475]
 //	acqd -preset dblp -scale 0.5          # serve a synthetic dataset
+//	acqd -preset dblp -default-timeout 5s -max-timeout 30s
 package main
 
 import (
@@ -24,8 +25,12 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "synthetic preset scale")
 	addr := flag.String("addr", engine.DefaultAddr, "listen address")
 	cache := flag.Int("cache", 0, "per-snapshot result cache size (0 = default, negative disables)")
-	workers := flag.Int("batch-workers", 0, "worker pool size for /batch (0 = one per CPU)")
+	workers := flag.Int("batch-workers", 0, "worker pool size for batch endpoints (0 = one per CPU)")
 	buildWorkers := flag.Int("workers", 0, "parallel fan-out for index builds and snapshot publication (0 = auto, 1 = serial)")
+	defaultTimeout := flag.Duration("default-timeout", 0, "query timeout applied when a request asks for none (0 = no default)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested query timeouts (0 = no cap)")
+	maxBatch := flag.Int("max-batch-queries", 0, "max queries accepted per batch request (0 = default, negative = unlimited)")
+	maxBody := flag.Int64("max-body-bytes", 0, "max request body size in bytes (0 = default, negative = unlimited)")
 	flag.Parse()
 
 	g, err := engine.LoadSource(*in, *preset, *scale)
@@ -33,9 +38,13 @@ func main() {
 		log.Fatal("acqd: ", err)
 	}
 	log.Fatal(engine.Serve(g, engine.Config{
-		Addr:         *addr,
-		CacheSize:    *cache,
-		BatchWorkers: *workers,
-		BuildWorkers: *buildWorkers,
+		Addr:            *addr,
+		CacheSize:       *cache,
+		BatchWorkers:    *workers,
+		BuildWorkers:    *buildWorkers,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxBatchQueries: *maxBatch,
+		MaxBodyBytes:    *maxBody,
 	}))
 }

@@ -168,7 +168,7 @@ func TestConcurrentSearchDuringMaintenance(t *testing.T) {
 				}
 				label := fmt.Sprintf("c%dv%d", (r+i)%4, i%6)
 				snap := g.Snapshot()
-				res, err := snap.Search(acq.Query{Vertex: label, K: 3})
+				res, err := snap.Search(bgCtx, acq.Query{Vertex: label, K: 3})
 				if err != nil {
 					// Structural updates may legitimately strand a vertex
 					// below k; anything else is a bug.
@@ -221,11 +221,11 @@ func TestConcurrentSearchDuringMaintenance(t *testing.T) {
 		t.Fatalf("version = %d, want ≥ %d", v, updates)
 	}
 	// The master index must still be intact: direct and snapshot reads agree.
-	want, err := g.Search(acq.Query{Vertex: "c0v0", K: 3})
+	want, err := g.Search(bgCtx, acq.Query{Vertex: "c0v0", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := g.Snapshot().Search(acq.Query{Vertex: "c0v0", K: 3})
+	got, err := g.Snapshot().Search(bgCtx, acq.Query{Vertex: "c0v0", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,9 +257,9 @@ func TestSearchBatchPinsOneSnapshot(t *testing.T) {
 			g.RemoveEdge(u, v)
 		}
 	}()
-	first := snap.SearchBatch(queries, 4)
+	first := snap.SearchBatch(bgCtx, queries, acq.BatchOptions{Workers: 4})
 	<-done
-	second := snap.SearchBatch(queries, 4)
+	second := snap.SearchBatch(bgCtx, queries, acq.BatchOptions{Workers: 4})
 
 	if len(first) != len(queries) {
 		t.Fatalf("batch returned %d results", len(first))
@@ -274,7 +274,7 @@ func TestSearchBatchPinsOneSnapshot(t *testing.T) {
 	}
 
 	// Zero-query batch: no workers, non-nil empty result.
-	if out := g.SearchBatch(nil, 8); out == nil || len(out) != 0 {
+	if out := g.SearchBatch(bgCtx, nil, acq.BatchOptions{Workers: 8}); out == nil || len(out) != 0 {
 		t.Fatalf("zero-query batch = %#v", out)
 	}
 }
@@ -289,11 +289,11 @@ func TestSnapshotResultCache(t *testing.T) {
 
 	q1 := acq.Query{Vertex: "c0v0", K: 3, Keywords: []string{"common", "kw0"}}
 	q2 := acq.Query{Vertex: "c0v0", K: 3, Keywords: []string{"kw0", "common"}, Algorithm: acq.AlgoDec}
-	r1, err := s.Search(q1)
+	r1, err := s.Search(bgCtx, q1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := s.Search(q2)
+	r2, err := s.Search(bgCtx, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestSnapshotResultCache(t *testing.T) {
 		t.Fatal("cache returned a different result")
 	}
 	// Distinct queries must not collide.
-	if _, err := s.Search(acq.Query{Vertex: "c0v0", K: 4, Keywords: []string{"common"}}); err != nil {
+	if _, err := s.Search(bgCtx, acq.Query{Vertex: "c0v0", K: 4, Keywords: []string{"common"}}); err != nil {
 		t.Fatal(err)
 	}
 	_, m2 := g.ResultCacheStats()
@@ -316,7 +316,7 @@ func TestSnapshotResultCache(t *testing.T) {
 	// Callers own their Results: mutating one must not corrupt the cache.
 	r1.Communities[0].Members[0] = "vandalised"
 	r1.Communities[0].MemberIDs = r1.Communities[0].MemberIDs[:1]
-	r3, err := s.Search(q1)
+	r3, err := s.Search(bgCtx, q1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,7 @@
+package acq_test
+
+import "context"
+
+// bgCtx is the uncancellable context the tests evaluate under; cancellation
+// behaviour itself is covered in cancel_test.go.
+var bgCtx = context.Background()

@@ -13,8 +13,10 @@
 //     top-down (basic) or bottom-up with an anchored union-find (advanced);
 //   - the query algorithms of Section 6: Dec (default and fastest), Inc-S,
 //     Inc-T, plus the index-free baselines basic-g and basic-w;
-//   - the query variants of Appendix G: fixed keyword sets (SearchFixed) and
-//     θ-threshold keyword sharing (SearchThreshold);
+//   - the query variants, folded into one Search surface via Query.Mode:
+//     ModeFixed and ModeThreshold (Appendix G), ModeClique, ModeSimilar and
+//     ModeTruss (the structure/keyword cohesiveness extensions the paper's
+//     conclusion proposes);
 //   - incremental index maintenance under edge and keyword updates
 //     (Appendix F);
 //   - the paper's evaluation harness: community-quality metrics, the Global
@@ -31,10 +33,35 @@
 //	... // more vertices and edges
 //	g, err := b.Build()
 //	g.BuildIndex()
-//	res, err := g.Search(acq.Query{Vertex: "jack", K: 3})
+//	res, err := g.Search(ctx, acq.Query{Vertex: "jack", K: 3})
 //	for _, c := range res.Communities {
 //	    fmt.Println(c.Label, c.Members) // shared keywords, member labels
 //	}
+//
+// # One Search surface
+//
+// Search(ctx, Query) is the single evaluation entrypoint, defined on the
+// Searcher interface and implemented by both Graph and Snapshot. Query.Mode
+// selects the community model (ModeCore, ModeFixed, ModeThreshold,
+// ModeClique, ModeSimilar, ModeTruss, with Theta/Tau/MaxHops as mode
+// parameters), and ctx bounds the evaluation: the algorithms poll
+// cancellation at amortised checkpoints inside their peeling and traversal
+// loops, so a deadline stops a slow query mid-evaluation with an error
+// wrapping ErrCanceled and context.Cause. SearchBatch adds bounded fan-out
+// and per-query deadlines (BatchOptions.PerQueryTimeout) with input-order
+// results.
+//
+// # Deprecated variant methods
+//
+// The former per-variant entrypoints — SearchFixed, SearchThreshold,
+// SearchClique, SearchSimilar and SearchTruss on both Graph and Snapshot —
+// remain as thin deprecated shims that set Query.Mode and delegate to
+// Search with context.Background(). They will be removed after one
+// compatibility release; migrate by folding the variant into the Query:
+//
+//	g.SearchThreshold(q, 0.5)                             // before
+//	q.Mode, q.Theta = acq.ModeThreshold, 0.5
+//	g.Search(ctx, q)                                      // after
 //
 // # Concurrency and serving
 //
@@ -46,6 +73,8 @@
 // flowing. Each effective mutation maintains the index incrementally and
 // publishes the next snapshot copy-on-write; SearchBatch pins one snapshot
 // per batch. Successful snapshot queries are memoised in a bounded
-// per-snapshot LRU cache. The engine package wraps all of this in an
-// embeddable HTTP serving engine (used by cmd/acqd).
+// per-snapshot LRU cache (canceled evaluations are never cached). The engine
+// package wraps all of this in an embeddable HTTP serving engine with a
+// versioned JSON protocol — POST /v1/search and /v1/batch — used by
+// cmd/acqd.
 package acq

@@ -2,6 +2,14 @@
 // *acq.Graph in the HTTP API that cmd/acqd exposes, serving reads from
 // immutable index snapshots and writes through the incremental maintainer.
 //
+// The query protocol is versioned: POST /v1/search and POST /v1/batch carry
+// JSON queries with an explicit mode (core/fixed/threshold/clique/similar/
+// truss), per-request timeouts, and structured error codes; see Handler and
+// the README's "HTTP API v1" section. Every evaluation runs under a context
+// derived from the request, bounded by Config.DefaultTimeout/MaxTimeout, so
+// client disconnects and deadlines stop searches mid-evaluation instead of
+// burning CPU on abandoned requests.
+//
 // # Architecture
 //
 // Every query handler pins the current snapshot with one atomic pointer load
@@ -23,31 +31,79 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	acq "github.com/acq-search/acq"
 )
 
 // Config tunes the engine. The zero value serves on DefaultAddr with default
-// cache and worker settings.
+// cache, worker and request-limit settings (and no server-side timeouts).
 type Config struct {
 	// Addr is the listen address for ListenAndServe/Serve (default ":8475").
 	Addr string
 	// CacheSize is the per-snapshot query-result cache capacity: 0 keeps
 	// acq.DefaultResultCacheSize, negative disables result caching.
 	CacheSize int
-	// BatchWorkers bounds the worker pool of POST /batch; ≤ 0 means one
-	// worker per CPU.
+	// BatchWorkers bounds the worker pool of POST /v1/batch (and the legacy
+	// /batch); ≤ 0 means one worker per CPU. Clients may request fewer
+	// workers than this bound, never more.
 	BatchWorkers int
 	// BuildWorkers bounds the parallel fan-out of index construction and
 	// copy-on-write snapshot republication: 0 sizes it automatically (one
 	// worker per CPU on large graphs), 1 forces the serial build.
 	BuildWorkers int
+	// DefaultTimeout bounds each query evaluation when the request does not
+	// ask for a timeout itself (single queries via their request deadline,
+	// batch queries via an implied per-query timeout); 0 means no default.
+	// The evaluation context always derives from the request's, so a client
+	// disconnect cancels the search either way.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (timeout_ms,
+	// per_query_timeout_ms) and, when set, also bounds per-query evaluations
+	// that asked for no timeout at all; 0 means no cap. A batch request as a
+	// whole is only deadline-bounded by its own (capped) timeout_ms — the
+	// per-query bounds already limit its total work.
+	MaxTimeout time.Duration
+	// MaxBatchQueries bounds the number of queries accepted in one batch
+	// request: 0 means DefaultMaxBatchQueries, negative means unlimited.
+	// Oversized batches get a structured 400 before any evaluation.
+	MaxBatchQueries int
+	// MaxBodyBytes bounds every request body via http.MaxBytesReader:
+	// 0 means DefaultMaxBodyBytes, negative means unlimited. Oversized
+	// bodies get a structured 413 instead of an unbounded allocation.
+	MaxBodyBytes int64
 	// Logf receives serving log lines; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
 
 // DefaultAddr is the address served when Config.Addr is empty.
 const DefaultAddr = ":8475"
+
+// DefaultMaxBodyBytes is the request-body cap applied when
+// Config.MaxBodyBytes is 0. One MiB fits thousands of batch queries while
+// keeping a misbehaving client from ballooning the decoder.
+const DefaultMaxBodyBytes int64 = 1 << 20
+
+// DefaultMaxBatchQueries is the per-batch query cap applied when
+// Config.MaxBatchQueries is 0.
+const DefaultMaxBatchQueries = 1024
+
+// maxBodyBytes resolves Config.MaxBodyBytes (0 = default, < 0 = unlimited).
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes == 0 {
+		return DefaultMaxBodyBytes
+	}
+	return c.MaxBodyBytes
+}
+
+// maxBatchQueries resolves Config.MaxBatchQueries (0 = default,
+// < 0 = unlimited).
+func (c Config) maxBatchQueries() int {
+	if c.MaxBatchQueries == 0 {
+		return DefaultMaxBatchQueries
+	}
+	return c.MaxBatchQueries
+}
 
 // Engine serves attributed community queries for one graph.
 type Engine struct {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,17 +15,39 @@ import (
 	acq "github.com/acq-search/acq"
 )
 
-// Handler returns the engine's HTTP API:
+// Handler returns the engine's HTTP API.
 //
-//	GET  /stats     graph + index summary (snapshot-consistent)
+// Versioned protocol (v1) — the supported surface:
+//
+//	POST /v1/search  {"query": {...}, "timeout_ms": 250}
+//	POST /v1/batch   {"queries": [{...}, ...], "workers": 4,
+//	                  "timeout_ms": 2000, "per_query_timeout_ms": 100}
+//
+// Every v1 query object addresses its vertex by "vertex" (label) or "id"
+// (dense vertex ID) and selects the community model with "mode"
+// (core|fixed|threshold|clique|similar|truss, default core) plus the
+// mode parameters "theta" / "tau" / "max_hops". v1 errors are structured:
+// {"error": {"code": "vertex_not_found", "message": "..."}} — see README.md
+// for the full code table. Evaluation contexts derive from the request (a
+// client disconnect cancels the search) bounded by the server's default/max
+// timeouts.
+//
+// Legacy endpoints, kept for one compatibility release:
+//
 //	GET  /query     one community query (?q=&k=&s=&algo=&fixed=&theta=&fuzz=)
 //	POST /batch     many queries against one pinned snapshot
+//
+// Unversioned operational endpoints:
+//
+//	GET  /stats     graph + index summary (snapshot-consistent)
 //	POST /edges     {"op":"insert"|"remove","u":"<label>","v":"<label>"}
 //	POST /keywords  {"op":"add"|"remove","vertex":"<label>","keyword":"yoga"}
-//	GET  /metrics   serving counters (queries, cache hits, snapshot version)
+//	GET  /metrics   serving counters (queries, cache hits, cancellations, ...)
 //	GET  /healthz   liveness probe
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", e.handleSearchV1)
+	mux.HandleFunc("POST /v1/batch", e.handleBatchV1)
 	mux.HandleFunc("GET /stats", e.handleStats)
 	mux.HandleFunc("GET /query", e.handleQuery)
 	mux.HandleFunc("POST /batch", e.handleBatch)
@@ -45,13 +68,331 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": e.g.Version()})
 }
 
-// parseQuery decodes the shared query parameters of GET /query. The query
-// vertex is addressed by label (q=) or, for unlabelled graphs such as the
-// synthetic presets, by dense vertex ID (id=).
+// --- v1 wire format.
+
+// wireQuery is the JSON shape of one query in the v1 protocol. ID is a
+// pointer so an omitted field is distinguishable from the valid vertex 0.
+type wireQuery struct {
+	Vertex   string   `json:"vertex,omitempty"`
+	ID       *int32   `json:"id,omitempty"`
+	K        int      `json:"k,omitempty"`
+	Keywords []string `json:"keywords,omitempty"`
+	Mode     string   `json:"mode,omitempty"`
+	Theta    float64  `json:"theta,omitempty"`
+	Tau      float64  `json:"tau,omitempty"`
+	Algo     string   `json:"algo,omitempty"`
+	Fuzz     int      `json:"fuzz,omitempty"`
+	MaxHops  int      `json:"max_hops,omitempty"`
+}
+
+// DefaultK is the degree bound assumed when a request omits "k".
+const DefaultK = 6
+
+// toQuery maps the wire query onto the library query. Addressing errors are
+// reported here; everything else (unknown mode/algorithm, bad k/θ/τ) is left
+// to acq.Search so the one dispatch owns all validation.
+func (wq wireQuery) toQuery() (acq.Query, error) {
+	if wq.Vertex == "" && wq.ID == nil {
+		return acq.Query{}, errMissingVertex
+	}
+	q := acq.Query{
+		Vertex:       wq.Vertex,
+		K:            wq.K,
+		Keywords:     wq.Keywords,
+		Mode:         acq.Mode(wq.Mode),
+		Theta:        wq.Theta,
+		Tau:          wq.Tau,
+		Algorithm:    acq.Algorithm(wq.Algo),
+		FuzzDistance: wq.Fuzz,
+		MaxHops:      wq.MaxHops,
+	}
+	if wq.ID != nil {
+		q.VertexID = *wq.ID
+	}
+	if q.K == 0 {
+		q.K = DefaultK
+	}
+	return q, nil
+}
+
+var errMissingVertex = errors.New("missing vertex (label) or id (dense vertex ID)")
+
+// wireError is the structured error envelope of the v1 protocol.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// v1 error codes, and the HTTP statuses they ride on.
+const (
+	codeBadRequest       = "bad_request"       // 400: malformed JSON, missing vertex
+	codeBadK             = "bad_k"             // 400
+	codeBadTheta         = "bad_theta"         // 400: θ or τ outside (0, 1]
+	codeBadMode          = "bad_mode"          // 400
+	codeBadAlgorithm     = "bad_algorithm"     // 400
+	codeTooManyQueries   = "too_many_queries"  // 400: batch over MaxBatchQueries
+	codeVertexNotFound   = "vertex_not_found"  // 404
+	codeNoKCore          = "no_k_core"         // 404: no community can satisfy k
+	codeBodyTooLarge     = "body_too_large"    // 413: body over MaxBodyBytes
+	codeCanceled         = "canceled"          // 499: client went away
+	codeNoIndex          = "no_index"          // 503
+	codeDeadlineExceeded = "deadline_exceeded" // 504: server/request timeout
+)
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response was written. Nothing standard fits
+// "evaluation canceled because nobody is listening", and the code is widely
+// understood by proxies and dashboards.
+const statusClientClosedRequest = 499
+
+// errorInfo classifies a search error into its v1 code and HTTP status.
+func errorInfo(err error) (code string, status int) {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.Is(err, acq.ErrCanceled) && errors.Is(err, context.DeadlineExceeded):
+		return codeDeadlineExceeded, http.StatusGatewayTimeout
+	case errors.Is(err, acq.ErrCanceled):
+		return codeCanceled, statusClientClosedRequest
+	case errors.Is(err, acq.ErrVertexNotFound):
+		return codeVertexNotFound, http.StatusNotFound
+	case errors.Is(err, acq.ErrNoKCore):
+		return codeNoKCore, http.StatusNotFound
+	case errors.Is(err, acq.ErrBadK):
+		return codeBadK, http.StatusBadRequest
+	case errors.Is(err, acq.ErrBadTheta):
+		return codeBadTheta, http.StatusBadRequest
+	case errors.Is(err, acq.ErrBadMode):
+		return codeBadMode, http.StatusBadRequest
+	case errors.Is(err, acq.ErrBadAlgorithm):
+		return codeBadAlgorithm, http.StatusBadRequest
+	case errors.Is(err, acq.ErrNoIndex):
+		return codeNoIndex, http.StatusServiceUnavailable
+	case errors.As(err, &tooLarge):
+		return codeBodyTooLarge, http.StatusRequestEntityTooLarge
+	default:
+		return codeBadRequest, http.StatusBadRequest
+	}
+}
+
+// writeV1Error writes the structured v1 error envelope for err.
+func writeV1Error(w http.ResponseWriter, err error) {
+	code, status := errorInfo(err)
+	writeJSON(w, status, map[string]any{"error": wireError{Code: code, Message: err.Error()}})
+}
+
+// queryContext derives the evaluation context for one request: the request's
+// own context (so a client disconnect cancels evaluation mid-search) bounded
+// by the requested timeout, the server default, and the server cap.
+func (e *Engine) queryContext(r *http.Request, requestedMS int64) (context.Context, context.CancelFunc) {
+	d := e.boundTimeout(time.Duration(requestedMS) * time.Millisecond)
+	if d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// boundTimeout applies the server's default and cap to a client-requested
+// per-evaluation timeout (≤ 0 = none requested). 0 means "no deadline".
+func (e *Engine) boundTimeout(requested time.Duration) time.Duration {
+	d := requested
+	if d <= 0 {
+		d = e.cfg.DefaultTimeout
+	}
+	if e.cfg.MaxTimeout > 0 && (d <= 0 || d > e.cfg.MaxTimeout) {
+		d = e.cfg.MaxTimeout
+	}
+	return d
+}
+
+// batchContext derives the context for a whole batch request. Only an
+// explicit client timeout_ms (capped by MaxTimeout) applies batch-wide:
+// DefaultTimeout and MaxTimeout are per-evaluation bounds, enforced on each
+// query through BatchOptions.PerQueryTimeout — applying them to the whole
+// batch would kill a large batch of individually-fast queries with a
+// single-query-sized deadline. The request context still flows through, so
+// a client disconnect cancels the remaining queries either way.
+func (e *Engine) batchContext(r *http.Request, requestedMS int64) (context.Context, context.CancelFunc) {
+	d := time.Duration(requestedMS) * time.Millisecond
+	if d > 0 && e.cfg.MaxTimeout > 0 && d > e.cfg.MaxTimeout {
+		d = e.cfg.MaxTimeout
+	}
+	if d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// decodeBody decodes a JSON request body under the engine's size cap.
+func (e *Engine) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := r.Body
+	if limit := e.cfg.maxBodyBytes(); limit > 0 {
+		body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	return json.NewDecoder(body).Decode(v)
+}
+
+// searchV1Req is the wire shape of POST /v1/search.
+type searchV1Req struct {
+	Query     wireQuery `json:"query"`
+	TimeoutMS int64     `json:"timeout_ms,omitempty"`
+}
+
+func (e *Engine) handleSearchV1(w http.ResponseWriter, r *http.Request) {
+	var req searchV1Req
+	if err := e.decodeBody(w, r, &req); err != nil {
+		writeV1Error(w, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	query, err := req.Query.toQuery()
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	ctx, cancel := e.queryContext(r, req.TimeoutMS)
+	defer cancel()
+
+	snap := e.pin()
+	start := time.Now()
+	res, err := snap.Search(ctx, query)
+	e.met.queries.Add(1)
+	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		e.recordQueryError(err)
+		writeV1Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": snap.Version(), "result": res})
+}
+
+// batchV1Req is the wire shape of POST /v1/batch.
+type batchV1Req struct {
+	Queries   []wireQuery `json:"queries"`
+	Workers   int         `json:"workers,omitempty"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	// PerQueryTimeoutMS bounds each query individually: a slow query times
+	// out without disturbing the rest of the batch.
+	PerQueryTimeoutMS int64 `json:"per_query_timeout_ms,omitempty"`
+}
+
+// batchV1Item is one entry of the POST /v1/batch response, in input order.
+type batchV1Item struct {
+	Result *acq.Result `json:"result,omitempty"`
+	Error  *wireError  `json:"error,omitempty"`
+}
+
+func (e *Engine) handleBatchV1(w http.ResponseWriter, r *http.Request) {
+	var req batchV1Req
+	if err := e.decodeBody(w, r, &req); err != nil {
+		writeV1Error(w, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if maxQ := e.cfg.maxBatchQueries(); maxQ > 0 && len(req.Queries) > maxQ {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": wireError{
+			Code:    codeTooManyQueries,
+			Message: fmt.Sprintf("batch of %d queries exceeds the server limit of %d", len(req.Queries), maxQ),
+		}})
+		return
+	}
+
+	// Validate addressing up front: entries with neither a label nor an ID
+	// get a per-item error instead of silently querying vertex 0.
+	items := make([]batchV1Item, len(req.Queries))
+	queries := make([]acq.Query, 0, len(req.Queries))
+	itemOf := make([]int, 0, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := wq.toQuery()
+		if err != nil {
+			code, _ := errorInfo(err)
+			items[i].Error = &wireError{Code: code, Message: err.Error()}
+			continue
+		}
+		queries = append(queries, q)
+		itemOf = append(itemOf, i)
+	}
+
+	ctx, cancel := e.batchContext(r, req.TimeoutMS)
+	defer cancel()
+	opts := acq.BatchOptions{
+		Workers: e.clampWorkers(req.Workers),
+		// boundTimeout substitutes the server's DefaultTimeout when the
+		// client asked for no per-query bound, and caps either by
+		// MaxTimeout — the per-evaluation latency control.
+		PerQueryTimeout: e.boundTimeout(time.Duration(req.PerQueryTimeoutMS) * time.Millisecond),
+	}
+
+	snap := e.pin() // one snapshot for the whole batch
+	start := time.Now()
+	results := snap.SearchBatch(ctx, queries, opts)
+	e.met.batches.Add(1)
+	e.met.batchQueries.Add(uint64(len(queries)))
+	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
+
+	for j := range results {
+		i := itemOf[j]
+		if err := results[j].Err; err != nil {
+			e.recordBatchItemError(err)
+			code, _ := errorInfo(err)
+			items[i].Error = &wireError{Code: code, Message: err.Error()}
+		} else {
+			items[i].Result = &results[j].Result
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": snap.Version(),
+		"results": items,
+	})
+}
+
+// clampWorkers resolves a client-requested worker count against the
+// operator's BatchWorkers bound (one per CPU when unset): clients may
+// request fewer workers than the server allows, never more.
+func (e *Engine) clampWorkers(requested int) int {
+	limit := e.cfg.BatchWorkers
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if requested <= 0 || requested > limit {
+		return limit
+	}
+	return requested
+}
+
+// recordQueryError accounts a failed single-query request; failed batch
+// items go to recordBatchItemError so QueryErrors/Queries and
+// BatchQueryErrors/BatchQueries stay meaningful ratios.
+func (e *Engine) recordQueryError(err error) {
+	e.met.queryErrors.Add(1)
+	e.recordCancellation(err)
+}
+
+// recordBatchItemError accounts one failed query inside a batch.
+func (e *Engine) recordBatchItemError(err error) {
+	e.met.batchQueryErrors.Add(1)
+	e.recordCancellation(err)
+}
+
+// recordCancellation splits out cancellations and deadline expiries so
+// operators can see latency-control pressure regardless of request shape.
+func (e *Engine) recordCancellation(err error) {
+	if errors.Is(err, acq.ErrCanceled) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.met.timedOut.Add(1)
+		} else {
+			e.met.canceled.Add(1)
+		}
+	}
+}
+
+// --- Legacy endpoints (deprecated, one compatibility release).
+
+// parseQuery decodes the shared query parameters of the legacy GET /query.
+// The query vertex is addressed by label (q=) or, for unlabelled graphs such
+// as the synthetic presets, by dense vertex ID (id=). fixed=/theta= select
+// the variant modes.
 func parseQuery(qp url.Values) (acq.Query, error) {
 	q := acq.Query{
 		Vertex:    qp.Get("q"),
-		K:         6,
+		K:         DefaultK,
 		Algorithm: acq.Algorithm(qp.Get("algo")),
 	}
 	if q.Vertex == "" {
@@ -82,48 +423,48 @@ func parseQuery(qp url.Values) (acq.Query, error) {
 		}
 		q.FuzzDistance = d
 	}
+	switch {
+	case qp.Get("fixed") != "":
+		q.Mode = acq.ModeFixed
+	case qp.Get("theta") != "":
+		theta, err := strconv.ParseFloat(qp.Get("theta"), 64)
+		if err != nil {
+			return q, fmt.Errorf("bad theta: %v", err)
+		}
+		q.Mode, q.Theta = acq.ModeThreshold, theta
+	}
 	return q, nil
 }
 
 func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
-	qp := r.URL.Query()
-	query, err := parseQuery(qp)
+	query, err := parseQuery(r.URL.Query())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The evaluation runs under the request context (bounded by the server
+	// timeouts): a client disconnect stops the search instead of letting it
+	// run to completion against a socket nobody reads.
+	ctx, cancel := e.queryContext(r, 0)
+	defer cancel()
 
 	// Pin once: the whole request, including variant dispatch, observes one
 	// immutable graph version without taking any lock.
 	snap := e.pin()
 	start := time.Now()
-	var res acq.Result
-	switch {
-	case qp.Get("fixed") != "":
-		res, err = snap.SearchFixed(query)
-	case qp.Get("theta") != "":
-		theta, perr := strconv.ParseFloat(qp.Get("theta"), 64)
-		if perr != nil {
-			err = fmt.Errorf("bad theta: %w", perr)
-		} else {
-			res, err = snap.SearchThreshold(query, theta)
-		}
-	default:
-		res, err = snap.Search(query)
-	}
+	res, err := snap.Search(ctx, query)
 	e.met.queries.Add(1)
 	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
 	if err != nil {
-		e.met.queryErrors.Add(1)
-		httpError(w, queryStatus(err), "%v", err)
+		e.recordQueryError(err)
+		httpError(w, legacyStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
-// batchReq is the wire format of POST /batch. Each query addresses its
-// vertex by label ("q") or dense ID ("id", for unlabelled graphs). ID is a
-// pointer so an omitted field is distinguishable from the valid vertex 0.
+// batchReq is the wire format of the legacy POST /batch. Each query
+// addresses its vertex by label ("q") or dense ID ("id").
 type batchReq struct {
 	Queries []struct {
 		Q    string   `json:"q"`
@@ -135,7 +476,7 @@ type batchReq struct {
 	Workers int `json:"workers"`
 }
 
-// batchItem is one entry of the POST /batch response, in input order.
+// batchItem is one entry of the legacy POST /batch response, in input order.
 type batchItem struct {
 	Result *acq.Result `json:"result,omitempty"`
 	Error  string      `json:"error,omitempty"`
@@ -143,8 +484,17 @@ type batchItem struct {
 
 func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := e.decodeBody(w, r, &req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body too large: %v", err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if maxQ := e.cfg.maxBatchQueries(); maxQ > 0 && len(req.Queries) > maxQ {
+		httpError(w, http.StatusBadRequest, "batch of %d queries exceeds the server limit of %d", len(req.Queries), maxQ)
 		return
 	}
 	// Validate addressing up front: entries with neither a label nor an ID
@@ -159,7 +509,7 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		k := q.K
 		if k == 0 {
-			k = 6
+			k = DefaultK
 		}
 		var vid int32
 		if q.ID != nil {
@@ -168,21 +518,16 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queries = append(queries, acq.Query{Vertex: q.Q, VertexID: vid, K: k, Keywords: q.S, Algorithm: acq.Algorithm(q.Algo)})
 		itemOf = append(itemOf, i)
 	}
-	// The client may request fewer workers than the server allows, never
-	// more: the operator's BatchWorkers bound (one per CPU when unset) caps
-	// the per-request fan-out.
-	limit := e.cfg.BatchWorkers
-	if limit <= 0 {
-		limit = runtime.GOMAXPROCS(0)
-	}
-	workers := req.Workers
-	if workers <= 0 || workers > limit {
-		workers = limit
-	}
+
+	ctx, cancel := e.batchContext(r, 0)
+	defer cancel()
 
 	snap := e.pin() // one snapshot for the whole batch
 	start := time.Now()
-	results := snap.SearchBatch(queries, workers)
+	results := snap.SearchBatch(ctx, queries, acq.BatchOptions{
+		Workers:         e.clampWorkers(req.Workers),
+		PerQueryTimeout: e.boundTimeout(0), // server default/max, per query
+	})
 	e.met.batches.Add(1)
 	e.met.batchQueries.Add(uint64(len(queries)))
 	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
@@ -190,6 +535,7 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for j := range results {
 		i := itemOf[j]
 		if results[j].Err != nil {
+			e.recordBatchItemError(results[j].Err)
 			items[i].Error = results[j].Err.Error()
 		} else {
 			items[i].Result = &results[j].Result
@@ -209,7 +555,7 @@ type edgeReq struct {
 
 func (e *Engine) handleEdges(w http.ResponseWriter, r *http.Request) {
 	var req edgeReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := e.decodeBody(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
@@ -229,7 +575,7 @@ type keywordReq struct {
 
 func (e *Engine) handleKeywords(w http.ResponseWriter, r *http.Request) {
 	var req keywordReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := e.decodeBody(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
@@ -241,12 +587,20 @@ func (e *Engine) handleKeywords(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
 }
 
-// queryStatus maps a search error to its HTTP status.
-func queryStatus(err error) int {
-	if errors.Is(err, acq.ErrVertexNotFound) {
+// legacyStatus maps a search error to the legacy GET /query HTTP status:
+// 404 for unknown vertices, 499/504 for cancellation, 400 otherwise (the
+// legacy endpoint predates the structured error codes).
+func legacyStatus(err error) int {
+	switch {
+	case errors.Is(err, acq.ErrVertexNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, acq.ErrCanceled) && errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, acq.ErrCanceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
 }
 
 // updateStatus maps a write-path error to its HTTP status.

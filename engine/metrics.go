@@ -8,23 +8,38 @@ import (
 // metrics holds the engine's hot-path counters. Everything is atomic: the
 // serving paths never take a lock to account for a request.
 type metrics struct {
-	queries      atomic.Uint64 // single queries served (incl. errors)
-	queryErrors  atomic.Uint64
-	batches      atomic.Uint64 // batch requests served
-	batchQueries atomic.Uint64 // queries inside batches
-	updates      atomic.Uint64 // effective or attempted graph updates
-	queryNanos   atomic.Int64  // total time inside Search*, single + batch
+	queries          atomic.Uint64 // single queries served (incl. errors)
+	queryErrors      atomic.Uint64
+	batches          atomic.Uint64 // batch requests served
+	batchQueries     atomic.Uint64 // queries inside batches
+	updates          atomic.Uint64 // effective or attempted graph updates
+	queryNanos       atomic.Int64  // total time inside Search, single + batch
+	batchQueryErrors atomic.Uint64 // failed queries inside batches
+	canceled         atomic.Uint64 // queries stopped by client cancellation
+	timedOut         atomic.Uint64 // queries stopped by a deadline
 }
 
 // Metrics is the exported counter snapshot returned by Engine.Metrics and
 // GET /metrics.
 type Metrics struct {
-	// Queries counts single /query requests; QueryErrors those that failed.
+	// Queries counts single-query requests (/v1/search and the legacy
+	// /query); QueryErrors those that failed.
 	Queries     uint64 `json:"queries"`
 	QueryErrors uint64 `json:"query_errors"`
-	// Batches counts /batch requests, BatchQueries the queries inside them.
-	Batches      uint64 `json:"batches"`
-	BatchQueries uint64 `json:"batch_queries"`
+	// CanceledQueries counts evaluations stopped because the caller went
+	// away (client disconnect, request cancel); TimedOutQueries those
+	// stopped by a deadline (request timeout_ms, per-query timeout, or the
+	// server's default/max timeout). Single-query cancellations are also in
+	// QueryErrors, batch-item ones in BatchQueryErrors.
+	CanceledQueries uint64 `json:"canceled_queries"`
+	TimedOutQueries uint64 `json:"timed_out_queries"`
+	// Batches counts batch requests, BatchQueries the queries inside them,
+	// and BatchQueryErrors the per-item failures — kept separate from
+	// QueryErrors so QueryErrors/Queries and BatchQueryErrors/BatchQueries
+	// remain meaningful error rates.
+	Batches          uint64 `json:"batches"`
+	BatchQueries     uint64 `json:"batch_queries"`
+	BatchQueryErrors uint64 `json:"batch_query_errors"`
 	// Updates counts applied edge/keyword updates.
 	Updates uint64 `json:"updates"`
 	// QueryNanos is the cumulative wall time spent evaluating queries.
@@ -56,8 +71,11 @@ func (e *Engine) Metrics() Metrics {
 		IndexBuildWorkers: buildWorkers,
 		Queries:           e.met.queries.Load(),
 		QueryErrors:       e.met.queryErrors.Load(),
+		CanceledQueries:   e.met.canceled.Load(),
+		TimedOutQueries:   e.met.timedOut.Load(),
 		Batches:           e.met.batches.Load(),
 		BatchQueries:      e.met.batchQueries.Load(),
+		BatchQueryErrors:  e.met.batchQueryErrors.Load(),
 		Updates:           e.met.updates.Load(),
 		QueryNanos:        e.met.queryNanos.Load(),
 		SnapshotVersion:   e.g.Version(),

@@ -1,8 +1,10 @@
 package acq_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	acq "github.com/acq-search/acq"
 )
@@ -33,7 +35,7 @@ func buildFig1() *acq.Graph {
 func ExampleGraph_Search() {
 	g := buildFig1()
 	g.BuildIndex()
-	res, err := g.Search(acq.Query{Vertex: "Jack", K: 3})
+	res, err := g.Search(context.Background(), acq.Query{Vertex: "Jack", K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func ExampleGraph_Search_personalized() {
 	g := buildFig1()
 	g.BuildIndex()
 	// Restrict the semantics of the community to one keyword.
-	res, err := g.Search(acq.Query{Vertex: "Jack", K: 2, Keywords: []string{"web"}})
+	res, err := g.Search(context.Background(), acq.Query{Vertex: "Jack", K: 2, Keywords: []string{"web"}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,11 +59,13 @@ func ExampleGraph_Search_personalized() {
 	// Output: [web] [Jack John Alex]
 }
 
-func ExampleGraph_SearchFixed() {
+func ExampleGraph_Search_fixedMode() {
 	g := buildFig1()
 	g.BuildIndex()
-	// Variant 1: every member must contain the whole keyword set.
-	res, err := g.SearchFixed(acq.Query{Vertex: "Bob", K: 1, Keywords: []string{"chess", "yoga"}})
+	// ModeFixed (Variant 1): every member must contain the whole keyword set.
+	res, err := g.Search(context.Background(), acq.Query{
+		Vertex: "Bob", K: 1, Keywords: []string{"chess", "yoga"}, Mode: acq.ModeFixed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,20 +73,38 @@ func ExampleGraph_SearchFixed() {
 	// Output: [Bob Alex]
 }
 
-func ExampleGraph_SearchThreshold() {
+func ExampleGraph_Search_thresholdMode() {
 	g := buildFig1()
 	g.BuildIndex()
-	// Variant 2: members must share at least ⌈0.5·|S|⌉ = 2 of the keywords.
-	res, err := g.SearchThreshold(acq.Query{
+	// ModeThreshold (Variant 2): members must share ≥ ⌈0.5·|S|⌉ = 2 keywords.
+	res, err := g.Search(context.Background(), acq.Query{
 		Vertex:   "Jack",
 		K:        3,
 		Keywords: []string{"research", "sports", "web", "yoga"},
-	}, 0.5)
+		Mode:     acq.ModeThreshold,
+		Theta:    0.5,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(res.Communities[0].Members)
 	// Output: [Bob Jack Mike John Alex]
+}
+
+func ExampleGraph_Search_deadline() {
+	g := buildFig1()
+	g.BuildIndex()
+	// A deadline bounds the evaluation; this one is generous enough for a
+	// six-vertex graph, but on a hot shard an expired context interrupts the
+	// search mid-evaluation with an error wrapping acq.ErrCanceled.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	res, err := g.Search(ctx, acq.Query{Vertex: "Jack", K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Communities[0].Label)
+	// Output: [research sports]
 }
 
 func ExampleGraph_SearchBatch() {
@@ -92,7 +114,8 @@ func ExampleGraph_SearchBatch() {
 		{Vertex: "Jack", K: 3},
 		{Vertex: "Bob", K: 1, Keywords: []string{"yoga"}},
 	}
-	for _, r := range g.SearchBatch(queries, 2) {
+	results := g.SearchBatch(context.Background(), queries, acq.BatchOptions{Workers: 2})
+	for _, r := range results {
 		if r.Err != nil {
 			log.Fatal(r.Err)
 		}

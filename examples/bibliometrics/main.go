@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -51,6 +52,7 @@ func main() {
 		log.Fatal(err)
 	}
 	g.BuildIndex()
+	ctx := context.Background()
 
 	show := func(title string, res acq.Result) {
 		fmt.Println(title)
@@ -66,14 +68,14 @@ func main() {
 
 	// Default S = W(q): the maximal shared keyword sets split gray's world
 	// into its two collaboration circles (Figure 2 of the paper).
-	res, err := g.Search(acq.Query{Vertex: "gray", K: 4})
+	res, err := g.Search(ctx, acq.Query{Vertex: "gray", K: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
 	show("ACs with S = W(gray):", res)
 
 	// Personalised S: the database hat...
-	res, err = g.Search(acq.Query{Vertex: "gray", K: 4,
+	res, err = g.Search(ctx, acq.Query{Vertex: "gray", K: 4,
 		Keywords: []string{"transaction", "database", "system"}})
 	if err != nil {
 		log.Fatal(err)
@@ -81,7 +83,7 @@ func main() {
 	show("ACs with S = {transaction, database, system}:", res)
 
 	// ... and the astronomy hat.
-	res, err = g.Search(acq.Query{Vertex: "gray", K: 4,
+	res, err = g.Search(ctx, acq.Query{Vertex: "gray", K: 4,
 		Keywords: []string{"sloan", "sky", "survey"}})
 	if err != nil {
 		log.Fatal(err)
@@ -89,16 +91,17 @@ func main() {
 	show("ACs with S = {sloan, sky, survey}:", res)
 
 	// Variant 1 (Figure 18): require an exact AC-label.
-	res, err = g.SearchFixed(acq.Query{Vertex: "gray", K: 4,
-		Keywords: []string{"sloan", "survey"}})
+	res, err = g.Search(ctx, acq.Query{Vertex: "gray", K: 4,
+		Keywords: []string{"sloan", "survey"}, Mode: acq.ModeFixed})
 	if err != nil {
 		log.Fatal(err)
 	}
 	show("Variant 1 with mandatory {sloan, survey}:", res)
 
 	// Variant 2: tolerate partial keyword overlap across both worlds.
-	res, err = g.SearchThreshold(acq.Query{Vertex: "gray", K: 4,
-		Keywords: []string{"database", "system", "sloan", "survey"}}, 0.5)
+	res, err = g.Search(ctx, acq.Query{Vertex: "gray", K: 4,
+		Keywords: []string{"database", "system", "sloan", "survey"},
+		Mode:     acq.ModeThreshold, Theta: 0.5})
 	if err != nil {
 		log.Fatal(err)
 	}

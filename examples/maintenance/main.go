@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -22,6 +23,7 @@ func main() {
 		log.Fatal(err)
 	}
 	g.BuildIndex()
+	ctx := context.Background()
 	st := g.Stats()
 	fmt.Printf("synthetic dblp: %d vertices, %d edges, kmax %d, index nodes %d\n\n",
 		st.Vertices, st.Edges, st.KMax, st.IndexNodes)
@@ -35,7 +37,7 @@ func main() {
 		}
 	}
 	query := acq.Query{VertexID: q, K: 4}
-	res, err := g.Search(query)
+	res, err := g.Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +65,7 @@ func main() {
 	fmt.Printf("wired vertex #%d into the community with %d edges and %d keywords\n",
 		fresh, wired, len(keywords))
 
-	res, err = g.Search(query)
+	res, err = g.Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func main() {
 	for _, m := range members {
 		g.RemoveEdge(fresh, m)
 	}
-	res, err = g.Search(query)
+	res, err = g.Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("restored graph has index: %v\n", restored.HasIndex())
-	res2, err := restored.Search(query)
+	res2, err := restored.Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -39,9 +40,13 @@ func main() {
 	// One-off index build; every query afterwards is sub-millisecond.
 	g.BuildIndex()
 
+	// Every query runs under a context; Background means "no deadline".
+	// Pass a context.WithTimeout to bound slow queries instead.
+	ctx := context.Background()
+
 	// Who forms a tight community with Jack (everyone connected, degree ≥ 3
 	// inside the community) and what do they have in common?
-	res, err := g.Search(acq.Query{Vertex: "Jack", K: 3})
+	res, err := g.Search(ctx, acq.Query{Vertex: "Jack", K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +56,7 @@ func main() {
 	}
 
 	// Personalisation: focus the community on a specific interest.
-	res, err = g.Search(acq.Query{Vertex: "Jack", K: 2, Keywords: []string{"web"}})
+	res, err = g.Search(ctx, acq.Query{Vertex: "Jack", K: 2, Keywords: []string{"web"}})
 	if err != nil {
 		log.Fatal(err)
 	}

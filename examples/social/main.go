@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -72,9 +73,10 @@ func main() {
 		log.Fatal(err)
 	}
 	g.BuildIndex()
+	ctx := context.Background()
 
 	// Without keywords the community mixes chess and yoga friends.
-	plain, err := g.Search(acq.Query{Vertex: "Mary", K: 3})
+	plain, err := g.Search(ctx, acq.Query{Vertex: "Mary", K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func main() {
 		plain.Communities[0].Label, strings.Join(plain.Communities[0].Members, ", "))
 
 	// Personalised to the gym's campaign: only yoga-interested close friends.
-	res, err := g.Search(acq.Query{Vertex: "Mary", K: 3, Keywords: []string{"yoga"}})
+	res, err := g.Search(ctx, acq.Query{Vertex: "Mary", K: 3, Keywords: []string{"yoga"}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,11 +94,13 @@ func main() {
 
 	// Variant 2: a softer campaign — members sharing ≥ half of a broader
 	// wellness profile.
-	soft, err := g.SearchThreshold(acq.Query{
+	soft, err := g.Search(ctx, acq.Query{
 		Vertex:   "Mary",
 		K:        3,
 		Keywords: []string{"yoga", "meditation", "fitness", "wellness"},
-	}, 0.5)
+		Mode:     acq.ModeThreshold,
+		Theta:    0.5,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

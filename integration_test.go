@@ -39,7 +39,7 @@ func TestIntegrationSyntheticPipeline(t *testing.T) {
 		var label0 []string
 		var size0, n0 int
 		for i, algo := range algos {
-			res, err := g.Search(acq.Query{VertexID: q, K: 4, Algorithm: algo})
+			res, err := g.Search(bgCtx, acq.Query{VertexID: q, K: 4, Algorithm: algo})
 			if err != nil {
 				t.Fatalf("q=%d %s: %v", q, algo, err)
 			}
@@ -63,11 +63,11 @@ func TestIntegrationSyntheticPipeline(t *testing.T) {
 	for i, q := range queries {
 		batch[i] = acq.Query{VertexID: q, K: 4}
 	}
-	for i, r := range g.SearchBatch(batch, 3) {
+	for i, r := range g.SearchBatch(bgCtx, batch, acq.BatchOptions{Workers: 3}) {
 		if r.Err != nil {
 			t.Fatalf("batch %d: %v", i, r.Err)
 		}
-		serial, _ := g.Search(batch[i])
+		serial, _ := g.Search(bgCtx, batch[i])
 		if r.Result.LabelSize != serial.LabelSize {
 			t.Fatalf("batch %d disagrees with serial", i)
 		}
@@ -83,8 +83,8 @@ func TestIntegrationSyntheticPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range queries[:2] {
-		a, err1 := g.Search(acq.Query{VertexID: q, K: 4})
-		b, err2 := g2.Search(acq.Query{VertexID: q, K: 4})
+		a, err1 := g.Search(bgCtx, acq.Query{VertexID: q, K: 4})
+		b, err2 := g2.Search(bgCtx, acq.Query{VertexID: q, K: 4})
 		if err1 != nil || err2 != nil || a.LabelSize != b.LabelSize {
 			t.Fatalf("snapshot changed results for %d", q)
 		}
@@ -92,7 +92,7 @@ func TestIntegrationSyntheticPipeline(t *testing.T) {
 
 	// Mutations keep the maintained index equivalent to a fresh rebuild.
 	q := queries[0]
-	res, err := g.Search(acq.Query{VertexID: q, K: 4})
+	res, err := g.Search(bgCtx, acq.Query{VertexID: q, K: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestIntegrationSyntheticPipeline(t *testing.T) {
 	if peer >= 0 {
 		g.RemoveEdge(q, peer) // may or may not be an edge; either is fine
 		g.InsertEdge(q, peer)
-		after, err := g.Search(acq.Query{VertexID: q, K: 4})
+		after, err := g.Search(bgCtx, acq.Query{VertexID: q, K: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func TestIntegrationSyntheticPipeline(t *testing.T) {
 			t.Fatal(err)
 		}
 		fresh.BuildIndex()
-		want, err := fresh.Search(acq.Query{VertexID: q, K: 4})
+		want, err := fresh.Search(bgCtx, acq.Query{VertexID: q, K: 4})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,225 @@
+// Package apisurface renders the exported API surface of a Go package
+// directory as a sorted, deterministic text listing — one line per exported
+// function, method, type, constant and variable, with unexported struct
+// fields and interface methods filtered out.
+//
+// It backs the repository's apidiff-style CI check: the golden files under
+// api/ are committed, and TestAPISurface fails whenever the exported surface
+// drifts from them, so breaking API changes must be made consciously (by
+// regenerating the golden with -update-api) rather than slipping through a
+// refactor.
+package apisurface
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Render parses the non-test Go files of dir and returns the exported
+// surface, one declaration per line, sorted.
+func Render(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return "", err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return "", fmt.Errorf("apisurface: no Go files in %s", dir)
+	}
+
+	var lines []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			lines = append(lines, declLines(fset, decl)...)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// declLines renders one top-level declaration into zero or more surface
+// lines.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if line, ok := funcLine(fset, d); ok {
+			return []string{line}
+		}
+	case *ast.GenDecl:
+		return genLines(fset, d)
+	}
+	return nil
+}
+
+// funcLine renders an exported function or method signature. Methods on
+// unexported receiver types are omitted.
+func funcLine(fset *token.FileSet, d *ast.FuncDecl) (string, bool) {
+	if d.Name == nil || !d.Name.IsExported() {
+		return "", false
+	}
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		if !ast.IsExported(receiverTypeName(d.Recv.List[0].Type)) {
+			return "", false
+		}
+	}
+	clone := *d
+	clone.Doc = nil
+	clone.Body = nil
+	return normalize(render(fset, &clone)), true
+}
+
+// genLines renders the exported entries of a const/var/type block.
+func genLines(fset *token.FileSet, d *ast.GenDecl) []string {
+	var out []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			clone := *s
+			clone.Doc, clone.Comment = nil, nil
+			clone.Type = filterType(s.Type)
+			out = append(out, normalize("type "+render(fset, &clone)))
+		case *ast.ValueSpec:
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			typeText := ""
+			if s.Type != nil {
+				typeText = " " + normalize(render(fset, s.Type))
+			}
+			// Single-name specs with a literal value keep it (e.g. the Mode
+			// constants); multi-name and iota specs list names only.
+			valueText := ""
+			if len(s.Names) == 1 && len(s.Values) == 1 {
+				if lit, ok := s.Values[0].(*ast.BasicLit); ok {
+					valueText = " = " + lit.Value
+				}
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					out = append(out, kind+" "+name.Name+typeText+valueText)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// filterType strips unexported struct fields and interface methods so the
+// surface only changes when the exported shape changes.
+func filterType(t ast.Expr) ast.Expr {
+	switch tt := t.(type) {
+	case *ast.StructType:
+		clone := *tt
+		clone.Fields = filterFieldList(tt.Fields, false)
+		return &clone
+	case *ast.InterfaceType:
+		clone := *tt
+		clone.Methods = filterFieldList(tt.Methods, true)
+		return &clone
+	default:
+		return t
+	}
+}
+
+// filterFieldList keeps exported (or embedded) entries; embedded indicates
+// interface method lists, where unnamed entries are embedded interfaces.
+func filterFieldList(fl *ast.FieldList, embedded bool) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		clone := *f
+		clone.Doc, clone.Comment, clone.Tag = nil, nil, nil
+		if len(f.Names) == 0 {
+			// Embedded field / interface: keep if its type name is exported.
+			if ast.IsExported(receiverTypeName(f.Type)) || embedded {
+				out.List = append(out.List, &clone)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			clone.Names = names
+			out.List = append(out.List, &clone)
+		}
+	}
+	return out
+}
+
+// receiverTypeName unwraps stars, generics and selectors down to the base
+// type identifier.
+func receiverTypeName(t ast.Expr) string {
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.SelectorExpr:
+			return tt.Sel.Name
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// render pretty-prints a node.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return buf.String()
+}
+
+// normalize flattens a multi-line rendering into one deterministic line:
+// inner lines are joined with "; ", runs of whitespace collapse to single
+// spaces, and trailing "{ }" noise from emptied bodies is trimmed.
+func normalize(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, ln := range lines {
+		lines[i] = strings.TrimSpace(ln)
+	}
+	joined := strings.Join(lines, " ; ")
+	joined = strings.ReplaceAll(joined, "{ ; ", "{ ")
+	joined = strings.ReplaceAll(joined, " ; }", " }")
+	joined = strings.ReplaceAll(joined, "\t", " ")
+	for strings.Contains(joined, "  ") {
+		joined = strings.ReplaceAll(joined, "  ", " ")
+	}
+	return strings.TrimSpace(joined)
+}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -17,6 +18,10 @@ import (
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
 )
+
+// bgCtx is the background context the offline experiment drivers evaluate
+// under: the harness never cancels a measurement mid-run.
+var bgCtx = context.Background()
 
 // Table is one experiment's output: a titled grid of cells.
 type Table struct {

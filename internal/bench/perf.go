@@ -143,7 +143,7 @@ func Fig14QueryVsCS(ds *Dataset) *Table {
 		t.AddRow(fmt.Sprintf("%d", k),
 			ms(msPer(qs, func(q graph.VertexID) { baseline.Global(ops, q, k) })),
 			ms(msPer(qs, func(q graph.VertexID) { baseline.Local(ops, q, k) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.Dec(ds.Tree, q, k, nil, core.DefaultOptions()) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.Dec(bgCtx, ds.Tree, q, k, nil, core.DefaultOptions()) })),
 		)
 	}
 	return t
@@ -171,13 +171,13 @@ func Fig14EffectK(ds *Dataset, withBasic bool) *Table {
 		}
 		bg, bw := "-", "-"
 		if withBasic {
-			bg = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicG(ds.G, q, k, nil, opt) }))
-			bw = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicW(ds.G, q, k, nil, opt) }))
+			bg = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicG(bgCtx, ds.G, q, k, nil, opt) }))
+			bw = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicW(bgCtx, ds.G, q, k, nil, opt) }))
 		}
 		t.AddRow(fmt.Sprintf("%d", k), bg, bw,
-			ms(msPer(qs, func(q graph.VertexID) { core.IncS(ds.Tree, q, k, nil, opt) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncT(ds.Tree, q, k, nil, opt) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.Dec(ds.Tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncS(bgCtx, ds.Tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncT(bgCtx, ds.Tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.Dec(bgCtx, ds.Tree, q, k, nil, opt) })),
 		)
 	}
 	return t
@@ -198,9 +198,9 @@ func Fig14KeywordScale(ds *Dataset, fracs []float64) *Table {
 		tree := core.BuildAdvanced(g)
 		qs := ds.Queries
 		t.AddRow(fmt.Sprintf("%.0f%%", frac*100),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncS(tree, q, k, nil, opt) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncT(tree, q, k, nil, opt) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.Dec(tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncS(bgCtx, tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncT(bgCtx, tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.Dec(bgCtx, tree, q, k, nil, opt) })),
 		)
 	}
 	return t
@@ -224,9 +224,9 @@ func Fig14VertexScale(ds *Dataset, fracs []float64, cfg Config) *Table {
 			continue
 		}
 		t.AddRow(fmt.Sprintf("%.0f%%", frac*100),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncS(tree, q, k, nil, opt) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncT(tree, q, k, nil, opt) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.Dec(tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncS(bgCtx, tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncT(bgCtx, tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.Dec(bgCtx, tree, q, k, nil, opt) })),
 		)
 	}
 	return t
@@ -268,11 +268,11 @@ func Fig14EffectS(ds *Dataset, withBasic bool) *Table {
 		}
 		bg, bw := "-", "-"
 		if withBasic {
-			bg = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicG(ds.G, q, k, sOf[q], opt) }))
-			bw = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicW(ds.G, q, k, sOf[q], opt) }))
+			bg = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicG(bgCtx, ds.G, q, k, sOf[q], opt) }))
+			bw = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicW(bgCtx, ds.G, q, k, sOf[q], opt) }))
 		}
 		t.AddRow(fmt.Sprintf("%d", size), bg, bw,
-			ms(msPer(ds.Queries, func(q graph.VertexID) { core.Dec(ds.Tree, q, k, sOf[q], opt) })),
+			ms(msPer(ds.Queries, func(q graph.VertexID) { core.Dec(bgCtx, ds.Tree, q, k, sOf[q], opt) })),
 		)
 	}
 	return t
@@ -295,10 +295,10 @@ func Fig15(ds *Dataset) *Table {
 			continue
 		}
 		t.AddRow(fmt.Sprintf("%d", k),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncS(ds.Tree, q, k, nil, opt) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncT(ds.Tree, q, k, nil, opt) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncS(ds.Tree, q, k, nil, starOpt) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncT(ds.Tree, q, k, nil, starOpt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncS(bgCtx, ds.Tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncT(bgCtx, ds.Tree, q, k, nil, opt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncS(bgCtx, ds.Tree, q, k, nil, starOpt) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncT(bgCtx, ds.Tree, q, k, nil, starOpt) })),
 		)
 	}
 	return t
@@ -322,7 +322,7 @@ func Fig16(ds *Dataset) *Table {
 		}
 		t.AddRow(fmt.Sprintf("%d", k),
 			ms(msPer(qs, func(q graph.VertexID) { baseline.Local(ops, q, k) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.Dec(tree, q, k, nil, core.DefaultOptions()) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.Dec(bgCtx, tree, q, k, nil, core.DefaultOptions()) })),
 		)
 	}
 	return t
@@ -349,11 +349,11 @@ func Fig17Variant1(ds *Dataset, withBasic bool) *Table {
 		}
 		bg, bw := "-", "-"
 		if withBasic {
-			bg = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicGV1(ds.G, q, k, sOf[q]) }))
-			bw = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicWV1(ds.G, q, k, sOf[q]) }))
+			bg = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicGV1(bgCtx, ds.G, q, k, sOf[q]) }))
+			bw = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicWV1(bgCtx, ds.G, q, k, sOf[q]) }))
 		}
 		t.AddRow(fmt.Sprintf("%d", size), bg, bw,
-			ms(msPer(ds.Queries, func(q graph.VertexID) { core.SW(ds.Tree, q, k, sOf[q]) })),
+			ms(msPer(ds.Queries, func(q graph.VertexID) { core.SW(bgCtx, ds.Tree, q, k, sOf[q]) })),
 		)
 	}
 	return t
@@ -380,11 +380,11 @@ func Fig17Variant2(ds *Dataset, withBasic bool) *Table {
 		}
 		bg, bw := "-", "-"
 		if withBasic {
-			bg = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicGV2(ds.G, q, k, sOf[q], theta) }))
-			bw = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicWV2(ds.G, q, k, sOf[q], theta) }))
+			bg = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicGV2(bgCtx, ds.G, q, k, sOf[q], theta) }))
+			bw = ms(msPer(qsBasic, func(q graph.VertexID) { core.BasicWV2(bgCtx, ds.G, q, k, sOf[q], theta) }))
 		}
 		t.AddRow(fmt.Sprintf("%.1f", theta), bg, bw,
-			ms(msPer(ds.Queries, func(q graph.VertexID) { core.SWT(ds.Tree, q, k, sOf[q], theta) })),
+			ms(msPer(ds.Queries, func(q graph.VertexID) { core.SWT(bgCtx, ds.Tree, q, k, sOf[q], theta) })),
 		)
 	}
 	return t
@@ -405,8 +405,8 @@ func AblationFPM(ds *Dataset) *Table {
 			continue
 		}
 		t.AddRow(fmt.Sprintf("%d", k),
-			ms(msPer(qs, func(q graph.VertexID) { core.DecWithMiner(ds.Tree, q, k, nil, opt, fpm.FPGrowth) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.DecWithMiner(ds.Tree, q, k, nil, opt, fpm.Apriori) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.DecWithMiner(bgCtx, ds.Tree, q, k, nil, opt, fpm.FPGrowth) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.DecWithMiner(bgCtx, ds.Tree, q, k, nil, opt, fpm.Apriori) })),
 		)
 	}
 	return t
@@ -428,10 +428,10 @@ func AblationLemma3(ds *Dataset) *Table {
 			continue
 		}
 		t.AddRow(fmt.Sprintf("%d", k),
-			ms(msPer(qs, func(q graph.VertexID) { core.Dec(ds.Tree, q, k, nil, on) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.Dec(ds.Tree, q, k, nil, off) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncT(ds.Tree, q, k, nil, on) })),
-			ms(msPer(qs, func(q graph.VertexID) { core.IncT(ds.Tree, q, k, nil, off) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.Dec(bgCtx, ds.Tree, q, k, nil, on) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.Dec(bgCtx, ds.Tree, q, k, nil, off) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncT(bgCtx, ds.Tree, q, k, nil, on) })),
+			ms(msPer(qs, func(q graph.VertexID) { core.IncT(bgCtx, ds.Tree, q, k, nil, off) })),
 		)
 	}
 	return t

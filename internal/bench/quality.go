@@ -47,7 +47,7 @@ func Fig7(ds *Dataset) *Table {
 		qs = qs[:maxQueries]
 	}
 	for _, q := range qs {
-		levels, err := core.CommunitiesByLabelSize(ds.Tree, q, dsK(ds), nil, maxLen, core.DefaultOptions())
+		levels, err := core.CommunitiesByLabelSize(bgCtx, ds.Tree, q, dsK(ds), nil, maxLen, core.DefaultOptions())
 		if err != nil {
 			continue
 		}
@@ -116,7 +116,7 @@ func Fig8(ds *Dataset) *Table {
 	var comms [][]graph.VertexID
 	cmf, avgDeg, frac := 0.0, 0.0, 0.0
 	for _, q := range ds.Queries {
-		res, err := core.Dec(ds.Tree, q, k, nil, core.DefaultOptions())
+		res, err := core.Dec(bgCtx, ds.Tree, q, k, nil, core.DefaultOptions())
 		if err != nil {
 			continue
 		}
@@ -161,7 +161,7 @@ func Fig9(ds *Dataset) *Table {
 			return nil
 		}},
 		{"ACQ", func(q graph.VertexID) [][]graph.VertexID {
-			res, err := core.Dec(ds.Tree, q, k, nil, core.DefaultOptions())
+			res, err := core.Dec(bgCtx, ds.Tree, q, k, nil, core.DefaultOptions())
 			if err != nil {
 				return nil
 			}
@@ -228,7 +228,7 @@ func caseStudyMethods(ds *Dataset, k int, codTarget int) map[string]func(q graph
 			return nil
 		},
 		"ACQ": func(q graph.VertexID) [][]graph.VertexID {
-			res, err := core.Dec(ds.Tree, q, k, nil, core.DefaultOptions())
+			res, err := core.Dec(bgCtx, ds.Tree, q, k, nil, core.DefaultOptions())
 			if err != nil {
 				return nil
 			}
@@ -346,7 +346,7 @@ func Fig12(ds *Dataset, ks []int) *Table {
 			n++
 			gs += float64(len(baseline.Global(ops, q, k)))
 			ls += float64(len(baseline.Local(ops, q, k)))
-			if res, err := core.Dec(ds.Tree, q, k, nil, core.DefaultOptions()); err == nil {
+			if res, err := core.Dec(bgCtx, ds.Tree, q, k, nil, core.DefaultOptions()); err == nil {
 				as += measure.AvgSize(communitiesOf(res))
 			}
 		}

@@ -30,13 +30,13 @@ func ExtTruss(ds *Dataset) *Table {
 	}
 	variants := []variant{
 		{"k-core (Dec)", func(q graph.VertexID) (core.Result, error) {
-			return core.Dec(ds.Tree, q, k, nil, core.DefaultOptions())
+			return core.Dec(bgCtx, ds.Tree, q, k, nil, core.DefaultOptions())
 		}},
 		{"k-truss", func(q graph.VertexID) (core.Result, error) {
-			return core.TrussSearch(ds.Tree, q, k, nil)
+			return core.TrussSearch(bgCtx, ds.Tree, q, k, nil)
 		}},
 		{"k-clique", func(q graph.VertexID) (core.Result, error) {
-			return core.CliqueSearch(ds.Tree, q, k, nil)
+			return core.CliqueSearch(bgCtx, ds.Tree, q, k, nil)
 		}},
 	}
 	for _, v := range variants {
@@ -83,7 +83,7 @@ func ExtInfluence(ds *Dataset, r int) *Table {
 	for i, c := range top {
 		seed := c.Vertices[0]
 		cmf := "-"
-		if res, err := core.Dec(ds.Tree, seed, k, nil, core.DefaultOptions()); err == nil {
+		if res, err := core.Dec(bgCtx, ds.Tree, seed, k, nil, core.DefaultOptions()); err == nil {
 			cmf = f3(measure.CMF(ds.G, seed, communitiesOf(res)))
 		}
 		elapsed := "-"

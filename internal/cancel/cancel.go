@@ -1,0 +1,115 @@
+// Package cancel threads context cancellation through the query algorithms
+// with amortised cost. The hot loops of attributed community search (core
+// peeling, BFS over induced subgraphs, truss support peeling, clique
+// expansion) run millions of iterations per query; polling ctx.Err() on each
+// one would be measurable. A Checker instead counts work units and polls the
+// context once every stride, so the common non-cancellable path costs a nil
+// check and the cancellable path a decrement-and-branch.
+//
+// Cancellation unwinds via panic rather than error returns: the induced
+// subgraph primitives (ComponentOf, PeelToMinDegree, ...) sit many frames
+// below the public entry points and return bare slices. Every public query
+// function installs Recover, which converts the private unwind token back
+// into an error wrapping both ErrCanceled and context.Cause, and re-raises
+// anything else. The token never escapes a properly guarded entry point.
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports a search stopped by context cancellation or deadline
+// expiry before completing. Errors returned for canceled searches wrap both
+// ErrCanceled and context.Cause(ctx), so errors.Is distinguishes a plain
+// cancel (context.Canceled) from a deadline (context.DeadlineExceeded).
+var ErrCanceled = errors.New("acq: search canceled")
+
+// DefaultStride is the number of Tick work units between two context polls.
+// At roughly one unit per vertex or edge visited, a poll every 4096 units
+// keeps the added latency of a cancelled query far below a millisecond while
+// making the per-unit cost vanish against the graph work itself.
+const DefaultStride = 4096
+
+// Checker amortises context cancellation polls over units of work. A nil
+// *Checker is valid and means "not cancellable": every method is a no-op, so
+// call sites never branch on the context's nature themselves.
+//
+// A Checker is single-goroutine state (one per query evaluation), like the
+// SetOps scratch space it usually travels with.
+type Checker struct {
+	ctx    context.Context
+	budget int
+}
+
+// New returns a Checker polling ctx, or nil — the no-op checker — when ctx
+// can never be canceled (nil, context.Background, ...).
+func New(ctx context.Context) *Checker {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &Checker{ctx: ctx, budget: DefaultStride}
+}
+
+// Err polls the context immediately, returning the wrapped sentinel error if
+// it is already canceled. Entry points call it once up front so an
+// already-expired context returns before any graph work starts.
+func (c *Checker) Err() error {
+	if c == nil || c.ctx.Err() == nil {
+		return nil
+	}
+	return Wrap(c.ctx)
+}
+
+// Tick consumes n units of work. Once a stride's worth has accumulated it
+// polls the context and, if canceled, unwinds the evaluation by panicking
+// with a private token that Recover (deferred at every public entry point)
+// converts into the wrapped error. Tick on a nil Checker is free.
+func (c *Checker) Tick(n int) {
+	if c == nil {
+		return
+	}
+	c.budget -= n
+	if c.budget <= 0 {
+		c.poll()
+	}
+}
+
+// poll is Tick's slow path, kept out of line so Tick stays inlinable.
+func (c *Checker) poll() {
+	c.budget = DefaultStride
+	if c.ctx.Err() != nil {
+		panic(unwind{Wrap(c.ctx)})
+	}
+}
+
+// Wrap builds the error a canceled search returns: ErrCanceled wrapping the
+// context's cause, so both errors.Is(err, ErrCanceled) and
+// errors.Is(err, context.DeadlineExceeded) work as expected.
+func Wrap(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
+
+// unwind is the panic token Tick raises. It is deliberately unexported: only
+// Recover can translate it, so an unguarded escape is a loud bug, not a
+// silent wrong answer.
+type unwind struct{ err error }
+
+// Recover converts a cancellation unwind into *errp and re-raises any other
+// panic. Use it as
+//
+//	func Query(ctx context.Context, ...) (res Result, err error) {
+//	    check := cancel.New(ctx)
+//	    defer cancel.Recover(&err)
+//	    ...
+//	}
+func Recover(errp *error) {
+	switch r := recover().(type) {
+	case nil:
+	case unwind:
+		*errp = r.err
+	default:
+		panic(r)
+	}
+}

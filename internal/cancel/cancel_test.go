@@ -1,0 +1,87 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNewBackgroundIsNil(t *testing.T) {
+	if New(context.Background()) != nil {
+		t.Fatal("Background context should yield the nil no-op checker")
+	}
+	if New(nil) != nil {
+		t.Fatal("nil context should yield the nil no-op checker")
+	}
+	var c *Checker
+	c.Tick(1 << 30) // must not panic
+	if c.Err() != nil {
+		t.Fatal("nil checker reported an error")
+	}
+}
+
+func TestErrReportsUpFront(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	c := New(ctx)
+	if c == nil {
+		t.Fatal("cancellable context yielded nil checker")
+	}
+	if c.Err() != nil {
+		t.Fatal("live context reported an error")
+	}
+	cancelFn()
+	err := c.Err()
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+func TestTickUnwindsThroughRecover(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	run := func() (err error) {
+		c := New(ctx)
+		defer Recover(&err)
+		for i := 0; ; i++ {
+			c.Tick(1)
+			if i > 10*DefaultStride {
+				t.Fatal("Tick never unwound on a canceled context")
+			}
+		}
+	}
+	if err := run(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestTickAmortises(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	defer cancelFn()
+	c := New(ctx)
+	// Fewer than a stride's worth of units must not poll (budget unchanged
+	// semantics are internal, but at least it must not unwind on a live ctx).
+	for i := 0; i < 10*DefaultStride; i++ {
+		c.Tick(1)
+	}
+}
+
+func TestDeadlineCauseSurvivesWrap(t *testing.T) {
+	ctx, cancelFn := context.WithTimeout(context.Background(), 0)
+	defer cancelFn()
+	<-ctx.Done()
+	err := New(ctx).Err()
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestRecoverPassesForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("foreign panic swallowed: %v", r)
+		}
+	}()
+	var err error
+	defer Recover(&err)
+	panic("boom")
+}

@@ -13,6 +13,7 @@ package clique
 import (
 	"sort"
 
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/graph"
 )
 
@@ -23,8 +24,10 @@ const MaxCliques = 200000
 
 // Maximal enumerates the maximal cliques of the subgraph induced by cand
 // (each clique sorted). ok is false when the MaxCliques cap was hit; the
-// returned prefix is still valid.
-func Maximal(g *graph.Graph, cand []graph.VertexID) (cliques [][]graph.VertexID, ok bool) {
+// returned prefix is still valid. check (nil when not cancellable) is ticked
+// once per Bron–Kerbosch expansion, bounding how long a worst-case
+// enumeration can outlive its context.
+func Maximal(g *graph.Graph, cand []graph.VertexID, check *cancel.Checker) (cliques [][]graph.VertexID, ok bool) {
 	in := map[graph.VertexID]bool{}
 	for _, v := range cand {
 		in[v] = true
@@ -42,6 +45,7 @@ func Maximal(g *graph.Graph, cand []graph.VertexID) (cliques [][]graph.VertexID,
 	var r []graph.VertexID
 	var bk func(p, x []graph.VertexID)
 	bk = func(p, x []graph.VertexID) {
+		check.Tick(1)
 		if !ok {
 			return
 		}
@@ -128,11 +132,12 @@ func remove(set []graph.VertexID, v graph.VertexID) []graph.VertexID {
 // subgraph induced by cand: the union of all maximal cliques of size ≥ k
 // reachable (via ≥ k−1 vertex overlaps) from a clique containing q. nil
 // means q is in no clique of size ≥ k (or enumeration hit MaxCliques).
-func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int) []graph.VertexID {
+// check is ticked through enumeration and percolation (nil = uncancellable).
+func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int, check *cancel.Checker) []graph.VertexID {
 	if k < 2 {
 		k = 2
 	}
-	all, ok := Maximal(g, cand)
+	all, ok := Maximal(g, cand, check)
 	if !ok {
 		return nil
 	}
@@ -164,6 +169,7 @@ func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int)
 	for head := 0; head < len(queue); head++ {
 		a := queue[head]
 		for b := range cliques {
+			check.Tick(1)
 			if !visited[b] && overlapAtLeast(cliques[a], cliques[b], k-1) {
 				visited[b] = true
 				queue = append(queue, b)

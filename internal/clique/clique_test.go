@@ -21,7 +21,7 @@ func allVertices(g *graph.Graph) []graph.VertexID {
 
 func TestMaximalOnFig3(t *testing.T) {
 	g := testutil.Fig3Graph()
-	cliques, ok := Maximal(g, allVertices(g))
+	cliques, ok := Maximal(g, allVertices(g), nil)
 	if !ok {
 		t.Fatal("cap hit on tiny graph")
 	}
@@ -55,14 +55,14 @@ func joinStrings(ss []string) string {
 
 func TestMaximalEmptyAndSingle(t *testing.T) {
 	g := graph.NewBuilder().MustBuild()
-	cliques, ok := Maximal(g, nil)
+	cliques, ok := Maximal(g, nil, nil)
 	if !ok || len(cliques) != 0 {
 		t.Fatalf("empty graph: %v %v", cliques, ok)
 	}
 	b := graph.NewBuilder()
 	b.AddVertex("solo")
 	g = b.MustBuild()
-	cliques, ok = Maximal(g, allVertices(g))
+	cliques, ok = Maximal(g, allVertices(g), nil)
 	if !ok || len(cliques) != 1 || len(cliques[0]) != 1 {
 		t.Fatalf("singleton: %v", cliques)
 	}
@@ -128,7 +128,7 @@ func TestMaximalMatchesBruteQuick(t *testing.T) {
 			}
 		}
 		g := b.MustBuild()
-		cliques, ok := Maximal(g, allVertices(g))
+		cliques, ok := Maximal(g, allVertices(g), nil)
 		if !ok {
 			return false
 		}
@@ -172,7 +172,7 @@ func TestCommunityOfPercolation(t *testing.T) {
 	b.AddEdge(4, 5) // weak bridge
 	g := b.MustBuild()
 
-	comm := CommunityOf(g, allVertices(g), 0, 4)
+	comm := CommunityOf(g, allVertices(g), 0, 4, nil)
 	if len(comm) != 5 {
 		t.Fatalf("4-clique community of 0 = %v, want {0..4}", comm)
 	}
@@ -183,12 +183,12 @@ func TestCommunityOfPercolation(t *testing.T) {
 	}
 	// k=3: the two K4s still form one community; the bridge edge is not a
 	// triangle, so 5..8 stay separate.
-	comm = CommunityOf(g, allVertices(g), 5, 3)
+	comm = CommunityOf(g, allVertices(g), 5, 3, nil)
 	if len(comm) != 4 || comm[0] != 5 {
 		t.Fatalf("3-clique community of 5 = %v", comm)
 	}
 	// q in no k-clique.
-	if got := CommunityOf(g, allVertices(g), 4, 5); got != nil {
+	if got := CommunityOf(g, allVertices(g), 4, 5, nil); got != nil {
 		t.Fatalf("5-clique community = %v, want nil", got)
 	}
 }
@@ -199,13 +199,13 @@ func TestCommunityOfFig3(t *testing.T) {
 	e, _ := g.VertexByLabel("E")
 	// 3-clique communities: {A,B,C,D} and {C,D,E} share the pair {C,D}
 	// (overlap 2 ≥ k−1) → one community {A,B,C,D,E}.
-	comm := CommunityOf(g, allVertices(g), a, 3)
+	comm := CommunityOf(g, allVertices(g), a, 3, nil)
 	got := testutil.LabelSet(g, comm)
 	if len(got) != 5 || !got["E"] {
 		t.Fatalf("3-clique community of A = %v", got)
 	}
 	// 4-clique community of E: none (E's largest clique is the triangle).
-	if CommunityOf(g, allVertices(g), e, 4) != nil {
+	if CommunityOf(g, allVertices(g), e, 4, nil) != nil {
 		t.Fatal("E must have no 4-clique community")
 	}
 }
@@ -218,7 +218,7 @@ func TestCommunityOfSoundQuick(t *testing.T) {
 		g := testutil.RandomGraph(rng, 4+rng.Intn(20), 2+3*rng.Float64(), 5, 2)
 		q := graph.VertexID(rng.Intn(g.NumVertices()))
 		k := 3
-		comm := CommunityOf(g, allVertices(g), q, k)
+		comm := CommunityOf(g, allVertices(g), q, k, nil)
 		if comm == nil {
 			return true
 		}

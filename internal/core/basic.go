@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
 )
@@ -9,12 +12,17 @@ import (
 // it first computes the k-ĉore containing q by peeling the whole graph, then
 // grows candidate keyword sets level-wise, verifying each candidate S' by
 // keyword-filtering inside that ĉore and re-peeling. S==nil means S=W(q).
-func BasicG(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (Result, error) {
-	s, err := normalizeQuery(g, q, k, s)
+func BasicG(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (res Result, err error) {
+	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
 	}
-	e := &env{g: g, ops: graph.NewSetOps(g), q: q, k: k, opt: opt}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(g, q, k, s)
+	if err != nil {
+		return Result{}, err
+	}
+	e := newEnv(g, q, k, opt, check)
 	ck := kcore.KHatCoreScratch(e.ops, q, k)
 	if ck == nil {
 		return Result{}, ErrNoKCore
@@ -26,12 +34,17 @@ func BasicG(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, opt Op
 // BasicG but each candidate is keyword-filtered against the entire graph
 // rather than against the k-ĉore of q, making every verification strictly
 // more expensive — it exists as the weaker baseline of Figures 14(e–t).
-func BasicW(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (Result, error) {
-	s, err := normalizeQuery(g, q, k, s)
+func BasicW(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (res Result, err error) {
+	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
 	}
-	e := &env{g: g, ops: graph.NewSetOps(g), q: q, k: k, opt: opt}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(g, q, k, s)
+	if err != nil {
+		return Result{}, err
+	}
+	e := newEnv(g, q, k, opt, check)
 	// Fail fast when no k-ĉore contains q (matches BasicG's contract).
 	ck := kcore.KHatCoreScratch(e.ops, q, k)
 	if ck == nil {

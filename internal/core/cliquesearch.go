@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/clique"
 	"github.com/acq-search/acq/internal/fpm"
 	"github.com/acq-search/acq/internal/graph"
@@ -16,8 +19,13 @@ import (
 // support k−1 (a member of a k-clique has k−1 clique neighbours), and
 // verified from the largest candidates downward. A k-clique is contained in
 // the (k−1)-core, so the CL-tree prunes the scope first. k ≥ 2.
-func CliqueSearch(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result, error) {
-	s, err := normalizeQuery(t.g, q, k, s)
+func CliqueSearch(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(t.g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
@@ -30,13 +38,14 @@ func CliqueSearch(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result
 	root := t.LocateRoot(q, int32(k-1))
 	scope := t.SubtreeVertices(root)
 	ops := graph.NewSetOps(t.g)
+	ops.SetChecker(check)
 
-	levels := mineCandidates(t.g, q, k-1, s, fpm.FPGrowth)
+	levels := mineCandidates(t.g, q, k-1, s, fpm.FPGrowth, check)
 	for l := len(levels); l >= 1; l-- {
 		var out []Community
 		for _, set := range levels[l-1] {
 			cand := ops.FilterByKeywords(scope, set)
-			if comm := clique.CommunityOf(t.g, cand, q, k); comm != nil {
+			if comm := clique.CommunityOf(t.g, cand, q, k, check); comm != nil {
 				out = append(out, Community{Label: set, Vertices: comm})
 			}
 		}
@@ -44,7 +53,7 @@ func CliqueSearch(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result
 			return Result{Communities: out, LabelSize: l}, nil
 		}
 	}
-	comm := clique.CommunityOf(t.g, scope, q, k)
+	comm := clique.CommunityOf(t.g, scope, q, k, check)
 	if comm == nil {
 		return Result{}, ErrNoKCore
 	}

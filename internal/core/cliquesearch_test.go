@@ -17,7 +17,7 @@ func TestCliqueSearchFig3(t *testing.T) {
 	a, _ := g.VertexByLabel("A")
 
 	// k=4: only the K4 {A,B,C,D}; shared keyword {x}.
-	res, err := CliqueSearch(tr, a, 4, nil)
+	res, err := CliqueSearch(bgCtx, tr, a, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestCliqueSearchFig3(t *testing.T) {
 	}
 
 	// k=3, S={x,y}: triangles among x∧y vertices: {A,C,D}.
-	res, err = CliqueSearch(tr, a, 3, kws(g, "x", "y"))
+	res, err = CliqueSearch(bgCtx, tr, a, 3, kws(g, "x", "y"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,13 +45,13 @@ func TestCliqueSearchErrors(t *testing.T) {
 	tr := BuildAdvanced(g)
 	j, _ := g.VertexByLabel("J")
 	a, _ := g.VertexByLabel("A")
-	if _, err := CliqueSearch(tr, j, 3, nil); !errors.Is(err, ErrNoKCore) {
+	if _, err := CliqueSearch(bgCtx, tr, j, 3, nil); !errors.Is(err, ErrNoKCore) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := CliqueSearch(tr, a, 9, nil); !errors.Is(err, ErrNoKCore) {
+	if _, err := CliqueSearch(bgCtx, tr, a, 9, nil); !errors.Is(err, ErrNoKCore) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := CliqueSearch(tr, graph.VertexID(-3), 3, nil); !errors.Is(err, ErrVertexOutOfRange) {
+	if _, err := CliqueSearch(bgCtx, tr, graph.VertexID(-3), 3, nil); !errors.Is(err, ErrVertexOutOfRange) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -74,7 +74,7 @@ func TestCliqueSearchSoundQuick(t *testing.T) {
 		if q < 0 {
 			return true
 		}
-		res, err := CliqueSearch(tr, q, 3, nil)
+		res, err := CliqueSearch(bgCtx, tr, q, 3, nil)
 		if err != nil {
 			return errors.Is(err, ErrNoKCore)
 		}

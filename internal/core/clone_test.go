@@ -65,11 +65,11 @@ func TestCloneQueriesMatch(t *testing.T) {
 	cl := tr.Clone(g.Clone())
 
 	q, _ := g.VertexByLabel("A")
-	want, err := Dec(tr, q, 2, nil, DefaultOptions())
+	want, err := Dec(bgCtx, tr, q, 2, nil, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Dec(cl, q, 2, nil, DefaultOptions())
+	got, err := Dec(bgCtx, cl, q, 2, nil, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

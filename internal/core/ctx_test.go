@@ -1,0 +1,6 @@
+package core
+
+import "context"
+
+// bgCtx is the uncancellable context the unit tests evaluate under.
+var bgCtx = context.Background()

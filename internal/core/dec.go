@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"sort"
 
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/fpm"
 	"github.com/acq-search/acq/internal/graph"
 )
@@ -21,8 +23,12 @@ import (
 //     far less work than growing from singletons.
 //
 // MineWithApriori in Options-like ablations is exposed via DecWithMiner.
-func Dec(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (Result, error) {
-	return DecWithMiner(t, q, k, s, opt, fpm.FPGrowth)
+//
+// ctx bounds the evaluation: cancellation is observed at amortised
+// checkpoints inside the peeling/BFS loops, and a canceled search returns an
+// error wrapping cancel.ErrCanceled and context.Cause(ctx).
+func Dec(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (Result, error) {
+	return DecWithMiner(ctx, t, q, k, s, opt, fpm.FPGrowth)
 }
 
 // Miner enumerates all itemsets with support ≥ minSupport; fpm.FPGrowth and
@@ -31,19 +37,24 @@ type Miner func(txns [][]fpm.Item, minSupport int) []fpm.Itemset
 
 // DecWithMiner is Dec with a pluggable frequent-itemset miner (used by the
 // FP-Growth vs Apriori ablation bench).
-func DecWithMiner(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options, mine Miner) (Result, error) {
-	s, err := normalizeQuery(t.g, q, k, s)
+func DecWithMiner(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options, mine Miner) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(t.g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
 	if int(t.Core[q]) < k {
 		return Result{}, ErrNoKCore
 	}
-	e := &env{g: t.g, ops: graph.NewSetOps(t.g), q: q, k: k, opt: opt}
+	e := newEnv(t.g, q, k, opt, check)
 	kRoot := t.LocateRoot(q, int32(k))
 
 	// --- Candidate generation from q's neighbourhood (Section 6.2 step 1).
-	levels := mineCandidates(t.g, q, k, s, mine)
+	levels := mineCandidates(t.g, q, k, s, mine, check)
 	if len(levels) == 0 {
 		return fallbackResult(t.SubtreeVertices(kRoot)), nil
 	}
@@ -55,6 +66,7 @@ func DecWithMiner(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Opt
 	h := len(levels) // largest candidate size
 	shared := make([][]graph.VertexID, h+1)
 	for _, v := range sub {
+		check.Tick(1)
 		i := t.g.CountSharedKeywords(v, s)
 		if i > h {
 			i = h
@@ -86,22 +98,27 @@ func DecWithMiner(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Opt
 // size (index l-1 holds communities sharing exactly l keywords). It backs the
 // paper's Figure 7 study of keyword cohesiveness versus shared-keyword count.
 // maxSize caps the label size examined (0 means no cap).
-func CommunitiesByLabelSize(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, maxSize int, opt Options) ([][]Community, error) {
-	s, err := normalizeQuery(t.g, q, k, s)
+func CommunitiesByLabelSize(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID, maxSize int, opt Options) (out [][]Community, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(t.g, q, k, s)
 	if err != nil {
 		return nil, err
 	}
 	if int(t.Core[q]) < k {
 		return nil, ErrNoKCore
 	}
-	e := &env{g: t.g, ops: graph.NewSetOps(t.g), q: q, k: k, opt: opt}
+	e := newEnv(t.g, q, k, opt, check)
 	kRoot := t.LocateRoot(q, int32(k))
-	levels := mineCandidates(t.g, q, k, s, fpm.FPGrowth)
+	levels := mineCandidates(t.g, q, k, s, fpm.FPGrowth, check)
 	if maxSize > 0 && len(levels) > maxSize {
 		levels = levels[:maxSize]
 	}
 	sub := t.SubtreeVertices(kRoot)
-	out := make([][]Community, len(levels))
+	out = make([][]Community, len(levels))
 	for i, bucket := range levels {
 		for _, set := range bucket {
 			cand := e.ops.FilterByKeywords(sub, set)
@@ -115,8 +132,9 @@ func CommunitiesByLabelSize(t *Tree, q graph.VertexID, k int, s []graph.KeywordI
 
 // mineCandidates returns the candidate keyword sets bucketed by size (index
 // l-1 holds the size-l sets, each sorted), mined from the keyword sets of
-// q's neighbours restricted to s with minimum support k.
-func mineCandidates(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, mine Miner) [][][]graph.KeywordID {
+// q's neighbours restricted to s with minimum support k. check is ticked per
+// neighbour scanned so huge neighbourhoods stay cancellable.
+func mineCandidates(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, mine Miner, check *cancel.Checker) [][][]graph.KeywordID {
 	if len(s) == 0 {
 		return nil
 	}
@@ -126,6 +144,7 @@ func mineCandidates(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID
 	}
 	txns := make([][]fpm.Item, 0, len(neighbors))
 	for _, v := range neighbors {
+		check.Tick(1)
 		var txn []fpm.Item
 		for _, w := range s {
 			if g.HasKeyword(v, w) {

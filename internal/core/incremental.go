@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/graph"
 )
 
@@ -10,15 +13,20 @@ import (
 // join into a larger candidate, Lemma 2 shows the new community must live in
 // the ĉore of core number max of the parents', so keyword-checking is run
 // against an ever-shrinking subtree of the CL-tree.
-func IncS(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (Result, error) {
-	s, err := normalizeQuery(t.g, q, k, s)
+func IncS(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(t.g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
 	if int(t.Core[q]) < k {
 		return Result{}, ErrNoKCore
 	}
-	e := &env{g: t.g, ops: graph.NewSetOps(t.g), q: q, k: k, opt: opt}
+	e := newEnv(t.g, q, k, opt, check)
 
 	type entry struct {
 		set  []graph.KeywordID
@@ -77,7 +85,7 @@ func IncS(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (R
 	if len(prev) == 0 {
 		return fallbackResult(t.SubtreeVertices(t.LocateRoot(q, int32(k)))), nil
 	}
-	res := Result{LabelSize: len(prev[0].set)}
+	res = Result{LabelSize: len(prev[0].set)}
 	for _, qe := range prev {
 		res.Communities = append(res.Communities, Community{Label: qe.set, Vertices: qe.comm})
 	}
@@ -89,15 +97,20 @@ func IncS(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (R
 // qualified set in memory; by Lemma 4, Gk[S1 ∪ S2] ⊆ Gk[S1] ∩ Gk[S2], so a
 // joined candidate is verified inside the intersection of its parents'
 // communities with no further keyword checking at all.
-func IncT(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (Result, error) {
-	s, err := normalizeQuery(t.g, q, k, s)
+func IncT(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(t.g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
 	if int(t.Core[q]) < k {
 		return Result{}, ErrNoKCore
 	}
-	e := &env{g: t.g, ops: graph.NewSetOps(t.g), q: q, k: k, opt: opt}
+	e := newEnv(t.g, q, k, opt, check)
 	kRoot := t.LocateRoot(q, int32(k))
 
 	type qualified struct {
@@ -135,7 +148,7 @@ func IncT(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (R
 	if len(prev) == 0 {
 		return fallbackResult(t.SubtreeVertices(kRoot)), nil
 	}
-	res := Result{LabelSize: len(prev[0].set)}
+	res = Result{LabelSize: len(prev[0].set)}
 	for _, qe := range prev {
 		res.Communities = append(res.Communities, Community{Label: qe.set, Vertices: qe.comm})
 	}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
 )
@@ -20,8 +23,13 @@ import (
 // paper's CPJ quality metric, promoted to a query predicate. The CL-tree
 // restricts the search to the k-ĉore containing q before any similarity
 // computation.
-func SJ(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, tau float64) (Result, error) {
-	s, err := normalizeQuery(t.g, q, k, s)
+func SJ(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID, tau float64) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(t.g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
@@ -31,9 +39,9 @@ func SJ(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, tau float64) (Res
 	if int(t.Core[q]) < k {
 		return Result{}, ErrNoKCore
 	}
-	e := &env{g: t.g, ops: graph.NewSetOps(t.g), q: q, k: k, opt: DefaultOptions()}
+	e := newEnv(t.g, q, k, DefaultOptions(), check)
 	root := t.LocateRoot(q, int32(k))
-	cand := filterByJaccard(t.g, t.SubtreeVertices(root), s, tau)
+	cand := filterByJaccard(t.g, t.SubtreeVertices(root), s, tau, check)
 	comm := e.communityOf(cand)
 	if comm == nil {
 		return Result{}, nil
@@ -42,20 +50,25 @@ func SJ(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, tau float64) (Res
 }
 
 // BasicGJ is the index-free counterpart of SJ filtering inside the k-ĉore.
-func BasicGJ(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, tau float64) (Result, error) {
-	s, err := normalizeQuery(g, q, k, s)
+func BasicGJ(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, tau float64) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
 	if tau <= 0 || tau > 1 {
 		return Result{}, ErrBadTheta
 	}
-	e := &env{g: g, ops: graph.NewSetOps(g), q: q, k: k, opt: DefaultOptions()}
+	e := newEnv(g, q, k, DefaultOptions(), check)
 	ck := kcore.KHatCoreScratch(e.ops, q, k)
 	if ck == nil {
 		return Result{}, ErrNoKCore
 	}
-	cand := filterByJaccard(g, ck, s, tau)
+	cand := filterByJaccard(g, ck, s, tau, check)
 	comm := e.communityOf(cand)
 	if comm == nil {
 		return Result{}, nil
@@ -66,12 +79,13 @@ func BasicGJ(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, tau f
 // filterByJaccard keeps the vertices whose full Jaccard similarity to s
 // reaches tau: |W(v) ∩ S| / (|W(v)| + |S| − |W(v) ∩ S|) ≥ tau, one sorted
 // merge per vertex.
-func filterByJaccard(g *graph.Graph, vs []graph.VertexID, s []graph.KeywordID, tau float64) []graph.VertexID {
+func filterByJaccard(g *graph.Graph, vs []graph.VertexID, s []graph.KeywordID, tau float64, check *cancel.Checker) []graph.VertexID {
 	if len(s) == 0 {
 		return nil
 	}
 	out := make([]graph.VertexID, 0, len(vs))
 	for _, v := range vs {
+		check.Tick(1)
 		shared := g.CountSharedKeywords(v, s)
 		union := len(g.Keywords(v)) + len(s) - shared
 		if union > 0 && float64(shared)/float64(union) >= tau {

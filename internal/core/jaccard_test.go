@@ -18,7 +18,7 @@ func TestSJFig3(t *testing.T) {
 
 	// tau = 0.5 against S = W(A): C {x,y} → J = 2/4 = 0.5 ✓;
 	// D {x,y,z} → 2/4 = 0.5 ✓; B {x} → 1/3 < 0.5 ✗.
-	res, err := SJ(tr, a, 2, nil, 0.5)
+	res, err := SJ(bgCtx, tr, a, 2, nil, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestSJFig3(t *testing.T) {
 	}
 
 	// Lower tau admits B: {A,B,C,D} all within J ≥ 1/3.
-	res, err = SJ(tr, a, 2, nil, 1.0/3.0)
+	res, err = SJ(bgCtx, tr, a, 2, nil, 1.0/3.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestSJFig3(t *testing.T) {
 
 	// tau = 1 requires identical keyword sets: only A itself → degree 0 → no
 	// community.
-	res, err = SJ(tr, a, 2, nil, 1)
+	res, err = SJ(bgCtx, tr, a, 2, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,13 +55,13 @@ func TestSJErrorsAndParity(t *testing.T) {
 	g := testutil.Fig3Graph()
 	tr := BuildAdvanced(g)
 	a, _ := g.VertexByLabel("A")
-	if _, err := SJ(tr, a, 2, nil, 0); !errors.Is(err, ErrBadTheta) {
+	if _, err := SJ(bgCtx, tr, a, 2, nil, 0); !errors.Is(err, ErrBadTheta) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := SJ(tr, a, 9, nil, 0.5); !errors.Is(err, ErrNoKCore) {
+	if _, err := SJ(bgCtx, tr, a, 9, nil, 0.5); !errors.Is(err, ErrNoKCore) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := BasicGJ(g, a, 2, nil, 1.5); !errors.Is(err, ErrBadTheta) {
+	if _, err := BasicGJ(bgCtx, g, a, 2, nil, 1.5); !errors.Is(err, ErrBadTheta) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -84,8 +84,8 @@ func TestSJAgreeQuick(t *testing.T) {
 		}
 		k := 1 + rng.Intn(int(tr.Core[q]))
 		tau := 0.2 + 0.6*rng.Float64()
-		r1, e1 := SJ(tr, q, k, nil, tau)
-		r2, e2 := BasicGJ(g, q, k, nil, tau)
+		r1, e1 := SJ(bgCtx, tr, q, k, nil, tau)
+		r2, e2 := BasicGJ(bgCtx, g, q, k, nil, tau)
 		if (e1 != nil) != (e2 != nil) {
 			return false
 		}

@@ -176,7 +176,7 @@ func TestCommunitiesByLabelSizeConsistent(t *testing.T) {
 			return true
 		}
 		k := 1 + rng.Intn(int(tr.Core[q]))
-		levels, err := CommunitiesByLabelSize(tr, q, k, nil, 0, DefaultOptions())
+		levels, err := CommunitiesByLabelSize(bgCtx, tr, q, k, nil, 0, DefaultOptions())
 		if err != nil {
 			return false
 		}
@@ -186,7 +186,7 @@ func TestCommunitiesByLabelSizeConsistent(t *testing.T) {
 				deepest = l + 1
 			}
 		}
-		res, err := Dec(tr, q, k, nil, DefaultOptions())
+		res, err := Dec(bgCtx, tr, q, k, nil, DefaultOptions())
 		if err != nil {
 			return false
 		}

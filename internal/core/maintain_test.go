@@ -25,7 +25,7 @@ func TestMaintainerKeywordUpdates(t *testing.T) {
 	// Now B carries y; q=A, k=2, S={x,y} must include B: {A,B,C,D} shares
 	// {x,y}.
 	a, _ := g.VertexByLabel("A")
-	res, err := Dec(tr, a, 2, kws(g, "x", "y"), DefaultOptions())
+	res, err := Dec(bgCtx, tr, a, 2, kws(g, "x", "y"), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestMaintainerKeywordUpdates(t *testing.T) {
 	if m.RemoveKeyword(bv, "y") {
 		t.Fatal("double RemoveKeyword returned true")
 	}
-	res, err = Dec(tr, a, 2, kws(g, "x", "y"), DefaultOptions())
+	res, err = Dec(bgCtx, tr, a, 2, kws(g, "x", "y"), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,8 +177,8 @@ func TestMaintainerQueriesMatchRebuildQuick(t *testing.T) {
 				continue
 			}
 			k := 1 + rng.Intn(int(tr.Core[q]))
-			r1, e1 := Dec(tr, graph.VertexID(q), k, nil, DefaultOptions())
-			r2, e2 := Dec(fresh, graph.VertexID(q), k, nil, DefaultOptions())
+			r1, e1 := Dec(bgCtx, tr, graph.VertexID(q), k, nil, DefaultOptions())
+			r2, e2 := Dec(bgCtx, fresh, graph.VertexID(q), k, nil, DefaultOptions())
 			if (e1 != nil) != (e2 != nil) {
 				return false
 			}

@@ -123,16 +123,16 @@ func TestParallelSearchResultsMatch(t *testing.T) {
 	}
 	opt := DefaultOptions()
 	for _, q := range queries {
-		r1, e1 := Dec(serial, q, 4, nil, opt)
-		r2, e2 := Dec(par, q, 4, nil, opt)
+		r1, e1 := Dec(bgCtx, serial, q, 4, nil, opt)
+		r2, e2 := Dec(bgCtx, par, q, 4, nil, opt)
 		if (e1 == nil) != (e2 == nil) {
 			t.Fatalf("q=%d: errors differ: %v vs %v", q, e1, e2)
 		}
 		if e1 == nil && !reflect.DeepEqual(canonical(r1), canonical(r2)) {
 			t.Fatalf("q=%d: Dec results differ", q)
 		}
-		r3, e3 := IncT(serial, q, 4, nil, opt)
-		r4, e4 := IncT(par, q, 4, nil, opt)
+		r3, e3 := IncT(bgCtx, serial, q, 4, nil, opt)
+		r4, e4 := IncT(bgCtx, par, q, 4, nil, opt)
 		if (e3 == nil) != (e4 == nil) {
 			t.Fatalf("q=%d: IncT errors differ: %v vs %v", q, e3, e4)
 		}

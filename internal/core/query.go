@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
 )
@@ -64,11 +66,32 @@ var (
 
 // env bundles per-query state shared by all algorithms.
 type env struct {
-	g   *graph.Graph
-	ops *graph.SetOps
-	q   graph.VertexID
-	k   int
-	opt Options
+	g     *graph.Graph
+	ops   *graph.SetOps
+	q     graph.VertexID
+	k     int
+	opt   Options
+	check *cancel.Checker
+}
+
+// newEnv assembles the per-query state, wiring the cancellation checker into
+// the induced-subgraph scratch space so every peel/BFS loop observes ctx.
+func newEnv(g *graph.Graph, q graph.VertexID, k int, opt Options, check *cancel.Checker) *env {
+	ops := graph.NewSetOps(g)
+	ops.SetChecker(check)
+	return &env{g: g, ops: ops, q: q, k: k, opt: opt, check: check}
+}
+
+// begin starts a cancellable evaluation: it builds the amortised checker for
+// ctx and fails fast when the context is already canceled. Every public query
+// entry point pairs it with `defer cancel.Recover(&err)` so checkpoint
+// unwinds surface as ordinary errors wrapping cancel.ErrCanceled.
+func begin(ctx context.Context) (*cancel.Checker, error) {
+	check := cancel.New(ctx)
+	if err := check.Err(); err != nil {
+		return nil, err
+	}
+	return check, nil
 }
 
 // normalizeQuery validates (q, k) and canonicalises S: nil means W(q), and

@@ -45,15 +45,15 @@ func allAlgorithms(g *graph.Graph, tr *Tree, q graph.VertexID, k int, s []graph.
 	noLemma := opt
 	noLemma.UseLemma3 = false
 	return map[string]func() (Result, error){
-		"basic-g":   func() (Result, error) { return BasicG(g, q, k, s, opt) },
-		"basic-w":   func() (Result, error) { return BasicW(g, q, k, s, opt) },
-		"inc-s":     func() (Result, error) { return IncS(tr, q, k, s, opt) },
-		"inc-t":     func() (Result, error) { return IncT(tr, q, k, s, opt) },
-		"dec":       func() (Result, error) { return Dec(tr, q, k, s, opt) },
-		"inc-s*":    func() (Result, error) { return IncS(tr, q, k, s, noInv) },
-		"inc-t*":    func() (Result, error) { return IncT(tr, q, k, s, noInv) },
-		"inc-s-nl3": func() (Result, error) { return IncS(tr, q, k, s, noLemma) },
-		"dec-apri":  func() (Result, error) { return DecWithMiner(tr, q, k, s, opt, fpm.Apriori) },
+		"basic-g":   func() (Result, error) { return BasicG(bgCtx, g, q, k, s, opt) },
+		"basic-w":   func() (Result, error) { return BasicW(bgCtx, g, q, k, s, opt) },
+		"inc-s":     func() (Result, error) { return IncS(bgCtx, tr, q, k, s, opt) },
+		"inc-t":     func() (Result, error) { return IncT(bgCtx, tr, q, k, s, opt) },
+		"dec":       func() (Result, error) { return Dec(bgCtx, tr, q, k, s, opt) },
+		"inc-s*":    func() (Result, error) { return IncS(bgCtx, tr, q, k, s, noInv) },
+		"inc-t*":    func() (Result, error) { return IncT(bgCtx, tr, q, k, s, noInv) },
+		"inc-s-nl3": func() (Result, error) { return IncS(bgCtx, tr, q, k, s, noLemma) },
+		"dec-apri":  func() (Result, error) { return DecWithMiner(bgCtx, tr, q, k, s, opt, fpm.Apriori) },
 	}
 }
 
@@ -154,7 +154,7 @@ func TestDefaultSIsWq(t *testing.T) {
 	g := testutil.Fig3Graph()
 	tr := BuildAdvanced(g)
 	a, _ := g.VertexByLabel("A")
-	res, err := Dec(tr, a, 2, nil, DefaultOptions())
+	res, err := Dec(bgCtx, tr, a, 2, nil, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestResultInvariantsQuick(t *testing.T) {
 			return true
 		}
 		k := 1 + rng.Intn(int(tr.Core[q]))
-		res, err := Dec(tr, q, k, nil, DefaultOptions())
+		res, err := Dec(bgCtx, tr, q, k, nil, DefaultOptions())
 		if err != nil {
 			return false
 		}

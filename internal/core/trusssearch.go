@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/fpm"
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/truss"
@@ -13,11 +16,16 @@ import (
 // vertex's removal can break edge supports — so verification alternates
 // truss peeling and distance filtering until a fixpoint. d ≤ 0 means
 // unbounded (plain TrussSearch).
-func TrussSearchD(t *Tree, q graph.VertexID, k, d int, s []graph.KeywordID) (Result, error) {
+func TrussSearchD(ctx context.Context, t *Tree, q graph.VertexID, k, d int, s []graph.KeywordID) (res Result, err error) {
 	if d <= 0 {
-		return TrussSearch(t, q, k, s)
+		return TrussSearch(ctx, t, q, k, s)
 	}
-	s, err := normalizeQuery(t.g, q, k, s)
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(t.g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
@@ -30,11 +38,12 @@ func TrussSearchD(t *Tree, q graph.VertexID, k, d int, s []graph.KeywordID) (Res
 	root := t.LocateRoot(q, int32(k-1))
 	scope := t.SubtreeVertices(root)
 	ops := graph.NewSetOps(t.g)
+	ops.SetChecker(check)
 
-	levels := mineCandidates(t.g, q, k-1, s, fpm.FPGrowth)
+	levels := mineCandidates(t.g, q, k-1, s, fpm.FPGrowth, check)
 	verify := func(set []graph.KeywordID) []graph.VertexID {
 		cand := ops.FilterByKeywords(scope, set)
-		return kdTrussFixpoint(t.g, cand, q, k, d)
+		return kdTrussFixpoint(t.g, cand, q, k, d, check)
 	}
 	for l := len(levels); l >= 1; l-- {
 		var out []Community
@@ -47,7 +56,7 @@ func TrussSearchD(t *Tree, q graph.VertexID, k, d int, s []graph.KeywordID) (Res
 			return Result{Communities: out, LabelSize: l}, nil
 		}
 	}
-	comm := kdTrussFixpoint(t.g, scope, q, k, d)
+	comm := kdTrussFixpoint(t.g, scope, q, k, d, check)
 	if comm == nil {
 		return Result{}, ErrNoKCore
 	}
@@ -56,10 +65,10 @@ func TrussSearchD(t *Tree, q graph.VertexID, k, d int, s []graph.KeywordID) (Res
 
 // kdTrussFixpoint alternates truss peeling with in-community distance
 // filtering until both constraints hold simultaneously.
-func kdTrussFixpoint(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k, d int) []graph.VertexID {
+func kdTrussFixpoint(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k, d int, check *cancel.Checker) []graph.VertexID {
 	cur := cand
 	for {
-		comm, edges := truss.CommunityOf(g, cur, q, k)
+		comm, edges := truss.CommunityOf(g, cur, q, k, check)
 		if comm == nil {
 			return nil
 		}
@@ -117,8 +126,13 @@ func ballWithin(comm []graph.VertexID, edges [][2]graph.VertexID, q graph.Vertex
 // every qualified set must be shared by at least k−1 neighbours of q — and
 // verified from the largest candidates down, with keyword filtering feeding
 // truss.CommunityOf instead of the k-core pipeline. k must be ≥ 2.
-func TrussSearch(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result, error) {
-	s, err := normalizeQuery(t.g, q, k, s)
+func TrussSearch(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = normalizeQuery(t.g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
@@ -133,11 +147,12 @@ func TrussSearch(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result,
 	root := t.LocateRoot(q, int32(k-1))
 	scope := t.SubtreeVertices(root)
 	ops := graph.NewSetOps(t.g)
+	ops.SetChecker(check)
 
-	levels := mineCandidates(t.g, q, k-1, s, fpm.FPGrowth)
+	levels := mineCandidates(t.g, q, k-1, s, fpm.FPGrowth, check)
 	verify := func(set []graph.KeywordID) []graph.VertexID {
 		cand := ops.FilterByKeywords(scope, set)
-		comm, _ := truss.CommunityOf(t.g, cand, q, k)
+		comm, _ := truss.CommunityOf(t.g, cand, q, k, check)
 		return comm
 	}
 	for l := len(levels); l >= 1; l-- {
@@ -152,7 +167,7 @@ func TrussSearch(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result,
 		}
 	}
 	// No shared keywords: fall back to the plain k-truss community of q.
-	comm, _ := truss.CommunityOf(t.g, scope, q, k)
+	comm, _ := truss.CommunityOf(t.g, scope, q, k, check)
 	if comm == nil {
 		return Result{}, ErrNoKCore
 	}

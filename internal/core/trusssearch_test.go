@@ -18,7 +18,7 @@ func TestTrussSearchFig3(t *testing.T) {
 
 	// k=4: the K4 {A,B,C,D} is the only 4-truss; the maximal shared keyword
 	// set there is {x}.
-	res, err := TrussSearch(tr, a, 4, nil)
+	res, err := TrussSearch(bgCtx, tr, a, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestTrussSearchFig3(t *testing.T) {
 
 	// k=3 with S={x,y}: triangle communities whose members share x and y:
 	// {A,C,D}.
-	res, err = TrussSearch(tr, a, 3, kws(g, "x", "y"))
+	res, err = TrussSearch(bgCtx, tr, a, 3, kws(g, "x", "y"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,20 +54,20 @@ func TestTrussSearchErrorsAndFallback(t *testing.T) {
 	a, _ := g.VertexByLabel("A")
 	j, _ := g.VertexByLabel("J")
 
-	if _, err := TrussSearch(tr, graph.VertexID(77), 3, nil); !errors.Is(err, ErrVertexOutOfRange) {
+	if _, err := TrussSearch(bgCtx, tr, graph.VertexID(77), 3, nil); !errors.Is(err, ErrVertexOutOfRange) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := TrussSearch(tr, j, 3, nil); !errors.Is(err, ErrNoKCore) {
+	if _, err := TrussSearch(bgCtx, tr, j, 3, nil); !errors.Is(err, ErrNoKCore) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := TrussSearch(tr, a, 9, nil); !errors.Is(err, ErrNoKCore) {
+	if _, err := TrussSearch(bgCtx, tr, a, 9, nil); !errors.Is(err, ErrNoKCore) {
 		t.Fatalf("err = %v", err)
 	}
 
 	// Fallback: D with S={z} — no truss community shares z, but the 4-truss
 	// around D exists.
 	d, _ := g.VertexByLabel("D")
-	res, err := TrussSearch(tr, d, 4, kws(g, "z"))
+	res, err := TrussSearch(bgCtx, tr, d, 4, kws(g, "z"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,14 +97,14 @@ func TestTrussSearchD(t *testing.T) {
 	g := b.MustBuild()
 	tr := BuildAdvanced(g)
 
-	full, err := TrussSearchD(tr, 0, 3, 0, nil) // unbounded
+	full, err := TrussSearchD(bgCtx, tr, 0, 3, 0, nil) // unbounded
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(full.Communities[0].Vertices) != segments+2 {
 		t.Fatalf("unbounded = %v", full.Communities[0].Vertices)
 	}
-	near, err := TrussSearchD(tr, 0, 3, 2, nil)
+	near, err := TrussSearchD(bgCtx, tr, 0, 3, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestTrussSearchDMonotoneQuick(t *testing.T) {
 		}
 		prevSize := 0
 		for _, d := range []int{1, 2, 4, 0} { // 0 = unbounded, largest
-			res, err := TrussSearchD(tr, q, 3, d, nil)
+			res, err := TrussSearchD(bgCtx, tr, q, 3, d, nil)
 			if err != nil {
 				if !errors.Is(err, ErrNoKCore) {
 					return false
@@ -184,11 +184,11 @@ func TestTrussSearchSubsetOfCoreQuick(t *testing.T) {
 			return true
 		}
 		k := 3
-		res, err := TrussSearch(tr, q, k, nil)
+		res, err := TrussSearch(bgCtx, tr, q, k, nil)
 		if err != nil {
 			return errors.Is(err, ErrNoKCore)
 		}
-		coreRes, err := Dec(tr, q, k-1, nil, DefaultOptions())
+		coreRes, err := Dec(bgCtx, tr, q, k-1, nil, DefaultOptions())
 		if err != nil {
 			return false
 		}

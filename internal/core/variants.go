@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
 )
@@ -14,8 +17,13 @@ import (
 // SW answers Variant 1 with the CL-tree (Appendix G, Algorithm 12: Search by
 // keyWords). Unlike the main problem, S need not be a subset of W(q) —
 // but q itself must contain S, otherwise no community exists.
-func SW(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result, error) {
-	s, err := validateVariantQuery(t.g, q, k, s)
+func SW(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = validateVariantQuery(t.g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
@@ -25,7 +33,7 @@ func SW(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result, error) {
 	if !t.g.HasAllKeywords(q, s) {
 		return Result{}, nil
 	}
-	e := &env{g: t.g, ops: graph.NewSetOps(t.g), q: q, k: k, opt: DefaultOptions()}
+	e := newEnv(t.g, q, k, DefaultOptions(), check)
 	root := t.LocateRoot(q, int32(k))
 	cand := t.Candidates(root, s, true)
 	comm := e.communityOf(cand)
@@ -37,8 +45,13 @@ func SW(t *Tree, q graph.VertexID, k int, s []graph.KeywordID) (Result, error) {
 
 // SWT answers Variant 2 with the CL-tree (Appendix G: Search by keyWords with
 // Threshold): members must contain at least ⌈θ·|S|⌉ keywords of S.
-func SWT(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (Result, error) {
-	s, err := validateVariantQuery(t.g, q, k, s)
+func SWT(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = validateVariantQuery(t.g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
@@ -52,10 +65,10 @@ func SWT(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (
 	if t.g.CountSharedKeywords(q, s) < need {
 		return Result{}, nil
 	}
-	e := &env{g: t.g, ops: graph.NewSetOps(t.g), q: q, k: k, opt: DefaultOptions()}
+	e := newEnv(t.g, q, k, DefaultOptions(), check)
 	root := t.LocateRoot(q, int32(k))
 	sub := t.SubtreeVertices(root)
-	cand := filterByThreshold(t.g, sub, s, need)
+	cand := filterByThreshold(t.g, sub, s, need, check)
 	comm := e.communityOf(cand)
 	if comm == nil {
 		return Result{}, nil
@@ -65,12 +78,17 @@ func SWT(t *Tree, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (
 
 // BasicGV1 answers Variant 1 without an index (Appendix G, Algorithm 10):
 // k-ĉore of q first, keyword filter second.
-func BasicGV1(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) (Result, error) {
-	s, err := validateVariantQuery(g, q, k, s)
+func BasicGV1(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) (res Result, err error) {
+	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
 	}
-	e := &env{g: g, ops: graph.NewSetOps(g), q: q, k: k, opt: DefaultOptions()}
+	defer cancel.Recover(&err)
+	s, err = validateVariantQuery(g, q, k, s)
+	if err != nil {
+		return Result{}, err
+	}
+	e := newEnv(g, q, k, DefaultOptions(), check)
 	ck := kcore.KHatCoreScratch(e.ops, q, k)
 	if ck == nil {
 		return Result{}, ErrNoKCore
@@ -85,12 +103,17 @@ func BasicGV1(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) (Res
 
 // BasicWV1 answers Variant 1 without an index (Appendix G, Algorithm 11):
 // keyword filter over the whole graph first, degree refinement second.
-func BasicWV1(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) (Result, error) {
-	s, err := validateVariantQuery(g, q, k, s)
+func BasicWV1(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) (res Result, err error) {
+	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
 	}
-	e := &env{g: g, ops: graph.NewSetOps(g), q: q, k: k, opt: DefaultOptions()}
+	defer cancel.Recover(&err)
+	s, err = validateVariantQuery(g, q, k, s)
+	if err != nil {
+		return Result{}, err
+	}
+	e := newEnv(g, q, k, DefaultOptions(), check)
 	if kcore.KHatCoreScratch(e.ops, q, k) == nil {
 		return Result{}, ErrNoKCore
 	}
@@ -104,20 +127,25 @@ func BasicWV1(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) (Res
 }
 
 // BasicGV2 answers Variant 2 without an index, filtering inside the k-ĉore.
-func BasicGV2(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (Result, error) {
-	s, err := validateVariantQuery(g, q, k, s)
+func BasicGV2(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = validateVariantQuery(g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
 	if theta <= 0 || theta > 1 {
 		return Result{}, ErrBadTheta
 	}
-	e := &env{g: g, ops: graph.NewSetOps(g), q: q, k: k, opt: DefaultOptions()}
+	e := newEnv(g, q, k, DefaultOptions(), check)
 	ck := kcore.KHatCoreScratch(e.ops, q, k)
 	if ck == nil {
 		return Result{}, ErrNoKCore
 	}
-	cand := filterByThreshold(g, ck, s, thresholdCount(len(s), theta))
+	cand := filterByThreshold(g, ck, s, thresholdCount(len(s), theta), check)
 	comm := e.communityOf(cand)
 	if comm == nil {
 		return Result{}, nil
@@ -126,19 +154,24 @@ func BasicGV2(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, thet
 }
 
 // BasicWV2 answers Variant 2 without an index, filtering the whole graph.
-func BasicWV2(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (Result, error) {
-	s, err := validateVariantQuery(g, q, k, s)
+func BasicWV2(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (res Result, err error) {
+	check, err := begin(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cancel.Recover(&err)
+	s, err = validateVariantQuery(g, q, k, s)
 	if err != nil {
 		return Result{}, err
 	}
 	if theta <= 0 || theta > 1 {
 		return Result{}, ErrBadTheta
 	}
-	e := &env{g: g, ops: graph.NewSetOps(g), q: q, k: k, opt: DefaultOptions()}
+	e := newEnv(g, q, k, DefaultOptions(), check)
 	if kcore.KHatCoreScratch(e.ops, q, k) == nil {
 		return Result{}, ErrNoKCore
 	}
-	cand := filterByThreshold(g, allVertices(g), s, thresholdCount(len(s), theta))
+	cand := filterByThreshold(g, allVertices(g), s, thresholdCount(len(s), theta), check)
 	comm := e.communityOf(cand)
 	if comm == nil {
 		return Result{}, nil
@@ -170,9 +203,10 @@ func thresholdCount(size int, theta float64) int {
 	return need
 }
 
-func filterByThreshold(g *graph.Graph, vs []graph.VertexID, s []graph.KeywordID, need int) []graph.VertexID {
+func filterByThreshold(g *graph.Graph, vs []graph.VertexID, s []graph.KeywordID, need int, check *cancel.Checker) []graph.VertexID {
 	out := make([]graph.VertexID, 0, len(vs))
 	for _, v := range vs {
+		check.Tick(1)
 		if g.CountSharedKeywords(v, s) >= need {
 			out = append(out, v)
 		}

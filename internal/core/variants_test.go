@@ -19,9 +19,9 @@ func TestExample7Variant1(t *testing.T) {
 	a, _ := g.VertexByLabel("A")
 	s := kws(g, "x")
 	for name, run := range map[string]func() (Result, error){
-		"sw":         func() (Result, error) { return SW(tr, a, 2, s) },
-		"basic-g-v1": func() (Result, error) { return BasicGV1(g, a, 2, s) },
-		"basic-w-v1": func() (Result, error) { return BasicWV1(g, a, 2, s) },
+		"sw":         func() (Result, error) { return SW(bgCtx, tr, a, 2, s) },
+		"basic-g-v1": func() (Result, error) { return BasicGV1(bgCtx, g, a, 2, s) },
+		"basic-w-v1": func() (Result, error) { return BasicWV1(bgCtx, g, a, 2, s) },
 	} {
 		res, err := run()
 		if err != nil {
@@ -45,9 +45,9 @@ func TestExample7Variant2(t *testing.T) {
 	a, _ := g.VertexByLabel("A")
 	s := kws(g, "x", "y")
 	for name, run := range map[string]func() (Result, error){
-		"swt":        func() (Result, error) { return SWT(tr, a, 2, s, 0.5) },
-		"basic-g-v2": func() (Result, error) { return BasicGV2(g, a, 2, s, 0.5) },
-		"basic-w-v2": func() (Result, error) { return BasicWV2(g, a, 2, s, 0.5) },
+		"swt":        func() (Result, error) { return SWT(bgCtx, tr, a, 2, s, 0.5) },
+		"basic-g-v2": func() (Result, error) { return BasicGV2(bgCtx, g, a, 2, s, 0.5) },
+		"basic-w-v2": func() (Result, error) { return BasicWV2(bgCtx, g, a, 2, s, 0.5) },
 	} {
 		res, err := run()
 		if err != nil {
@@ -69,7 +69,7 @@ func TestVariant1NoCommunity(t *testing.T) {
 	g := testutil.Fig3Graph()
 	tr := BuildAdvanced(g)
 	b, _ := g.VertexByLabel("B") // W(B) = {x}
-	res, err := SW(tr, b, 2, kws(g, "y"))
+	res, err := SW(bgCtx, tr, b, 2, kws(g, "y"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,19 +82,19 @@ func TestVariantErrors(t *testing.T) {
 	g := testutil.Fig3Graph()
 	tr := BuildAdvanced(g)
 	a, _ := g.VertexByLabel("A")
-	if _, err := SW(tr, graph.VertexID(-1), 2, nil); !errors.Is(err, ErrVertexOutOfRange) {
+	if _, err := SW(bgCtx, tr, graph.VertexID(-1), 2, nil); !errors.Is(err, ErrVertexOutOfRange) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := SWT(tr, a, 2, kws(g, "x"), 0); !errors.Is(err, ErrBadTheta) {
+	if _, err := SWT(bgCtx, tr, a, 2, kws(g, "x"), 0); !errors.Is(err, ErrBadTheta) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := SWT(tr, a, 2, kws(g, "x"), 1.5); !errors.Is(err, ErrBadTheta) {
+	if _, err := SWT(bgCtx, tr, a, 2, kws(g, "x"), 1.5); !errors.Is(err, ErrBadTheta) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := BasicGV1(g, a, 0, nil); !errors.Is(err, ErrBadK) {
+	if _, err := BasicGV1(bgCtx, g, a, 0, nil); !errors.Is(err, ErrBadK) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := SW(tr, a, 9, kws(g, "x")); !errors.Is(err, ErrNoKCore) {
+	if _, err := SW(bgCtx, tr, a, 9, kws(g, "x")); !errors.Is(err, ErrNoKCore) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -124,9 +124,9 @@ func TestVariantsAgreeQuick(t *testing.T) {
 		}
 		s = graph.SortKeywordSet(s)
 
-		r1, e1 := SW(tr, q, k, s)
-		r2, e2 := BasicGV1(g, q, k, s)
-		r3, e3 := BasicWV1(g, q, k, s)
+		r1, e1 := SW(bgCtx, tr, q, k, s)
+		r2, e2 := BasicGV1(bgCtx, g, q, k, s)
+		r3, e3 := BasicWV1(bgCtx, g, q, k, s)
 		if (e1 != nil) != (e2 != nil) || (e2 != nil) != (e3 != nil) {
 			return false
 		}
@@ -137,9 +137,9 @@ func TestVariantsAgreeQuick(t *testing.T) {
 		}
 
 		theta := 0.2 + 0.8*rng.Float64()
-		v1, e4 := SWT(tr, q, k, s, theta)
-		v2, e5 := BasicGV2(g, q, k, s, theta)
-		v3, e6 := BasicWV2(g, q, k, s, theta)
+		v1, e4 := SWT(bgCtx, tr, q, k, s, theta)
+		v2, e5 := BasicGV2(bgCtx, g, q, k, s, theta)
+		v3, e6 := BasicWV2(bgCtx, g, q, k, s, theta)
 		if (e4 != nil) != (e5 != nil) || (e5 != nil) != (e6 != nil) {
 			return false
 		}
@@ -174,7 +174,7 @@ func TestVariant2MembershipQuick(t *testing.T) {
 		}
 		s := graph.SortKeywordSet(append([]graph.KeywordID(nil), g.Keywords(q)...))
 		theta := 0.3 + 0.7*rng.Float64()
-		res, err := SWT(tr, q, 1, s, theta)
+		res, err := SWT(bgCtx, tr, q, 1, s, theta)
 		if err != nil {
 			return false
 		}

@@ -1,5 +1,7 @@
 package graph
 
+import "github.com/acq-search/acq/internal/cancel"
+
 // Marker is an epoch-based membership set over vertices. Resetting it is
 // O(1) (the epoch is bumped), which keeps repeated induced-subgraph
 // computations allocation-free — the query algorithms in internal/core call
@@ -57,6 +59,11 @@ type SetOps struct {
 	alive *Marker
 	deg   []int32
 	queue []VertexID
+
+	// check, when non-nil, is polled (amortised) from every induced-subgraph
+	// loop so a canceled context stops evaluation mid-operation. The nil
+	// checker makes every poll a no-op, keeping the non-cancellable path hot.
+	check *cancel.Checker
 }
 
 // NewSetOps returns scratch space sized for g.
@@ -74,6 +81,11 @@ func NewSetOps(g *Graph) *SetOps {
 // Graph returns the graph this SetOps operates on.
 func (s *SetOps) Graph() *Graph { return s.g }
 
+// SetChecker attaches a cancellation checker: subsequent operations tick it
+// once per vertex visited and unwind (see internal/cancel) when the checker's
+// context is canceled. A nil checker restores the unchecked fast path.
+func (s *SetOps) SetChecker(c *cancel.Checker) { s.check = c }
+
 // ComponentOf returns the connected component containing q in the subgraph
 // induced by cand. It returns nil if q ∉ cand. The result is in BFS order.
 func (s *SetOps) ComponentOf(cand []VertexID, q VertexID) []VertexID {
@@ -88,6 +100,7 @@ func (s *SetOps) ComponentOf(cand []VertexID, q VertexID) []VertexID {
 	comp = append(comp, q)
 	for head := 0; head < len(comp); head++ {
 		v := comp[head]
+		s.check.Tick(1)
 		for _, u := range s.g.adj[v] {
 			if s.in.Has(u) && !s.alive.Has(u) {
 				s.alive.Add(u)
@@ -113,6 +126,7 @@ func (s *SetOps) Components(cand []VertexID) [][]VertexID {
 		comp := []VertexID{start}
 		for head := 0; head < len(comp); head++ {
 			v := comp[head]
+			s.check.Tick(1)
 			for _, u := range s.g.adj[v] {
 				if s.in.Has(u) && !s.alive.Has(u) {
 					s.alive.Add(u)
@@ -133,6 +147,7 @@ func (s *SetOps) PeelToMinDegree(cand []VertexID, k int) []VertexID {
 	s.alive.Reset()
 	s.alive.AddAll(cand)
 	for _, v := range cand {
+		s.check.Tick(1)
 		d := int32(0)
 		for _, u := range s.g.adj[v] {
 			if s.alive.Has(u) {
@@ -150,6 +165,7 @@ func (s *SetOps) PeelToMinDegree(cand []VertexID, k int) []VertexID {
 	}
 	for head := 0; head < len(s.queue); head++ {
 		v := s.queue[head]
+		s.check.Tick(1)
 		for _, u := range s.g.adj[v] {
 			if s.alive.Has(u) {
 				s.deg[u]--
@@ -176,6 +192,7 @@ func (s *SetOps) InducedEdgeCount(cand []VertexID) int {
 	s.in.AddAll(cand)
 	total := 0
 	for _, v := range cand {
+		s.check.Tick(1)
 		for _, u := range s.g.adj[v] {
 			if s.in.Has(u) {
 				total++
@@ -208,6 +225,7 @@ func (s *SetOps) InducedDegrees(cand []VertexID) []int {
 func (s *SetOps) FilterByKeywords(cand []VertexID, set []KeywordID) []VertexID {
 	out := make([]VertexID, 0, len(cand))
 	for _, v := range cand {
+		s.check.Tick(1)
 		if s.g.HasAllKeywords(v, set) {
 			out = append(out, v)
 		}

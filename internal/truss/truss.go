@@ -17,6 +17,7 @@ package truss
 import (
 	"sort"
 
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/graph"
 )
 
@@ -206,7 +207,11 @@ func forEachCommonNeighbor(g *graph.Graph, u, v graph.VertexID, fn func(w graph.
 // was peeled is NOT part of the community even though both endpoints are.
 // nil vertices means q survives in no such subgraph. k must be ≥ 2; k=2
 // degenerates to q's connected component.
-func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int) ([]graph.VertexID, [][2]graph.VertexID) {
+//
+// check (nil for uncancellable callers) is ticked per edge examined during
+// support counting and peeling, so a deadline can stop a truss verification
+// mid-peel.
+func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int, check *cancel.Checker) ([]graph.VertexID, [][2]graph.VertexID) {
 	if k < 2 {
 		k = 2
 	}
@@ -254,6 +259,7 @@ func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int)
 	}
 	queue := make([]edge, 0)
 	for e := range alive {
+		check.Tick(1)
 		sup[e] = countSupport(e)
 		if sup[e] < k-2 {
 			queue = append(queue, e)
@@ -268,6 +274,7 @@ func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int)
 	for len(queue) > 0 {
 		e := queue[0]
 		queue = queue[1:]
+		check.Tick(1)
 		if !alive[e] {
 			continue
 		}
@@ -294,6 +301,7 @@ func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int)
 	visited := map[graph.VertexID]bool{q: true}
 	comp := []graph.VertexID{q}
 	for head := 0; head < len(comp); head++ {
+		check.Tick(1)
 		for _, v := range neighbors(comp[head]) {
 			if !visited[v] {
 				visited[v] = true

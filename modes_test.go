@@ -1,0 +1,264 @@
+package acq_test
+
+// Differential tests for the unified Search surface: every Query.Mode must
+// return results byte-identical to the legacy per-variant methods (kept as
+// deprecated shims), on both the direct Graph path and the Snapshot path.
+// This is the acceptance gate for the v1 API redesign — the one entrypoint
+// must not drift from the methods it replaces.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	acq "github.com/acq-search/acq"
+)
+
+// modeCase pairs a Mode query with the legacy method it folds in.
+type modeCase struct {
+	name   string
+	query  acq.Query
+	legacy func(acq.Searcher, acq.Query) (acq.Result, error)
+}
+
+func modeCases() []modeCase {
+	type legacyGraph interface {
+		SearchFixed(acq.Query) (acq.Result, error)
+		SearchThreshold(acq.Query, float64) (acq.Result, error)
+		SearchClique(acq.Query) (acq.Result, error)
+		SearchSimilar(acq.Query, float64) (acq.Result, error)
+		SearchTruss(acq.Query) (acq.Result, error)
+	}
+	return []modeCase{
+		{
+			name:  "core",
+			query: acq.Query{Vertex: "Jack", K: 3, Mode: acq.ModeCore},
+			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
+				q.Mode = ""
+				return s.Search(bgCtx, q)
+			},
+		},
+		{
+			name:  "fixed",
+			query: acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"research", "sports"}, Mode: acq.ModeFixed},
+			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
+				q.Mode = ""
+				return s.(legacyGraph).SearchFixed(q)
+			},
+		},
+		{
+			name: "threshold",
+			query: acq.Query{
+				Vertex: "Jack", K: 3,
+				Keywords: []string{"research", "sports", "yoga", "web"},
+				Mode:     acq.ModeThreshold, Theta: 0.5,
+			},
+			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
+				theta := q.Theta
+				q.Mode, q.Theta = "", 0
+				return s.(legacyGraph).SearchThreshold(q, theta)
+			},
+		},
+		{
+			name:  "clique",
+			query: acq.Query{Vertex: "Jack", K: 4, Mode: acq.ModeClique},
+			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
+				q.Mode = ""
+				return s.(legacyGraph).SearchClique(q)
+			},
+		},
+		{
+			name:  "similar",
+			query: acq.Query{Vertex: "Jack", K: 3, Mode: acq.ModeSimilar, Tau: 0.4},
+			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
+				tau := q.Tau
+				q.Mode, q.Tau = "", 0
+				return s.(legacyGraph).SearchSimilar(q, tau)
+			},
+		},
+		{
+			name:  "truss",
+			query: acq.Query{Vertex: "Jack", K: 4, Mode: acq.ModeTruss},
+			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
+				q.Mode = ""
+				return s.(legacyGraph).SearchTruss(q)
+			},
+		},
+		{
+			name:  "truss-maxhops",
+			query: acq.Query{Vertex: "Jack", K: 4, MaxHops: 1, Mode: acq.ModeTruss},
+			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
+				q.Mode = ""
+				return s.(legacyGraph).SearchTruss(q)
+			},
+		},
+	}
+}
+
+// TestModesMatchLegacyMethods is the differential acceptance test: for every
+// mode, the unified Search and the deprecated per-variant method return
+// deep-equal results on the Graph path, and the Snapshot path agrees with
+// both (with and without the result cache, so the equality is not an
+// artifact of cache cloning).
+func TestModesMatchLegacyMethods(t *testing.T) {
+	g := figure1Graph(t)
+	g.BuildIndex()
+	gNoCache := figure1Graph(t)
+	gNoCache.BuildIndex()
+	gNoCache.SetResultCacheSize(-1)
+
+	for _, tc := range modeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			unified, uErr := g.Search(bgCtx, tc.query)
+			legacy, lErr := tc.legacy(g, tc.query)
+			if (uErr == nil) != (lErr == nil) {
+				t.Fatalf("error mismatch: unified %v, legacy %v", uErr, lErr)
+			}
+			if uErr != nil {
+				return
+			}
+			if !reflect.DeepEqual(unified, legacy) {
+				t.Fatalf("unified Search diverged from legacy method:\n%+v\nvs\n%+v", unified, legacy)
+			}
+			snapRes, sErr := g.Snapshot().Search(bgCtx, tc.query)
+			if sErr != nil {
+				t.Fatalf("snapshot search: %v", sErr)
+			}
+			if !reflect.DeepEqual(unified, snapRes) {
+				t.Fatalf("snapshot diverged from direct path:\n%+v\nvs\n%+v", snapRes, unified)
+			}
+			uncached, ncErr := gNoCache.Snapshot().Search(bgCtx, tc.query)
+			if ncErr != nil {
+				t.Fatalf("uncached snapshot search: %v", ncErr)
+			}
+			if !reflect.DeepEqual(unified, uncached) {
+				t.Fatalf("uncached snapshot diverged:\n%+v\nvs\n%+v", uncached, unified)
+			}
+		})
+	}
+}
+
+// TestModesMatchLegacyOnSynthetic repeats the differential check on a
+// synthetic dataset workload, covering vertices whose neighbourhood
+// structure is richer than the hand-built Figure 1 graph.
+func TestModesMatchLegacyOnSynthetic(t *testing.T) {
+	g, err := acq.Synthetic("dblp", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BuildIndex()
+	var queries []int32
+	for v := int32(0); int(v) < g.NumVertices() && len(queries) < 6; v++ {
+		if c, _ := g.CoreNumber(v); c >= 4 {
+			queries = append(queries, v)
+		}
+	}
+	if len(queries) == 0 {
+		t.Fatal("no queryable vertices")
+	}
+	snap := g.Snapshot()
+	for _, qv := range queries {
+		for _, mode := range []acq.Mode{acq.ModeCore, acq.ModeFixed, acq.ModeThreshold, acq.ModeSimilar} {
+			q := acq.Query{VertexID: qv, K: 4, Mode: mode}
+			switch mode {
+			case acq.ModeThreshold:
+				q.Theta = 0.5
+				q.Keywords = g.Keywords(qv)
+			case acq.ModeSimilar:
+				q.Tau = 0.3
+			case acq.ModeFixed:
+				kws := g.Keywords(qv)
+				if len(kws) > 2 {
+					kws = kws[:2]
+				}
+				q.Keywords = kws
+			}
+			direct, dErr := g.Search(bgCtx, q)
+			snapped, sErr := snap.Search(bgCtx, q)
+			if (dErr == nil) != (sErr == nil) {
+				t.Fatalf("q=%d mode=%s: error mismatch %v vs %v", qv, mode, dErr, sErr)
+			}
+			if dErr == nil && !reflect.DeepEqual(direct, snapped) {
+				t.Fatalf("q=%d mode=%s: direct and snapshot disagree", qv, mode)
+			}
+		}
+	}
+}
+
+// TestSearchBadMode pins the unknown-mode error.
+func TestSearchBadMode(t *testing.T) {
+	g := figure1Graph(t)
+	g.BuildIndex()
+	_, err := g.Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Mode: "quantum"})
+	if err == nil || !errors.Is(err, acq.ErrBadMode) {
+		t.Fatalf("err = %v, want ErrBadMode", err)
+	}
+	// And through the snapshot path (errors are never cached).
+	_, err = g.Snapshot().Search(bgCtx, acq.Query{Vertex: "Jack", K: 3, Mode: "quantum"})
+	if err == nil || !errors.Is(err, acq.ErrBadMode) {
+		t.Fatalf("snapshot err = %v, want ErrBadMode", err)
+	}
+}
+
+// TestBadModeNeverAliasesCache is a regression test: an unknown mode must
+// fail even when the equivalent ModeCore query is already cached — the
+// invalid query must not share the cached entry's key and return a wrong
+// success.
+func TestBadModeNeverAliasesCache(t *testing.T) {
+	g := figure1Graph(t)
+	g.BuildIndex()
+	snap := g.Snapshot()
+	q := acq.Query{Vertex: "Jack", K: 3}
+	if _, err := snap.Search(bgCtx, q); err != nil { // warm the core entry
+		t.Fatal(err)
+	}
+	q.Mode = "bogus"
+	if _, err := snap.Search(bgCtx, q); !errors.Is(err, acq.ErrBadMode) {
+		t.Fatalf("cached-alias err = %v, want ErrBadMode", err)
+	}
+	q.Mode = ""
+	q.Algorithm = "quantum"
+	if _, err := snap.Search(bgCtx, q); !errors.Is(err, acq.ErrBadAlgorithm) {
+		t.Fatalf("cached-alias err = %v, want ErrBadAlgorithm", err)
+	}
+}
+
+// TestBadAlgorithmRejectedInEveryMode: the unknown-algorithm contract holds
+// across the whole mode dispatch, not just ModeCore — a typo'd algo must
+// never silently fall through to the indexed variant path.
+func TestBadAlgorithmRejectedInEveryMode(t *testing.T) {
+	g := figure1Graph(t)
+	g.BuildIndex()
+	for _, mode := range []acq.Mode{acq.ModeCore, acq.ModeFixed, acq.ModeThreshold, acq.ModeClique, acq.ModeSimilar, acq.ModeTruss} {
+		q := acq.Query{Vertex: "Jack", K: 3, Mode: mode, Theta: 0.5, Tau: 0.5, Algorithm: "quantum"}
+		if _, err := g.Search(bgCtx, q); !errors.Is(err, acq.ErrBadAlgorithm) {
+			t.Fatalf("mode %s: err = %v, want ErrBadAlgorithm", mode, err)
+		}
+	}
+}
+
+// TestSearcherInterface pins the Searcher contract: both Graph and Snapshot
+// satisfy it and evaluate identically through the interface.
+func TestSearcherInterface(t *testing.T) {
+	g := figure1Graph(t)
+	g.BuildIndex()
+	q := acq.Query{Vertex: "Jack", K: 3}
+	var want acq.Result
+	for i, s := range []acq.Searcher{g, g.Snapshot()} {
+		res, err := s.Search(bgCtx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Fatalf("Searcher implementations disagree: %+v vs %+v", res, want)
+		}
+		batch := s.SearchBatch(bgCtx, []acq.Query{q, q}, acq.BatchOptions{Workers: 2})
+		if len(batch) != 2 || batch[0].Err != nil || !reflect.DeepEqual(batch[0].Result, want) {
+			t.Fatalf("SearchBatch through Searcher: %+v", batch)
+		}
+	}
+}

@@ -48,8 +48,8 @@ func TestBuildIndexWorkersEquivalence(t *testing.T) {
 	if len(queries) == 0 {
 		t.Skip("no suitable query vertices at this scale")
 	}
-	rs := serial.SearchBatch(queries, 1)
-	rp := parallel.SearchBatch(queries, 4)
+	rs := serial.SearchBatch(bgCtx, queries, acq.BatchOptions{Workers: 1})
+	rp := parallel.SearchBatch(bgCtx, queries, acq.BatchOptions{Workers: 4})
 	for i := range rs {
 		if (rs[i].Err == nil) != (rp[i].Err == nil) {
 			t.Fatalf("query %d: errors differ: %v vs %v", i, rs[i].Err, rp[i].Err)

@@ -1,8 +1,10 @@
 package acq
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/core"
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
@@ -24,6 +26,37 @@ const (
 	AlgoBasicW Algorithm = "basic-w"
 )
 
+// Mode selects the community model a Query evaluates. The zero value (or
+// ModeCore) is the paper's Problem 1; the other modes fold the former
+// SearchFixed/SearchThreshold/SearchClique/SearchSimilar/SearchTruss
+// entrypoints into the one Search surface.
+type Mode string
+
+const (
+	// ModeCore (also the zero value "") answers the paper's Problem 1:
+	// minimum-degree-k communities sharing a maximal subset of S.
+	ModeCore Mode = "core"
+	// ModeFixed is Variant 1 (Appendix G): every member must contain the
+	// whole keyword set S. Empty Communities (nil error) means none exists.
+	ModeFixed Mode = "fixed"
+	// ModeThreshold is Variant 2 (Appendix G): every member must contain at
+	// least ⌈Theta·|S|⌉ of the keywords, Query.Theta ∈ (0, 1].
+	ModeThreshold Mode = "threshold"
+	// ModeClique uses k-clique percolation structure cohesiveness:
+	// communities are unions of overlapping cliques of size ≥ k reachable
+	// from q sharing a maximal keyword subset. Requires an index; k ≥ 2.
+	ModeClique Mode = "clique"
+	// ModeSimilar requires every member's keyword set to have Jaccard
+	// similarity ≥ Query.Tau to S (default W(q)), Tau ∈ (0, 1]. Requires an
+	// index unless Algorithm is AlgoBasicG.
+	ModeSimilar Mode = "similar"
+	// ModeTruss uses k-truss structure cohesiveness: every community edge
+	// must close ≥ k−2 triangles inside the community. Query.MaxHops > 0
+	// additionally bounds the in-community hop distance from q (the
+	// (k,d)-truss). Requires an index; k ≥ 2.
+	ModeTruss Mode = "truss"
+)
+
 // Query describes one attributed community query.
 type Query struct {
 	// Vertex is the query vertex's label; when empty, VertexID is used.
@@ -33,9 +66,16 @@ type Query struct {
 	// K is the minimum degree bound (structure cohesiveness); must be ≥ 1.
 	K int
 	// Keywords is the input keyword set S. nil or empty means S = W(q),
-	// the paper's default. For Search, keywords q does not carry are
-	// ignored; for SearchFixed/SearchThreshold they are honoured as given.
+	// the paper's default. For ModeCore, keywords q does not carry are
+	// ignored; for ModeFixed/ModeThreshold they are honoured as given.
 	Keywords []string
+	// Mode selects the community model; empty means ModeCore.
+	Mode Mode
+	// Theta is ModeThreshold's sharing fraction θ ∈ (0, 1]: each member must
+	// contain at least ⌈θ·|S|⌉ of the keywords. Ignored by other modes.
+	Theta float64
+	// Tau is ModeSimilar's Jaccard bound τ ∈ (0, 1]. Ignored by other modes.
+	Tau float64
 	// Algorithm picks the evaluation strategy; empty means AlgoDec.
 	// Index-free algorithms (basic-g, basic-w) work without BuildIndex.
 	Algorithm Algorithm
@@ -49,7 +89,7 @@ type Query struct {
 	FuzzDistance int
 	// MaxHops bounds the hop distance from the query vertex measured inside
 	// the community — the (k,d)-truss constraint. Only honoured by
-	// SearchTruss; 0 means unbounded.
+	// ModeTruss; 0 means unbounded.
 	MaxHops int
 }
 
@@ -74,6 +114,23 @@ type Result struct {
 	Fallback bool
 }
 
+// Searcher is the query surface shared by Graph (direct reads against the
+// live master copy) and Snapshot (lock-free reads against an immutable
+// published copy). Code that only evaluates queries should accept a Searcher
+// so it serves both paths.
+type Searcher interface {
+	// Search evaluates one query under ctx; see Graph.Search.
+	Search(ctx context.Context, q Query) (Result, error)
+	// SearchBatch evaluates many queries concurrently and returns results in
+	// input order; see Graph.SearchBatch.
+	SearchBatch(ctx context.Context, queries []Query, opts BatchOptions) []BatchResult
+}
+
+var (
+	_ Searcher = (*Graph)(nil)
+	_ Searcher = (*Snapshot)(nil)
+)
+
 // view is the read-only pairing of a graph with its (possibly nil) CL-tree
 // that every search algorithm runs against. Both Graph (the live, mutable
 // master copy) and Snapshot (an immutable published copy) evaluate queries
@@ -88,47 +145,126 @@ type view struct {
 // Snapshot for lock-free reads under concurrent updates.
 func (G *Graph) view() view { return view{g: G.g, tree: G.tree} }
 
-// Search answers an ACQ (the paper's Problem 1): among the connected
-// subgraphs containing q with minimum internal degree ≥ k, return those
-// sharing the largest subset of S.
+// Search evaluates one attributed community query. It is the single
+// evaluation entrypoint: Query.Mode selects the community model (Problem 1
+// by default, plus the fixed/threshold/clique/similar/truss variants).
+//
+// ctx bounds the evaluation. The query algorithms poll cancellation at
+// amortised checkpoints inside their peeling and traversal loops, so a
+// deadline or cancel stops work mid-evaluation; the returned error then
+// wraps ErrCanceled and context.Cause(ctx) (context.DeadlineExceeded for a
+// deadline). A nil ctx is treated as context.Background().
 //
 // Search reads the live graph without synchronisation; it is safe for any
 // number of concurrent callers, but not concurrently with mutators. For
 // serving reads during updates, use Snapshot().Search.
-func (G *Graph) Search(q Query) (Result, error) { return G.view().search(q) }
+func (G *Graph) Search(ctx context.Context, q Query) (Result, error) {
+	return G.view().evaluate(ctx, q)
+}
 
-// SearchFixed answers Variant 1 (Appendix G): every member must contain the
-// whole keyword set. An empty Communities list (with nil error) means no
-// such community exists.
-func (G *Graph) SearchFixed(q Query) (Result, error) { return G.view().searchFixed(q) }
+// SearchFixed answers Variant 1 (Appendix G); see ModeFixed.
+//
+// Deprecated: set Query.Mode = ModeFixed and call Search. This shim will be
+// removed after one compatibility release.
+func (G *Graph) SearchFixed(q Query) (Result, error) {
+	q.Mode = ModeFixed
+	return G.Search(context.Background(), q)
+}
 
-// SearchThreshold answers Variant 2 (Appendix G): every member must contain
-// at least ⌈θ·|S|⌉ of the keywords, θ ∈ (0, 1].
+// SearchThreshold answers Variant 2 (Appendix G); see ModeThreshold.
+//
+// Deprecated: set Query.Mode = ModeThreshold and Query.Theta, then call
+// Search. This shim will be removed after one compatibility release.
 func (G *Graph) SearchThreshold(q Query, theta float64) (Result, error) {
-	return G.view().searchThreshold(q, theta)
+	q.Mode, q.Theta = ModeThreshold, theta
+	return G.Search(context.Background(), q)
 }
 
-// SearchClique answers the ACQ under k-clique percolation cohesiveness
-// (conclusion extension): communities are unions of overlapping cliques of
-// size ≥ k reachable from q sharing a maximal keyword subset. Requires an
-// index; k ≥ 2.
-func (G *Graph) SearchClique(q Query) (Result, error) { return G.view().searchClique(q) }
+// SearchClique answers the clique-percolation variant; see ModeClique.
+//
+// Deprecated: set Query.Mode = ModeClique and call Search. This shim will be
+// removed after one compatibility release.
+func (G *Graph) SearchClique(q Query) (Result, error) {
+	q.Mode = ModeClique
+	return G.Search(context.Background(), q)
+}
 
-// SearchSimilar returns the connected community of q (minimum degree ≥ k)
-// whose members' keyword sets all have Jaccard similarity ≥ tau to S
-// (default W(q)) — the Jaccard keyword cohesiveness the paper's conclusion
-// proposes. Requires an index unless Algorithm is AlgoBasicG.
+// SearchSimilar answers the Jaccard-similarity variant; see ModeSimilar.
+//
+// Deprecated: set Query.Mode = ModeSimilar and Query.Tau, then call Search.
+// This shim will be removed after one compatibility release.
 func (G *Graph) SearchSimilar(q Query, tau float64) (Result, error) {
-	return G.view().searchSimilar(q, tau)
+	q.Mode, q.Tau = ModeSimilar, tau
+	return G.Search(context.Background(), q)
 }
 
-// SearchTruss answers the ACQ under k-truss structure cohesiveness (the
-// extension the paper's conclusion calls for): every community edge must
-// close at least k−2 triangles inside the community, a strictly stronger
-// requirement than minimum degree. Requires an index; k ≥ 2.
-func (G *Graph) SearchTruss(q Query) (Result, error) { return G.view().searchTruss(q) }
+// SearchTruss answers the k-truss variant; see ModeTruss.
+//
+// Deprecated: set Query.Mode = ModeTruss and call Search. This shim will be
+// removed after one compatibility release.
+func (G *Graph) SearchTruss(q Query) (Result, error) {
+	q.Mode = ModeTruss
+	return G.Search(context.Background(), q)
+}
 
-func (v view) search(q Query) (Result, error) {
+// knownMode reports whether m names a defined query mode ("" = ModeCore).
+func knownMode(m Mode) bool {
+	switch m {
+	case "", ModeCore, ModeFixed, ModeThreshold, ModeClique, ModeSimilar, ModeTruss:
+		return true
+	}
+	return false
+}
+
+// knownAlgorithm reports whether a names a defined evaluation strategy
+// ("" = AlgoDec).
+func knownAlgorithm(a Algorithm) bool {
+	switch a {
+	case "", AlgoDec, AlgoIncS, AlgoIncT, AlgoBasicG, AlgoBasicW:
+		return true
+	}
+	return false
+}
+
+// validateDispatch rejects unknown Mode and Algorithm values. It runs before
+// any evaluation — and, on the Snapshot path, before the cache probe, so a
+// typo'd mode can never alias a cached result of a different model.
+func validateDispatch(q Query) error {
+	if !knownMode(q.Mode) {
+		return fmt.Errorf("%w: %q", ErrBadMode, q.Mode)
+	}
+	if !knownAlgorithm(q.Algorithm) {
+		return fmt.Errorf("%w: %q", ErrBadAlgorithm, q.Algorithm)
+	}
+	return nil
+}
+
+// evaluate dispatches a query to its mode's algorithm. It is the one funnel
+// under Graph.Search, Snapshot.Search and both batch paths.
+func (v view) evaluate(ctx context.Context, q Query) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validateDispatch(q); err != nil {
+		return Result{}, err
+	}
+	switch q.Mode {
+	case "", ModeCore:
+		return v.search(ctx, q)
+	case ModeFixed:
+		return v.searchFixed(ctx, q)
+	case ModeThreshold:
+		return v.searchThreshold(ctx, q, q.Theta)
+	case ModeClique:
+		return v.searchClique(ctx, q)
+	case ModeSimilar:
+		return v.searchSimilar(ctx, q, q.Tau)
+	default: // ModeTruss; validateDispatch rejected everything else
+		return v.searchTruss(ctx, q)
+	}
+}
+
+func (v view) search(ctx context.Context, q Query) (Result, error) {
 	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
@@ -139,23 +275,21 @@ func (v view) search(q Query) (Result, error) {
 	var res core.Result
 	switch q.Algorithm {
 	case AlgoBasicG:
-		res, err = core.BasicG(v.g, qv, q.K, s, opt)
+		res, err = core.BasicG(ctx, v.g, qv, q.K, s, opt)
 	case AlgoBasicW:
-		res, err = core.BasicW(v.g, qv, q.K, s, opt)
-	case AlgoIncS, AlgoIncT, AlgoDec, "":
+		res, err = core.BasicW(ctx, v.g, qv, q.K, s, opt)
+	default: // AlgoDec, AlgoIncS, AlgoIncT, "" — validateDispatch rejected the rest
 		if v.tree == nil {
 			return Result{}, ErrNoIndex
 		}
 		switch q.Algorithm {
 		case AlgoIncS:
-			res, err = core.IncS(v.tree, qv, q.K, s, opt)
+			res, err = core.IncS(ctx, v.tree, qv, q.K, s, opt)
 		case AlgoIncT:
-			res, err = core.IncT(v.tree, qv, q.K, s, opt)
+			res, err = core.IncT(ctx, v.tree, qv, q.K, s, opt)
 		default:
-			res, err = core.Dec(v.tree, qv, q.K, s, opt)
+			res, err = core.Dec(ctx, v.tree, qv, q.K, s, opt)
 		}
-	default:
-		return Result{}, fmt.Errorf("acq: unknown algorithm %q", q.Algorithm)
 	}
 	if err != nil {
 		return Result{}, err
@@ -163,7 +297,7 @@ func (v view) search(q Query) (Result, error) {
 	return v.render(res), nil
 }
 
-func (v view) searchFixed(q Query) (Result, error) {
+func (v view) searchFixed(ctx context.Context, q Query) (Result, error) {
 	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
@@ -171,14 +305,14 @@ func (v view) searchFixed(q Query) (Result, error) {
 	var res core.Result
 	switch q.Algorithm {
 	case AlgoBasicG:
-		res, err = core.BasicGV1(v.g, qv, q.K, s)
+		res, err = core.BasicGV1(ctx, v.g, qv, q.K, s)
 	case AlgoBasicW:
-		res, err = core.BasicWV1(v.g, qv, q.K, s)
+		res, err = core.BasicWV1(ctx, v.g, qv, q.K, s)
 	default:
 		if v.tree == nil {
 			return Result{}, ErrNoIndex
 		}
-		res, err = core.SW(v.tree, qv, q.K, s)
+		res, err = core.SW(ctx, v.tree, qv, q.K, s)
 	}
 	if err != nil {
 		return Result{}, err
@@ -186,7 +320,7 @@ func (v view) searchFixed(q Query) (Result, error) {
 	return v.render(res), nil
 }
 
-func (v view) searchThreshold(q Query, theta float64) (Result, error) {
+func (v view) searchThreshold(ctx context.Context, q Query, theta float64) (Result, error) {
 	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
@@ -194,14 +328,14 @@ func (v view) searchThreshold(q Query, theta float64) (Result, error) {
 	var res core.Result
 	switch q.Algorithm {
 	case AlgoBasicG:
-		res, err = core.BasicGV2(v.g, qv, q.K, s, theta)
+		res, err = core.BasicGV2(ctx, v.g, qv, q.K, s, theta)
 	case AlgoBasicW:
-		res, err = core.BasicWV2(v.g, qv, q.K, s, theta)
+		res, err = core.BasicWV2(ctx, v.g, qv, q.K, s, theta)
 	default:
 		if v.tree == nil {
 			return Result{}, ErrNoIndex
 		}
-		res, err = core.SWT(v.tree, qv, q.K, s, theta)
+		res, err = core.SWT(ctx, v.tree, qv, q.K, s, theta)
 	}
 	if err != nil {
 		return Result{}, err
@@ -209,7 +343,7 @@ func (v view) searchThreshold(q Query, theta float64) (Result, error) {
 	return v.render(res), nil
 }
 
-func (v view) searchClique(q Query) (Result, error) {
+func (v view) searchClique(ctx context.Context, q Query) (Result, error) {
 	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
@@ -217,26 +351,26 @@ func (v view) searchClique(q Query) (Result, error) {
 	if v.tree == nil {
 		return Result{}, ErrNoIndex
 	}
-	res, err := core.CliqueSearch(v.tree, qv, q.K, s)
+	res, err := core.CliqueSearch(ctx, v.tree, qv, q.K, s)
 	if err != nil {
 		return Result{}, err
 	}
 	return v.render(res), nil
 }
 
-func (v view) searchSimilar(q Query, tau float64) (Result, error) {
+func (v view) searchSimilar(ctx context.Context, q Query, tau float64) (Result, error) {
 	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
 	}
 	var res core.Result
 	if q.Algorithm == AlgoBasicG {
-		res, err = core.BasicGJ(v.g, qv, q.K, s, tau)
+		res, err = core.BasicGJ(ctx, v.g, qv, q.K, s, tau)
 	} else {
 		if v.tree == nil {
 			return Result{}, ErrNoIndex
 		}
-		res, err = core.SJ(v.tree, qv, q.K, s, tau)
+		res, err = core.SJ(ctx, v.tree, qv, q.K, s, tau)
 	}
 	if err != nil {
 		return Result{}, err
@@ -244,7 +378,7 @@ func (v view) searchSimilar(q Query, tau float64) (Result, error) {
 	return v.render(res), nil
 }
 
-func (v view) searchTruss(q Query) (Result, error) {
+func (v view) searchTruss(ctx context.Context, q Query) (Result, error) {
 	qv, s, err := v.resolve(q)
 	if err != nil {
 		return Result{}, err
@@ -252,12 +386,16 @@ func (v view) searchTruss(q Query) (Result, error) {
 	if v.tree == nil {
 		return Result{}, ErrNoIndex
 	}
-	res, err := core.TrussSearchD(v.tree, qv, q.K, q.MaxHops, s)
+	res, err := core.TrussSearchD(ctx, v.tree, qv, q.K, q.MaxHops, s)
 	if err != nil {
 		return Result{}, err
 	}
 	return v.render(res), nil
 }
+
+// canceledErr wraps an already-canceled context into the public sentinel
+// error without starting any evaluation.
+func canceledErr(ctx context.Context) error { return cancel.Wrap(ctx) }
 
 // resolve maps the public query to internal identifiers. Keywords unknown to
 // the dictionary cannot appear in any community and are dropped.

@@ -1,6 +1,7 @@
 package acq
 
 import (
+	"context"
 	"io"
 	"sort"
 	"strconv"
@@ -65,42 +66,70 @@ func newSnapshot(v view, version uint64, cacheSize int, stats *cacheStats) *Snap
 // value of Graph.Version at publication time.
 func (s *Snapshot) Version() uint64 { return s.version }
 
-// Search answers an ACQ against the snapshot; see Graph.Search.
-func (s *Snapshot) Search(q Query) (Result, error) {
-	return s.cached('s', q, 0, s.v.search)
+// Search evaluates one query against the snapshot; see Graph.Search for the
+// Query.Mode dispatch and the cancellation contract. Successful results are
+// memoised in the snapshot's LRU cache; an already-canceled ctx returns
+// ErrCanceled without touching the cache, and canceled evaluations are never
+// cached.
+func (s *Snapshot) Search(ctx context.Context, q Query) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil && ctx.Err() != nil {
+		return Result{}, canceledErr(ctx)
+	}
+	// Reject unknown modes/algorithms before the cache probe: an invalid
+	// query must never alias the cache key of a valid one (a typo'd mode
+	// would otherwise return a cached ModeCore result with a nil error).
+	if err := validateDispatch(q); err != nil {
+		return Result{}, err
+	}
+	return s.cached(ctx, q)
 }
 
-// SearchFixed answers Variant 1 against the snapshot; see Graph.SearchFixed.
+// SearchFixed answers Variant 1 against the snapshot.
+//
+// Deprecated: set Query.Mode = ModeFixed and call Search. This shim will be
+// removed after one compatibility release.
 func (s *Snapshot) SearchFixed(q Query) (Result, error) {
-	return s.cached('f', q, 0, s.v.searchFixed)
+	q.Mode = ModeFixed
+	return s.Search(context.Background(), q)
 }
 
-// SearchThreshold answers Variant 2 against the snapshot; see
-// Graph.SearchThreshold.
+// SearchThreshold answers Variant 2 against the snapshot.
+//
+// Deprecated: set Query.Mode = ModeThreshold and Query.Theta, then call
+// Search. This shim will be removed after one compatibility release.
 func (s *Snapshot) SearchThreshold(q Query, theta float64) (Result, error) {
-	return s.cached('t', q, theta, func(q Query) (Result, error) {
-		return s.v.searchThreshold(q, theta)
-	})
+	q.Mode, q.Theta = ModeThreshold, theta
+	return s.Search(context.Background(), q)
 }
 
-// SearchClique answers the clique-percolation variant against the snapshot;
-// see Graph.SearchClique.
+// SearchClique answers the clique-percolation variant against the snapshot.
+//
+// Deprecated: set Query.Mode = ModeClique and call Search. This shim will be
+// removed after one compatibility release.
 func (s *Snapshot) SearchClique(q Query) (Result, error) {
-	return s.cached('c', q, 0, s.v.searchClique)
+	q.Mode = ModeClique
+	return s.Search(context.Background(), q)
 }
 
-// SearchSimilar answers the Jaccard-similarity variant against the snapshot;
-// see Graph.SearchSimilar.
+// SearchSimilar answers the Jaccard-similarity variant against the snapshot.
+//
+// Deprecated: set Query.Mode = ModeSimilar and Query.Tau, then call Search.
+// This shim will be removed after one compatibility release.
 func (s *Snapshot) SearchSimilar(q Query, tau float64) (Result, error) {
-	return s.cached('j', q, tau, func(q Query) (Result, error) {
-		return s.v.searchSimilar(q, tau)
-	})
+	q.Mode, q.Tau = ModeSimilar, tau
+	return s.Search(context.Background(), q)
 }
 
-// SearchTruss answers the k-truss variant against the snapshot; see
-// Graph.SearchTruss.
+// SearchTruss answers the k-truss variant against the snapshot.
+//
+// Deprecated: set Query.Mode = ModeTruss and call Search. This shim will be
+// removed after one compatibility release.
 func (s *Snapshot) SearchTruss(q Query) (Result, error) {
-	return s.cached('r', q, 0, s.v.searchTruss)
+	q.Mode = ModeTruss
+	return s.Search(context.Background(), q)
 }
 
 // Stats computes summary statistics of the snapshot.
@@ -142,9 +171,10 @@ func (s *Snapshot) SaveSnapshot(w io.Writer) error {
 	return dataio.WriteSnapshot(w, s.v.g, s.v.tree)
 }
 
-// cached memoises successful results of run in the snapshot's LRU cache.
-// Errors are never cached: they are cheap to recompute and callers expect
-// errors.Is to keep working on fresh wrap chains.
+// cached memoises successful results of the mode dispatch in the snapshot's
+// LRU cache. Errors (including cancellations) are never cached: they are
+// cheap to recompute and callers expect errors.Is to keep working on fresh
+// wrap chains.
 //
 // Results are deep-copied at the cache boundary — a clone is stored on miss
 // and a clone is returned on hit — so every caller fully owns what it gets
@@ -152,17 +182,17 @@ func (s *Snapshot) SaveSnapshot(w io.Writer) error {
 // and identical queries racing in one batch never share slices). A hit
 // therefore costs one probe plus a copy proportional to the result size,
 // still far below recomputing the search.
-func (s *Snapshot) cached(kind byte, q Query, param float64, run func(Query) (Result, error)) (Result, error) {
+func (s *Snapshot) cached(ctx context.Context, q Query) (Result, error) {
 	if s.cache == nil {
-		return run(q)
+		return s.v.evaluate(ctx, q)
 	}
-	key := cacheKey(kind, q, param)
+	key := cacheKey(q)
 	if res, ok := s.cache.Get(key); ok {
 		s.stats.hits.Add(1)
 		return res.clone(), nil
 	}
 	s.stats.misses.Add(1)
-	res, err := run(q)
+	res, err := s.v.evaluate(ctx, q)
 	if err != nil {
 		return res, err
 	}
@@ -187,13 +217,40 @@ func (r Result) clone() Result {
 	return out
 }
 
+// modeKind maps a mode to the one-byte cache-key prefix. The bytes predate
+// the unified Search surface (they were the per-method kinds), which keeps
+// key layouts stable across the API migration.
+func modeKind(m Mode) byte {
+	switch m {
+	case ModeFixed:
+		return 'f'
+	case ModeThreshold:
+		return 't'
+	case ModeClique:
+		return 'c'
+	case ModeSimilar:
+		return 'j'
+	case ModeTruss:
+		return 'r'
+	default: // "" and ModeCore share a key: they are the same query
+		return 's'
+	}
+}
+
 // cacheKey normalises a query into a deterministic string: equivalent
-// queries (same vertex, k, algorithm, flags and keyword multiset, in any
-// order) map to the same key. Labels and keywords are quoted so arbitrary
-// user strings cannot collide across field boundaries.
-func cacheKey(kind byte, q Query, param float64) string {
+// queries (same vertex, mode, k, algorithm, flags, parameters and keyword
+// multiset, in any order) map to the same key. Labels and keywords are
+// quoted so arbitrary user strings cannot collide across field boundaries.
+func cacheKey(q Query) string {
+	param := 0.0
+	switch q.Mode {
+	case ModeThreshold:
+		param = q.Theta
+	case ModeSimilar:
+		param = q.Tau
+	}
 	var b strings.Builder
-	b.WriteByte(kind)
+	b.WriteByte(modeKind(q.Mode))
 	b.WriteByte('|')
 	if q.Vertex != "" {
 		b.WriteString(strconv.Quote(q.Vertex))
