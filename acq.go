@@ -81,11 +81,13 @@ type Graph struct {
 
 	// buildWorkers is the default parallel fan-out for index builds and
 	// copy-on-write snapshot publication (0 = auto, 1 = serial); guarded by
-	// mu. The last-build telemetry is atomic so metrics scrapers can read it
-	// without taking the mutator lock.
-	buildWorkers     int
-	lastBuildNanos   atomic.Int64
-	lastBuildWorkers atomic.Int32
+	// mu. The last-build and last-publication telemetry is atomic so metrics
+	// scrapers can read it without taking the mutator lock.
+	buildWorkers      int
+	lastBuildNanos    atomic.Int64
+	lastBuildWorkers  atomic.Int32
+	lastPublishNanos  atomic.Int64
+	lastSnapshotBytes atomic.Int64
 }
 
 // newGraph wraps an internal graph (and optional prebuilt tree) in the
@@ -381,22 +383,40 @@ func (G *Graph) mutatedLocked() {
 	}
 }
 
-// publishLocked deep-copies the master graph and tree into a fresh immutable
-// snapshot and publishes it with an atomic store. Callers hold G.mu. The
-// copies fan out over the graph's build-worker setting, so a mutator
-// republishing a large index under copy-on-write stalls for as little as the
-// hardware allows instead of paying the whole O(n+m) copy on one core.
+// publishLocked freezes the master graph into a compact CSR copy, rebinds a
+// clone of the tree to it, and publishes the pair with an atomic store.
+// Callers hold G.mu. Freezing costs O(n+m) sequential copying but only a
+// handful of allocations — adjacency and keyword payloads land in four flat
+// arrays — so republication under a write burst no longer scales the
+// garbage collector's work with the vertex count. The copy fans out over the
+// graph's build-worker setting. COW mutation still runs on the mutable
+// master; the frozen form is publication-only.
 func (G *Graph) publishLocked() *Snapshot {
+	start := time.Now()
 	workers := core.BuildOptions{Workers: G.buildWorkers}.ResolvedWorkers(G.g)
-	g2 := G.g.CloneWorkers(workers)
+	var prev *graph.Frozen
+	if old := G.snap.Load(); old != nil {
+		prev, _ = old.v.g.(*graph.Frozen)
+	}
+	fz := G.g.FreezeReuse(workers, prev)
 	var t2 *core.Tree
 	if G.tree != nil {
-		t2 = G.tree.CloneOpts(g2, core.BuildOptions{Workers: workers})
+		t2 = G.tree.CloneOpts(fz, core.BuildOptions{Workers: workers})
 	}
-	s := newSnapshot(view{g: g2, tree: t2}, G.version.Load(), G.cacheSize, G.stats)
+	s := newSnapshot(view{g: fz, tree: t2}, G.version.Load(), G.cacheSize, G.stats)
 	G.snap.Store(s)
 	G.snapRead.Store(false)
+	G.lastPublishNanos.Store(time.Since(start).Nanoseconds())
+	G.lastSnapshotBytes.Store(int64(fz.SizeBytes()))
 	return s
+}
+
+// SnapshotStats reports the wall-clock duration of the most recent snapshot
+// publication and the resident size of its frozen CSR payload (adjacency and
+// keyword arrays) in bytes. Zero values before the first publication.
+// Lock-free: safe to poll from a metrics scraper while writers publish.
+func (G *Graph) SnapshotStats() (publish time.Duration, bytes int) {
+	return time.Duration(G.lastPublishNanos.Load()), int(G.lastSnapshotBytes.Load())
 }
 
 // --- Mutation. All mutators keep the index consistent when one is built,

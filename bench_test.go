@@ -538,6 +538,74 @@ func BenchmarkSearchCtxOverhead(b *testing.B) {
 	b.Run("cancellable", run(ctx))
 }
 
+// BenchmarkSnapshotPublish measures snapshot publication itself — the cost
+// the frozen CSR read path was built to shrink. freeze publishes through the
+// serving path's primitive (Graph.Freeze via internal/graph) and must show
+// O(1) allocations for the adjacency/keyword payload; deepclone is the
+// pre-CSR publication (CloneWorkers) kept as the baseline, whose allocs/op
+// scales with the vertex count. publish measures the full public-path
+// republication (freeze + tree clone + snapshot assembly) through
+// acq.Graph.Snapshot after an effective mutation.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	perDataset(b, func(b *testing.B, ds *bench.Dataset) {
+		b.Run("freeze", func(b *testing.B) {
+			prev := ds.G.Freeze(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ds.G.FreezeReuse(1, prev)
+			}
+		})
+		b.Run("deepclone", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ds.G.CloneWorkers(1)
+			}
+		})
+	})
+	b.Run("publish", func(b *testing.B) {
+		g, queries := servingBenchGraph(b)
+		g.Snapshot() // activate serving mode
+		u, v := queries[0].VertexID, queries[len(queries)-1].VertexID
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !g.InsertEdge(u, v) {
+				b.Skip("benchmark edge already present")
+			}
+			g.Snapshot()
+			g.RemoveEdge(u, v)
+			g.Snapshot()
+		}
+		b.StopTimer()
+		_, bytes := g.SnapshotStats()
+		b.ReportMetric(float64(bytes), "snapshot-bytes")
+	})
+}
+
+// BenchmarkFrozenVsMutableQuery compares the hot query loop on the two read
+// representations through the public API: mutable runs Graph.Search against
+// the live master, frozen runs Snapshot.Search against the published CSR
+// copy (result cache disabled, so every iteration does the full search). The
+// differential tests guarantee identical answers; compare ns/op.
+func BenchmarkFrozenVsMutableQuery(b *testing.B) {
+	g, queries := servingBenchGraph(b)
+	g.SetResultCacheSize(-1)
+	snap := g.Snapshot()
+	run := func(search func(q acq.Query) (acq.Result, error)) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := search(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("mutable", run(func(q acq.Query) (acq.Result, error) { return g.Search(bgCtx, q) }))
+	b.Run("frozen", run(func(q acq.Query) (acq.Result, error) { return snap.Search(bgCtx, q) }))
+}
+
 // BenchmarkServingSnapshotPublish measures what one effective mutation costs
 // in serving mode: incremental index maintenance plus the copy-on-write
 // snapshot publication. Acquiring the snapshot after each mutation marks it

@@ -9,8 +9,8 @@
 // -exp selects experiments by paper artefact ID (comma separated):
 // table3, fig7, fig8, fig9, fig11, table4, table5-6, fig12, table7, fig13,
 // fig14a-d, fig14e-h, fig14i-l, fig14m-p, fig14q-t, fig15, fig16, fig17a-d,
-// fig17e-h, index-parallel, ablations. "all" runs everything; "quality" and
-// "perf" select the two groups.
+// fig17e-h, index-parallel, snapshot-publish, frozen-query, ablations.
+// "all" runs everything; "quality" and "perf" select the two groups.
 //
 // -json additionally writes every selected experiment's results as a
 // machine-readable report (dataset, experiment ID, ns/op, bytes/op) so the
@@ -104,15 +104,27 @@ func main() {
 		run("fig12", func() *bench.Table { return bench.Fig12(ds, []int{4, 5, 6, 7, 8}) })
 		run("table7", func() *bench.Table { return bench.Table7(ds) })
 		run("fig13", func() *bench.Table { return bench.Fig13(ds, fracs) })
-		if want["index-parallel"] {
-			// AddTable skips flattening for this ID; the driver supplies
-			// allocation-aware samples instead.
-			tab, samples := bench.IndexParallel(ds, workerCounts)
+		// These drivers supply allocation-aware samples directly instead of
+		// flattened table cells.
+		runSampled := func(id string, f func() (*bench.Table, []bench.Sample)) {
+			if !want[id] {
+				return
+			}
+			tab, samples := f()
 			record(name, tab)
 			if rep != nil {
 				rep.AddSamples(samples...)
 			}
 		}
+		runSampled("index-parallel", func() (*bench.Table, []bench.Sample) {
+			return bench.IndexParallel(ds, workerCounts)
+		})
+		runSampled("snapshot-publish", func() (*bench.Table, []bench.Sample) {
+			return bench.SnapshotPublish(ds, workerCounts)
+		})
+		runSampled("frozen-query", func() (*bench.Table, []bench.Sample) {
+			return bench.FrozenQuery(ds)
+		})
 		run("fig14a-d", func() *bench.Table { return bench.Fig14QueryVsCS(ds) })
 		run("fig14e-h", func() *bench.Table { return bench.Fig14EffectK(ds, !*noBasic) })
 		run("fig14i-l", func() *bench.Table { return bench.Fig14KeywordScale(ds, fracs) })
@@ -160,7 +172,8 @@ func parseWorkers(arg string) ([]int, error) {
 
 func expandSelection(arg string) map[string]bool {
 	quality := []string{"table3", "fig7", "fig8", "fig9", "fig11", "table4", "table5-6", "fig12", "table7"}
-	perf := []string{"fig13", "index-parallel", "fig14a-d", "fig14e-h", "fig14i-l", "fig14m-p", "fig14q-t",
+	perf := []string{"fig13", "index-parallel", "snapshot-publish", "frozen-query",
+		"fig14a-d", "fig14e-h", "fig14i-l", "fig14m-p", "fig14q-t",
 		"fig15", "fig16", "fig17a-d", "fig17e-h", "ext-truss", "ext-influence", "ablations"}
 	out := map[string]bool{}
 	for _, tok := range strings.Split(arg, ",") {

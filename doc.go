@@ -51,13 +51,12 @@
 // and per-query deadlines (BatchOptions.PerQueryTimeout) with input-order
 // results.
 //
-// # Deprecated variant methods
+// # Removed variant methods
 //
-// The former per-variant entrypoints — SearchFixed, SearchThreshold,
+// The pre-v1 per-variant entrypoints — SearchFixed, SearchThreshold,
 // SearchClique, SearchSimilar and SearchTruss on both Graph and Snapshot —
-// remain as thin deprecated shims that set Query.Mode and delegate to
-// Search with context.Background(). They will be removed after one
-// compatibility release; migrate by folding the variant into the Query:
+// went through one release as deprecated shims and have now been removed.
+// Migrate by folding the variant into the Query:
 //
 //	g.SearchThreshold(q, 0.5)                             // before
 //	q.Mode, q.Theta = acq.ModeThreshold, 0.5
@@ -70,11 +69,13 @@
 // not overlap with mutations. For the paper's online-serving scenario use
 // Snapshot: it returns an immutable graph+index view through a single atomic
 // pointer load, safe for unlimited lock-free readers while updates keep
-// flowing. Each effective mutation maintains the index incrementally and
-// publishes the next snapshot copy-on-write; SearchBatch pins one snapshot
-// per batch. Successful snapshot queries are memoised in a bounded
-// per-snapshot LRU cache (canceled evaluations are never cached). The engine
-// package wraps all of this in an embeddable HTTP serving engine with a
-// versioned JSON protocol — POST /v1/search and /v1/batch — used by
-// cmd/acqd.
+// flowing. Each effective mutation maintains the index incrementally on the
+// mutable master and publishes the next snapshot by freezing it into a
+// compact CSR form (flat adjacency and keyword arrays — O(1) allocations per
+// publication instead of two per vertex); SearchBatch pins one snapshot per
+// batch. Successful snapshot queries are memoised in a bounded per-snapshot
+// LRU cache (canceled evaluations are never cached). SnapshotStats reports
+// the latest publication latency and frozen payload size. The engine package
+// wraps all of this in an embeddable HTTP serving engine with a versioned
+// JSON protocol — POST /v1/search and /v1/batch — used by cmd/acqd.
 package acq

@@ -57,6 +57,13 @@ type Metrics struct {
 	// parallel index pipeline is observable in serving, not just benchmarks.
 	IndexBuildNanos   int64 `json:"index_build_nanos"`
 	IndexBuildWorkers int   `json:"index_build_workers"`
+	// SnapshotPublishNanos is the wall-clock duration of the most recent
+	// snapshot publication (freezing the graph into its CSR form and cloning
+	// the index); SnapshotBytes is the resident size of that snapshot's flat
+	// adjacency/keyword arrays. Together they make the cost of copy-on-write
+	// republication under a write burst observable in serving.
+	SnapshotPublishNanos int64 `json:"snapshot_publish_nanos"`
+	SnapshotBytes        int64 `json:"snapshot_bytes"`
 }
 
 // Metrics returns the current serving counters. Deliberately observational:
@@ -66,21 +73,24 @@ type Metrics struct {
 func (e *Engine) Metrics() Metrics {
 	hits, misses := e.g.ResultCacheStats()
 	buildDur, buildWorkers := e.g.IndexBuildStats()
+	publishDur, snapBytes := e.g.SnapshotStats()
 	return Metrics{
-		IndexBuildNanos:   buildDur.Nanoseconds(),
-		IndexBuildWorkers: buildWorkers,
-		Queries:           e.met.queries.Load(),
-		QueryErrors:       e.met.queryErrors.Load(),
-		CanceledQueries:   e.met.canceled.Load(),
-		TimedOutQueries:   e.met.timedOut.Load(),
-		Batches:           e.met.batches.Load(),
-		BatchQueries:      e.met.batchQueries.Load(),
-		BatchQueryErrors:  e.met.batchQueryErrors.Load(),
-		Updates:           e.met.updates.Load(),
-		QueryNanos:        e.met.queryNanos.Load(),
-		SnapshotVersion:   e.g.Version(),
-		CacheHits:         hits,
-		CacheMisses:       misses,
+		IndexBuildNanos:      buildDur.Nanoseconds(),
+		IndexBuildWorkers:    buildWorkers,
+		SnapshotPublishNanos: publishDur.Nanoseconds(),
+		SnapshotBytes:        int64(snapBytes),
+		Queries:              e.met.queries.Load(),
+		QueryErrors:          e.met.queryErrors.Load(),
+		CanceledQueries:      e.met.canceled.Load(),
+		TimedOutQueries:      e.met.timedOut.Load(),
+		Batches:              e.met.batches.Load(),
+		BatchQueries:         e.met.batchQueries.Load(),
+		BatchQueryErrors:     e.met.batchQueryErrors.Load(),
+		Updates:              e.met.updates.Load(),
+		QueryNanos:           e.met.queryNanos.Load(),
+		SnapshotVersion:      e.g.Version(),
+		CacheHits:            hits,
+		CacheMisses:          misses,
 	}
 }
 

@@ -25,7 +25,7 @@ func Global(ops *graph.SetOps, q graph.VertexID, k int) []graph.VertexID {
 // degree. That optimum is exactly the core(q)-ĉore containing q, so it is
 // computed by core decomposition plus one traversal. The achieved minimum
 // degree is returned alongside the members.
-func GlobalMaxMinDegree(g *graph.Graph, q graph.VertexID) ([]graph.VertexID, int) {
+func GlobalMaxMinDegree(g graph.View, q graph.VertexID) ([]graph.VertexID, int) {
 	ops := graph.NewSetOps(g)
 	core := kcore.Decompose(g)
 	k := int(core[q])

@@ -31,7 +31,7 @@ type InfluentialCommunity struct {
 // the given vertex weights (weights[v] is the influence of vertex v; pass
 // degrees for a structural proxy). Results are ordered by descending
 // influence. r ≤ 0 returns nil.
-func TopInfluential(g *graph.Graph, weights []float64, k, r int) []InfluentialCommunity {
+func TopInfluential(g graph.View, weights []float64, k, r int) []InfluentialCommunity {
 	if r <= 0 {
 		return nil
 	}
@@ -139,7 +139,7 @@ func TopInfluential(g *graph.Graph, weights []float64, k, r int) []InfluentialCo
 
 // DegreeWeights returns each vertex's degree as its influence weight, the
 // standard structural proxy when no external scores exist.
-func DegreeWeights(g *graph.Graph) []float64 {
+func DegreeWeights(g graph.View) []float64 {
 	out := make([]float64, g.NumVertices())
 	for v := range out {
 		out[v] = float64(g.Degree(graph.VertexID(v)))

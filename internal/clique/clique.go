@@ -27,7 +27,7 @@ const MaxCliques = 200000
 // returned prefix is still valid. check (nil when not cancellable) is ticked
 // once per Bron–Kerbosch expansion, bounding how long a worst-case
 // enumeration can outlive its context.
-func Maximal(g *graph.Graph, cand []graph.VertexID, check *cancel.Checker) (cliques [][]graph.VertexID, ok bool) {
+func Maximal(g graph.View, cand []graph.VertexID, check *cancel.Checker) (cliques [][]graph.VertexID, ok bool) {
 	in := map[graph.VertexID]bool{}
 	for _, v := range cand {
 		in[v] = true
@@ -97,7 +97,7 @@ func Maximal(g *graph.Graph, cand []graph.VertexID, check *cancel.Checker) (cliq
 	return cliques, ok
 }
 
-func countIn(g *graph.Graph, u graph.VertexID, set []graph.VertexID) int {
+func countIn(g graph.View, u graph.VertexID, set []graph.VertexID) int {
 	cnt := 0
 	for _, v := range set {
 		if g.HasEdge(u, v) {
@@ -133,7 +133,7 @@ func remove(set []graph.VertexID, v graph.VertexID) []graph.VertexID {
 // reachable (via ≥ k−1 vertex overlaps) from a clique containing q. nil
 // means q is in no clique of size ≥ k (or enumeration hit MaxCliques).
 // check is ticked through enumeration and percolation (nil = uncancellable).
-func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int, check *cancel.Checker) []graph.VertexID {
+func CommunityOf(g graph.View, cand []graph.VertexID, q graph.VertexID, k int, check *cancel.Checker) []graph.VertexID {
 	if k < 2 {
 		k = 2
 	}

@@ -12,7 +12,7 @@ import (
 // it first computes the k-ĉore containing q by peeling the whole graph, then
 // grows candidate keyword sets level-wise, verifying each candidate S' by
 // keyword-filtering inside that ĉore and re-peeling. S==nil means S=W(q).
-func BasicG(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (res Result, err error) {
+func BasicG(ctx context.Context, g graph.View, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (res Result, err error) {
 	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
@@ -34,7 +34,7 @@ func BasicG(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []gr
 // BasicG but each candidate is keyword-filtered against the entire graph
 // rather than against the k-ĉore of q, making every verification strictly
 // more expensive — it exists as the weaker baseline of Figures 14(e–t).
-func BasicW(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (res Result, err error) {
+func BasicW(ctx context.Context, g graph.View, q graph.VertexID, k int, s []graph.KeywordID, opt Options) (res Result, err error) {
 	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err

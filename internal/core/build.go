@@ -27,7 +27,7 @@ const ParallelThreshold = 1 << 15
 // resolve maps the option to the worker count actually used for g: explicit
 // requests (Workers > 1) are honoured as-is so tests can force parallelism on
 // tiny graphs, automatic sizing applies the serial threshold.
-func (o BuildOptions) resolve(g *graph.Graph) int {
+func (o BuildOptions) resolve(g graph.View) int {
 	if o.Workers == 1 {
 		return 1
 	}
@@ -40,7 +40,7 @@ func (o BuildOptions) resolve(g *graph.Graph) int {
 // ResolvedWorkers reports the worker count BuildAdvancedOpts would use for g —
 // exposed so callers recording build telemetry (engine /metrics) can report
 // the effective fan-out rather than the requested one.
-func (o BuildOptions) ResolvedWorkers(g *graph.Graph) int { return o.resolve(g) }
+func (o BuildOptions) ResolvedWorkers(g graph.View) int { return o.resolve(g) }
 
 // BuildBasic constructs the CL-tree top-down (paper Algorithm 1): starting
 // from the 0-core (whole graph), it repeatedly extracts the connected
@@ -49,7 +49,7 @@ func (o BuildOptions) ResolvedWorkers(g *graph.Graph) int { return o.resolve(g) 
 // O(m·kmax + l̂·n); BuildAdvanced improves on this. Levels at which a
 // component has no own vertices produce no node (the compressed tree of
 // Section 5.1), so both builders yield identical trees.
-func BuildBasic(g *graph.Graph) *Tree {
+func BuildBasic(g graph.View) *Tree {
 	t := &Tree{g: g, Core: kcore.Decompose(g)}
 	t.KMax = kcore.MaxCore(t.Core)
 	ops := graph.NewSetOps(g)
@@ -102,7 +102,7 @@ func buildDown(t *Tree, ops *graph.SetOps, vs []graph.VertexID, level int32, par
 // with the smallest core number — identifies the CL-tree node that is the
 // chunk's subtree root, which is how parent/child tree edges are created
 // without revisiting the deeper levels.
-func BuildAdvanced(g *graph.Graph) *Tree {
+func BuildAdvanced(g graph.View) *Tree {
 	return BuildAdvancedOpts(g, BuildOptions{Workers: 1})
 }
 
@@ -114,7 +114,7 @@ func BuildAdvanced(g *graph.Graph) *Tree {
 // levels), but it is the cheap O(m·α(n)) part; the parallel phases carry the
 // allocation-heavy work. The resulting tree is identical to the serial build:
 // same shape, same canonical ordering, same inverted lists.
-func BuildAdvancedOpts(g *graph.Graph, o BuildOptions) *Tree {
+func BuildAdvancedOpts(g graph.View, o BuildOptions) *Tree {
 	workers := o.resolve(g)
 	t := &Tree{g: g, Core: kcore.DecomposeWorkers(g, workers)}
 	t.KMax = kcore.MaxCore(t.Core)
@@ -126,7 +126,7 @@ func BuildAdvancedOpts(g *graph.Graph, o BuildOptions) *Tree {
 // buildAdvancedSkeleton runs Algorithm 9's bottom-up pass: it wires up the
 // node structure (own vertices, parent/child links) for t, leaving the
 // canonicalisation (sorting, inverted lists, lookup tables) to finalize.
-func buildAdvancedSkeleton(t *Tree, g *graph.Graph) {
+func buildAdvancedSkeleton(t *Tree, g graph.View) {
 	n := g.NumVertices()
 
 	// Group vertices by core number.

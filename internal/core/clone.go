@@ -3,15 +3,15 @@ package core
 import "github.com/acq-search/acq/internal/graph"
 
 // Clone returns a deep copy of t bound to g2. g2 must describe the same
-// vertices and attributes as t's own graph — in practice it is always
-// graph.Clone() of the graph t was built on, taken at the same instant.
+// vertices and attributes as t's own graph — in practice it is the frozen
+// (or cloned) form of the graph t was built on, taken at the same instant.
 //
-// The copy shares no mutable state with t: node sets, inverted lists, core
-// numbers and lookup tables are all duplicated. It is the building block of
-// the snapshot-isolation scheme in the public acq package: the live tree
-// keeps evolving under the incremental Maintainer while published clones
-// serve lock-free readers.
-func (t *Tree) Clone(g2 *graph.Graph) *Tree {
+// The copy shares no mutable state with t: node sets, flattened postings,
+// core numbers and lookup tables are all duplicated. It is the building
+// block of the snapshot-isolation scheme in the public acq package: the live
+// tree keeps evolving under the incremental Maintainer while published
+// clones serve lock-free readers.
+func (t *Tree) Clone(g2 graph.View) *Tree {
 	nt := &Tree{
 		g:         g2,
 		Core:      append([]int32(nil), t.Core...),
@@ -30,13 +30,10 @@ func (t *Tree) cloneNode(n *Node, parent *Node) *Node {
 	c := &Node{
 		Core:     n.Core,
 		Vertices: append([]graph.VertexID(nil), n.Vertices...),
+		InvKeys:  append([]graph.KeywordID(nil), n.InvKeys...),
+		InvOff:   append([]int32(nil), n.InvOff...),
+		InvPost:  append([]graph.VertexID(nil), n.InvPost...),
 		Parent:   parent,
-	}
-	if n.Inverted != nil {
-		c.Inverted = make(map[graph.KeywordID][]graph.VertexID, len(n.Inverted))
-		for w, list := range n.Inverted {
-			c.Inverted[w] = append([]graph.VertexID(nil), list...)
-		}
 	}
 	for _, v := range c.Vertices {
 		t.NodeOf[v] = c

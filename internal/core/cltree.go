@@ -29,22 +29,107 @@ import (
 // Node is one CL-tree node: a k-ĉore, holding only the vertices whose core
 // number equals the node's core number (the compressed representation of
 // Section 5.1).
+//
+// The per-node inverted index (keyword → own vertices containing it) is
+// stored flattened as sorted postings arrays rather than a map: InvKeys
+// holds the distinct keywords ascending, and the vertices for InvKeys[i]
+// are InvPost[InvOff[i]:InvOff[i+1]], ascending. Three flat slices replace
+// one map plus one slice per (node, keyword) pair, so cloning a tree for
+// snapshot publication copies three arrays per node and keyword-checking
+// walks sequential memory.
 type Node struct {
 	// Core is the core number of the ĉore this node represents.
 	Core int32
 	// Vertices are the node's own vertices (core number == Core), sorted.
 	Vertices []graph.VertexID
-	// Inverted maps a keyword to the sorted own vertices containing it.
-	Inverted map[graph.KeywordID][]graph.VertexID
+	// InvKeys lists the distinct keywords of the node's own vertices,
+	// ascending. Invariant: len(InvOff) == len(InvKeys)+1 once finalized.
+	InvKeys []graph.KeywordID
+	// InvOff delimits each keyword's posting inside InvPost.
+	InvOff []int32
+	// InvPost is the shared postings array: the own vertices containing
+	// InvKeys[i], sorted, live at InvPost[InvOff[i]:InvOff[i+1]].
+	InvPost []graph.VertexID
 	// Children are the nested ĉores with the next-present core numbers.
 	Children []*Node
 	// Parent is nil for the root.
 	Parent *Node
 }
 
-// Tree is the CL-tree index over a fixed attributed graph.
+// Posting returns the sorted own vertices of n containing w, nil when no own
+// vertex does. The slice aliases the node's postings array: read-only.
+func (n *Node) Posting(w graph.KeywordID) []graph.VertexID {
+	i := sort.Search(len(n.InvKeys), func(i int) bool { return n.InvKeys[i] >= w })
+	if i < len(n.InvKeys) && n.InvKeys[i] == w {
+		return n.InvPost[n.InvOff[i]:n.InvOff[i+1]]
+	}
+	return nil
+}
+
+// insertPosting records that own vertex v (already in n.Vertices) contains w,
+// splicing the flat postings in place. Used by the incremental maintainer.
+//
+// The splice shifts the node's postings tail (one contiguous memmove), so a
+// keyword update costs O(node postings) where the old map-of-slices form
+// paid O(one keyword's list). That trade is deliberate: keyword updates are
+// rare next to queries, the memmove is sequential int32 traffic, and in
+// serving mode every effective mutation already pays the O(n+m) snapshot
+// republication that dwarfs it — while the flat form is what makes those
+// republications cheap.
+func (n *Node) insertPosting(w graph.KeywordID, v graph.VertexID) {
+	i := sort.Search(len(n.InvKeys), func(i int) bool { return n.InvKeys[i] >= w })
+	if i == len(n.InvKeys) || n.InvKeys[i] != w {
+		n.InvKeys = append(n.InvKeys, 0)
+		copy(n.InvKeys[i+1:], n.InvKeys[i:])
+		n.InvKeys[i] = w
+		if len(n.InvOff) == 0 {
+			n.InvOff = append(n.InvOff, 0)
+		}
+		// Duplicate boundary i: the new keyword starts with an empty posting.
+		n.InvOff = append(n.InvOff, 0)
+		copy(n.InvOff[i+1:], n.InvOff[i:])
+	}
+	at := n.InvOff[i] + int32(sort.Search(int(n.InvOff[i+1]-n.InvOff[i]), func(j int) bool {
+		return n.InvPost[int(n.InvOff[i])+j] >= v
+	}))
+	n.InvPost = append(n.InvPost, 0)
+	copy(n.InvPost[at+1:], n.InvPost[at:])
+	n.InvPost[at] = v
+	for j := i + 1; j < len(n.InvOff); j++ {
+		n.InvOff[j]++
+	}
+}
+
+// removePosting erases the (w, v) pair, dropping the keyword entirely when
+// its posting empties. Used by the incremental maintainer.
+func (n *Node) removePosting(w graph.KeywordID, v graph.VertexID) {
+	i := sort.Search(len(n.InvKeys), func(i int) bool { return n.InvKeys[i] >= w })
+	if i == len(n.InvKeys) || n.InvKeys[i] != w {
+		return
+	}
+	lo, hi := n.InvOff[i], n.InvOff[i+1]
+	at := lo + int32(sort.Search(int(hi-lo), func(j int) bool { return n.InvPost[int(lo)+j] >= v }))
+	if at == hi || n.InvPost[at] != v {
+		return
+	}
+	copy(n.InvPost[at:], n.InvPost[at+1:])
+	n.InvPost = n.InvPost[:len(n.InvPost)-1]
+	for j := i + 1; j < len(n.InvOff); j++ {
+		n.InvOff[j]--
+	}
+	if n.InvOff[i] == n.InvOff[i+1] {
+		copy(n.InvKeys[i:], n.InvKeys[i+1:])
+		n.InvKeys = n.InvKeys[:len(n.InvKeys)-1]
+		copy(n.InvOff[i+1:], n.InvOff[i+2:])
+		n.InvOff = n.InvOff[:len(n.InvOff)-1]
+	}
+}
+
+// Tree is the CL-tree index over a fixed attributed graph, consumed through
+// the read-only graph.View interface so one index implementation serves both
+// the mutable master graph and frozen CSR snapshots.
 type Tree struct {
-	g *graph.Graph
+	g graph.View
 	// Root represents the 0-core (the entire graph, possibly disconnected).
 	Root *Node
 	// NodeOf maps every vertex to the unique node that owns it.
@@ -57,8 +142,8 @@ type Tree struct {
 	nodeCount int
 }
 
-// Graph returns the indexed graph.
-func (t *Tree) Graph() *graph.Graph { return t.g }
+// Graph returns the indexed graph view.
+func (t *Tree) Graph() graph.View { return t.g }
 
 // NumNodes returns the number of CL-tree nodes.
 func (t *Tree) NumNodes() int { return t.nodeCount }
@@ -141,29 +226,32 @@ func (t *Tree) Candidates(n *Node, set []graph.KeywordID, useInverted bool) []gr
 	return out
 }
 
-// appendInvertedMatches intersects nd's inverted lists for set and appends
+// appendInvertedMatches intersects nd's keyword postings for set and appends
 // the matches to out.
 func appendInvertedMatches(out []graph.VertexID, nd *Node, set []graph.KeywordID) []graph.VertexID {
-	// Find the shortest list; bail out if any keyword is absent.
+	// Resolve every posting; bail out if any keyword is absent. The shortest
+	// posting drives the intersection.
+	all := make([][]graph.VertexID, len(set))
 	base := -1
 	for i, w := range set {
-		l, ok := nd.Inverted[w]
-		if !ok {
+		l := nd.Posting(w)
+		if l == nil {
 			return out
 		}
-		if base == -1 || len(l) < len(nd.Inverted[set[base]]) {
+		all[i] = l
+		if base == -1 || len(l) < len(all[base]) {
 			base = i
 		}
 	}
 	lists := make([][]graph.VertexID, 0, len(set)-1)
-	for i, w := range set {
+	for i, l := range all {
 		if i != base {
-			lists = append(lists, nd.Inverted[w])
+			lists = append(lists, l)
 		}
 	}
 	cursor := make([]int, len(lists))
 outer:
-	for _, v := range nd.Inverted[set[base]] {
+	for _, v := range all[base] {
 		for li, l := range lists {
 			j := cursor[li]
 			for j < len(l) && l[j] < v {
@@ -228,17 +316,50 @@ func (t *Tree) collectNodes() []*Node {
 }
 
 // finalizeOwn canonicalises a node's own state: sorts its vertices, points
-// NodeOf at it and rebuilds its inverted list. Child ordering is a separate
-// pass (sortChildren) because it reads the sorted vertex sets of other nodes.
+// NodeOf at it and rebuilds its flattened postings. Child ordering is a
+// separate pass (sortChildren) because it reads the sorted vertex sets of
+// other nodes.
 func (t *Tree) finalizeOwn(n *Node) {
 	sort.Slice(n.Vertices, func(i, j int) bool { return n.Vertices[i] < n.Vertices[j] })
-	n.Inverted = make(map[graph.KeywordID][]graph.VertexID)
 	for _, v := range n.Vertices {
 		t.NodeOf[v] = n
-		for _, w := range t.g.Keywords(v) {
-			n.Inverted[w] = append(n.Inverted[w], v)
+	}
+	buildPostings(t.g, n)
+}
+
+// buildPostings rebuilds n's flattened inverted index from scratch. Vertices
+// are visited in ascending order, so each keyword's posting comes out sorted
+// without a per-list sort.
+func buildPostings(g graph.View, n *Node) {
+	counts := make(map[graph.KeywordID]int32)
+	total := int32(0)
+	for _, v := range n.Vertices {
+		for _, w := range g.Keywords(v) {
+			counts[w]++
+			total++
 		}
 	}
+	keys := make([]graph.KeywordID, 0, len(counts))
+	for w := range counts {
+		keys = append(keys, w)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	off := make([]int32, len(keys)+1)
+	slot := make(map[graph.KeywordID]int32, len(keys))
+	for i, w := range keys {
+		off[i+1] = off[i] + counts[w]
+		slot[w] = int32(i)
+	}
+	post := make([]graph.VertexID, total)
+	cur := append([]int32(nil), off[:len(keys)]...)
+	for _, v := range n.Vertices {
+		for _, w := range g.Keywords(v) {
+			s := slot[w]
+			post[cur[s]] = v
+			cur[s]++
+		}
+	}
+	n.InvKeys, n.InvOff, n.InvPost = keys, off, post
 }
 
 // sortChildren restores the canonical child order: ascending core number,
@@ -265,10 +386,10 @@ func firstVertex(n *Node) graph.VertexID {
 
 // Rehydrate reconstructs a Tree from a deserialised node skeleton (core
 // numbers and own-vertex sets with parent/child links already wired). Core
-// numbers per vertex are derived from node membership; inverted lists and
-// lookup tables are rebuilt. It fails if the nodes do not partition the
-// graph's vertices.
-func Rehydrate(g *graph.Graph, root *Node) (*Tree, error) {
+// numbers per vertex are derived from node membership; postings and lookup
+// tables are rebuilt. It fails if the nodes do not partition the graph's
+// vertices.
+func Rehydrate(g graph.View, root *Node) (*Tree, error) {
 	t := &Tree{g: g, Root: root, Core: make([]int32, g.NumVertices())}
 	seen := make([]bool, g.NumVertices())
 	count := 0
@@ -351,13 +472,30 @@ func (t *Tree) Validate() error {
 				return err
 			}
 		}
-		for w, list := range n.Inverted {
-			for i, v := range list {
-				if i > 0 && list[i-1] >= v {
-					return fmt.Errorf("cltree: inverted list for keyword %d not sorted", w)
+		if len(n.InvOff) != len(n.InvKeys)+1 {
+			return fmt.Errorf("cltree: node core %d has %d posting offsets for %d keywords", n.Core, len(n.InvOff), len(n.InvKeys))
+		}
+		own := int32(0)
+		for _, v := range n.Vertices {
+			own += int32(len(t.g.Keywords(v)))
+		}
+		if int32(len(n.InvPost)) != own {
+			return fmt.Errorf("cltree: node core %d has %d postings for %d own keyword occurrences", n.Core, len(n.InvPost), own)
+		}
+		for i, w := range n.InvKeys {
+			if i > 0 && n.InvKeys[i-1] >= w {
+				return fmt.Errorf("cltree: posting keys of node core %d not strictly sorted", n.Core)
+			}
+			if n.InvOff[i] >= n.InvOff[i+1] {
+				return fmt.Errorf("cltree: empty or non-monotone posting for keyword %d", w)
+			}
+			list := n.InvPost[n.InvOff[i]:n.InvOff[i+1]]
+			for j, v := range list {
+				if j > 0 && list[j-1] >= v {
+					return fmt.Errorf("cltree: posting for keyword %d not sorted", w)
 				}
 				if !t.g.HasKeyword(v, w) {
-					return fmt.Errorf("cltree: inverted list claims keyword %d on vertex %d", w, v)
+					return fmt.Errorf("cltree: posting claims keyword %d on vertex %d", w, v)
 				}
 			}
 		}

@@ -98,7 +98,7 @@ func checkFig3Tree(t *testing.T, g *graph.Graph, tr *Tree) {
 // directly under a core-1 node — the level-2 chain node is compressed away.
 func TestBuildFig5(t *testing.T) {
 	g := testutil.Fig5Graph()
-	for name, build := range map[string]func(*graph.Graph) *Tree{
+	for name, build := range map[string]func(graph.View) *Tree{
 		"basic": BuildBasic, "advanced": BuildAdvanced,
 	} {
 		tr := build(g)

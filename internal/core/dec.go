@@ -134,7 +134,7 @@ func CommunitiesByLabelSize(ctx context.Context, t *Tree, q graph.VertexID, k in
 // l-1 holds the size-l sets, each sorted), mined from the keyword sets of
 // q's neighbours restricted to s with minimum support k. check is ticked per
 // neighbour scanned so huge neighbourhoods stay cancellable.
-func mineCandidates(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, mine Miner, check *cancel.Checker) [][][]graph.KeywordID {
+func mineCandidates(g graph.View, q graph.VertexID, k int, s []graph.KeywordID, mine Miner, check *cancel.Checker) [][][]graph.KeywordID {
 	if len(s) == 0 {
 		return nil
 	}

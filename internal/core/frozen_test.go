@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+// TestBuildOverFrozenIdentical: building the CL-tree over a frozen CSR view
+// must yield a tree byte-identical to the build over the mutable form, for
+// both builders and every worker count — the index is representation-blind.
+func TestBuildOverFrozenIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(100)
+		g := testutil.RandomGraph(rng, n, 1+4*rng.Float64(), 8, 3)
+		fz := g.Freeze(1)
+		mutable := BuildAdvanced(g)
+		frozen := BuildAdvanced(fz)
+		requireIdentical(t, fmt.Sprintf("seed %d advanced", seed), mutable, frozen)
+		if err := frozen.Validate(); err != nil {
+			t.Fatalf("seed %d: frozen-built tree invalid: %v", seed, err)
+		}
+		requireIdentical(t, fmt.Sprintf("seed %d basic", seed), BuildBasic(g), BuildBasic(fz))
+		for _, workers := range []int{2, 8} {
+			par := BuildAdvancedOpts(fz, BuildOptions{Workers: workers})
+			requireIdentical(t, fmt.Sprintf("seed %d workers %d", seed, workers), mutable, par)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueriesOverFrozenIdentical: the query algorithms must answer the same
+// on a tree cloned onto a frozen view as on the mutable original.
+func TestQueriesOverFrozenIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := testutil.RandomGraph(rng, 120, 4, 10, 3)
+	tr := BuildAdvanced(g)
+	ftr := tr.Clone(g.Freeze(2))
+	opt := DefaultOptions()
+	for q := 0; q < g.NumVertices(); q += 7 {
+		qv := tr.Core[q]
+		if qv < 2 {
+			continue
+		}
+		k := int(qv)
+		for name, run := range map[string]func(t *Tree) (Result, error){
+			"dec":  func(t *Tree) (Result, error) { return Dec(bgCtx, t, graph.VertexID(q), k, nil, opt) },
+			"incs": func(t *Tree) (Result, error) { return IncS(bgCtx, t, graph.VertexID(q), k, nil, opt) },
+			"inct": func(t *Tree) (Result, error) { return IncT(bgCtx, t, graph.VertexID(q), k, nil, opt) },
+		} {
+			r1, e1 := run(tr)
+			r2, e2 := run(ftr)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("q=%d %s: error mismatch %v vs %v", q, name, e1, e2)
+			}
+			if e1 == nil && !reflect.DeepEqual(canonical(r1), canonical(r2)) {
+				t.Fatalf("q=%d %s: frozen tree diverged", q, name)
+			}
+		}
+	}
+}

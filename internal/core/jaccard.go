@@ -50,7 +50,7 @@ func SJ(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.Keyword
 }
 
 // BasicGJ is the index-free counterpart of SJ filtering inside the k-ĉore.
-func BasicGJ(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, tau float64) (res Result, err error) {
+func BasicGJ(ctx context.Context, g graph.View, q graph.VertexID, k int, s []graph.KeywordID, tau float64) (res Result, err error) {
 	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
@@ -79,7 +79,7 @@ func BasicGJ(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []g
 // filterByJaccard keeps the vertices whose full Jaccard similarity to s
 // reaches tau: |W(v) ∩ S| / (|W(v)| + |S| − |W(v) ∩ S|) ≥ tau, one sorted
 // merge per vertex.
-func filterByJaccard(g *graph.Graph, vs []graph.VertexID, s []graph.KeywordID, tau float64, check *cancel.Checker) []graph.VertexID {
+func filterByJaccard(g graph.View, vs []graph.VertexID, s []graph.KeywordID, tau float64, check *cancel.Checker) []graph.VertexID {
 	if len(s) == 0 {
 		return nil
 	}

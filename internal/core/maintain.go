@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
 )
@@ -19,64 +17,58 @@ import (
 //     rebuilt.
 type Maintainer struct {
 	tree *Tree
-	kc   *kcore.Maintainer
-	ops  *graph.SetOps
+	// g is the mutable master the maintainer applies updates to: maintenance
+	// is the one tree operation that cannot run on a frozen view.
+	g   *graph.Graph
+	kc  *kcore.Maintainer
+	ops *graph.SetOps
 }
 
 // NewMaintainer wraps an existing tree and its graph. The tree must have been
-// built for exactly this graph.
+// built for exactly this graph, in its mutable form — a tree bound to a
+// frozen snapshot view is immutable by construction and cannot be maintained.
 func NewMaintainer(t *Tree) *Maintainer {
+	g, ok := t.g.(*graph.Graph)
+	if !ok {
+		panic("core: NewMaintainer requires a tree built on a mutable *graph.Graph")
+	}
 	return &Maintainer{
 		tree: t,
-		kc:   kcore.NewMaintainer(t.g),
-		ops:  graph.NewSetOps(t.g),
+		g:    g,
+		kc:   kcore.NewMaintainer(g),
+		ops:  graph.NewSetOps(g),
 	}
 }
 
 // Tree returns the maintained tree.
 func (m *Maintainer) Tree() *Tree { return m.tree }
 
-// AddKeyword attaches a keyword to v and patches the owning node's inverted
-// list in place. It reports whether anything changed.
+// AddKeyword attaches a keyword to v and splices it into the owning node's
+// flattened postings. It reports whether anything changed.
 func (m *Maintainer) AddKeyword(v graph.VertexID, word string) bool {
-	if !m.tree.g.AddKeyword(v, word) {
+	if !m.g.AddKeyword(v, word) {
 		return false
 	}
-	id, _ := m.tree.g.Dict().Lookup(word)
-	node := m.tree.NodeOf[v]
-	list := node.Inverted[id]
-	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
-	list = append(list, 0)
-	copy(list[i+1:], list[i:])
-	list[i] = v
-	node.Inverted[id] = list
+	id, _ := m.g.Dict().Lookup(word)
+	m.tree.NodeOf[v].insertPosting(id, v)
 	return true
 }
 
-// RemoveKeyword detaches a keyword from v and patches the owning node's
-// inverted list. It reports whether anything changed.
+// RemoveKeyword detaches a keyword from v and splices it out of the owning
+// node's flattened postings. It reports whether anything changed.
 func (m *Maintainer) RemoveKeyword(v graph.VertexID, word string) bool {
-	if !m.tree.g.RemoveKeyword(v, word) {
+	if !m.g.RemoveKeyword(v, word) {
 		return false
 	}
-	id, _ := m.tree.g.Dict().Lookup(word)
-	node := m.tree.NodeOf[v]
-	list := node.Inverted[id]
-	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
-	copy(list[i:], list[i+1:])
-	list = list[:len(list)-1]
-	if len(list) == 0 {
-		delete(node.Inverted, id)
-	} else {
-		node.Inverted[id] = list
-	}
+	id, _ := m.g.Dict().Lookup(word)
+	m.tree.NodeOf[v].removePosting(id, v)
 	return true
 }
 
 // InsertEdge adds {u, v} to the graph and repairs the tree. It reports
 // whether the edge was new.
 func (m *Maintainer) InsertEdge(u, v graph.VertexID) bool {
-	if u == v || m.tree.g.HasEdge(u, v) {
+	if u == v || m.g.HasEdge(u, v) {
 		return false
 	}
 	uNode, vNode := m.tree.NodeOf[u], m.tree.NodeOf[v]
@@ -93,7 +85,7 @@ func (m *Maintainer) InsertEdge(u, v graph.VertexID) bool {
 // RemoveEdge removes {u, v} from the graph and repairs the tree. It reports
 // whether the edge existed.
 func (m *Maintainer) RemoveEdge(u, v graph.VertexID) bool {
-	if !m.tree.g.HasEdge(u, v) {
+	if !m.g.HasEdge(u, v) {
 		return false
 	}
 	uNode, vNode := m.tree.NodeOf[u], m.tree.NodeOf[v]

@@ -9,8 +9,8 @@ import (
 // goroutines. The snapshot-publication path uses it so a copy-on-write
 // republication after a mutation spends less time holding the writer's mutex
 // on large indexes. The clone is identical to Clone's for any worker count:
-// node order, vertex order and inverted lists are copied verbatim.
-func (t *Tree) CloneOpts(g2 *graph.Graph, o BuildOptions) *Tree {
+// node order, vertex order and flattened postings are copied verbatim.
+func (t *Tree) CloneOpts(g2 graph.View, o BuildOptions) *Tree {
 	workers := o.resolve(g2)
 	if workers <= 1 {
 		return t.Clone(g2)
@@ -44,12 +44,9 @@ func (t *Tree) CloneOpts(g2 *graph.Graph, o BuildOptions) *Tree {
 	para.Dynamic(workers, len(pairs), func(i int) {
 		src, dst := pairs[i].src, pairs[i].dst
 		dst.Vertices = append([]graph.VertexID(nil), src.Vertices...)
-		if src.Inverted != nil {
-			dst.Inverted = make(map[graph.KeywordID][]graph.VertexID, len(src.Inverted))
-			for w, list := range src.Inverted {
-				dst.Inverted[w] = append([]graph.VertexID(nil), list...)
-			}
-		}
+		dst.InvKeys = append([]graph.KeywordID(nil), src.InvKeys...)
+		dst.InvOff = append([]int32(nil), src.InvOff...)
+		dst.InvPost = append([]graph.VertexID(nil), src.InvPost...)
 		for _, v := range dst.Vertices {
 			nt.NodeOf[v] = dst
 		}

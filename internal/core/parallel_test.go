@@ -14,7 +14,7 @@ import (
 
 // requireIdentical fails unless a and b are byte-identical CL-trees: same
 // core numbers, same node structure in the same canonical order, same own
-// vertices, same inverted lists, same NodeOf mapping. This is the contract of
+// vertices, same flattened postings, same NodeOf mapping. This is the contract of
 // the parallel build — not merely an equivalent tree, the same tree.
 func requireIdentical(t *testing.T, label string, a, b *Tree) {
 	t.Helper()
@@ -32,13 +32,8 @@ func requireIdentical(t *testing.T, label string, a, b *Tree) {
 		if !reflect.DeepEqual(x.Vertices, y.Vertices) {
 			t.Fatalf("%s: node %s vertices differ:\n%v\n%v", label, path, x.Vertices, y.Vertices)
 		}
-		if len(x.Inverted) != len(y.Inverted) {
-			t.Fatalf("%s: node %s inverted-list keyword counts differ: %d != %d", label, path, len(x.Inverted), len(y.Inverted))
-		}
-		for w, list := range x.Inverted {
-			if !reflect.DeepEqual(list, y.Inverted[w]) {
-				t.Fatalf("%s: node %s inverted list for keyword %d differs", label, path, w)
-			}
+		if !reflect.DeepEqual(x.InvKeys, y.InvKeys) || !reflect.DeepEqual(x.InvOff, y.InvOff) || !reflect.DeepEqual(x.InvPost, y.InvPost) {
+			t.Fatalf("%s: node %s flattened postings differ", label, path)
 		}
 		if len(x.Children) != len(y.Children) {
 			t.Fatalf("%s: node %s child counts differ: %d != %d", label, path, len(x.Children), len(y.Children))

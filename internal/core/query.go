@@ -66,7 +66,7 @@ var (
 
 // env bundles per-query state shared by all algorithms.
 type env struct {
-	g     *graph.Graph
+	g     graph.View
 	ops   *graph.SetOps
 	q     graph.VertexID
 	k     int
@@ -76,7 +76,7 @@ type env struct {
 
 // newEnv assembles the per-query state, wiring the cancellation checker into
 // the induced-subgraph scratch space so every peel/BFS loop observes ctx.
-func newEnv(g *graph.Graph, q graph.VertexID, k int, opt Options, check *cancel.Checker) *env {
+func newEnv(g graph.View, q graph.VertexID, k int, opt Options, check *cancel.Checker) *env {
 	ops := graph.NewSetOps(g)
 	ops.SetChecker(check)
 	return &env{g: g, ops: ops, q: q, k: k, opt: opt, check: check}
@@ -97,7 +97,7 @@ func begin(ctx context.Context) (*cancel.Checker, error) {
 // normalizeQuery validates (q, k) and canonicalises S: nil means W(q), and
 // keywords outside W(q) are dropped (the paper skips them — no community
 // containing q can share a keyword q itself lacks).
-func normalizeQuery(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) ([]graph.KeywordID, error) {
+func normalizeQuery(g graph.View, q graph.VertexID, k int, s []graph.KeywordID) ([]graph.KeywordID, error) {
 	if int(q) < 0 || int(q) >= g.NumVertices() {
 		return nil, fmt.Errorf("%w: %d", ErrVertexOutOfRange, q)
 	}

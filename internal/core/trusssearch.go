@@ -65,7 +65,7 @@ func TrussSearchD(ctx context.Context, t *Tree, q graph.VertexID, k, d int, s []
 
 // kdTrussFixpoint alternates truss peeling with in-community distance
 // filtering until both constraints hold simultaneously.
-func kdTrussFixpoint(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k, d int, check *cancel.Checker) []graph.VertexID {
+func kdTrussFixpoint(g graph.View, cand []graph.VertexID, q graph.VertexID, k, d int, check *cancel.Checker) []graph.VertexID {
 	cur := cand
 	for {
 		comm, edges := truss.CommunityOf(g, cur, q, k, check)

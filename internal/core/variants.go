@@ -78,7 +78,7 @@ func SWT(ctx context.Context, t *Tree, q graph.VertexID, k int, s []graph.Keywor
 
 // BasicGV1 answers Variant 1 without an index (Appendix G, Algorithm 10):
 // k-ĉore of q first, keyword filter second.
-func BasicGV1(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) (res Result, err error) {
+func BasicGV1(ctx context.Context, g graph.View, q graph.VertexID, k int, s []graph.KeywordID) (res Result, err error) {
 	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
@@ -103,7 +103,7 @@ func BasicGV1(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []
 
 // BasicWV1 answers Variant 1 without an index (Appendix G, Algorithm 11):
 // keyword filter over the whole graph first, degree refinement second.
-func BasicWV1(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) (res Result, err error) {
+func BasicWV1(ctx context.Context, g graph.View, q graph.VertexID, k int, s []graph.KeywordID) (res Result, err error) {
 	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
@@ -127,7 +127,7 @@ func BasicWV1(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []
 }
 
 // BasicGV2 answers Variant 2 without an index, filtering inside the k-ĉore.
-func BasicGV2(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (res Result, err error) {
+func BasicGV2(ctx context.Context, g graph.View, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (res Result, err error) {
 	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
@@ -154,7 +154,7 @@ func BasicGV2(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []
 }
 
 // BasicWV2 answers Variant 2 without an index, filtering the whole graph.
-func BasicWV2(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (res Result, err error) {
+func BasicWV2(ctx context.Context, g graph.View, q graph.VertexID, k int, s []graph.KeywordID, theta float64) (res Result, err error) {
 	check, err := begin(ctx)
 	if err != nil {
 		return Result{}, err
@@ -181,7 +181,7 @@ func BasicWV2(ctx context.Context, g *graph.Graph, q graph.VertexID, k int, s []
 
 // validateVariantQuery validates (q, k) and canonicalises S without
 // intersecting it with W(q): the variants accept arbitrary predefined sets.
-func validateVariantQuery(g *graph.Graph, q graph.VertexID, k int, s []graph.KeywordID) ([]graph.KeywordID, error) {
+func validateVariantQuery(g graph.View, q graph.VertexID, k int, s []graph.KeywordID) ([]graph.KeywordID, error) {
 	if int(q) < 0 || int(q) >= g.NumVertices() {
 		return nil, ErrVertexOutOfRange
 	}
@@ -203,7 +203,7 @@ func thresholdCount(size int, theta float64) int {
 	return need
 }
 
-func filterByThreshold(g *graph.Graph, vs []graph.VertexID, s []graph.KeywordID, need int, check *cancel.Checker) []graph.VertexID {
+func filterByThreshold(g graph.View, vs []graph.VertexID, s []graph.KeywordID, need int, check *cancel.Checker) []graph.VertexID {
 	out := make([]graph.VertexID, 0, len(vs))
 	for _, v := range vs {
 		check.Tick(1)
@@ -214,7 +214,7 @@ func filterByThreshold(g *graph.Graph, vs []graph.VertexID, s []graph.KeywordID,
 	return out
 }
 
-func allVertices(g *graph.Graph) []graph.VertexID {
+func allVertices(g graph.View) []graph.VertexID {
 	out := make([]graph.VertexID, g.NumVertices())
 	for v := range out {
 		out[v] = graph.VertexID(v)

@@ -26,7 +26,7 @@ const binaryMagic = "ACQG"
 const binaryVersion = 1
 
 // WriteBinary writes g in the compact binary format.
-func WriteBinary(w io.Writer, g *graph.Graph) error {
+func WriteBinary(w io.Writer, g graph.View) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err

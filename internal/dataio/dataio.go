@@ -17,6 +17,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"github.com/acq-search/acq/internal/core"
@@ -25,7 +26,7 @@ import (
 
 // WriteText writes g in the text format. Vertices without labels are written
 // as "_<id>".
-func WriteText(w io.Writer, g *graph.Graph) error {
+func WriteText(w io.Writer, g graph.View) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# attributed graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 	for v := 0; v < g.NumVertices(); v++ {
@@ -116,34 +117,74 @@ func ReadText(r io.Reader) (*graph.Graph, error) {
 	return g, nil
 }
 
+// snapshotFormatVersion identifies the gob wire layout. Version 2 stores the
+// graph as the same flat CSR arrays the in-memory frozen form uses, so
+// serialising a published snapshot is a handful of array writes instead of a
+// per-vertex re-encoding. Files written by the pre-CSR releases (which had no
+// version field) are rejected with a descriptive error.
+const snapshotFormatVersion = 2
+
 // snapshot is the gob wire form.
 type snapshot struct {
-	Labels   []string
-	Keywords [][]string
-	Edges    [][2]int32
-	Tree     *flatTree
+	Version int
+	Labels  []string
+	Words   []string // keyword dictionary, indexed by KeywordID
+	AdjOff  []int32  // len NumVertices+1
+	Adj     []graph.VertexID
+	KwOff   []int32 // len NumVertices+1
+	Kw      []graph.KeywordID
+	Tree    *flatTree
 }
 
 type flatTree struct {
-	Core     []int32 // node core number, indexed by node ID
-	Parent   []int32 // node parent ID (-1 for root)
-	Vertices [][]int32
+	Core    []int32 // node core number, indexed by pre-order node ID
+	Parent  []int32 // node parent ID (-1 for root)
+	VertOff []int32 // len = node count + 1
+	Verts   []graph.VertexID
 }
 
-// WriteSnapshot gob-encodes g and (if non-nil) its CL-tree.
-func WriteSnapshot(w io.Writer, g *graph.Graph, t *core.Tree) error {
+// WriteSnapshot gob-encodes g and (if non-nil) its CL-tree. A frozen view's
+// CSR arrays are serialised directly (zero copies); any other view is
+// flattened first.
+func WriteSnapshot(w io.Writer, g graph.View, t *core.Tree) error {
+	n := g.NumVertices()
 	s := snapshot{
-		Labels:   make([]string, g.NumVertices()),
-		Keywords: make([][]string, g.NumVertices()),
+		Version: snapshotFormatVersion,
+		Labels:  make([]string, n),
+		Words:   g.Dict().Words(),
 	}
-	for v := 0; v < g.NumVertices(); v++ {
-		id := graph.VertexID(v)
-		s.Labels[v] = g.Label(id)
-		s.Keywords[v] = g.KeywordStrings(id)
-		for _, u := range g.Neighbors(id) {
-			if u > id {
-				s.Edges = append(s.Edges, [2]int32{int32(id), int32(u)})
-			}
+	for v := 0; v < n; v++ {
+		s.Labels[v] = g.Label(graph.VertexID(v))
+	}
+	switch v := g.(type) {
+	case *graph.Frozen:
+		s.AdjOff, s.Adj, s.KwOff, s.Kw = v.Flat()
+	case *graph.Graph:
+		// Freeze owns the flattening (including the int32 offset-overflow
+		// guard); the throwaway dictionary clone is noise next to the encode.
+		s.AdjOff, s.Adj, s.KwOff, s.Kw = v.Freeze(1).Flat()
+	default:
+		// No other View implementation exists today; flatten generically,
+		// with the same overflow guard Freeze applies.
+		adjTotal, kwTotal := 0, 0
+		s.AdjOff = make([]int32, n+1)
+		s.KwOff = make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			id := graph.VertexID(v)
+			adjTotal += g.Degree(id)
+			kwTotal += len(g.Keywords(id))
+			s.AdjOff[v+1] = int32(adjTotal)
+			s.KwOff[v+1] = int32(kwTotal)
+		}
+		if adjTotal > math.MaxInt32 || kwTotal > math.MaxInt32 {
+			return fmt.Errorf("dataio: graph exceeds int32 CSR offsets (%d adjacency, %d keyword entries)", adjTotal, kwTotal)
+		}
+		s.Adj = make([]graph.VertexID, adjTotal)
+		s.Kw = make([]graph.KeywordID, kwTotal)
+		for v := 0; v < n; v++ {
+			id := graph.VertexID(v)
+			copy(s.Adj[s.AdjOff[v]:s.AdjOff[v+1]], g.Neighbors(id))
+			copy(s.Kw[s.KwOff[v]:s.KwOff[v+1]], g.Keywords(id))
 		}
 	}
 	if t != nil {
@@ -152,22 +193,21 @@ func WriteSnapshot(w io.Writer, g *graph.Graph, t *core.Tree) error {
 	return gob.NewEncoder(w).Encode(&s)
 }
 
-// ReadSnapshot decodes a snapshot; the tree is nil when none was stored.
+// ReadSnapshot decodes a snapshot; the tree is nil when none was stored. The
+// flat arrays are validated (graph.FromFlat runs the full representation
+// Validate) so a corrupt or truncated file fails here rather than corrupting
+// queries later.
 func ReadSnapshot(r io.Reader) (*graph.Graph, *core.Tree, error) {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, nil, fmt.Errorf("dataio: decoding snapshot: %w", err)
 	}
-	b := graph.NewBuilder()
-	for v := range s.Labels {
-		b.AddVertex(s.Labels[v], s.Keywords[v]...)
+	if s.Version != snapshotFormatVersion {
+		return nil, nil, fmt.Errorf("dataio: unsupported snapshot format version %d (want %d); re-save the snapshot with this release", s.Version, snapshotFormatVersion)
 	}
-	for _, e := range s.Edges {
-		b.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1]))
-	}
-	g, err := b.Build()
+	g, err := graph.FromFlat(s.Labels, s.Words, s.KwOff, s.Kw, s.AdjOff, s.Adj)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("dataio: snapshot graph: %w", err)
 	}
 	if s.Tree == nil {
 		return g, nil, nil
@@ -180,19 +220,14 @@ func ReadSnapshot(r io.Reader) (*graph.Graph, *core.Tree, error) {
 }
 
 func flattenTree(t *core.Tree) *flatTree {
-	ft := &flatTree{}
-	ids := map[*core.Node]int32{}
+	ft := &flatTree{VertOff: []int32{0}}
 	var walk func(n *core.Node, parent int32)
 	walk = func(n *core.Node, parent int32) {
 		id := int32(len(ft.Core))
-		ids[n] = id
 		ft.Core = append(ft.Core, n.Core)
 		ft.Parent = append(ft.Parent, parent)
-		vs := make([]int32, len(n.Vertices))
-		for i, v := range n.Vertices {
-			vs[i] = int32(v)
-		}
-		ft.Vertices = append(ft.Vertices, vs)
+		ft.Verts = append(ft.Verts, n.Vertices...)
+		ft.VertOff = append(ft.VertOff, int32(len(ft.Verts)))
 		for _, c := range n.Children {
 			walk(c, id)
 		}
@@ -201,24 +236,28 @@ func flattenTree(t *core.Tree) *flatTree {
 	return ft
 }
 
-func unflattenTree(g *graph.Graph, ft *flatTree) (*core.Tree, error) {
-	if len(ft.Core) == 0 || ft.Parent[0] != -1 {
+func unflattenTree(g graph.View, ft *flatTree) (*core.Tree, error) {
+	nn := len(ft.Core)
+	if nn == 0 || len(ft.Parent) != nn || len(ft.VertOff) != nn+1 || ft.Parent[0] != -1 {
 		return nil, fmt.Errorf("dataio: malformed tree snapshot")
 	}
-	nodes := make([]*core.Node, len(ft.Core))
+	nodes := make([]*core.Node, nn)
 	for i := range nodes {
-		vs := make([]graph.VertexID, len(ft.Vertices[i]))
-		for j, v := range ft.Vertices[i] {
+		lo, hi := ft.VertOff[i], ft.VertOff[i+1]
+		if lo > hi || int(hi) > len(ft.Verts) {
+			return nil, fmt.Errorf("dataio: malformed tree vertex offsets at node %d", i)
+		}
+		vs := ft.Verts[lo:hi:hi]
+		for _, v := range vs {
 			if int(v) < 0 || int(v) >= g.NumVertices() {
 				return nil, fmt.Errorf("dataio: tree snapshot references vertex %d outside graph", v)
 			}
-			vs[j] = graph.VertexID(v)
 		}
 		nodes[i] = &core.Node{Core: ft.Core[i], Vertices: vs}
 	}
-	for i := 1; i < len(nodes); i++ {
+	for i := 1; i < nn; i++ {
 		p := ft.Parent[i]
-		if p < 0 || int(p) >= len(nodes) || p >= int32(i) {
+		if p < 0 || int(p) >= nn || p >= int32(i) {
 			return nil, fmt.Errorf("dataio: malformed tree parent %d", p)
 		}
 		nodes[i].Parent = nodes[p]

@@ -1,0 +1,107 @@
+package dataio
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/acq-search/acq/internal/core"
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+// TestFrozenSnapshotRoundTrip is the internal Freeze → WriteSnapshot →
+// ReadSnapshot → Validate loop on random graphs: the frozen CSR arrays are
+// serialised directly, and the reloaded mutable graph plus rehydrated tree
+// must validate and match the original structure.
+func TestFrozenSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 8; i++ {
+		g := testutil.RandomGraph(rng, 10+rng.Intn(80), 1+3*rng.Float64(), 10, 3)
+		tr := core.BuildAdvanced(g)
+		fz := g.Freeze(2)
+		ftr := tr.Clone(fz)
+
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, fz, ftr); err != nil {
+			t.Fatalf("iteration %d: write: %v", i, err)
+		}
+		g2, tr2, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("iteration %d: read: %v", i, err)
+		}
+		if err := g2.Validate(); err != nil {
+			t.Fatalf("iteration %d: reloaded graph invalid: %v", i, err)
+		}
+		if tr2 == nil {
+			t.Fatalf("iteration %d: tree lost", i)
+		}
+		if err := tr2.Validate(); err != nil {
+			t.Fatalf("iteration %d: reloaded tree invalid: %v", i, err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("iteration %d: graph sizes moved", i)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			id := graph.VertexID(v)
+			if !reflect.DeepEqual(append([]graph.VertexID{}, g.Neighbors(id)...), append([]graph.VertexID{}, g2.Neighbors(id)...)) {
+				t.Fatalf("iteration %d: adjacency of %d moved", i, v)
+			}
+			if !reflect.DeepEqual(g.KeywordStrings(id), g2.KeywordStrings(id)) {
+				t.Fatalf("iteration %d: keywords of %d moved", i, v)
+			}
+			if g.Label(id) != g2.Label(id) {
+				t.Fatalf("iteration %d: label of %d moved", i, v)
+			}
+		}
+		if !reflect.DeepEqual(tr.Core, tr2.Core) || tr.KMax != tr2.KMax || tr.NumNodes() != tr2.NumNodes() {
+			t.Fatalf("iteration %d: tree shape moved", i)
+		}
+	}
+}
+
+// TestFrozenAndMutableSnapshotsIdentical: serialising the frozen view and
+// serialising the mutable master must produce byte-identical files — the
+// zero-copy fast path cannot change the wire form.
+func TestFrozenAndMutableSnapshotsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.RandomGraph(rng, 60, 3, 10, 3)
+	tr := core.BuildAdvanced(g)
+	var mut, froz bytes.Buffer
+	if err := WriteSnapshot(&mut, g, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&froz, g.Freeze(1), tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mut.Bytes(), froz.Bytes()) {
+		t.Fatal("frozen and mutable serialisations differ")
+	}
+}
+
+// TestSnapshotRejectsLegacyFormat: files without the CSR format version must
+// fail with a descriptive error, not a half-decoded graph.
+func TestSnapshotRejectsLegacyFormat(t *testing.T) {
+	var buf bytes.Buffer
+	g := testutil.RandomGraph(rand.New(rand.NewSource(1)), 10, 2, 4, 2)
+	if err := WriteSnapshot(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with the version zeroed by decoding into a raw map is not
+	// possible with gob; instead simulate a pre-CSR writer: encode a struct
+	// with no Version field.
+	legacy := struct {
+		Labels   []string
+		Keywords [][]string
+		Edges    [][2]int32
+	}{Labels: []string{"a", "b"}, Keywords: [][]string{{}, {}}, Edges: [][2]int32{{0, 1}}}
+	var lbuf bytes.Buffer
+	if err := gob.NewEncoder(&lbuf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(&lbuf); err == nil {
+		t.Fatal("legacy snapshot accepted")
+	}
+}

@@ -12,7 +12,7 @@ import "github.com/acq-search/acq/internal/graph"
 // pattern vertex labelled with keyword set s (sorted). It returns the matched
 // community (q plus all qualifying neighbours) or nil when the pattern has no
 // match — i.e. when q itself lacks s or fewer than a neighbours contain s.
-func StarMatch(g *graph.Graph, q graph.VertexID, a int, s []graph.KeywordID) []graph.VertexID {
+func StarMatch(g graph.View, q graph.VertexID, a int, s []graph.KeywordID) []graph.VertexID {
 	if !g.HasAllKeywords(q, s) {
 		return nil
 	}
@@ -29,6 +29,6 @@ func StarMatch(g *graph.Graph, q graph.VertexID, a int, s []graph.KeywordID) []g
 }
 
 // Matches reports whether the Star-a pattern with keyword set s matches at q.
-func Matches(g *graph.Graph, q graph.VertexID, a int, s []graph.KeywordID) bool {
+func Matches(g graph.View, q graph.VertexID, a int, s []graph.KeywordID) bool {
 	return StarMatch(g, q, a, s) != nil
 }

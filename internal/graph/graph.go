@@ -103,37 +103,12 @@ func (g *Graph) HasKeyword(v VertexID, w KeywordID) bool {
 
 // HasAllKeywords reports whether set ⊆ W(v). set must be sorted.
 func (g *Graph) HasAllKeywords(v VertexID, set []KeywordID) bool {
-	kw := g.kw[v]
-	i := 0
-	for _, want := range set {
-		for i < len(kw) && kw[i] < want {
-			i++
-		}
-		if i == len(kw) || kw[i] != want {
-			return false
-		}
-		i++
-	}
-	return true
+	return hasAllSorted(g.kw[v], set)
 }
 
 // CountSharedKeywords returns |W(v) ∩ set|. set must be sorted.
 func (g *Graph) CountSharedKeywords(v VertexID, set []KeywordID) int {
-	kw := g.kw[v]
-	n, i, j := 0, 0, 0
-	for i < len(kw) && j < len(set) {
-		switch {
-		case kw[i] < set[j]:
-			i++
-		case kw[i] > set[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
+	return countSharedSorted(g.kw[v], set)
 }
 
 // AvgKeywords returns the average keyword-set size l̂ over all vertices.
@@ -200,9 +175,10 @@ func (g *Graph) RemoveKeyword(v VertexID, word string) bool {
 	return true
 }
 
-// Clone returns a deep copy of g. The dictionary is shared copy-on-write
-// semantics are NOT provided: the clone gets its own Dict copy so mutations
-// stay independent.
+// Clone returns a deep copy of g: adjacency, keyword sets, labels, the
+// label index and the keyword dictionary are all duplicated, so mutating
+// either graph never affects the other. Nothing is shared and nothing is
+// copy-on-write; for a cheap immutable read-only copy use Freeze instead.
 func (g *Graph) Clone() *Graph { return g.CloneWorkers(1) }
 
 // CloneWorkers is Clone with the per-vertex adjacency and keyword copying

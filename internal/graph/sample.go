@@ -7,7 +7,7 @@ import "math/rand"
 // scalability experiments (Figures 13 and 14(m–p)): "randomly select 20%,
 // 40%, ... of its vertices and obtain subgraphs induced by these vertex
 // sets".
-func Induced(g *Graph, keep []VertexID) *Graph {
+func Induced(g View, keep []VertexID) *Graph {
 	remap := make([]int32, g.NumVertices())
 	for i := range remap {
 		remap[i] = -1
@@ -30,7 +30,7 @@ func Induced(g *Graph, keep []VertexID) *Graph {
 }
 
 // SampleVertices returns a deterministic random sample of ⌈frac·n⌉ vertices.
-func SampleVertices(g *Graph, frac float64, seed int64) []VertexID {
+func SampleVertices(g View, frac float64, seed int64) []VertexID {
 	n := g.NumVertices()
 	perm := rand.New(rand.NewSource(seed)).Perm(n)
 	want := int(frac * float64(n))
@@ -48,7 +48,7 @@ func SampleVertices(g *Graph, frac float64, seed int64) []VertexID {
 // deterministic random fraction frac of its keywords (at least one when it
 // had any and frac > 0). It backs the keyword scalability experiments
 // (Figure 14(i–l)).
-func WithKeywordFraction(g *Graph, frac float64, seed int64) *Graph {
+func WithKeywordFraction(g View, frac float64, seed int64) *Graph {
 	rng := rand.New(rand.NewSource(seed))
 	b := NewBuilder()
 	for v := 0; v < g.NumVertices(); v++ {

@@ -51,10 +51,10 @@ func (mk *Marker) Has(v VertexID) bool { return mk.mark[v] == mk.epoch }
 func (mk *Marker) Remove(v VertexID) { mk.mark[v] = mk.epoch - 1 }
 
 // SetOps bundles the reusable scratch space for induced-subgraph operations
-// on a fixed graph. It is not safe for concurrent use; create one per
-// goroutine.
+// on a fixed graph view (mutable or frozen). It is not safe for concurrent
+// use; create one per goroutine.
 type SetOps struct {
-	g     *Graph
+	g     View
 	in    *Marker
 	alive *Marker
 	deg   []int32
@@ -67,7 +67,7 @@ type SetOps struct {
 }
 
 // NewSetOps returns scratch space sized for g.
-func NewSetOps(g *Graph) *SetOps {
+func NewSetOps(g View) *SetOps {
 	n := g.NumVertices()
 	return &SetOps{
 		g:     g,
@@ -78,8 +78,8 @@ func NewSetOps(g *Graph) *SetOps {
 	}
 }
 
-// Graph returns the graph this SetOps operates on.
-func (s *SetOps) Graph() *Graph { return s.g }
+// Graph returns the graph view this SetOps operates on.
+func (s *SetOps) Graph() View { return s.g }
 
 // SetChecker attaches a cancellation checker: subsequent operations tick it
 // once per vertex visited and unwind (see internal/cancel) when the checker's
@@ -101,7 +101,7 @@ func (s *SetOps) ComponentOf(cand []VertexID, q VertexID) []VertexID {
 	for head := 0; head < len(comp); head++ {
 		v := comp[head]
 		s.check.Tick(1)
-		for _, u := range s.g.adj[v] {
+		for _, u := range s.g.Neighbors(v) {
 			if s.in.Has(u) && !s.alive.Has(u) {
 				s.alive.Add(u)
 				comp = append(comp, u)
@@ -127,7 +127,7 @@ func (s *SetOps) Components(cand []VertexID) [][]VertexID {
 		for head := 0; head < len(comp); head++ {
 			v := comp[head]
 			s.check.Tick(1)
-			for _, u := range s.g.adj[v] {
+			for _, u := range s.g.Neighbors(v) {
 				if s.in.Has(u) && !s.alive.Has(u) {
 					s.alive.Add(u)
 					comp = append(comp, u)
@@ -149,7 +149,7 @@ func (s *SetOps) PeelToMinDegree(cand []VertexID, k int) []VertexID {
 	for _, v := range cand {
 		s.check.Tick(1)
 		d := int32(0)
-		for _, u := range s.g.adj[v] {
+		for _, u := range s.g.Neighbors(v) {
 			if s.alive.Has(u) {
 				d++
 			}
@@ -166,7 +166,7 @@ func (s *SetOps) PeelToMinDegree(cand []VertexID, k int) []VertexID {
 	for head := 0; head < len(s.queue); head++ {
 		v := s.queue[head]
 		s.check.Tick(1)
-		for _, u := range s.g.adj[v] {
+		for _, u := range s.g.Neighbors(v) {
 			if s.alive.Has(u) {
 				s.deg[u]--
 				if s.deg[u] < int32(k) {
@@ -193,7 +193,7 @@ func (s *SetOps) InducedEdgeCount(cand []VertexID) int {
 	total := 0
 	for _, v := range cand {
 		s.check.Tick(1)
-		for _, u := range s.g.adj[v] {
+		for _, u := range s.g.Neighbors(v) {
 			if s.in.Has(u) {
 				total++
 			}
@@ -210,7 +210,7 @@ func (s *SetOps) InducedDegrees(cand []VertexID) []int {
 	out := make([]int, len(cand))
 	for i, v := range cand {
 		d := 0
-		for _, u := range s.g.adj[v] {
+		for _, u := range s.g.Neighbors(v) {
 			if s.in.Has(u) {
 				d++
 			}

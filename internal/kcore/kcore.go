@@ -17,14 +17,14 @@ import (
 
 // Decompose computes the core number of every vertex with the
 // Batagelj–Zaversnik bucket algorithm in O(n + m) time.
-func Decompose(g *graph.Graph) []int32 { return DecomposeWorkers(g, 1) }
+func Decompose(g graph.View) []int32 { return DecomposeWorkers(g, 1) }
 
 // DecomposeWorkers is Decompose with the initial per-vertex degree scan fanned
 // out over the given number of workers (≤ 0 means one per CPU). The peeling
 // phase itself is inherently sequential — each peel step depends on the
 // previous one — so it stays serial; the result is identical to Decompose for
 // any worker count.
-func DecomposeWorkers(g *graph.Graph, workers int) []int32 {
+func DecomposeWorkers(g graph.View, workers int) []int32 {
 	n := g.NumVertices()
 	deg := make([]int32, n)
 	para.ForEachChunk(workers, n, func(lo, hi int) {

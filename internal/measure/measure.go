@@ -15,7 +15,7 @@ import (
 // communities returned for query vertex q: the relative occurrence frequency
 // of q's keywords among community members, averaged over all keywords of
 // W(q) and all communities. Result is in [0, 1]; higher is more cohesive.
-func CMF(g *graph.Graph, q graph.VertexID, communities [][]graph.VertexID) float64 {
+func CMF(g graph.View, q graph.VertexID, communities [][]graph.VertexID) float64 {
 	wq := g.Keywords(q)
 	if len(wq) == 0 || len(communities) == 0 {
 		return 0
@@ -43,7 +43,7 @@ func CMF(g *graph.Graph, q graph.VertexID, communities [][]graph.VertexID) float
 // (self-pairs included, matching the paper's 1/|Ci|² normalisation) and over
 // all communities. Communities larger than maxExact members are estimated
 // from a deterministic sample of pairs; pass 0 for the default (2000).
-func CPJ(g *graph.Graph, communities [][]graph.VertexID, maxExact int) float64 {
+func CPJ(g graph.View, communities [][]graph.VertexID, maxExact int) float64 {
 	if len(communities) == 0 {
 		return 0
 	}
@@ -57,7 +57,7 @@ func CPJ(g *graph.Graph, communities [][]graph.VertexID, maxExact int) float64 {
 	return total / float64(len(communities))
 }
 
-func cpjOne(g *graph.Graph, c []graph.VertexID, maxExact int) float64 {
+func cpjOne(g graph.View, c []graph.VertexID, maxExact int) float64 {
 	n := len(c)
 	if n == 0 {
 		return 0
@@ -85,7 +85,7 @@ func cpjOne(g *graph.Graph, c []graph.VertexID, maxExact int) float64 {
 	return sum / samples
 }
 
-func keywordJaccard(g *graph.Graph, a, b graph.VertexID) float64 {
+func keywordJaccard(g graph.View, a, b graph.VertexID) float64 {
 	wa, wb := g.Keywords(a), g.Keywords(b)
 	if len(wa) == 0 && len(wb) == 0 {
 		return 0
@@ -110,7 +110,7 @@ func keywordJaccard(g *graph.Graph, a, b graph.VertexID) float64 {
 // MF computes the member frequency of keyword w over a set of communities
 // (Section 7.2.2): the fraction of members containing w, averaged across
 // communities.
-func MF(g *graph.Graph, w graph.KeywordID, communities [][]graph.VertexID) float64 {
+func MF(g graph.View, w graph.KeywordID, communities [][]graph.VertexID) float64 {
 	if len(communities) == 0 {
 		return 0
 	}
@@ -139,7 +139,7 @@ type KeywordMF struct {
 // TopKeywordsByMF returns the top (at most) limit keywords appearing in the
 // communities, ranked by member frequency descending (ties by keyword ID).
 // This is the ranking behind Figure 11 and Tables 5/6.
-func TopKeywordsByMF(g *graph.Graph, communities [][]graph.VertexID, limit int) []KeywordMF {
+func TopKeywordsByMF(g graph.View, communities [][]graph.VertexID, limit int) []KeywordMF {
 	counts := map[graph.KeywordID]float64{}
 	for _, c := range communities {
 		if len(c) == 0 {
@@ -173,7 +173,7 @@ func TopKeywordsByMF(g *graph.Graph, communities [][]graph.VertexID, limit int) 
 
 // DistinctKeywords counts the distinct keywords appearing across the members
 // of all communities (Table 4).
-func DistinctKeywords(g *graph.Graph, communities [][]graph.VertexID) int {
+func DistinctKeywords(g graph.View, communities [][]graph.VertexID) int {
 	seen := map[graph.KeywordID]bool{}
 	for _, c := range communities {
 		for _, v := range c {

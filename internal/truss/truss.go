@@ -69,7 +69,7 @@ func (d *Decomposition) VertexTrussness(n int) []int32 {
 // the edge with minimum support, decrementing the support of the other two
 // edges of each triangle it closed. Runtime is O(m^1.5) for the triangle
 // counting plus near-linear peeling.
-func Decompose(g *graph.Graph) *Decomposition {
+func Decompose(g graph.View) *Decomposition {
 	d := &Decomposition{index: map[[2]graph.VertexID]EdgeID{}}
 	n := g.NumVertices()
 	for u := 0; u < n; u++ {
@@ -160,7 +160,7 @@ func Decompose(g *graph.Graph) *Decomposition {
 }
 
 // forEachTriangle enumerates each triangle once, reporting its three edges.
-func forEachTriangle(g *graph.Graph, d *Decomposition, fn func(e1, e2, e3 EdgeID)) {
+func forEachTriangle(g graph.View, d *Decomposition, fn func(e1, e2, e3 EdgeID)) {
 	n := g.NumVertices()
 	for u := 0; u < n; u++ {
 		uv := graph.VertexID(u)
@@ -182,7 +182,7 @@ func forEachTriangle(g *graph.Graph, d *Decomposition, fn func(e1, e2, e3 EdgeID
 }
 
 // forEachCommonNeighbor calls fn for every common neighbour of u and v.
-func forEachCommonNeighbor(g *graph.Graph, u, v graph.VertexID, fn func(w graph.VertexID)) {
+func forEachCommonNeighbor(g graph.View, u, v graph.VertexID, fn func(w graph.VertexID)) {
 	a, b := g.Neighbors(u), g.Neighbors(v)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -211,7 +211,7 @@ func forEachCommonNeighbor(g *graph.Graph, u, v graph.VertexID, fn func(w graph.
 // check (nil for uncancellable callers) is ticked per edge examined during
 // support counting and peeling, so a deadline can stop a truss verification
 // mid-peel.
-func CommunityOf(g *graph.Graph, cand []graph.VertexID, q graph.VertexID, k int, check *cancel.Checker) ([]graph.VertexID, [][2]graph.VertexID) {
+func CommunityOf(g graph.View, cand []graph.VertexID, q graph.VertexID, k int, check *cancel.Checker) ([]graph.VertexID, [][2]graph.VertexID) {
 	if k < 2 {
 		k = 2
 	}

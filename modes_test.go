@@ -1,10 +1,10 @@
 package acq_test
 
-// Differential tests for the unified Search surface: every Query.Mode must
-// return results byte-identical to the legacy per-variant methods (kept as
-// deprecated shims), on both the direct Graph path and the Snapshot path.
-// This is the acceptance gate for the v1 API redesign — the one entrypoint
-// must not drift from the methods it replaces.
+// Differential tests for the unified Search surface across the two read
+// representations: every Query.Mode must return results byte-identical on
+// the direct Graph path (mutable slice-of-slices master) and the Snapshot
+// path (frozen CSR copy). This is the acceptance gate for the frozen read
+// path — publishing a snapshot must never change an answer.
 
 import (
 	"errors"
@@ -14,37 +14,21 @@ import (
 	acq "github.com/acq-search/acq"
 )
 
-// modeCase pairs a Mode query with the legacy method it folds in.
+// modeCase is one Query.Mode exercised by the differential tests.
 type modeCase struct {
-	name   string
-	query  acq.Query
-	legacy func(acq.Searcher, acq.Query) (acq.Result, error)
+	name  string
+	query acq.Query
 }
 
 func modeCases() []modeCase {
-	type legacyGraph interface {
-		SearchFixed(acq.Query) (acq.Result, error)
-		SearchThreshold(acq.Query, float64) (acq.Result, error)
-		SearchClique(acq.Query) (acq.Result, error)
-		SearchSimilar(acq.Query, float64) (acq.Result, error)
-		SearchTruss(acq.Query) (acq.Result, error)
-	}
 	return []modeCase{
 		{
 			name:  "core",
 			query: acq.Query{Vertex: "Jack", K: 3, Mode: acq.ModeCore},
-			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
-				q.Mode = ""
-				return s.Search(bgCtx, q)
-			},
 		},
 		{
 			name:  "fixed",
 			query: acq.Query{Vertex: "Jack", K: 3, Keywords: []string{"research", "sports"}, Mode: acq.ModeFixed},
-			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
-				q.Mode = ""
-				return s.(legacyGraph).SearchFixed(q)
-			},
 		},
 		{
 			name: "threshold",
@@ -53,54 +37,31 @@ func modeCases() []modeCase {
 				Keywords: []string{"research", "sports", "yoga", "web"},
 				Mode:     acq.ModeThreshold, Theta: 0.5,
 			},
-			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
-				theta := q.Theta
-				q.Mode, q.Theta = "", 0
-				return s.(legacyGraph).SearchThreshold(q, theta)
-			},
 		},
 		{
 			name:  "clique",
 			query: acq.Query{Vertex: "Jack", K: 4, Mode: acq.ModeClique},
-			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
-				q.Mode = ""
-				return s.(legacyGraph).SearchClique(q)
-			},
 		},
 		{
 			name:  "similar",
 			query: acq.Query{Vertex: "Jack", K: 3, Mode: acq.ModeSimilar, Tau: 0.4},
-			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
-				tau := q.Tau
-				q.Mode, q.Tau = "", 0
-				return s.(legacyGraph).SearchSimilar(q, tau)
-			},
 		},
 		{
 			name:  "truss",
 			query: acq.Query{Vertex: "Jack", K: 4, Mode: acq.ModeTruss},
-			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
-				q.Mode = ""
-				return s.(legacyGraph).SearchTruss(q)
-			},
 		},
 		{
 			name:  "truss-maxhops",
 			query: acq.Query{Vertex: "Jack", K: 4, MaxHops: 1, Mode: acq.ModeTruss},
-			legacy: func(s acq.Searcher, q acq.Query) (acq.Result, error) {
-				q.Mode = ""
-				return s.(legacyGraph).SearchTruss(q)
-			},
 		},
 	}
 }
 
-// TestModesMatchLegacyMethods is the differential acceptance test: for every
-// mode, the unified Search and the deprecated per-variant method return
-// deep-equal results on the Graph path, and the Snapshot path agrees with
-// both (with and without the result cache, so the equality is not an
-// artifact of cache cloning).
-func TestModesMatchLegacyMethods(t *testing.T) {
+// TestModesFrozenMatchesMutable is the differential acceptance test: for
+// every mode, the direct Graph path and the Snapshot path (with and without
+// the result cache, so the equality is not an artifact of cache cloning)
+// return deep-equal results.
+func TestModesFrozenMatchesMutable(t *testing.T) {
 	g := figure1Graph(t)
 	g.BuildIndex()
 	gNoCache := figure1Graph(t)
@@ -109,39 +70,32 @@ func TestModesMatchLegacyMethods(t *testing.T) {
 
 	for _, tc := range modeCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			unified, uErr := g.Search(bgCtx, tc.query)
-			legacy, lErr := tc.legacy(g, tc.query)
-			if (uErr == nil) != (lErr == nil) {
-				t.Fatalf("error mismatch: unified %v, legacy %v", uErr, lErr)
+			direct, dErr := g.Search(bgCtx, tc.query)
+			snapRes, sErr := g.Snapshot().Search(bgCtx, tc.query)
+			if (dErr == nil) != (sErr == nil) {
+				t.Fatalf("error mismatch: direct %v, snapshot %v", dErr, sErr)
 			}
-			if uErr != nil {
+			if dErr != nil {
 				return
 			}
-			if !reflect.DeepEqual(unified, legacy) {
-				t.Fatalf("unified Search diverged from legacy method:\n%+v\nvs\n%+v", unified, legacy)
-			}
-			snapRes, sErr := g.Snapshot().Search(bgCtx, tc.query)
-			if sErr != nil {
-				t.Fatalf("snapshot search: %v", sErr)
-			}
-			if !reflect.DeepEqual(unified, snapRes) {
-				t.Fatalf("snapshot diverged from direct path:\n%+v\nvs\n%+v", snapRes, unified)
+			if !reflect.DeepEqual(direct, snapRes) {
+				t.Fatalf("snapshot diverged from direct path:\n%+v\nvs\n%+v", snapRes, direct)
 			}
 			uncached, ncErr := gNoCache.Snapshot().Search(bgCtx, tc.query)
 			if ncErr != nil {
 				t.Fatalf("uncached snapshot search: %v", ncErr)
 			}
-			if !reflect.DeepEqual(unified, uncached) {
-				t.Fatalf("uncached snapshot diverged:\n%+v\nvs\n%+v", uncached, unified)
+			if !reflect.DeepEqual(direct, uncached) {
+				t.Fatalf("uncached snapshot diverged:\n%+v\nvs\n%+v", uncached, direct)
 			}
 		})
 	}
 }
 
-// TestModesMatchLegacyOnSynthetic repeats the differential check on a
-// synthetic dataset workload, covering vertices whose neighbourhood
+// TestModesFrozenMatchesMutableOnSynthetic repeats the differential check on
+// a synthetic dataset workload, covering vertices whose neighbourhood
 // structure is richer than the hand-built Figure 1 graph.
-func TestModesMatchLegacyOnSynthetic(t *testing.T) {
+func TestModesFrozenMatchesMutableOnSynthetic(t *testing.T) {
 	g, err := acq.Synthetic("dblp", 0.05)
 	if err != nil {
 		t.Fatal(err)

@@ -131,12 +131,12 @@ var (
 	_ Searcher = (*Snapshot)(nil)
 )
 
-// view is the read-only pairing of a graph with its (possibly nil) CL-tree
-// that every search algorithm runs against. Both Graph (the live, mutable
-// master copy) and Snapshot (an immutable published copy) evaluate queries
-// through a view, so the two paths cannot drift apart.
+// view is the read-only pairing of a graph view with its (possibly nil)
+// CL-tree that every search algorithm runs against. Both Graph (the live,
+// mutable master copy) and Snapshot (an immutable frozen CSR copy) evaluate
+// queries through a view, so the two paths cannot drift apart.
 type view struct {
-	g    *graph.Graph
+	g    graph.View
 	tree *core.Tree
 }
 
@@ -160,51 +160,6 @@ func (G *Graph) view() view { return view{g: G.g, tree: G.tree} }
 // serving reads during updates, use Snapshot().Search.
 func (G *Graph) Search(ctx context.Context, q Query) (Result, error) {
 	return G.view().evaluate(ctx, q)
-}
-
-// SearchFixed answers Variant 1 (Appendix G); see ModeFixed.
-//
-// Deprecated: set Query.Mode = ModeFixed and call Search. This shim will be
-// removed after one compatibility release.
-func (G *Graph) SearchFixed(q Query) (Result, error) {
-	q.Mode = ModeFixed
-	return G.Search(context.Background(), q)
-}
-
-// SearchThreshold answers Variant 2 (Appendix G); see ModeThreshold.
-//
-// Deprecated: set Query.Mode = ModeThreshold and Query.Theta, then call
-// Search. This shim will be removed after one compatibility release.
-func (G *Graph) SearchThreshold(q Query, theta float64) (Result, error) {
-	q.Mode, q.Theta = ModeThreshold, theta
-	return G.Search(context.Background(), q)
-}
-
-// SearchClique answers the clique-percolation variant; see ModeClique.
-//
-// Deprecated: set Query.Mode = ModeClique and call Search. This shim will be
-// removed after one compatibility release.
-func (G *Graph) SearchClique(q Query) (Result, error) {
-	q.Mode = ModeClique
-	return G.Search(context.Background(), q)
-}
-
-// SearchSimilar answers the Jaccard-similarity variant; see ModeSimilar.
-//
-// Deprecated: set Query.Mode = ModeSimilar and Query.Tau, then call Search.
-// This shim will be removed after one compatibility release.
-func (G *Graph) SearchSimilar(q Query, tau float64) (Result, error) {
-	q.Mode, q.Tau = ModeSimilar, tau
-	return G.Search(context.Background(), q)
-}
-
-// SearchTruss answers the k-truss variant; see ModeTruss.
-//
-// Deprecated: set Query.Mode = ModeTruss and call Search. This shim will be
-// removed after one compatibility release.
-func (G *Graph) SearchTruss(q Query) (Result, error) {
-	q.Mode = ModeTruss
-	return G.Search(context.Background(), q)
 }
 
 // knownMode reports whether m names a defined query mode ("" = ModeCore).

@@ -87,51 +87,6 @@ func (s *Snapshot) Search(ctx context.Context, q Query) (Result, error) {
 	return s.cached(ctx, q)
 }
 
-// SearchFixed answers Variant 1 against the snapshot.
-//
-// Deprecated: set Query.Mode = ModeFixed and call Search. This shim will be
-// removed after one compatibility release.
-func (s *Snapshot) SearchFixed(q Query) (Result, error) {
-	q.Mode = ModeFixed
-	return s.Search(context.Background(), q)
-}
-
-// SearchThreshold answers Variant 2 against the snapshot.
-//
-// Deprecated: set Query.Mode = ModeThreshold and Query.Theta, then call
-// Search. This shim will be removed after one compatibility release.
-func (s *Snapshot) SearchThreshold(q Query, theta float64) (Result, error) {
-	q.Mode, q.Theta = ModeThreshold, theta
-	return s.Search(context.Background(), q)
-}
-
-// SearchClique answers the clique-percolation variant against the snapshot.
-//
-// Deprecated: set Query.Mode = ModeClique and call Search. This shim will be
-// removed after one compatibility release.
-func (s *Snapshot) SearchClique(q Query) (Result, error) {
-	q.Mode = ModeClique
-	return s.Search(context.Background(), q)
-}
-
-// SearchSimilar answers the Jaccard-similarity variant against the snapshot.
-//
-// Deprecated: set Query.Mode = ModeSimilar and Query.Tau, then call Search.
-// This shim will be removed after one compatibility release.
-func (s *Snapshot) SearchSimilar(q Query, tau float64) (Result, error) {
-	q.Mode, q.Tau = ModeSimilar, tau
-	return s.Search(context.Background(), q)
-}
-
-// SearchTruss answers the k-truss variant against the snapshot.
-//
-// Deprecated: set Query.Mode = ModeTruss and call Search. This shim will be
-// removed after one compatibility release.
-func (s *Snapshot) SearchTruss(q Query) (Result, error) {
-	q.Mode = ModeTruss
-	return s.Search(context.Background(), q)
-}
-
 // Stats computes summary statistics of the snapshot.
 func (s *Snapshot) Stats() Stats { return s.v.stats() }
 
