@@ -1,27 +1,77 @@
 // Command acqd serves attributed community queries over HTTP — the paper's
-// "online evaluation" scenario: the graph is indexed once at startup and
+// "online evaluation" scenario: each graph is indexed once at startup and
 // queries are answered in milliseconds. It is a thin wrapper over the
 // importable engine package; see package engine for the endpoint list and
 // the snapshot-isolation serving architecture (lock-free reads against
 // immutable index snapshots, copy-on-write updates).
+//
+// One process serves many named collections: -in/-preset load the "default"
+// collection (what the unsuffixed /v1/search and /v1/batch endpoints
+// serve), and each repeatable -collection flag preloads a named one.
+// Further collections can be created and dropped at runtime via
+// POST/DELETE /v1/collections.
 //
 // Usage:
 //
 //	acqd -in graph.snap [-addr :8475]
 //	acqd -preset dblp -scale 0.5          # serve a synthetic dataset
 //	acqd -preset dblp -default-timeout 5s -max-timeout 30s
+//	acqd -in main.snap -collection wiki=wiki.snap \
+//	     -collection social=preset:flickr@0.5    # multi-dataset serving
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"github.com/acq-search/acq/engine"
 )
 
+// collectionFlags collects the repeatable -collection name=source flags.
+type collectionFlags []string
+
+func (c *collectionFlags) String() string { return strings.Join(*c, ",") }
+
+func (c *collectionFlags) Set(v string) error {
+	if _, _, err := parseCollectionSpec(v); err != nil {
+		return err
+	}
+	*c = append(*c, v)
+	return nil
+}
+
+// parseCollectionSpec splits one -collection value. The syntax is
+// name=SOURCE where SOURCE is a graph file path (text or .snap) or
+// preset:NAME[@scale] for a synthetic dataset.
+func parseCollectionSpec(v string) (name string, src engine.Source, err error) {
+	name, sourceArg, ok := strings.Cut(v, "=")
+	if !ok || name == "" || sourceArg == "" {
+		return "", engine.Source{}, fmt.Errorf("-collection wants name=path or name=preset:NAME[@scale], got %q", v)
+	}
+	if preset, found := strings.CutPrefix(sourceArg, "preset:"); found {
+		src.Preset = preset
+		if p, scaleArg, has := strings.Cut(preset, "@"); has {
+			scale, err := strconv.ParseFloat(scaleArg, 64)
+			if err != nil || scale <= 0 {
+				return "", engine.Source{}, fmt.Errorf("-collection %q: bad preset scale %q", v, scaleArg)
+			}
+			src.Preset, src.Scale = p, scale
+		}
+		if src.Preset == "" {
+			return "", engine.Source{}, fmt.Errorf("-collection %q: empty preset name", v)
+		}
+		return name, src, nil
+	}
+	src.Path = sourceArg
+	return name, src, nil
+}
+
 func main() {
-	in := flag.String("in", "", "graph file (text or .snap)")
-	preset := flag.String("preset", "", "serve a synthetic preset instead of a file")
+	in := flag.String("in", "", "default collection's graph file (text or .snap)")
+	preset := flag.String("preset", "", "serve a synthetic preset as the default collection instead of a file")
 	scale := flag.Float64("scale", 1.0, "synthetic preset scale")
 	addr := flag.String("addr", engine.DefaultAddr, "listen address")
 	cache := flag.Int("cache", 0, "per-snapshot result cache size (0 = default, negative disables)")
@@ -31,13 +81,15 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested query timeouts (0 = no cap)")
 	maxBatch := flag.Int("max-batch-queries", 0, "max queries accepted per batch request (0 = default, negative = unlimited)")
 	maxBody := flag.Int64("max-body-bytes", 0, "max request body size in bytes (0 = default, negative = unlimited)")
+	var collections collectionFlags
+	flag.Var(&collections, "collection", "preload a named collection, name=path or name=preset:NAME[@scale] (repeatable)")
 	flag.Parse()
 
-	g, err := engine.LoadSource(*in, *preset, *scale)
-	if err != nil {
-		log.Fatal("acqd: ", err)
+	if *in == "" && *preset == "" && len(collections) == 0 {
+		log.Fatal("acqd: need a graph (-in or -preset) or at least one -collection")
 	}
-	log.Fatal(engine.Serve(g, engine.Config{
+
+	e := engine.New(nil, engine.Config{
 		Addr:            *addr,
 		CacheSize:       *cache,
 		BatchWorkers:    *workers,
@@ -46,5 +98,28 @@ func main() {
 		MaxTimeout:      *maxTimeout,
 		MaxBatchQueries: *maxBatch,
 		MaxBodyBytes:    *maxBody,
-	}))
+	})
+	if *in != "" || *preset != "" {
+		g, err := engine.LoadSource(*in, *preset, *scale)
+		if err != nil {
+			log.Fatal("acqd: ", err)
+		}
+		if _, err := e.AddCollection(engine.DefaultCollection, g); err != nil {
+			log.Fatal("acqd: ", err)
+		}
+	}
+	for _, spec := range collections {
+		name, src, err := parseCollectionSpec(spec)
+		if err != nil {
+			log.Fatal("acqd: ", err)
+		}
+		g, err := src.Load()
+		if err != nil {
+			log.Fatalf("acqd: collection %q: %v", name, err)
+		}
+		if _, err := e.AddCollection(name, g); err != nil {
+			log.Fatal("acqd: ", err)
+		}
+	}
+	log.Fatal(e.ListenAndServe())
 }

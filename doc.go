@@ -75,7 +75,15 @@
 // publication instead of two per vertex); SearchBatch pins one snapshot per
 // batch. Successful snapshot queries are memoised in a bounded per-snapshot
 // LRU cache (canceled evaluations are never cached). SnapshotStats reports
-// the latest publication latency and frozen payload size. The engine package
-// wraps all of this in an embeddable HTTP serving engine with a versioned
-// JSON protocol — POST /v1/search and /v1/batch — used by cmd/acqd.
+// the latest publication latency and frozen payload size.
+//
+// The engine package wraps all of this in an embeddable HTTP serving engine
+// with a versioned JSON protocol — POST /v1/search and /v1/batch — used by
+// cmd/acqd. One engine process serves many named Graph collections at once
+// (engine.Registry): each collection has its own snapshot chain, maintainer
+// and metrics, collections are created/dropped at runtime via POST and
+// DELETE /v1/collections (with asynchronous index builds and queryable
+// build status), and every data endpoint exists per collection under
+// /v1/collections/{name}/... with the unsuffixed forms serving the
+// "default" collection.
 package acq

@@ -1,0 +1,98 @@
+package engine
+
+// BenchmarkCollectionRouting prices the multi-collection redesign on the
+// hot search path: the registry lookup (RLock + map probe + state check)
+// that every request now performs, the full search with and without that
+// lookup, and the two HTTP routes to the default collection (the /v1/search
+// sugar vs the explicit /v1/collections/default/search path). The
+// acceptance bar is registry overhead < 5% of the single-graph search path;
+// see EXPERIMENTS.md for committed numbers.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	acq "github.com/acq-search/acq"
+)
+
+// benchEngine builds an engine whose registry holds the default collection
+// plus enough siblings that the map lookup is not a degenerate single-entry
+// probe.
+func benchEngine(b *testing.B) *Engine {
+	// Cache disabled so the search series measure real evaluations rather
+	// than LRU probes; the acqbench collection-routing experiment does the
+	// same at dataset scale.
+	e := New(testGraph(b), Config{CacheSize: -1, Logf: func(string, ...any) {}})
+	for i := 0; i < 7; i++ {
+		if _, err := e.AddCollection(fmt.Sprintf("sibling-%d", i), testGraph(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+func BenchmarkCollectionRouting(b *testing.B) {
+	e := benchEngine(b)
+	ctx := context.Background()
+	query := acq.Query{Vertex: "jack", K: 3}
+
+	b.Run("registry-lookup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.resolveReady(DefaultCollection); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("search-direct", func(b *testing.B) {
+		// The pre-registry hot path: collection resolved once, then
+		// snapshot-pin + search per request.
+		_, g, err := e.resolveReady(DefaultCollection)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pin(g).Search(ctx, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("search-via-registry", func(b *testing.B) {
+		// The multi-collection hot path: resolve by name on every request.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, g, err := e.resolveReady(DefaultCollection)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pin(g).Search(ctx, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	h := e.Handler()
+	body := `{"query":{"vertex":"jack","k":3}}`
+	for _, route := range []struct{ name, target string }{
+		{"http-sugar", "/v1/search"},
+		{"http-named", "/v1/collections/default/search"},
+	} {
+		b.Run(route.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", route.target, strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status = %d %s", rec.Code, rec.Body)
+				}
+			}
+		})
+	}
+}

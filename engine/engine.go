@@ -1,6 +1,7 @@
-// Package engine is the importable ACQ serving engine: it wraps an
-// *acq.Graph in the HTTP API that cmd/acqd exposes, serving reads from
-// immutable index snapshots and writes through the incremental maintainer.
+// Package engine is the importable ACQ serving engine: it wraps named
+// *acq.Graph collections in the HTTP API that cmd/acqd exposes, serving
+// reads from immutable index snapshots and writes through the incremental
+// maintainer.
 //
 // The query protocol is versioned: POST /v1/search and POST /v1/batch carry
 // JSON queries with an explicit mode (core/fixed/threshold/clique/similar/
@@ -10,16 +11,31 @@
 // client disconnects and deadlines stop searches mid-evaluation instead of
 // burning CPU on abandoned requests.
 //
+// # Collections
+//
+// One engine serves many independent graphs. The Registry maps collection
+// names to Collection values, each owning one *acq.Graph with its own
+// snapshot chain, index maintainer and serving counters. Lifecycle is part
+// of the v1 surface: POST /v1/collections creates a collection (empty, from
+// a file, or from a synthetic preset) whose graph loads and indexes
+// asynchronously — its build status is queryable at GET
+// /v1/collections/{name} the whole time — and every data endpoint exists
+// per collection under /v1/collections/{name}/... . The plain /v1/search,
+// /v1/batch, /v1/edges and /v1/keywords endpoints are sugar over the
+// "default" collection, so single-graph clients never see the registry.
+//
 // # Architecture
 //
-// Every query handler pins the current snapshot with one atomic pointer load
-// (acq.Graph.Snapshot) and runs entirely against that immutable copy — the
-// read path holds no lock, so a burst of edge inserts can never stall
-// queries. Updates serialise inside acq.Graph: each effective mutation is
-// applied incrementally to the master copy (Appendix F maintenance) and a
-// fresh copy-on-write snapshot is published for subsequent readers. Repeated
-// queries against one snapshot are answered from its bounded LRU result
-// cache.
+// Every query handler resolves its collection (one read-locked map probe)
+// and pins the current snapshot with one atomic pointer load
+// (acq.Graph.Snapshot), then runs entirely against that immutable copy —
+// the read path holds no lock, so a burst of edge inserts can never stall
+// queries, and deleting a collection never disturbs requests already
+// running against its snapshot. Updates serialise inside each acq.Graph:
+// each effective mutation is applied incrementally to the master copy
+// (Appendix F maintenance) and a fresh copy-on-write snapshot is published
+// for subsequent readers. Repeated queries against one snapshot are
+// answered from its bounded LRU result cache.
 //
 // Use New + Handler to mount the API inside an existing server, or Serve as
 // a one-call production entry point (what cmd/acqd does).
@@ -105,16 +121,19 @@ func (c Config) maxBatchQueries() int {
 	return c.MaxBatchQueries
 }
 
-// Engine serves attributed community queries for one graph.
+// Engine serves attributed community queries for a registry of named graph
+// collections.
 type Engine struct {
-	g   *acq.Graph
+	reg *Registry
 	cfg Config
-	met metrics
 }
 
-// New wraps g in a serving engine, building the CL-tree index if g does not
-// have one yet and publishing the first snapshot so the initial queries
-// never pay the copy.
+// New returns a serving engine whose "default" collection is g: the index is
+// built synchronously if g does not have one yet and the first snapshot is
+// published, so the initial queries never pay the copy. A nil g starts the
+// engine with an empty registry — collections are then added with
+// AddCollection (synchronous) or created over HTTP via POST /v1/collections
+// (asynchronous build).
 func New(g *acq.Graph, cfg Config) *Engine {
 	if cfg.Addr == "" {
 		cfg.Addr = DefaultAddr
@@ -122,34 +141,112 @@ func New(g *acq.Graph, cfg Config) *Engine {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	e := &Engine{g: g, cfg: cfg}
-	if cfg.BuildWorkers != 0 {
-		// Leave the zero value alone: a caller may have configured the graph's
-		// worker setting before handing it to the engine.
-		g.SetBuildWorkers(cfg.BuildWorkers)
+	e := &Engine{reg: NewRegistry(), cfg: cfg}
+	if g != nil {
+		if _, err := e.AddCollection(DefaultCollection, g); err != nil {
+			// Unreachable: the registry is empty and the name is valid.
+			panic(err)
+		}
 	}
-	if !g.HasIndex() {
-		cfg.Logf("engine: building CL-tree index...")
-		g.BuildIndex()
-		d, workers := g.IndexBuildStats()
-		cfg.Logf("engine: CL-tree built in %v (%d workers)", d, workers)
-	}
-	if cfg.CacheSize != 0 {
-		g.SetResultCacheSize(cfg.CacheSize)
-	}
-	g.Snapshot() // warm: publish the first snapshot before serving
 	return e
 }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *acq.Graph { return e.g }
+// Registry returns the engine's collection registry.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// Collection returns the named collection, in whatever lifecycle state.
+func (e *Engine) Collection(name string) (*Collection, bool) { return e.reg.Get(name) }
+
+// AddCollection registers g under name, preparing it synchronously: the
+// engine's worker/cache settings are applied, the CL-tree is built if g does
+// not have one yet, and the first snapshot is published. The collection is
+// ready when AddCollection returns. Use CreateCollection for the
+// asynchronous path.
+func (e *Engine) AddCollection(name string, g *acq.Graph) (*Collection, error) {
+	c, err := e.reg.reserve(name, "preloaded")
+	if err != nil {
+		return nil, err
+	}
+	e.prepare(name, g)
+	c.complete(g)
+	return c, nil
+}
+
+// CreateCollection reserves name immediately (so concurrent creates cannot
+// race) and loads + indexes its graph on a background goroutine. The
+// returned collection starts in CollectionBuilding; poll State (or GET
+// /v1/collections/{name}) for completion. Load or build failures move it to
+// CollectionFailed with the cause in Err — the slot stays registered so the
+// failure is observable, and can be freed with Registry.Delete.
+func (e *Engine) CreateCollection(name string, src Source) (*Collection, error) {
+	if err := src.validate(); err != nil {
+		return nil, err
+	}
+	c, err := e.reg.reserve(name, src.describe())
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		g, err := src.Load()
+		if err != nil {
+			e.cfg.Logf("engine: collection %q failed to load (%s): %v", name, src.describe(), err)
+			c.fail(err)
+			return
+		}
+		e.prepare(name, g)
+		// Stats before complete: once the collection is ready, mutations can
+		// hit the master concurrently, and direct Stats reads must not
+		// overlap with mutators.
+		st := g.Stats()
+		c.complete(g)
+		e.cfg.Logf("engine: collection %q ready: %d vertices / %d edges (kmax %d)",
+			name, st.Vertices, st.Edges, st.KMax)
+	}()
+	return c, nil
+}
+
+// prepare applies the engine configuration to a freshly loaded graph, builds
+// its index when missing, and publishes the first snapshot.
+func (e *Engine) prepare(name string, g *acq.Graph) {
+	if e.cfg.BuildWorkers != 0 {
+		// Leave the zero value alone: a caller may have configured the graph's
+		// worker setting before handing it to the engine.
+		g.SetBuildWorkers(e.cfg.BuildWorkers)
+	}
+	if !g.HasIndex() {
+		e.cfg.Logf("engine: building CL-tree index for collection %q...", name)
+		g.BuildIndex()
+		d, workers := g.IndexBuildStats()
+		e.cfg.Logf("engine: collection %q CL-tree built in %v (%d workers)", name, d, workers)
+	}
+	if e.cfg.CacheSize != 0 {
+		g.SetResultCacheSize(e.cfg.CacheSize)
+	}
+	g.Snapshot() // warm: publish the first snapshot before serving
+}
+
+// Graph returns the default collection's graph, or nil when no ready default
+// collection exists. Engines constructed as New(g, cfg) always have one.
+func (e *Engine) Graph() *acq.Graph {
+	if c, ok := e.reg.Get(DefaultCollection); ok {
+		return c.Graph()
+	}
+	return nil
+}
 
 // ListenAndServe serves the engine's Handler on the configured address,
 // blocking like http.ListenAndServe.
 func (e *Engine) ListenAndServe() error {
-	st := e.g.Stats()
-	e.cfg.Logf("engine: serving %d vertices / %d edges (kmax %d) on %s",
-		st.Vertices, st.Edges, st.KMax, e.cfg.Addr)
+	for _, c := range e.reg.All() {
+		if g := c.Graph(); g != nil {
+			st := g.Stats()
+			e.cfg.Logf("engine: collection %q: %d vertices / %d edges (kmax %d)",
+				c.Name(), st.Vertices, st.Edges, st.KMax)
+		} else {
+			e.cfg.Logf("engine: collection %q: %s", c.Name(), c.State())
+		}
+	}
+	e.cfg.Logf("engine: serving %d collection(s) on %s", e.reg.Len(), e.cfg.Addr)
 	return http.ListenAndServe(e.cfg.Addr, e.Handler())
 }
 

@@ -17,55 +17,283 @@ import (
 
 // Handler returns the engine's HTTP API.
 //
-// Versioned protocol (v1) — the supported surface:
+// Versioned protocol (v1) — the supported surface. Collection lifecycle:
 //
-//	POST /v1/search  {"query": {...}, "timeout_ms": 250}
-//	POST /v1/batch   {"queries": [{...}, ...], "workers": 4,
+//	POST   /v1/collections        {"name": "wiki", "path": "wiki.snap"} |
+//	                              {"name": "syn", "preset": "dblp", "scale": 0.5} |
+//	                              {"name": "scratch"}            (empty graph)
+//	GET    /v1/collections        list collections + build states
+//	GET    /v1/collections/{name} one collection's stats, snapshot version,
+//	                              index/build status
+//	DELETE /v1/collections/{name} drop a collection (in-flight requests finish
+//	                              against their pinned snapshots)
+//
+// Per-collection data plane (and the "default"-collection sugar forms):
+//
+//	POST /v1/collections/{name}/search    POST /v1/search
+//	POST /v1/collections/{name}/batch     POST /v1/batch
+//	POST /v1/collections/{name}/edges     POST /v1/edges
+//	POST /v1/collections/{name}/keywords  POST /v1/keywords
+//
+//	POST .../search  {"query": {...}, "timeout_ms": 250}
+//	POST .../batch   {"queries": [{...}, ...], "workers": 4,
 //	                  "timeout_ms": 2000, "per_query_timeout_ms": 100}
+//	POST .../edges   {"op":"insert"|"remove","u":"<label>","v":"<label>"}
+//	POST .../keywords {"op":"add"|"remove","vertex":"<label>","keyword":"yoga"}
 //
 // Every v1 query object addresses its vertex by "vertex" (label) or "id"
 // (dense vertex ID) and selects the community model with "mode"
 // (core|fixed|threshold|clique|similar|truss, default core) plus the
 // mode parameters "theta" / "tau" / "max_hops". v1 errors are structured:
 // {"error": {"code": "vertex_not_found", "message": "..."}} — see README.md
-// for the full code table. Evaluation contexts derive from the request (a
-// client disconnect cancels the search) bounded by the server's default/max
-// timeouts.
+// for the full code table, including the lifecycle codes collection_not_found
+// (404), collection_exists (409) and index_building (503). Evaluation
+// contexts derive from the request (a client disconnect cancels the search)
+// bounded by the server's default/max timeouts.
 //
-// Legacy endpoints, kept for one compatibility release:
+// Legacy endpoints, kept for one compatibility release (all serve the
+// default collection; /edges and /keywords are aliases of their /v1 forms
+// and now speak the structured v1 error protocol):
 //
 //	GET  /query     one community query (?q=&k=&s=&algo=&fixed=&theta=&fuzz=)
 //	POST /batch     many queries against one pinned snapshot
+//	POST /edges     deprecated alias of POST /v1/edges
+//	POST /keywords  deprecated alias of POST /v1/keywords
 //
 // Unversioned operational endpoints:
 //
-//	GET  /stats     graph + index summary (snapshot-consistent)
-//	POST /edges     {"op":"insert"|"remove","u":"<label>","v":"<label>"}
-//	POST /keywords  {"op":"add"|"remove","vertex":"<label>","keyword":"yoga"}
-//	GET  /metrics   serving counters (queries, cache hits, cancellations, ...)
-//	GET  /healthz   liveness probe
+//	GET  /stats     default collection's graph + index summary
+//	GET  /metrics   serving counters, aggregated + per collection
+//	GET  /healthz   readiness: per-collection build/index state; 503 while
+//	                the default collection is not ready
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/search", e.handleSearchV1)
-	mux.HandleFunc("POST /v1/batch", e.handleBatchV1)
+	// Default-collection sugar: the pre-registry single-graph surface.
+	mux.HandleFunc("POST /v1/search", e.defaultCol(e.serveSearchV1))
+	mux.HandleFunc("POST /v1/batch", e.defaultCol(e.serveBatchV1))
+	mux.HandleFunc("POST /v1/edges", e.defaultCol(e.serveEdgesV1))
+	mux.HandleFunc("POST /v1/keywords", e.defaultCol(e.serveKeywordsV1))
+	// Collection lifecycle.
+	mux.HandleFunc("POST /v1/collections", e.handleCollectionCreate)
+	mux.HandleFunc("GET /v1/collections", e.handleCollectionList)
+	mux.HandleFunc("GET /v1/collections/{name}", e.handleCollectionGet)
+	mux.HandleFunc("DELETE /v1/collections/{name}", e.handleCollectionDelete)
+	// Per-collection data plane.
+	mux.HandleFunc("POST /v1/collections/{name}/search", e.namedCol(e.serveSearchV1))
+	mux.HandleFunc("POST /v1/collections/{name}/batch", e.namedCol(e.serveBatchV1))
+	mux.HandleFunc("POST /v1/collections/{name}/edges", e.namedCol(e.serveEdgesV1))
+	mux.HandleFunc("POST /v1/collections/{name}/keywords", e.namedCol(e.serveKeywordsV1))
+	// Legacy + operational.
 	mux.HandleFunc("GET /stats", e.handleStats)
 	mux.HandleFunc("GET /query", e.handleQuery)
 	mux.HandleFunc("POST /batch", e.handleBatch)
-	mux.HandleFunc("POST /edges", e.handleEdges)
-	mux.HandleFunc("POST /keywords", e.handleKeywords)
+	mux.HandleFunc("POST /edges", e.defaultCol(e.serveEdgesV1))       // deprecated alias
+	mux.HandleFunc("POST /keywords", e.defaultCol(e.serveKeywordsV1)) // deprecated alias
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	return mux
 }
 
-func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, e.pin().Stats())
+// colHandler is a data-plane handler bound to a resolved, ready collection.
+type colHandler func(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph)
+
+// defaultCol adapts a colHandler to the unsuffixed sugar routes serving the
+// default collection.
+func (e *Engine) defaultCol(h colHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e.withCollection(w, r, DefaultCollection, h)
+	}
 }
 
+// namedCol adapts a colHandler to the /v1/collections/{name}/... routes.
+func (e *Engine) namedCol(h colHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e.withCollection(w, r, r.PathValue("name"), h)
+	}
+}
+
+// withCollection resolves the collection once per request and rejects
+// unknown/building/failed collections with their structured errors before
+// any body is decoded.
+func (e *Engine) withCollection(w http.ResponseWriter, r *http.Request, name string, h colHandler) {
+	c, g, err := e.resolveReady(name)
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	h(w, r, c, g)
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
+	_, g, err := e.resolveReady(DefaultCollection)
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pin(g).Stats())
+}
+
+// --- Health.
+
+// healthCollection is one collection's entry in the /healthz payload.
+type healthCollection struct {
+	State string `json:"state"`
+	// Ready collections report their snapshot version and whether an index
+	// is present; building ones report build_in_progress instead.
+	Version         uint64 `json:"version"`
+	Index           bool   `json:"index"`
+	BuildInProgress bool   `json:"build_in_progress,omitempty"`
+	Error           string `json:"error,omitempty"`
+}
+
+// handleHealthz reports per-collection readiness. The probe returns 503
+// while the default collection exists but is not ready (still building, or
+// failed), so load balancers keep traffic away until the graph that the
+// unsuffixed endpoints serve can answer; named collections building in the
+// background do not fail the probe. Uses Graph.Version, not pin(): a
+// liveness probe must not mark the snapshot consumed and thereby trigger
+// eager republication on the next write.
 func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	// Graph.Version, not pin(): a liveness probe must not mark the snapshot
-	// consumed and thereby trigger eager republication on the next write.
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": e.g.Version()})
+	cols := make(map[string]healthCollection)
+	ok := true
+	var defaultVersion uint64
+	for _, c := range e.reg.All() {
+		// One state read per collection: a building→ready transition between
+		// two loads must not yield a self-contradictory entry.
+		st := c.State()
+		hc := healthCollection{State: st.String()}
+		switch st {
+		case CollectionReady:
+			g := c.Graph()
+			hc.Version = g.Version()
+			hc.Index = g.HasIndex()
+		case CollectionBuilding:
+			hc.BuildInProgress = true
+		case CollectionFailed:
+			if err := c.Err(); err != nil {
+				hc.Error = err.Error()
+			}
+		}
+		if c.Name() == DefaultCollection {
+			defaultVersion = hc.Version
+			if st != CollectionReady {
+				ok = false
+			}
+		}
+		cols[c.Name()] = hc
+	}
+	status := http.StatusOK
+	if !ok {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ok":          ok,
+		"version":     defaultVersion, // pre-registry field, kept for probes
+		"collections": cols,
+	})
+}
+
+// --- Collection lifecycle handlers.
+
+// collectionInfo is the wire shape of one collection in listings and the
+// single-collection GET.
+type collectionInfo struct {
+	Name   string `json:"name"`
+	State  string `json:"state"`
+	Source string `json:"source,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Populated once the collection is ready.
+	Vertices        int    `json:"vertices"`
+	Edges           int    `json:"edges"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	HasIndex        bool   `json:"has_index"`
+}
+
+func infoOf(c *Collection) collectionInfo {
+	info := collectionInfo{
+		Name:   c.Name(),
+		State:  c.State().String(),
+		Source: c.SourceDesc(),
+	}
+	if err := c.Err(); err != nil {
+		info.Error = err.Error()
+	}
+	if g := c.Graph(); g != nil {
+		info.Vertices = g.NumVertices()
+		info.Edges = g.NumEdges()
+		info.SnapshotVersion = g.Version()
+		info.HasIndex = g.HasIndex()
+	}
+	return info
+}
+
+// createCollectionReq is the wire shape of POST /v1/collections: a name plus
+// the inline Source fields (path | preset[+scale] | neither = empty graph).
+type createCollectionReq struct {
+	Name string `json:"name"`
+	Source
+}
+
+func (e *Engine) handleCollectionCreate(w http.ResponseWriter, r *http.Request) {
+	var req createCollectionReq
+	if err := e.decodeBody(w, r, &req); err != nil {
+		writeV1Error(w, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	c, err := e.CreateCollection(req.Name, req.Source)
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	// 202: the graph is loading and indexing asynchronously; poll
+	// GET /v1/collections/{name} for build status.
+	writeJSON(w, http.StatusAccepted, infoOf(c))
+}
+
+func (e *Engine) handleCollectionList(w http.ResponseWriter, r *http.Request) {
+	cols := e.reg.All()
+	infos := make([]collectionInfo, 0, len(cols))
+	for _, c := range cols {
+		infos = append(infos, infoOf(c))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"collections": infos})
+}
+
+func (e *Engine) handleCollectionGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	c, ok := e.reg.Get(name)
+	if !ok {
+		writeV1Error(w, fmt.Errorf("%w: %q", ErrCollectionNotFound, name))
+		return
+	}
+	// The detailed view adds the full stats block (core numbers, keyword
+	// averages, index shape) for ready collections; the listing stays cheap.
+	// PeekSnapshot, not pin(): this is the documented build-status polling
+	// endpoint, and a status probe must not mark the snapshot consumed —
+	// that would force an eager copy-on-write republication per mutation on
+	// a write-heavy collection someone happens to be polling.
+	payload := struct {
+		collectionInfo
+		Stats *acq.Stats `json:"stats,omitempty"`
+	}{collectionInfo: infoOf(c)}
+	if g := c.Graph(); g != nil {
+		if s := g.PeekSnapshot(); s != nil {
+			st := s.Stats()
+			payload.Stats = &st
+		}
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func (e *Engine) handleCollectionDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	c, ok := e.reg.Delete(name)
+	if !ok {
+		writeV1Error(w, fmt.Errorf("%w: %q", ErrCollectionNotFound, name))
+		return
+	}
+	e.cfg.Logf("engine: collection %q deleted (state %s)", name, c.State())
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "name": name})
 }
 
 // --- v1 wire format.
@@ -125,18 +353,22 @@ type wireError struct {
 
 // v1 error codes, and the HTTP statuses they ride on.
 const (
-	codeBadRequest       = "bad_request"       // 400: malformed JSON, missing vertex
-	codeBadK             = "bad_k"             // 400
-	codeBadTheta         = "bad_theta"         // 400: θ or τ outside (0, 1]
-	codeBadMode          = "bad_mode"          // 400
-	codeBadAlgorithm     = "bad_algorithm"     // 400
-	codeTooManyQueries   = "too_many_queries"  // 400: batch over MaxBatchQueries
-	codeVertexNotFound   = "vertex_not_found"  // 404
-	codeNoKCore          = "no_k_core"         // 404: no community can satisfy k
-	codeBodyTooLarge     = "body_too_large"    // 413: body over MaxBodyBytes
-	codeCanceled         = "canceled"          // 499: client went away
-	codeNoIndex          = "no_index"          // 503
-	codeDeadlineExceeded = "deadline_exceeded" // 504: server/request timeout
+	codeBadRequest         = "bad_request"          // 400: malformed JSON, missing vertex, bad op/name
+	codeBadK               = "bad_k"                // 400
+	codeBadTheta           = "bad_theta"            // 400: θ or τ outside (0, 1]
+	codeBadMode            = "bad_mode"             // 400
+	codeBadAlgorithm       = "bad_algorithm"        // 400
+	codeTooManyQueries     = "too_many_queries"     // 400: batch over MaxBatchQueries
+	codeVertexNotFound     = "vertex_not_found"     // 404
+	codeNoKCore            = "no_k_core"            // 404: no community can satisfy k
+	codeCollectionNotFound = "collection_not_found" // 404: unknown collection name
+	codeCollectionExists   = "collection_exists"    // 409: create against a taken name
+	codeBodyTooLarge       = "body_too_large"       // 413: body over MaxBodyBytes
+	codeCanceled           = "canceled"             // 499: client went away
+	codeCollectionFailed   = "collection_failed"    // 500: async load/build failed
+	codeNoIndex            = "no_index"             // 503
+	codeIndexBuilding      = "index_building"       // 503: collection still loading/indexing
+	codeDeadlineExceeded   = "deadline_exceeded"    // 504: server/request timeout
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client
@@ -145,7 +377,8 @@ const (
 // understood by proxies and dashboards.
 const statusClientClosedRequest = 499
 
-// errorInfo classifies a search error into its v1 code and HTTP status.
+// errorInfo classifies a search, mutation or lifecycle error into its v1
+// code and HTTP status.
 func errorInfo(err error) (code string, status int) {
 	var tooLarge *http.MaxBytesError
 	switch {
@@ -153,7 +386,7 @@ func errorInfo(err error) (code string, status int) {
 		return codeDeadlineExceeded, http.StatusGatewayTimeout
 	case errors.Is(err, acq.ErrCanceled):
 		return codeCanceled, statusClientClosedRequest
-	case errors.Is(err, acq.ErrVertexNotFound):
+	case errors.Is(err, acq.ErrVertexNotFound), errors.Is(err, errUnknownVertex):
 		return codeVertexNotFound, http.StatusNotFound
 	case errors.Is(err, acq.ErrNoKCore):
 		return codeNoKCore, http.StatusNotFound
@@ -167,6 +400,21 @@ func errorInfo(err error) (code string, status int) {
 		return codeBadAlgorithm, http.StatusBadRequest
 	case errors.Is(err, acq.ErrNoIndex):
 		return codeNoIndex, http.StatusServiceUnavailable
+	case errors.Is(err, ErrCollectionNotFound):
+		return codeCollectionNotFound, http.StatusNotFound
+	case errors.Is(err, ErrCollectionExists):
+		return codeCollectionExists, http.StatusConflict
+	case errors.Is(err, ErrIndexBuilding):
+		return codeIndexBuilding, http.StatusServiceUnavailable
+	case errors.Is(err, errCollectionFailed):
+		return codeCollectionFailed, http.StatusInternalServerError
+	// Raw context errors surface from the write path, which checks the
+	// request context before applying a mutation (searches wrap them in
+	// acq.ErrCanceled, handled above).
+	case errors.Is(err, context.DeadlineExceeded):
+		return codeDeadlineExceeded, http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return codeCanceled, statusClientClosedRequest
 	case errors.As(err, &tooLarge):
 		return codeBodyTooLarge, http.StatusRequestEntityTooLarge
 	default:
@@ -231,13 +479,13 @@ func (e *Engine) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return json.NewDecoder(body).Decode(v)
 }
 
-// searchV1Req is the wire shape of POST /v1/search.
+// searchV1Req is the wire shape of POST .../search.
 type searchV1Req struct {
 	Query     wireQuery `json:"query"`
 	TimeoutMS int64     `json:"timeout_ms,omitempty"`
 }
 
-func (e *Engine) handleSearchV1(w http.ResponseWriter, r *http.Request) {
+func (e *Engine) serveSearchV1(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph) {
 	var req searchV1Req
 	if err := e.decodeBody(w, r, &req); err != nil {
 		writeV1Error(w, fmt.Errorf("bad body: %w", err))
@@ -251,20 +499,20 @@ func (e *Engine) handleSearchV1(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := e.queryContext(r, req.TimeoutMS)
 	defer cancel()
 
-	snap := e.pin()
+	snap := pin(g)
 	start := time.Now()
 	res, err := snap.Search(ctx, query)
-	e.met.queries.Add(1)
-	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
+	c.met.queries.Add(1)
+	c.met.queryNanos.Add(time.Since(start).Nanoseconds())
 	if err != nil {
-		e.recordQueryError(err)
+		c.met.recordQueryError(err)
 		writeV1Error(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"version": snap.Version(), "result": res})
 }
 
-// batchV1Req is the wire shape of POST /v1/batch.
+// batchV1Req is the wire shape of POST .../batch.
 type batchV1Req struct {
 	Queries   []wireQuery `json:"queries"`
 	Workers   int         `json:"workers,omitempty"`
@@ -274,13 +522,13 @@ type batchV1Req struct {
 	PerQueryTimeoutMS int64 `json:"per_query_timeout_ms,omitempty"`
 }
 
-// batchV1Item is one entry of the POST /v1/batch response, in input order.
+// batchV1Item is one entry of the POST .../batch response, in input order.
 type batchV1Item struct {
 	Result *acq.Result `json:"result,omitempty"`
 	Error  *wireError  `json:"error,omitempty"`
 }
 
-func (e *Engine) handleBatchV1(w http.ResponseWriter, r *http.Request) {
+func (e *Engine) serveBatchV1(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph) {
 	var req batchV1Req
 	if err := e.decodeBody(w, r, &req); err != nil {
 		writeV1Error(w, fmt.Errorf("bad body: %w", err))
@@ -320,17 +568,17 @@ func (e *Engine) handleBatchV1(w http.ResponseWriter, r *http.Request) {
 		PerQueryTimeout: e.boundTimeout(time.Duration(req.PerQueryTimeoutMS) * time.Millisecond),
 	}
 
-	snap := e.pin() // one snapshot for the whole batch
+	snap := pin(g) // one snapshot for the whole batch
 	start := time.Now()
 	results := snap.SearchBatch(ctx, queries, opts)
-	e.met.batches.Add(1)
-	e.met.batchQueries.Add(uint64(len(queries)))
-	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
+	c.met.batches.Add(1)
+	c.met.batchQueries.Add(uint64(len(queries)))
+	c.met.queryNanos.Add(time.Since(start).Nanoseconds())
 
 	for j := range results {
 		i := itemOf[j]
 		if err := results[j].Err; err != nil {
-			e.recordBatchItemError(err)
+			c.met.recordBatchItemError(err)
 			code, _ := errorInfo(err)
 			items[i].Error = &wireError{Code: code, Message: err.Error()}
 		} else {
@@ -357,33 +605,62 @@ func (e *Engine) clampWorkers(requested int) int {
 	return requested
 }
 
-// recordQueryError accounts a failed single-query request; failed batch
-// items go to recordBatchItemError so QueryErrors/Queries and
-// BatchQueryErrors/BatchQueries stay meaningful ratios.
-func (e *Engine) recordQueryError(err error) {
-	e.met.queryErrors.Add(1)
-	e.recordCancellation(err)
+// --- v1 mutation endpoints (also mounted as the deprecated /edges and
+// /keywords aliases for one release).
+
+type edgeReq struct {
+	Op string `json:"op"`
+	U  string `json:"u"`
+	V  string `json:"v"`
 }
 
-// recordBatchItemError accounts one failed query inside a batch.
-func (e *Engine) recordBatchItemError(err error) {
-	e.met.batchQueryErrors.Add(1)
-	e.recordCancellation(err)
-}
-
-// recordCancellation splits out cancellations and deadline expiries so
-// operators can see latency-control pressure regardless of request shape.
-func (e *Engine) recordCancellation(err error) {
-	if errors.Is(err, acq.ErrCanceled) {
-		if errors.Is(err, context.DeadlineExceeded) {
-			e.met.timedOut.Add(1)
-		} else {
-			e.met.canceled.Add(1)
-		}
+func (e *Engine) serveEdgesV1(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph) {
+	var req edgeReq
+	if err := e.decodeBody(w, r, &req); err != nil {
+		writeV1Error(w, fmt.Errorf("bad body: %w", err))
+		return
 	}
+	// Mutations are quick but not free (incremental maintenance + snapshot
+	// republication): honour a disconnect or expired deadline before
+	// mutating rather than paying for a write nobody waits for.
+	if err := context.Cause(r.Context()); err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	changed, err := c.applyEdge(g, req.Op, req.U, req.V)
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"changed": changed, "version": g.Version()})
 }
 
-// --- Legacy endpoints (deprecated, one compatibility release).
+type keywordReq struct {
+	Op      string `json:"op"`
+	Vertex  string `json:"vertex"`
+	Keyword string `json:"keyword"`
+}
+
+func (e *Engine) serveKeywordsV1(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph) {
+	var req keywordReq
+	if err := e.decodeBody(w, r, &req); err != nil {
+		writeV1Error(w, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if err := context.Cause(r.Context()); err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	changed, err := c.applyKeyword(g, req.Op, req.Vertex, req.Keyword)
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"changed": changed, "version": g.Version()})
+}
+
+// --- Legacy endpoints (deprecated, one compatibility release). All serve
+// the default collection.
 
 // parseQuery decodes the shared query parameters of the legacy GET /query.
 // The query vertex is addressed by label (q=) or, for unlabelled graphs such
@@ -437,6 +714,12 @@ func parseQuery(qp url.Values) (acq.Query, error) {
 }
 
 func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
+	c, g, err := e.resolveReady(DefaultCollection)
+	if err != nil {
+		code, status := errorInfo(err)
+		httpError(w, status, "%s: %v", code, err)
+		return
+	}
 	query, err := parseQuery(r.URL.Query())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -450,13 +733,13 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Pin once: the whole request, including variant dispatch, observes one
 	// immutable graph version without taking any lock.
-	snap := e.pin()
+	snap := pin(g)
 	start := time.Now()
 	res, err := snap.Search(ctx, query)
-	e.met.queries.Add(1)
-	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
+	c.met.queries.Add(1)
+	c.met.queryNanos.Add(time.Since(start).Nanoseconds())
 	if err != nil {
-		e.recordQueryError(err)
+		c.met.recordQueryError(err)
 		httpError(w, legacyStatus(err), "%v", err)
 		return
 	}
@@ -483,6 +766,12 @@ type batchItem struct {
 }
 
 func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
+	c, g, err := e.resolveReady(DefaultCollection)
+	if err != nil {
+		code, status := errorInfo(err)
+		httpError(w, status, "%s: %v", code, err)
+		return
+	}
 	var req batchReq
 	if err := e.decodeBody(w, r, &req); err != nil {
 		var tooLarge *http.MaxBytesError
@@ -522,20 +811,20 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := e.batchContext(r, 0)
 	defer cancel()
 
-	snap := e.pin() // one snapshot for the whole batch
+	snap := pin(g) // one snapshot for the whole batch
 	start := time.Now()
 	results := snap.SearchBatch(ctx, queries, acq.BatchOptions{
 		Workers:         e.clampWorkers(req.Workers),
 		PerQueryTimeout: e.boundTimeout(0), // server default/max, per query
 	})
-	e.met.batches.Add(1)
-	e.met.batchQueries.Add(uint64(len(queries)))
-	e.met.queryNanos.Add(time.Since(start).Nanoseconds())
+	c.met.batches.Add(1)
+	c.met.batchQueries.Add(uint64(len(queries)))
+	c.met.queryNanos.Add(time.Since(start).Nanoseconds())
 
 	for j := range results {
 		i := itemOf[j]
 		if results[j].Err != nil {
-			e.recordBatchItemError(results[j].Err)
+			c.met.recordBatchItemError(results[j].Err)
 			items[i].Error = results[j].Err.Error()
 		} else {
 			items[i].Result = &results[j].Result
@@ -545,46 +834,6 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"version": snap.Version(),
 		"results": items,
 	})
-}
-
-type edgeReq struct {
-	Op string `json:"op"`
-	U  string `json:"u"`
-	V  string `json:"v"`
-}
-
-func (e *Engine) handleEdges(w http.ResponseWriter, r *http.Request) {
-	var req edgeReq
-	if err := e.decodeBody(w, r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	changed, err := e.applyEdge(req.Op, req.U, req.V)
-	if err != nil {
-		httpError(w, updateStatus(err), "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
-}
-
-type keywordReq struct {
-	Op      string `json:"op"`
-	Vertex  string `json:"vertex"`
-	Keyword string `json:"keyword"`
-}
-
-func (e *Engine) handleKeywords(w http.ResponseWriter, r *http.Request) {
-	var req keywordReq
-	if err := e.decodeBody(w, r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	changed, err := e.applyKeyword(req.Op, req.Vertex, req.Keyword)
-	if err != nil {
-		httpError(w, updateStatus(err), "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
 }
 
 // legacyStatus maps a search error to the legacy GET /query HTTP status:
@@ -601,14 +850,6 @@ func legacyStatus(err error) int {
 	default:
 		return http.StatusBadRequest
 	}
-}
-
-// updateStatus maps a write-path error to its HTTP status.
-func updateStatus(err error) int {
-	if errors.Is(err, errUnknownVertex) {
-		return http.StatusNotFound
-	}
-	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

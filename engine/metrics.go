@@ -1,12 +1,17 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"net/http"
 	"sync/atomic"
+
+	acq "github.com/acq-search/acq"
 )
 
-// metrics holds the engine's hot-path counters. Everything is atomic: the
-// serving paths never take a lock to account for a request.
+// metrics holds one collection's hot-path counters. Everything is atomic:
+// the serving paths never take a lock to account for a request, and each
+// request touches only its own collection's counters.
 type metrics struct {
 	queries          atomic.Uint64 // single queries served (incl. errors)
 	queryErrors      atomic.Uint64
@@ -19,8 +24,67 @@ type metrics struct {
 	timedOut         atomic.Uint64 // queries stopped by a deadline
 }
 
+// recordQueryError accounts a failed single-query request; failed batch
+// items go to recordBatchItemError so QueryErrors/Queries and
+// BatchQueryErrors/BatchQueries stay meaningful ratios.
+func (m *metrics) recordQueryError(err error) {
+	m.queryErrors.Add(1)
+	m.recordCancellation(err)
+}
+
+// recordBatchItemError accounts one failed query inside a batch.
+func (m *metrics) recordBatchItemError(err error) {
+	m.batchQueryErrors.Add(1)
+	m.recordCancellation(err)
+}
+
+// recordCancellation splits out cancellations and deadline expiries so
+// operators can see latency-control pressure regardless of request shape.
+func (m *metrics) recordCancellation(err error) {
+	if errors.Is(err, acq.ErrCanceled) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			m.timedOut.Add(1)
+		} else {
+			m.canceled.Add(1)
+		}
+	}
+}
+
+// CollectionMetrics is one collection's slice of the serving counters, as
+// exposed per collection under Metrics.Collections.
+type CollectionMetrics struct {
+	// State is the lifecycle state ("building", "ready", "failed"); Error
+	// carries the build failure for failed collections.
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Source describes where the collection's graph came from.
+	Source string `json:"source,omitempty"`
+	// The per-collection counter mirror of the engine-wide fields; see
+	// Metrics for field semantics.
+	Queries              uint64 `json:"queries"`
+	QueryErrors          uint64 `json:"query_errors"`
+	CanceledQueries      uint64 `json:"canceled_queries"`
+	TimedOutQueries      uint64 `json:"timed_out_queries"`
+	Batches              uint64 `json:"batches"`
+	BatchQueries         uint64 `json:"batch_queries"`
+	BatchQueryErrors     uint64 `json:"batch_query_errors"`
+	Updates              uint64 `json:"updates"`
+	QueryNanos           int64  `json:"query_nanos"`
+	SnapshotVersion      uint64 `json:"snapshot_version"`
+	CacheHits            uint64 `json:"cache_hits"`
+	CacheMisses          uint64 `json:"cache_misses"`
+	IndexBuildNanos      int64  `json:"index_build_nanos"`
+	IndexBuildWorkers    int    `json:"index_build_workers"`
+	SnapshotPublishNanos int64  `json:"snapshot_publish_nanos"`
+	SnapshotBytes        int64  `json:"snapshot_bytes"`
+}
+
 // Metrics is the exported counter snapshot returned by Engine.Metrics and
-// GET /metrics.
+// GET /metrics. The top-level counter fields aggregate over every
+// collection (so single-collection deployments read exactly what they did
+// before multi-collection serving); Collections carries the per-collection
+// breakdown. The top-level snapshot/index fields describe the default
+// collection, which is the one the unsuffixed endpoints serve.
 type Metrics struct {
 	// Queries counts single-query requests (/v1/search and the legacy
 	// /query); QueryErrors those that failed.
@@ -44,54 +108,98 @@ type Metrics struct {
 	Updates uint64 `json:"updates"`
 	// QueryNanos is the cumulative wall time spent evaluating queries.
 	QueryNanos int64 `json:"query_nanos"`
-	// SnapshotVersion is the graph version of the currently published
-	// snapshot; it increases by one per effective mutation.
+	// SnapshotVersion is the graph version of the default collection's
+	// currently published snapshot; it increases by one per effective
+	// mutation. Zero when no default collection exists.
 	SnapshotVersion uint64 `json:"snapshot_version"`
 	// CacheHits/CacheMisses accumulate the per-snapshot result-cache
-	// counters across all snapshots published so far.
+	// counters across all snapshots of all collections.
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
-	// IndexBuildNanos is the wall-clock duration of the most recent CL-tree
-	// (re)build; IndexBuildWorkers is the resolved parallel fan-out it used
-	// (1 = serial path). Zero until the first build, so the speedup of the
-	// parallel index pipeline is observable in serving, not just benchmarks.
+	// IndexBuildNanos is the wall-clock duration of the default collection's
+	// most recent CL-tree (re)build; IndexBuildWorkers is the resolved
+	// parallel fan-out it used (1 = serial path). Zero until the first
+	// build, so the speedup of the parallel index pipeline is observable in
+	// serving, not just benchmarks.
 	IndexBuildNanos   int64 `json:"index_build_nanos"`
 	IndexBuildWorkers int   `json:"index_build_workers"`
-	// SnapshotPublishNanos is the wall-clock duration of the most recent
-	// snapshot publication (freezing the graph into its CSR form and cloning
-	// the index); SnapshotBytes is the resident size of that snapshot's flat
-	// adjacency/keyword arrays. Together they make the cost of copy-on-write
-	// republication under a write burst observable in serving.
+	// SnapshotPublishNanos is the wall-clock duration of the default
+	// collection's most recent snapshot publication (freezing the graph into
+	// its CSR form and cloning the index); SnapshotBytes is the resident
+	// size of that snapshot's flat adjacency/keyword arrays. Together they
+	// make the cost of copy-on-write republication under a write burst
+	// observable in serving.
 	SnapshotPublishNanos int64 `json:"snapshot_publish_nanos"`
 	SnapshotBytes        int64 `json:"snapshot_bytes"`
+	// Collections breaks every counter down per collection, keyed by
+	// collection name, including collections still building or failed.
+	Collections map[string]CollectionMetrics `json:"collections"`
 }
 
-// Metrics returns the current serving counters. Deliberately observational:
-// it reads Graph.Version rather than pinning a snapshot, so a metrics
-// scraper on a write-heavy, read-idle server never marks snapshots consumed
-// (which would force eager copy-on-write publications no query reader uses).
-func (e *Engine) Metrics() Metrics {
-	hits, misses := e.g.ResultCacheStats()
-	buildDur, buildWorkers := e.g.IndexBuildStats()
-	publishDur, snapBytes := e.g.SnapshotStats()
-	return Metrics{
-		IndexBuildNanos:      buildDur.Nanoseconds(),
-		IndexBuildWorkers:    buildWorkers,
-		SnapshotPublishNanos: publishDur.Nanoseconds(),
-		SnapshotBytes:        int64(snapBytes),
-		Queries:              e.met.queries.Load(),
-		QueryErrors:          e.met.queryErrors.Load(),
-		CanceledQueries:      e.met.canceled.Load(),
-		TimedOutQueries:      e.met.timedOut.Load(),
-		Batches:              e.met.batches.Load(),
-		BatchQueries:         e.met.batchQueries.Load(),
-		BatchQueryErrors:     e.met.batchQueryErrors.Load(),
-		Updates:              e.met.updates.Load(),
-		QueryNanos:           e.met.queryNanos.Load(),
-		SnapshotVersion:      e.g.Version(),
-		CacheHits:            hits,
-		CacheMisses:          misses,
+// metricsSnapshot renders one collection's counters. Deliberately
+// observational: it reads Graph.Version rather than pinning a snapshot, so
+// a metrics scraper on a write-heavy, read-idle server never marks
+// snapshots consumed (which would force eager copy-on-write publications no
+// query reader uses).
+func (c *Collection) metricsSnapshot() CollectionMetrics {
+	cm := CollectionMetrics{
+		State:            c.State().String(),
+		Source:           c.source,
+		Queries:          c.met.queries.Load(),
+		QueryErrors:      c.met.queryErrors.Load(),
+		CanceledQueries:  c.met.canceled.Load(),
+		TimedOutQueries:  c.met.timedOut.Load(),
+		Batches:          c.met.batches.Load(),
+		BatchQueries:     c.met.batchQueries.Load(),
+		BatchQueryErrors: c.met.batchQueryErrors.Load(),
+		Updates:          c.met.updates.Load(),
+		QueryNanos:       c.met.queryNanos.Load(),
 	}
+	if err := c.Err(); err != nil {
+		cm.Error = err.Error()
+	}
+	if g := c.Graph(); g != nil {
+		hits, misses := g.ResultCacheStats()
+		buildDur, buildWorkers := g.IndexBuildStats()
+		publishDur, snapBytes := g.SnapshotStats()
+		cm.SnapshotVersion = g.Version()
+		cm.CacheHits = hits
+		cm.CacheMisses = misses
+		cm.IndexBuildNanos = buildDur.Nanoseconds()
+		cm.IndexBuildWorkers = buildWorkers
+		cm.SnapshotPublishNanos = publishDur.Nanoseconds()
+		cm.SnapshotBytes = int64(snapBytes)
+	}
+	return cm
+}
+
+// Metrics returns the current serving counters: aggregates at the top
+// level, per-collection breakdown under Collections.
+func (e *Engine) Metrics() Metrics {
+	m := Metrics{Collections: make(map[string]CollectionMetrics)}
+	for _, c := range e.reg.All() {
+		cm := c.metricsSnapshot()
+		m.Collections[c.Name()] = cm
+		m.Queries += cm.Queries
+		m.QueryErrors += cm.QueryErrors
+		m.CanceledQueries += cm.CanceledQueries
+		m.TimedOutQueries += cm.TimedOutQueries
+		m.Batches += cm.Batches
+		m.BatchQueries += cm.BatchQueries
+		m.BatchQueryErrors += cm.BatchQueryErrors
+		m.Updates += cm.Updates
+		m.QueryNanos += cm.QueryNanos
+		m.CacheHits += cm.CacheHits
+		m.CacheMisses += cm.CacheMisses
+		if c.Name() == DefaultCollection {
+			m.SnapshotVersion = cm.SnapshotVersion
+			m.IndexBuildNanos = cm.IndexBuildNanos
+			m.IndexBuildWorkers = cm.IndexBuildWorkers
+			m.SnapshotPublishNanos = cm.SnapshotPublishNanos
+			m.SnapshotBytes = cm.SnapshotBytes
+		}
+	}
+	return m
 }
 
 func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {

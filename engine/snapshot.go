@@ -7,13 +7,17 @@ import (
 	acq "github.com/acq-search/acq"
 )
 
-// This file is the engine's seam between the two data paths:
+// This file is the engine's seam between the two data paths, both of which
+// start from a resolved *Collection:
 //
 //   - pin, the read path: one atomic load yields the immutable snapshot a
 //     request (or a whole batch) runs against. No lock, no copy.
 //   - applyEdge/applyKeyword, the write path: label resolution plus the
 //     mutators of acq.Graph, which serialise internally, maintain the
 //     CL-tree incrementally and publish the next snapshot copy-on-write.
+//
+// Handlers resolve the collection once (resolveReady) and pass it down, so
+// one request observes one collection even while the registry churns.
 
 // Errors surfaced by the write path; handlers map them to HTTP statuses.
 var (
@@ -21,52 +25,68 @@ var (
 	errBadOp         = errors.New("bad op")
 )
 
+// resolveReady looks the collection up and requires it to be servable:
+// unknown names yield ErrCollectionNotFound, building collections
+// ErrIndexBuilding, failed ones the build error. The returned collection is
+// valid for the rest of the request even if it is deleted concurrently.
+func (e *Engine) resolveReady(name string) (*Collection, *acq.Graph, error) {
+	c, ok := e.reg.Get(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrCollectionNotFound, name)
+	}
+	g, err := c.Ready()
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, g, nil
+}
+
 // pin returns the snapshot this request will run against. Calls are
 // lock-free; two pins during one request may observe different versions, so
 // handlers pin exactly once and pass the snapshot down.
-func (e *Engine) pin() *acq.Snapshot { return e.g.Snapshot() }
+func pin(g *acq.Graph) *acq.Snapshot { return g.Snapshot() }
 
 // applyEdge applies one edge update by vertex labels. It reports whether the
 // graph changed (false for duplicate inserts / missing removals).
-func (e *Engine) applyEdge(op, uLabel, vLabel string) (bool, error) {
+func (c *Collection) applyEdge(g *acq.Graph, op, uLabel, vLabel string) (bool, error) {
 	// Labels resolve against the master graph directly: the label table is
 	// immutable after build, so this is safe without a lock — and unlike
 	// pin(), it does not mark the snapshot consumed, so write-only bursts
 	// keep coalescing instead of paying a full copy per HTTP update.
-	u, ok1 := e.g.VertexID(uLabel)
-	v, ok2 := e.g.VertexID(vLabel)
+	u, ok1 := g.VertexID(uLabel)
+	v, ok2 := g.VertexID(vLabel)
 	if !ok1 || !ok2 {
 		return false, errUnknownVertex
 	}
 	var changed bool
 	switch op {
 	case "insert":
-		changed = e.g.InsertEdge(u, v)
+		changed = g.InsertEdge(u, v)
 	case "remove":
-		changed = e.g.RemoveEdge(u, v)
+		changed = g.RemoveEdge(u, v)
 	default:
 		return false, fmt.Errorf("%w: edge op must be insert or remove, got %q", errBadOp, op)
 	}
-	e.met.updates.Add(1)
+	c.met.updates.Add(1)
 	return changed, nil
 }
 
 // applyKeyword applies one keyword update by vertex label; label resolution
 // follows the same non-consuming rule as applyEdge.
-func (e *Engine) applyKeyword(op, vertexLabel, keyword string) (bool, error) {
-	v, ok := e.g.VertexID(vertexLabel)
+func (c *Collection) applyKeyword(g *acq.Graph, op, vertexLabel, keyword string) (bool, error) {
+	v, ok := g.VertexID(vertexLabel)
 	if !ok {
 		return false, errUnknownVertex
 	}
 	var changed bool
 	switch op {
 	case "add":
-		changed = e.g.AddKeyword(v, keyword)
+		changed = g.AddKeyword(v, keyword)
 	case "remove":
-		changed = e.g.RemoveKeyword(v, keyword)
+		changed = g.RemoveKeyword(v, keyword)
 	default:
 		return false, fmt.Errorf("%w: keyword op must be add or remove, got %q", errBadOp, op)
 	}
-	e.met.updates.Add(1)
+	c.met.updates.Add(1)
 	return changed, nil
 }

@@ -78,3 +78,27 @@ func TestIndexParallelDriver(t *testing.T) {
 		}
 	}
 }
+
+func TestCollectionRoutingDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testing.Benchmark sweep in -short mode")
+	}
+	ds := loadTest(t, "dblp")
+	tab, samples := CollectionRouting(ds, testConfig().Scale)
+	if len(tab.Rows) != 3 || len(samples) != 3 {
+		t.Fatalf("rows = %d, samples = %d, want 3/3", len(tab.Rows), len(samples))
+	}
+	for _, s := range samples {
+		if s.NsPerOp <= 0 {
+			t.Fatalf("sample not populated: %+v", s)
+		}
+		if s.Experiment != "collection-routing" || s.Dataset != "dblp" {
+			t.Fatalf("sample coordinates: %+v", s)
+		}
+	}
+	// The registry lookup must be orders of magnitude below the search
+	// itself: the overhead acceptance bar rides on this ratio.
+	if lookup, direct := samples[0].NsPerOp, samples[1].NsPerOp; lookup > direct/10 {
+		t.Fatalf("registry lookup %v ns/op not ≪ search %v ns/op", lookup, direct)
+	}
+}

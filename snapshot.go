@@ -66,6 +66,15 @@ func newSnapshot(v view, version uint64, cacheSize int, stats *cacheStats) *Snap
 // value of Graph.Version at publication time.
 func (s *Snapshot) Version() uint64 { return s.version }
 
+// PeekSnapshot returns the most recently published snapshot without marking
+// it consumed — unlike Snapshot, a peek never triggers an eager
+// copy-on-write republication on the next mutation, so status probes and
+// metrics scrapers can read snapshot-consistent state at any frequency
+// without defeating write-burst coalescing. The returned snapshot may lag
+// the master by coalesced mutations (compare Version against
+// Graph.Version), and is nil before the first publication.
+func (G *Graph) PeekSnapshot() *Snapshot { return G.snap.Load() }
+
 // Search evaluates one query against the snapshot; see Graph.Search for the
 // Query.Mode dispatch and the cancellation contract. Successful results are
 // memoised in the snapshot's LRU cache; an already-canceled ctx returns
