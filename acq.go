@@ -88,6 +88,51 @@ type Graph struct {
 	lastBuildWorkers  atomic.Int32
 	lastPublishNanos  atomic.Int64
 	lastSnapshotBytes atomic.Int64
+
+	// --- LSM-style write path (write.go). base is the frozen base the
+	// current delta overlay is relative to; nil means overlay tracking is
+	// off (not serving, or SetCompactionThreshold < 0). The ov* tables hold
+	// the working row overrides, published as an immutable graph.Overlay per
+	// effective mutation. All guarded by mu; the atomics below are telemetry
+	// written under mu and read lock-free.
+	base       *graph.Frozen
+	ovAdjIdx   []int32
+	ovKwIdx    []int32
+	ovAdjRows  [][]graph.VertexID
+	ovKwRows   [][]graph.KeywordID
+	ovAdjLen   int
+	ovKwLen    int
+	ovKwTotal  int
+	ovDict     *graph.Dict
+	ovDictSize int
+
+	// pubTree is the immutable full tree clone that delta publications
+	// shallow-rebind (with a posting patch) while the tree structure is
+	// unchanged; pubStructRev/treeGen fingerprint its validity.
+	pubTree      *core.Tree
+	pubStructRev uint64
+	treeGen      uint64
+	workingPatch map[*core.Node]*core.NodePostings
+	patchDirty   map[graph.VertexID]struct{}
+
+	// Compaction state: compactMu serialises folds, pend records rows
+	// dirtied while one is materialising off-lock.
+	compactMu           sync.Mutex
+	pend                *pendingDelta
+	compactThreshold    atomic.Int64
+	compactArmed        atomic.Bool
+	compacting          atomic.Bool
+	compactions         atomic.Uint64
+	lastCompactionNanos atomic.Int64
+
+	deltaOps       atomic.Int64
+	deltaEdgeOps   atomic.Int64
+	deltaKwOps     atomic.Int64
+	deltaAdjRows   atomic.Int64
+	deltaKwRows    atomic.Int64
+	deltaBytes     atomic.Int64
+	fullPublishes  atomic.Uint64
+	deltaPublishes atomic.Uint64
 }
 
 // newGraph wraps an internal graph (and optional prebuilt tree) in the
@@ -231,6 +276,14 @@ func (G *Graph) BuildIndexOpts(o BuildOptions) {
 	}
 	G.lastBuildNanos.Store(time.Since(start).Nanoseconds())
 	G.maint = core.NewMaintainer(G.tree)
+	// The old tree (and any rebind clone of it) no longer describes the
+	// index; the next delta publication must pay one full clone.
+	G.treeGen++
+	G.pubTree = nil
+	if G.base != nil {
+		G.workingPatch = map[*core.Node]*core.NodePostings{}
+		G.patchDirty = map[graph.VertexID]struct{}{}
+	}
 	G.mutatedLocked()
 }
 
@@ -342,6 +395,9 @@ func (G *Graph) EndServing() {
 	defer G.mu.Unlock()
 	G.snap.Store(nil)
 	G.snapRead.Store(false)
+	// Overlay tracking exists only to publish snapshots cheaply; outside
+	// serving mode mutations should cost nothing beyond index maintenance.
+	G.dropDeltaLocked()
 }
 
 // Version returns the number of effective mutations applied so far. Two
@@ -378,25 +434,50 @@ func (G *Graph) ResultCacheStats() (hits, misses uint64) {
 // longer matches, and the next Snapshot call rebuilds once under the mutex.
 func (G *Graph) mutatedLocked() {
 	G.version.Add(1)
+	G.afterWriteLocked()
+}
+
+// afterWriteLocked runs once per write (single mutation or whole batch):
+// republish eagerly while the published snapshot is being consumed, and let
+// the compactor check the overlay size. Callers hold G.mu.
+func (G *Graph) afterWriteLocked() {
 	if G.snap.Load() != nil && G.snapRead.Load() {
 		G.publishLocked()
 	}
+	G.maybeCompactLocked()
 }
 
-// publishLocked freezes the master graph into a compact CSR copy, rebinds a
-// clone of the tree to it, and publishes the pair with an atomic store.
+// publishLocked publishes a fresh snapshot of the master with an atomic
+// store; callers hold G.mu. With overlay tracking active this is a delta
+// publication — an O(delta) graph.Overlay over the frozen base plus a
+// shallow tree rebind (see write.go) — and otherwise a full freeze, which
+// also (re)initialises tracking unless SetCompactionThreshold disabled it.
+func (G *Graph) publishLocked() *Snapshot {
+	if G.base == nil || G.compactThreshold.Load() < 0 {
+		return G.publishFullLocked()
+	}
+	return G.publishDeltaLocked()
+}
+
+// publishFullLocked freezes the master graph into a compact CSR copy, rebinds
+// a clone of the tree to it, and publishes the pair with an atomic store.
 // Callers hold G.mu. Freezing costs O(n+m) sequential copying but only a
 // handful of allocations — adjacency and keyword payloads land in four flat
 // arrays — so republication under a write burst no longer scales the
 // garbage collector's work with the vertex count. The copy fans out over the
 // graph's build-worker setting. COW mutation still runs on the mutable
 // master; the frozen form is publication-only.
-func (G *Graph) publishLocked() *Snapshot {
+func (G *Graph) publishFullLocked() *Snapshot {
 	start := time.Now()
 	workers := core.BuildOptions{Workers: G.buildWorkers}.ResolvedWorkers(G.g)
 	var prev *graph.Frozen
 	if old := G.snap.Load(); old != nil {
-		prev, _ = old.v.g.(*graph.Frozen)
+		switch pg := old.v.g.(type) {
+		case *graph.Frozen:
+			prev = pg
+		case *graph.Overlay:
+			prev = pg.Base()
+		}
 	}
 	fz := G.g.FreezeReuse(workers, prev)
 	var t2 *core.Tree
@@ -408,6 +489,27 @@ func (G *Graph) publishLocked() *Snapshot {
 	G.snapRead.Store(false)
 	G.lastPublishNanos.Store(time.Since(start).Nanoseconds())
 	G.lastSnapshotBytes.Store(int64(fz.SizeBytes()))
+	G.fullPublishes.Add(1)
+	if G.compactThreshold.Load() >= 0 {
+		G.resetDeltaLocked(fz, t2)
+	} else {
+		G.dropDeltaLocked()
+	}
+	return s
+}
+
+// publishDeltaLocked publishes the working overlay over the frozen base —
+// O(delta) instead of O(n+m). Callers hold G.mu and guarantee base != nil.
+func (G *Graph) publishDeltaLocked() *Snapshot {
+	start := time.Now()
+	ov := G.overlayLocked()
+	t2 := G.deltaTreeLocked(ov)
+	s := newSnapshot(view{g: ov, tree: t2}, G.version.Load(), G.cacheSize, G.stats)
+	G.snap.Store(s)
+	G.snapRead.Store(false)
+	G.lastPublishNanos.Store(time.Since(start).Nanoseconds())
+	G.lastSnapshotBytes.Store(int64(G.base.SizeBytes()) + G.deltaBytes.Load())
+	G.deltaPublishes.Add(1)
 	return s
 }
 
@@ -427,12 +529,7 @@ func (G *Graph) SnapshotStats() (publish time.Duration, bytes int) {
 func (G *Graph) InsertEdge(u, v int32) bool {
 	G.mu.Lock()
 	defer G.mu.Unlock()
-	var changed bool
-	if G.maint != nil {
-		changed = G.maint.InsertEdge(graph.VertexID(u), graph.VertexID(v))
-	} else {
-		changed = G.g.InsertEdge(graph.VertexID(u), graph.VertexID(v))
-	}
+	changed := G.applyInsertEdgeLocked(graph.VertexID(u), graph.VertexID(v))
 	if changed {
 		G.mutatedLocked()
 	}
@@ -443,12 +540,7 @@ func (G *Graph) InsertEdge(u, v int32) bool {
 func (G *Graph) RemoveEdge(u, v int32) bool {
 	G.mu.Lock()
 	defer G.mu.Unlock()
-	var changed bool
-	if G.maint != nil {
-		changed = G.maint.RemoveEdge(graph.VertexID(u), graph.VertexID(v))
-	} else {
-		changed = G.g.RemoveEdge(graph.VertexID(u), graph.VertexID(v))
-	}
+	changed := G.applyRemoveEdgeLocked(graph.VertexID(u), graph.VertexID(v))
 	if changed {
 		G.mutatedLocked()
 	}
@@ -459,12 +551,7 @@ func (G *Graph) RemoveEdge(u, v int32) bool {
 func (G *Graph) AddKeyword(v int32, word string) bool {
 	G.mu.Lock()
 	defer G.mu.Unlock()
-	var changed bool
-	if G.maint != nil {
-		changed = G.maint.AddKeyword(graph.VertexID(v), word)
-	} else {
-		changed = G.g.AddKeyword(graph.VertexID(v), word)
-	}
+	changed := G.applyAddKeywordLocked(graph.VertexID(v), word)
 	if changed {
 		G.mutatedLocked()
 	}
@@ -475,12 +562,7 @@ func (G *Graph) AddKeyword(v int32, word string) bool {
 func (G *Graph) RemoveKeyword(v int32, word string) bool {
 	G.mu.Lock()
 	defer G.mu.Unlock()
-	var changed bool
-	if G.maint != nil {
-		changed = G.maint.RemoveKeyword(graph.VertexID(v), word)
-	} else {
-		changed = G.g.RemoveKeyword(graph.VertexID(v), word)
-	}
+	changed := G.applyRemoveKeywordLocked(graph.VertexID(v), word)
 	if changed {
 		G.mutatedLocked()
 	}

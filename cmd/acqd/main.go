@@ -80,7 +80,9 @@ func main() {
 	defaultTimeout := flag.Duration("default-timeout", 0, "query timeout applied when a request asks for none (0 = no default)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested query timeouts (0 = no cap)")
 	maxBatch := flag.Int("max-batch-queries", 0, "max queries accepted per batch request (0 = default, negative = unlimited)")
+	maxMutations := flag.Int("max-batch-mutations", 0, "max operations accepted per mutations request (0 = default, negative = unlimited)")
 	maxBody := flag.Int64("max-body-bytes", 0, "max request body size in bytes (0 = default, negative = unlimited)")
+	compactThreshold := flag.Int("compact-threshold", 0, "effective mutations absorbed into the delta overlay before background compaction (0 = default, negative = republish a full snapshot per write)")
 	var collections collectionFlags
 	flag.Var(&collections, "collection", "preload a named collection, name=path or name=preset:NAME[@scale] (repeatable)")
 	flag.Parse()
@@ -90,14 +92,16 @@ func main() {
 	}
 
 	e := engine.New(nil, engine.Config{
-		Addr:            *addr,
-		CacheSize:       *cache,
-		BatchWorkers:    *workers,
-		BuildWorkers:    *buildWorkers,
-		DefaultTimeout:  *defaultTimeout,
-		MaxTimeout:      *maxTimeout,
-		MaxBatchQueries: *maxBatch,
-		MaxBodyBytes:    *maxBody,
+		Addr:                *addr,
+		CacheSize:           *cache,
+		BatchWorkers:        *workers,
+		BuildWorkers:        *buildWorkers,
+		DefaultTimeout:      *defaultTimeout,
+		MaxTimeout:          *maxTimeout,
+		MaxBatchQueries:     *maxBatch,
+		MaxBatchMutations:   *maxMutations,
+		MaxBodyBytes:        *maxBody,
+		CompactionThreshold: *compactThreshold,
 	})
 	if *in != "" || *preset != "" {
 		g, err := engine.LoadSource(*in, *preset, *scale)

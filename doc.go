@@ -70,12 +70,21 @@
 // Snapshot: it returns an immutable graph+index view through a single atomic
 // pointer load, safe for unlimited lock-free readers while updates keep
 // flowing. Each effective mutation maintains the index incrementally on the
-// mutable master and publishes the next snapshot by freezing it into a
-// compact CSR form (flat adjacency and keyword arrays — O(1) allocations per
-// publication instead of two per vertex); SearchBatch pins one snapshot per
-// batch. Successful snapshot queries are memoised in a bounded per-snapshot
-// LRU cache (canceled evaluations are never cached). SnapshotStats reports
-// the latest publication latency and frozen payload size.
+// mutable master; publication is LSM-style: the first snapshot freezes the
+// graph into a compact CSR form (flat adjacency and keyword arrays — O(1)
+// allocations per publication instead of two per vertex), and subsequent
+// writes publish an O(delta) overlay over that frozen base — only the rows
+// the write touched are copied, and the CL-tree's flattened postings are
+// patched per node rather than re-cloned. A background compactor folds the
+// overlay back into a fresh frozen base once it crosses a configurable
+// threshold (SetCompactionThreshold), off the serving path; readers observe
+// only atomic snapshot swaps. ApplyMutations applies a whole batch of edge
+// and keyword operations under one lock hold with per-op results and a
+// single publication; WriteStats exposes overlay size and compaction
+// telemetry. SearchBatch pins one snapshot per batch. Successful snapshot
+// queries are memoised in a bounded per-snapshot LRU cache (canceled
+// evaluations are never cached). SnapshotStats reports the latest
+// publication latency and frozen payload size.
 //
 // The engine package wraps all of this in an embeddable HTTP serving engine
 // with a versioned JSON protocol — POST /v1/search and /v1/batch — used by

@@ -21,8 +21,15 @@
 // asynchronously — its build status is queryable at GET
 // /v1/collections/{name} the whole time — and every data endpoint exists
 // per collection under /v1/collections/{name}/... . The plain /v1/search,
-// /v1/batch, /v1/edges and /v1/keywords endpoints are sugar over the
-// "default" collection, so single-graph clients never see the registry.
+// /v1/batch and /v1/mutations endpoints are sugar over the "default"
+// collection, so single-graph clients never see the registry.
+//
+// Writes go through POST /v1/mutations (and its per-collection form): one
+// JSON batch of insert_edge/remove_edge/add_keyword/remove_keyword
+// operations, applied under a single lock hold with per-item results and
+// exactly one snapshot publication per batch. The older single-operation
+// endpoints POST /v1/edges and /v1/keywords are deprecated in its favour
+// and kept for one compatibility release.
 //
 // # Architecture
 //
@@ -33,8 +40,10 @@
 // queries, and deleting a collection never disturbs requests already
 // running against its snapshot. Updates serialise inside each acq.Graph:
 // each effective mutation is applied incrementally to the master copy
-// (Appendix F maintenance) and a fresh copy-on-write snapshot is published
-// for subsequent readers. Repeated queries against one snapshot are
+// (Appendix F maintenance) and published as an O(delta) overlay over the
+// last frozen snapshot, with a background compactor folding the overlay
+// into a fresh base past Config.CompactionThreshold — so write cost tracks
+// the delta, not the graph. Repeated queries against one snapshot are
 // answered from its bounded LRU result cache.
 //
 // Use New + Handler to mount the API inside an existing server, or Serve as
@@ -84,10 +93,23 @@ type Config struct {
 	// request: 0 means DefaultMaxBatchQueries, negative means unlimited.
 	// Oversized batches get a structured 400 before any evaluation.
 	MaxBatchQueries int
+	// MaxBatchMutations bounds the number of operations accepted in one
+	// POST .../mutations request: 0 means DefaultMaxBatchMutations, negative
+	// means unlimited. Oversized batches get a structured 400 before any
+	// mutation is applied.
+	MaxBatchMutations int
 	// MaxBodyBytes bounds every request body via http.MaxBytesReader:
 	// 0 means DefaultMaxBodyBytes, negative means unlimited. Oversized
 	// bodies get a structured 413 instead of an unbounded allocation.
 	MaxBodyBytes int64
+	// CompactionThreshold tunes each collection's LSM-style write path: the
+	// number of effective mutations absorbed into the delta overlay before
+	// the background compactor folds it into a fresh frozen base
+	// (acq.Graph.SetCompactionThreshold). 0 keeps
+	// acq.DefaultCompactionThreshold; negative disables the overlay write
+	// path entirely so every mutation republishes a full snapshot (the
+	// pre-overlay behaviour, kept as an escape hatch).
+	CompactionThreshold int
 	// Logf receives serving log lines; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -104,6 +126,11 @@ const DefaultMaxBodyBytes int64 = 1 << 20
 // Config.MaxBatchQueries is 0.
 const DefaultMaxBatchQueries = 1024
 
+// DefaultMaxBatchMutations is the per-request mutation cap applied when
+// Config.MaxBatchMutations is 0. It matches acq.DefaultCompactionThreshold,
+// so one maximal batch is at most one compaction's worth of delta.
+const DefaultMaxBatchMutations = acq.DefaultCompactionThreshold
+
 // maxBodyBytes resolves Config.MaxBodyBytes (0 = default, < 0 = unlimited).
 func (c Config) maxBodyBytes() int64 {
 	if c.MaxBodyBytes == 0 {
@@ -119,6 +146,15 @@ func (c Config) maxBatchQueries() int {
 		return DefaultMaxBatchQueries
 	}
 	return c.MaxBatchQueries
+}
+
+// maxBatchMutations resolves Config.MaxBatchMutations (0 = default,
+// < 0 = unlimited).
+func (c Config) maxBatchMutations() int {
+	if c.MaxBatchMutations == 0 {
+		return DefaultMaxBatchMutations
+	}
+	return c.MaxBatchMutations
 }
 
 // Engine serves attributed community queries for a registry of named graph
@@ -221,6 +257,9 @@ func (e *Engine) prepare(name string, g *acq.Graph) {
 	}
 	if e.cfg.CacheSize != 0 {
 		g.SetResultCacheSize(e.cfg.CacheSize)
+	}
+	if e.cfg.CompactionThreshold != 0 {
+		g.SetCompactionThreshold(e.cfg.CompactionThreshold)
 	}
 	g.Snapshot() // warm: publish the first snapshot before serving
 }

@@ -30,16 +30,27 @@ import (
 //
 // Per-collection data plane (and the "default"-collection sugar forms):
 //
-//	POST /v1/collections/{name}/search    POST /v1/search
-//	POST /v1/collections/{name}/batch     POST /v1/batch
-//	POST /v1/collections/{name}/edges     POST /v1/edges
-//	POST /v1/collections/{name}/keywords  POST /v1/keywords
+//	POST /v1/collections/{name}/search     POST /v1/search
+//	POST /v1/collections/{name}/batch      POST /v1/batch
+//	POST /v1/collections/{name}/mutations  POST /v1/mutations
+//	POST /v1/collections/{name}/edges      POST /v1/edges
+//	POST /v1/collections/{name}/keywords   POST /v1/keywords
 //
 //	POST .../search  {"query": {...}, "timeout_ms": 250}
 //	POST .../batch   {"queries": [{...}, ...], "workers": 4,
 //	                  "timeout_ms": 2000, "per_query_timeout_ms": 100}
+//	POST .../mutations {"mutations": [{"op":"insert_edge","u":"a","v":"b"},
+//	                    {"op":"add_keyword","vertex":"a","keyword":"yoga"}]}
 //	POST .../edges   {"op":"insert"|"remove","u":"<label>","v":"<label>"}
 //	POST .../keywords {"op":"add"|"remove","vertex":"<label>","keyword":"yoga"}
+//
+// POST .../mutations is the write endpoint: it applies many edge/keyword
+// operations under one writer-lock acquisition with at most one snapshot
+// publication for the whole batch, reporting a per-operation outcome list.
+// Mutation vertices are addressed by label (u/v/vertex) or dense ID
+// (u_id/v_id/id), like queries. The single-op .../edges and .../keywords
+// forms are deprecated in favour of it and kept for one compatibility
+// release.
 //
 // Every v1 query object addresses its vertex by "vertex" (label) or "id"
 // (dense vertex ID) and selects the community model with "mode"
@@ -71,6 +82,7 @@ func (e *Engine) Handler() http.Handler {
 	// Default-collection sugar: the pre-registry single-graph surface.
 	mux.HandleFunc("POST /v1/search", e.defaultCol(e.serveSearchV1))
 	mux.HandleFunc("POST /v1/batch", e.defaultCol(e.serveBatchV1))
+	mux.HandleFunc("POST /v1/mutations", e.defaultCol(e.serveMutationsV1))
 	mux.HandleFunc("POST /v1/edges", e.defaultCol(e.serveEdgesV1))
 	mux.HandleFunc("POST /v1/keywords", e.defaultCol(e.serveKeywordsV1))
 	// Collection lifecycle.
@@ -81,6 +93,7 @@ func (e *Engine) Handler() http.Handler {
 	// Per-collection data plane.
 	mux.HandleFunc("POST /v1/collections/{name}/search", e.namedCol(e.serveSearchV1))
 	mux.HandleFunc("POST /v1/collections/{name}/batch", e.namedCol(e.serveBatchV1))
+	mux.HandleFunc("POST /v1/collections/{name}/mutations", e.namedCol(e.serveMutationsV1))
 	mux.HandleFunc("POST /v1/collections/{name}/edges", e.namedCol(e.serveEdgesV1))
 	mux.HandleFunc("POST /v1/collections/{name}/keywords", e.namedCol(e.serveKeywordsV1))
 	// Legacy + operational.
@@ -144,6 +157,11 @@ type healthCollection struct {
 	Index           bool   `json:"index"`
 	BuildInProgress bool   `json:"build_in_progress,omitempty"`
 	Error           string `json:"error,omitempty"`
+	// Write-path state: the size of the delta overlay awaiting compaction
+	// and whether a background fold is running right now.
+	DeltaOps             int  `json:"delta_ops"`
+	DeltaBytes           int  `json:"delta_bytes"`
+	CompactionInProgress bool `json:"compaction_in_progress,omitempty"`
 }
 
 // handleHealthz reports per-collection readiness. The probe returns 503
@@ -167,6 +185,10 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			g := c.Graph()
 			hc.Version = g.Version()
 			hc.Index = g.HasIndex()
+			ws := g.WriteStats()
+			hc.DeltaOps = ws.DeltaOps
+			hc.DeltaBytes = ws.DeltaBytes
+			hc.CompactionInProgress = ws.CompactionInProgress
 		case CollectionBuilding:
 			hc.BuildInProgress = true
 		case CollectionFailed:
@@ -207,6 +229,11 @@ type collectionInfo struct {
 	Edges           int    `json:"edges"`
 	SnapshotVersion uint64 `json:"snapshot_version"`
 	HasIndex        bool   `json:"has_index"`
+	// Write-path state: the overlay delta accumulated since the last full
+	// publication or compaction, and whether a fold is in flight.
+	DeltaOps             int  `json:"delta_ops"`
+	DeltaBytes           int  `json:"delta_bytes"`
+	CompactionInProgress bool `json:"compaction_in_progress,omitempty"`
 }
 
 func infoOf(c *Collection) collectionInfo {
@@ -223,6 +250,10 @@ func infoOf(c *Collection) collectionInfo {
 		info.Edges = g.NumEdges()
 		info.SnapshotVersion = g.Version()
 		info.HasIndex = g.HasIndex()
+		ws := g.WriteStats()
+		info.DeltaOps = ws.DeltaOps
+		info.DeltaBytes = ws.DeltaBytes
+		info.CompactionInProgress = ws.CompactionInProgress
 	}
 	return info
 }
@@ -359,6 +390,7 @@ const (
 	codeBadMode            = "bad_mode"             // 400
 	codeBadAlgorithm       = "bad_algorithm"        // 400
 	codeTooManyQueries     = "too_many_queries"     // 400: batch over MaxBatchQueries
+	codeTooManyMutations   = "too_many_mutations"   // 400: mutation batch over MaxBatchMutations
 	codeVertexNotFound     = "vertex_not_found"     // 404
 	codeNoKCore            = "no_k_core"            // 404: no community can satisfy k
 	codeCollectionNotFound = "collection_not_found" // 404: unknown collection name
@@ -657,6 +689,141 @@ func (e *Engine) serveKeywordsV1(w http.ResponseWriter, r *http.Request, c *Coll
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"changed": changed, "version": g.Version()})
+}
+
+// wireMutation is one entry of POST .../mutations. Edge ops address their
+// endpoints by label (u/v) or dense ID (u_id/v_id); keyword ops by label
+// (vertex) or dense ID (id). IDs are pointers so an omitted field is
+// distinguishable from the valid vertex 0.
+type wireMutation struct {
+	Op      string `json:"op"`
+	U       string `json:"u,omitempty"`
+	V       string `json:"v,omitempty"`
+	UID     *int32 `json:"u_id,omitempty"`
+	VID     *int32 `json:"v_id,omitempty"`
+	Vertex  string `json:"vertex,omitempty"`
+	ID      *int32 `json:"id,omitempty"`
+	Keyword string `json:"keyword,omitempty"`
+}
+
+// resolveVertex maps a label-or-ID vertex address onto a dense vertex ID.
+// Range checking is left to acq.ApplyMutations, which owns it.
+func resolveVertex(g *acq.Graph, label string, id *int32) (int32, error) {
+	if label != "" {
+		v, ok := g.VertexID(label)
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", errUnknownVertex, label)
+		}
+		return v, nil
+	}
+	if id == nil {
+		return 0, errMissingVertex
+	}
+	return *id, nil
+}
+
+// toMutation resolves the wire entry's vertex addresses against g's label
+// table (the same non-consuming lookup as applyEdge). Unknown op strings pass
+// through untouched: acq.ApplyMutations owns op validation and reports them
+// per entry as acq.ErrBadMutation.
+func (wm wireMutation) toMutation(g *acq.Graph) (acq.Mutation, error) {
+	m := acq.Mutation{Op: acq.MutationOp(wm.Op), Keyword: wm.Keyword}
+	switch m.Op {
+	case acq.OpInsertEdge, acq.OpRemoveEdge:
+		u, err := resolveVertex(g, wm.U, wm.UID)
+		if err != nil {
+			return m, err
+		}
+		v, err := resolveVertex(g, wm.V, wm.VID)
+		if err != nil {
+			return m, err
+		}
+		m.U, m.V = u, v
+	case acq.OpAddKeyword, acq.OpRemoveKeyword:
+		v, err := resolveVertex(g, wm.Vertex, wm.ID)
+		if err != nil {
+			return m, err
+		}
+		m.Vertex = v
+	}
+	return m, nil
+}
+
+// mutationsV1Req is the wire shape of POST .../mutations.
+type mutationsV1Req struct {
+	Mutations []wireMutation `json:"mutations"`
+}
+
+// mutationV1Item is one entry of the POST .../mutations response, in input
+// order. Changed is false for no-ops (duplicate inserts, missing removals)
+// and for rejected entries, which carry their structured error instead.
+type mutationV1Item struct {
+	Changed bool       `json:"changed"`
+	Error   *wireError `json:"error,omitempty"`
+}
+
+// serveMutationsV1 is the batched write endpoint: the whole body is applied
+// under one writer-lock acquisition with at most one snapshot publication
+// (acq.ApplyMutations), so ingest pays the per-publication cost once per
+// batch instead of once per operation. Entries are validated independently —
+// a bad entry is reported in its result item and never aborts the rest.
+func (e *Engine) serveMutationsV1(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph) {
+	var req mutationsV1Req
+	if err := e.decodeBody(w, r, &req); err != nil {
+		writeV1Error(w, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if maxM := e.cfg.maxBatchMutations(); maxM > 0 && len(req.Mutations) > maxM {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": wireError{
+			Code:    codeTooManyMutations,
+			Message: fmt.Sprintf("batch of %d mutations exceeds the server limit of %d", len(req.Mutations), maxM),
+		}})
+		return
+	}
+	// Honour a disconnect or expired deadline before mutating rather than
+	// paying for writes nobody waits for.
+	if err := context.Cause(r.Context()); err != nil {
+		writeV1Error(w, err)
+		return
+	}
+
+	// Resolve labels up front; entries that fail get a per-item error and
+	// stay out of the applied batch.
+	items := make([]mutationV1Item, len(req.Mutations))
+	ops := make([]acq.Mutation, 0, len(req.Mutations))
+	itemOf := make([]int, 0, len(req.Mutations))
+	for i, wm := range req.Mutations {
+		m, err := wm.toMutation(g)
+		if err != nil {
+			code, _ := errorInfo(err)
+			items[i].Error = &wireError{Code: code, Message: err.Error()}
+			continue
+		}
+		ops = append(ops, m)
+		itemOf = append(itemOf, i)
+	}
+
+	results := g.ApplyMutations(ops)
+	applied := 0
+	for j := range results {
+		i := itemOf[j]
+		if err := results[j].Err; err != nil {
+			code, _ := errorInfo(err)
+			items[i].Error = &wireError{Code: code, Message: err.Error()}
+			continue
+		}
+		items[i].Changed = results[j].Changed
+		if results[j].Changed {
+			applied++
+		}
+	}
+	c.met.updates.Add(uint64(len(ops)))
+	c.met.mutationBatches.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": g.Version(),
+		"applied": applied,
+		"results": items,
+	})
 }
 
 // --- Legacy endpoints (deprecated, one compatibility release). All serve

@@ -18,6 +18,7 @@ type metrics struct {
 	batches          atomic.Uint64 // batch requests served
 	batchQueries     atomic.Uint64 // queries inside batches
 	updates          atomic.Uint64 // effective or attempted graph updates
+	mutationBatches  atomic.Uint64 // POST .../mutations requests served
 	queryNanos       atomic.Int64  // total time inside Search, single + batch
 	batchQueryErrors atomic.Uint64 // failed queries inside batches
 	canceled         atomic.Uint64 // queries stopped by client cancellation
@@ -69,6 +70,7 @@ type CollectionMetrics struct {
 	BatchQueries         uint64 `json:"batch_queries"`
 	BatchQueryErrors     uint64 `json:"batch_query_errors"`
 	Updates              uint64 `json:"updates"`
+	MutationBatches      uint64 `json:"mutation_batches"`
 	QueryNanos           int64  `json:"query_nanos"`
 	SnapshotVersion      uint64 `json:"snapshot_version"`
 	CacheHits            uint64 `json:"cache_hits"`
@@ -77,6 +79,19 @@ type CollectionMetrics struct {
 	IndexBuildWorkers    int    `json:"index_build_workers"`
 	SnapshotPublishNanos int64  `json:"snapshot_publish_nanos"`
 	SnapshotBytes        int64  `json:"snapshot_bytes"`
+	// Write-path observability (acq.Graph.WriteStats): the delta overlay
+	// accumulated since the last full publication or compaction, the
+	// compaction trigger and history, and the publication-kind split.
+	DeltaOps             int    `json:"delta_ops"`
+	DeltaEdges           int    `json:"delta_edges"`
+	DeltaKeywords        int    `json:"delta_keywords"`
+	DeltaBytes           int    `json:"delta_bytes"`
+	CompactionThreshold  int    `json:"compaction_threshold"`
+	CompactionInProgress bool   `json:"compaction_in_progress"`
+	CompactionsTotal     uint64 `json:"compactions_total"`
+	CompactionNanos      int64  `json:"compaction_nanos"`
+	FullPublishes        uint64 `json:"full_publishes"`
+	DeltaPublishes       uint64 `json:"delta_publishes"`
 }
 
 // Metrics is the exported counter snapshot returned by Engine.Metrics and
@@ -104,8 +119,11 @@ type Metrics struct {
 	Batches          uint64 `json:"batches"`
 	BatchQueries     uint64 `json:"batch_queries"`
 	BatchQueryErrors uint64 `json:"batch_query_errors"`
-	// Updates counts applied edge/keyword updates.
-	Updates uint64 `json:"updates"`
+	// Updates counts applied edge/keyword updates (single-op endpoints count
+	// one each, batched mutations one per entry applied); MutationBatches
+	// counts POST .../mutations requests.
+	Updates         uint64 `json:"updates"`
+	MutationBatches uint64 `json:"mutation_batches"`
 	// QueryNanos is the cumulative wall time spent evaluating queries.
 	QueryNanos int64 `json:"query_nanos"`
 	// SnapshotVersion is the graph version of the default collection's
@@ -131,6 +149,10 @@ type Metrics struct {
 	// observable in serving.
 	SnapshotPublishNanos int64 `json:"snapshot_publish_nanos"`
 	SnapshotBytes        int64 `json:"snapshot_bytes"`
+	// CompactionsTotal aggregates completed overlay compactions across all
+	// collections; the per-collection breakdown carries the full write-path
+	// state (delta sizes, thresholds, publication kinds).
+	CompactionsTotal uint64 `json:"compactions_total"`
 	// Collections breaks every counter down per collection, keyed by
 	// collection name, including collections still building or failed.
 	Collections map[string]CollectionMetrics `json:"collections"`
@@ -153,6 +175,7 @@ func (c *Collection) metricsSnapshot() CollectionMetrics {
 		BatchQueries:     c.met.batchQueries.Load(),
 		BatchQueryErrors: c.met.batchQueryErrors.Load(),
 		Updates:          c.met.updates.Load(),
+		MutationBatches:  c.met.mutationBatches.Load(),
 		QueryNanos:       c.met.queryNanos.Load(),
 	}
 	if err := c.Err(); err != nil {
@@ -169,6 +192,17 @@ func (c *Collection) metricsSnapshot() CollectionMetrics {
 		cm.IndexBuildWorkers = buildWorkers
 		cm.SnapshotPublishNanos = publishDur.Nanoseconds()
 		cm.SnapshotBytes = int64(snapBytes)
+		ws := g.WriteStats()
+		cm.DeltaOps = ws.DeltaOps
+		cm.DeltaEdges = ws.DeltaEdges
+		cm.DeltaKeywords = ws.DeltaKeywords
+		cm.DeltaBytes = ws.DeltaBytes
+		cm.CompactionThreshold = ws.CompactionThreshold
+		cm.CompactionInProgress = ws.CompactionInProgress
+		cm.CompactionsTotal = ws.Compactions
+		cm.CompactionNanos = ws.LastCompaction.Nanoseconds()
+		cm.FullPublishes = ws.FullPublishes
+		cm.DeltaPublishes = ws.DeltaPublishes
 	}
 	return cm
 }
@@ -188,9 +222,11 @@ func (e *Engine) Metrics() Metrics {
 		m.BatchQueries += cm.BatchQueries
 		m.BatchQueryErrors += cm.BatchQueryErrors
 		m.Updates += cm.Updates
+		m.MutationBatches += cm.MutationBatches
 		m.QueryNanos += cm.QueryNanos
 		m.CacheHits += cm.CacheHits
 		m.CacheMisses += cm.CacheMisses
+		m.CompactionsTotal += cm.CompactionsTotal
 		if c.Name() == DefaultCollection {
 			m.SnapshotVersion = cm.SnapshotVersion
 			m.IndexBuildNanos = cm.IndexBuildNanos

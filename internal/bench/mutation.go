@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	acq "github.com/acq-search/acq"
+)
+
+// MutationThroughput prices the LSM-style write path — the PR-level
+// experiment behind the overlay/compaction redesign. It rebuilds the dataset
+// twice as indexed *acq.Graph instances (same preset, same deterministic
+// generator as ds): a baseline graph with the overlay disabled
+// (SetCompactionThreshold(-1), every effective mutation re-freezes the whole
+// graph — the pre-overlay behaviour) and a delta graph on the default
+// compaction threshold, whose publications are O(delta) overlays with
+// background folds. Both run the identical mutation workload with a reader
+// pinning a snapshot after every publication, so each op pays the full
+// mutate → publish → serve cycle.
+//
+// Series:
+//
+//   - kw-republish / kw-overlay-b1 / kw-overlay-b64: keyword churn (the
+//     maintenance-cheap op where publication dominates), applied one op per
+//     publication and, for the b64 row, in 64-op ApplyMutations batches with
+//     one publication per batch. The overlay rows are the headline: keyword
+//     maintenance costs microseconds, so republish-per-write is pure
+//     publication overhead.
+//   - edge-republish / edge-overlay-b1: edge toggles, reported honestly as a
+//     secondary series — edge maintenance itself (Appendix F region repair)
+//     costs milliseconds, so the publication saving is a small fraction.
+//
+// Every pass applies its mutations and then un-applies them (add/insert then
+// remove), returning the graph to its start state so passes are idempotent
+// and series stay comparable. The keyword pool is interned into both
+// dictionaries before the first snapshot, so overlay publications never pay
+// a dictionary clone mid-measurement. Series are timed as interleaved
+// whole-pass rounds with rotating order (medians compared), the same
+// drift-cancelling methodology as collection-routing; background compactions
+// on the delta graph land inside the timed region, so its rows price
+// *sustained* throughput, folds included.
+func MutationThroughput(ds *Dataset, scale float64) (*Table, []Sample) {
+	const (
+		kwPoolSize = 8
+		kwOps      = 200 // adds per keyword pass (each pass also removes them)
+		edgeOps    = 12  // inserts per edge pass (each pass also removes them)
+		batchSize  = 64
+		rounds     = 8
+	)
+	t := &Table{
+		ID:     "mutation-throughput",
+		Header: []string{"series", "µs/op", "writes/sec", "vs republish"},
+	}
+	if len(ds.Queries) == 0 {
+		return t, nil
+	}
+	build := func(threshold int) *acq.Graph {
+		g, err := acq.Synthetic(ds.Name, scale)
+		if err != nil {
+			panic(fmt.Sprintf("bench: mutation-throughput setup: %v", err))
+		}
+		// Intern the churn pool before the first snapshot so no overlay
+		// publication pays a dictionary clone mid-measurement.
+		for w := 0; w < kwPoolSize; w++ {
+			word := kwWord(w)
+			if !g.AddKeyword(0, word) || !g.RemoveKeyword(0, word) {
+				panic("bench: mutation-throughput: keyword pool not fresh")
+			}
+		}
+		g.BuildIndex()
+		g.SetCompactionThreshold(threshold)
+		g.Snapshot()
+		return g
+	}
+	gBase := build(-1) // republish-per-write baseline
+	gDelta := build(0) // overlay path, default compaction threshold
+
+	// Deterministic workloads. Keyword targets pair each pool word with a
+	// rotating query vertex — distinct (vertex, word) pairs, so every add and
+	// every remove is effective. Edge pairs are discovered by test-inserting
+	// on the baseline graph (both graphs are identical, so the list transfers)
+	// and removed again before measuring.
+	vs := ds.Queries
+	kwN := min(kwOps, kwPoolSize*len(vs)) // clamp: distinct pairs only
+	kwV := make([]int32, kwN)
+	kwW := make([]string, kwN)
+	for i := 0; i < kwN; i++ {
+		kwV[i] = int32(vs[(i/kwPoolSize)%len(vs)])
+		kwW[i] = kwWord(i % kwPoolSize)
+	}
+	var eu, ev []int32
+	for i := 0; i+1 < len(vs) && len(eu) < edgeOps; i++ {
+		u, v := int32(vs[i]), int32(vs[i+1])
+		if gBase.InsertEdge(u, v) {
+			eu, ev = append(eu, u), append(ev, v)
+		}
+	}
+	for i := range eu {
+		gBase.RemoveEdge(eu[i], ev[i])
+	}
+	gBase.Snapshot() // settle: discovery mutations republished the baseline
+	t.Title = fmt.Sprintf("sustained effective-mutation throughput, republish-per-write vs overlay delta publication (%s, %d kw / %d edge ops per pass)",
+		ds.Name, 2*kwN, 2*len(eu))
+
+	// One snapshot pin per publication: the serving pattern the write path
+	// exists for. mutate() publishes eagerly because the previous snapshot
+	// was consumed; the Snapshot() call then pins (and consumes) the new one.
+	kwPass := func(g *acq.Graph) {
+		for i := range kwV {
+			if !g.AddKeyword(kwV[i], kwW[i]) {
+				panic("bench: mutation-throughput: keyword add not effective")
+			}
+			g.Snapshot()
+		}
+		for i := range kwV {
+			if !g.RemoveKeyword(kwV[i], kwW[i]) {
+				panic("bench: mutation-throughput: keyword remove not effective")
+			}
+			g.Snapshot()
+		}
+	}
+	kwBatchPass := func(g *acq.Graph) {
+		apply := func(op acq.MutationOp) {
+			for lo := 0; lo < kwN; lo += batchSize {
+				hi := min(lo+batchSize, kwN)
+				batch := make([]acq.Mutation, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					batch = append(batch, acq.Mutation{Op: op, Vertex: kwV[i], Keyword: kwW[i]})
+				}
+				for _, res := range g.ApplyMutations(batch) {
+					if res.Err != nil || !res.Changed {
+						panic(fmt.Sprintf("bench: mutation-throughput: batch op not effective: %v", res.Err))
+					}
+				}
+				g.Snapshot()
+			}
+		}
+		apply(acq.OpAddKeyword)
+		apply(acq.OpRemoveKeyword)
+	}
+	edgePass := func(g *acq.Graph) {
+		for i := range eu {
+			if !g.InsertEdge(eu[i], ev[i]) {
+				panic("bench: mutation-throughput: edge insert not effective")
+			}
+			g.Snapshot()
+		}
+		for i := range eu {
+			if !g.RemoveEdge(eu[i], ev[i]) {
+				panic("bench: mutation-throughput: edge remove not effective")
+			}
+			g.Snapshot()
+		}
+	}
+
+	series := []struct {
+		name string
+		ops  int
+		pass func()
+	}{
+		{"kw-republish", 2 * kwN, func() { kwPass(gBase) }},
+		{"kw-overlay-b1", 2 * kwN, func() { kwPass(gDelta) }},
+		{"kw-overlay-b64", 2 * kwN, func() { kwBatchPass(gDelta) }},
+		{"edge-republish", 2 * len(eu), func() { edgePass(gBase) }},
+		{"edge-overlay-b1", 2 * len(eu), func() { edgePass(gDelta) }},
+	}
+	for _, s := range series {
+		s.pass() // warm both paths (page cache, tree clones, delta tracking)
+	}
+	runsNs := make([][]float64, len(series))
+	for round := 0; round < rounds; round++ {
+		// Rotate which series goes first so slow drift (thermal, background
+		// load, a compaction landing in one slot) is spread across all of
+		// them instead of biasing whichever ran later.
+		for off := 0; off < len(series); off++ {
+			i := (round + off) % len(series)
+			start := time.Now()
+			series[i].pass()
+			runsNs[i] = append(runsNs[i], float64(time.Since(start).Nanoseconds()))
+		}
+	}
+
+	var samples []Sample
+	baseNs := map[string]float64{} // series prefix → baseline ns/op
+	for i, s := range series {
+		nsPerOp := median(runsNs[i]) / float64(s.ops)
+		prefix, _, _ := strings.Cut(s.name, "-")
+		vsBase := "-"
+		if b, ok := baseNs[prefix]; ok {
+			vsBase = fmt.Sprintf("%.1f×", b/nsPerOp)
+		} else {
+			baseNs[prefix] = nsPerOp
+		}
+		t.AddRow(s.name, fmt.Sprintf("%.1f", nsPerOp/1e3), fmt.Sprintf("%.0f", 1e9/nsPerOp), vsBase)
+		samples = append(samples, Sample{
+			Dataset:    ds.Name,
+			Experiment: "mutation-throughput",
+			Row:        s.name,
+			Series:     "effective-mutation",
+			NsPerOp:    nsPerOp,
+		})
+	}
+	return t, samples
+}
+
+// kwWord names one entry of the pre-interned churn pool.
+func kwWord(i int) string { return fmt.Sprintf("mutbench-kw-%d", i) }

@@ -11,6 +11,9 @@ import "github.com/acq-search/acq/internal/graph"
 // block of the snapshot-isolation scheme in the public acq package: the live
 // tree keeps evolving under the incremental Maintainer while published
 // clones serve lock-free readers.
+// Cloning a tree that carries posting overrides (RebindPostings) folds the
+// overrides into the copy's node arrays, so the result is always a plain
+// self-contained tree.
 func (t *Tree) Clone(g2 graph.View) *Tree {
 	nt := &Tree{
 		g:         g2,
@@ -19,20 +22,21 @@ func (t *Tree) Clone(g2 graph.View) *Tree {
 		NodeOf:    make([]*Node, len(t.NodeOf)),
 		nodeCount: t.nodeCount,
 	}
-	nt.Root = nt.cloneNode(t.Root, nil)
+	nt.Root = nt.cloneNode(t, t.Root, nil)
 	return nt
 }
 
-// cloneNode deep-copies one node and its subtree, wiring parent pointers and
-// the new tree's NodeOf entries as it goes. Recursion depth is the tree
-// height, which is bounded by kmax+1.
-func (t *Tree) cloneNode(n *Node, parent *Node) *Node {
+// cloneNode deep-copies one node and its subtree of src, wiring parent
+// pointers and the new tree's NodeOf entries as it goes. Recursion depth is
+// the tree height, which is bounded by kmax+1.
+func (t *Tree) cloneNode(src *Tree, n *Node, parent *Node) *Node {
+	keys, off, post := src.postingsArrays(n)
 	c := &Node{
 		Core:     n.Core,
 		Vertices: append([]graph.VertexID(nil), n.Vertices...),
-		InvKeys:  append([]graph.KeywordID(nil), n.InvKeys...),
-		InvOff:   append([]int32(nil), n.InvOff...),
-		InvPost:  append([]graph.VertexID(nil), n.InvPost...),
+		InvKeys:  append([]graph.KeywordID(nil), keys...),
+		InvOff:   append([]int32(nil), off...),
+		InvPost:  append([]graph.VertexID(nil), post...),
 		Parent:   parent,
 	}
 	for _, v := range c.Vertices {
@@ -41,7 +45,7 @@ func (t *Tree) cloneNode(n *Node, parent *Node) *Node {
 	if len(n.Children) > 0 {
 		c.Children = make([]*Node, len(n.Children))
 		for i, ch := range n.Children {
-			c.Children[i] = t.cloneNode(ch, c)
+			c.Children[i] = t.cloneNode(src, ch, c)
 		}
 	}
 	return c

@@ -140,6 +140,11 @@ type Tree struct {
 	KMax int32
 
 	nodeCount int
+
+	// postings, when non-nil, overrides the flattened inverted lists of the
+	// listed nodes (see RebindPostings). Only delta-published trees carry it;
+	// on the master tree and full clones it stays nil.
+	postings map[*Node]*NodePostings
 }
 
 // Graph returns the indexed graph view.
@@ -214,7 +219,7 @@ func (t *Tree) Candidates(n *Node, set []graph.KeywordID, useInverted bool) []gr
 			continue
 		}
 		if useInverted {
-			out = appendInvertedMatches(out, nd, set)
+			out = t.appendInvertedMatches(out, nd, set)
 		} else {
 			for _, v := range nd.Vertices {
 				if t.g.HasAllKeywords(v, set) {
@@ -228,13 +233,13 @@ func (t *Tree) Candidates(n *Node, set []graph.KeywordID, useInverted bool) []gr
 
 // appendInvertedMatches intersects nd's keyword postings for set and appends
 // the matches to out.
-func appendInvertedMatches(out []graph.VertexID, nd *Node, set []graph.KeywordID) []graph.VertexID {
+func (t *Tree) appendInvertedMatches(out []graph.VertexID, nd *Node, set []graph.KeywordID) []graph.VertexID {
 	// Resolve every posting; bail out if any keyword is absent. The shortest
 	// posting drives the intersection.
 	all := make([][]graph.VertexID, len(set))
 	base := -1
 	for i, w := range set {
-		l := nd.Posting(w)
+		l := t.postingOf(nd, w)
 		if l == nil {
 			return out
 		}

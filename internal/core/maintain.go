@@ -22,6 +22,12 @@ type Maintainer struct {
 	g   *graph.Graph
 	kc  *kcore.Maintainer
 	ops *graph.SetOps
+	// structRev counts structural repairs (rebuildRegion runs): node set,
+	// vertex partition or core numbers changed. Keyword splices and the
+	// same-node edge-insert fast path leave it untouched, which is what lets
+	// the write path reuse its last full tree clone via RebindPostings for as
+	// long as the revision holds still.
+	structRev uint64
 }
 
 // NewMaintainer wraps an existing tree and its graph. The tree must have been
@@ -42,6 +48,12 @@ func NewMaintainer(t *Tree) *Maintainer {
 
 // Tree returns the maintained tree.
 func (m *Maintainer) Tree() *Tree { return m.tree }
+
+// StructRev returns the structural revision of the maintained tree: it
+// advances exactly when an edge update forced a region rebuild. While it
+// holds still, every published clone of the tree keeps a valid structure and
+// only inverted lists may have drifted.
+func (m *Maintainer) StructRev() uint64 { return m.structRev }
 
 // AddKeyword attaches a keyword to v and splices it into the owning node's
 // flattened postings. It reports whether anything changed.
@@ -103,6 +115,7 @@ func (m *Maintainer) RemoveEdge(u, v graph.VertexID) bool {
 // have core ≥ A.Core after the update, so the region's vertex set is
 // unchanged and can be re-partitioned in place with the top-down builder.
 func (m *Maintainer) rebuildRegion(uNode, vNode *Node, changed []graph.VertexID) {
+	m.structRev++
 	t := m.tree
 	t.Core = m.kc.Core()
 	t.KMax = kcore.MaxCore(t.Core)

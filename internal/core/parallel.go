@@ -43,10 +43,11 @@ func (t *Tree) CloneOpts(g2 graph.View, o BuildOptions) *Tree {
 	// so the NodeOf writes of different tasks never alias.
 	para.Dynamic(workers, len(pairs), func(i int) {
 		src, dst := pairs[i].src, pairs[i].dst
+		keys, off, post := t.postingsArrays(src)
 		dst.Vertices = append([]graph.VertexID(nil), src.Vertices...)
-		dst.InvKeys = append([]graph.KeywordID(nil), src.InvKeys...)
-		dst.InvOff = append([]int32(nil), src.InvOff...)
-		dst.InvPost = append([]graph.VertexID(nil), src.InvPost...)
+		dst.InvKeys = append([]graph.KeywordID(nil), keys...)
+		dst.InvOff = append([]int32(nil), off...)
+		dst.InvPost = append([]graph.VertexID(nil), post...)
 		for _, v := range dst.Vertices {
 			nt.NodeOf[v] = dst
 		}

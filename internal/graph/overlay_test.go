@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// overlayTracker mirrors the bookkeeping the acq write path keeps: a frozen
+// base plus row overrides copied from the mutable master whenever a vertex is
+// dirtied. Building an Overlay from it must reproduce the master exactly.
+type overlayTracker struct {
+	base    *Frozen
+	master  *Graph
+	adjIdx  []int32
+	kwIdx   []int32
+	adjRows [][]VertexID
+	kwRows  [][]KeywordID
+	kwTotal int
+}
+
+func newOverlayTracker(master *Graph, workers int) *overlayTracker {
+	base := master.Freeze(workers)
+	n := master.NumVertices()
+	tr := &overlayTracker{base: base, master: master, adjIdx: make([]int32, n), kwIdx: make([]int32, n)}
+	for v := 0; v < n; v++ {
+		tr.adjIdx[v] = -1
+		tr.kwIdx[v] = -1
+		tr.kwTotal += len(master.Keywords(VertexID(v)))
+	}
+	return tr
+}
+
+func (tr *overlayTracker) dirtyAdj(v VertexID) {
+	row := append([]VertexID(nil), tr.master.Neighbors(v)...)
+	if i := tr.adjIdx[v]; i >= 0 {
+		tr.adjRows[i] = row
+		return
+	}
+	tr.adjIdx[v] = int32(len(tr.adjRows))
+	tr.adjRows = append(tr.adjRows, row)
+}
+
+func (tr *overlayTracker) dirtyKw(v VertexID) {
+	row := append([]KeywordID(nil), tr.master.Keywords(v)...)
+	if i := tr.kwIdx[v]; i >= 0 {
+		tr.kwRows[i] = row
+		return
+	}
+	tr.kwIdx[v] = int32(len(tr.kwRows))
+	tr.kwRows = append(tr.kwRows, row)
+}
+
+// overlay publishes the tracker state exactly like acq's publish path: index
+// arrays are copied, row storage is shared, and the dictionary is cloned only
+// when the master interned new words since the freeze.
+func (tr *overlayTracker) overlay() *Overlay {
+	var dict *Dict
+	if tr.master.Dict().Size() != tr.base.Dict().Size() {
+		dict = tr.master.Dict().Clone()
+	}
+	return NewOverlay(tr.base,
+		append([]int32(nil), tr.adjIdx...), append([][]VertexID(nil), tr.adjRows...),
+		append([]int32(nil), tr.kwIdx...), append([][]KeywordID(nil), tr.kwRows...),
+		dict, tr.master.NumEdges(), tr.kwTotal)
+}
+
+// mutate applies one random mutation to the master and records it.
+func (tr *overlayTracker) mutate(rng *rand.Rand) {
+	n := tr.master.NumVertices()
+	u := VertexID(rng.Intn(n))
+	v := VertexID(rng.Intn(n))
+	switch rng.Intn(4) {
+	case 0:
+		if tr.master.InsertEdge(u, v) {
+			tr.dirtyAdj(u)
+			tr.dirtyAdj(v)
+		}
+	case 1:
+		if tr.master.RemoveEdge(u, v) {
+			tr.dirtyAdj(u)
+			tr.dirtyAdj(v)
+		}
+	case 2:
+		word := fmt.Sprintf("k%d", rng.Intn(12))
+		if tr.master.AddKeyword(u, word) {
+			tr.dirtyKw(u)
+			tr.kwTotal++
+		}
+	default:
+		word := fmt.Sprintf("k%d", rng.Intn(12))
+		if tr.master.RemoveKeyword(u, word) {
+			tr.dirtyKw(u)
+			tr.kwTotal--
+		}
+	}
+}
+
+// TestOverlayEquivalent: an overlay must answer every View method exactly
+// like the mutated master it tracks, and Materialize must fold it into a
+// valid Frozen with the same answers.
+func TestOverlayEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 8; round++ {
+		g := randomTestGraph(rng, 5+rng.Intn(50))
+		tr := newOverlayTracker(g, 1+rng.Intn(3))
+		steps := 1 + rng.Intn(80)
+		for i := 0; i < steps; i++ {
+			tr.mutate(rng)
+		}
+		o := tr.overlay()
+		requireSameView(t, fmt.Sprintf("round %d overlay", round), g, o)
+		for _, workers := range []int{1, 4} {
+			f := o.Materialize(workers)
+			if err := f.Validate(); err != nil {
+				t.Fatalf("round %d: invalid materialized graph: %v", round, err)
+			}
+			requireSameView(t, fmt.Sprintf("round %d materialized w=%d", round, workers), g, f)
+		}
+	}
+}
+
+// TestOverlayEmptyDelta: with no overrides the overlay is a pure pass-through
+// sharing the base's dictionary, and Materialize reproduces the base.
+func TestOverlayEmptyDelta(t *testing.T) {
+	g := buildTestGraph(t)
+	tr := newOverlayTracker(g, 1)
+	o := tr.overlay()
+	if o.Dict() != tr.base.Dict() {
+		t.Fatal("empty overlay should share the base dictionary")
+	}
+	if a, k := o.DeltaRows(); a != 0 || k != 0 {
+		t.Fatalf("empty overlay reports %d/%d delta rows", a, k)
+	}
+	requireSameView(t, "empty overlay", g, o)
+	requireSameView(t, "empty materialize", tr.base, o.Materialize(1))
+}
+
+// TestOverlayIsolation: an overlay published before further mutations must
+// keep answering with the state it captured.
+func TestOverlayIsolation(t *testing.T) {
+	g := buildTestGraph(t)
+	tr := newOverlayTracker(g, 1)
+	if !g.InsertEdge(0, 3) {
+		t.Fatal("setup: edge {0,3} should be new")
+	}
+	tr.dirtyAdj(0)
+	tr.dirtyAdj(3)
+	o := tr.overlay()
+	wantDeg := o.Degree(0)
+	wantDict := o.Dict().Size()
+
+	if !g.RemoveEdge(0, 3) {
+		t.Fatal("mutate: edge {0,3} should exist")
+	}
+	tr.dirtyAdj(0)
+	tr.dirtyAdj(3)
+	if !g.AddKeyword(0, "brand-new-word") {
+		t.Fatal("mutate: keyword should be new")
+	}
+	tr.dirtyKw(0)
+	tr.kwTotal++
+
+	if o.Degree(0) != wantDeg {
+		t.Fatalf("published overlay saw later mutation: degree %d != %d", o.Degree(0), wantDeg)
+	}
+	if o.Dict().Size() != wantDict {
+		t.Fatal("published overlay saw later dictionary growth")
+	}
+	if !o.HasEdge(0, 3) {
+		t.Fatal("published overlay lost its captured edge")
+	}
+	// The next publication sees everything, including the grown dictionary
+	// via a private clone.
+	o2 := tr.overlay()
+	if o2.Dict() == g.Dict() || o2.Dict().Size() != g.Dict().Size() {
+		t.Fatal("second overlay should carry a private dictionary clone")
+	}
+	requireSameView(t, "second overlay", g, o2)
+}

@@ -1,12 +1,14 @@
 package graph
 
 // View is the read-only surface every community-search algorithm consumes.
-// Two implementations exist:
+// Three implementations exist:
 //
 //   - *Graph, the mutable slice-of-slices form the write path (builders,
 //     incremental maintenance) operates on;
 //   - *Frozen, the compact CSR form published to the serving read path,
-//     where adjacency and keyword scans are sequential over two flat arrays.
+//     where adjacency and keyword scans are sequential over two flat arrays;
+//   - *Overlay, a small immutable delta of row overrides merged over a
+//     Frozen base — the publication form of the LSM-style write path.
 //
 // Algorithms written against View run identically on either form — the
 // differential tests in the public package assert byte-identical results for
@@ -52,6 +54,7 @@ type View interface {
 var (
 	_ View = (*Graph)(nil)
 	_ View = (*Frozen)(nil)
+	_ View = (*Overlay)(nil)
 )
 
 // sorted keyword-set primitives shared by the View implementations.
