@@ -12,6 +12,7 @@ import (
 	"github.com/acq-search/acq/internal/datagen"
 	"github.com/acq-search/acq/internal/dataio"
 	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/wal"
 )
 
 // Re-exported sentinel errors. Search and the variants wrap these; test with
@@ -133,6 +134,20 @@ type Graph struct {
 	deltaBytes     atomic.Int64
 	fullPublishes  atomic.Uint64
 	deltaPublishes atomic.Uint64
+
+	// dur holds the durability state (durable.go): nil until
+	// EnableDurability/OpenDurable arms it, immutable afterwards. The WAL
+	// append hook in each mutator reads it under mu.
+	dur *durState
+
+	// lazyBoot defers materialising the mutable master after a clean mapped
+	// recovery (OpenDurable): reads serve from the published zero-copy
+	// snapshot, and the closure runs once — under mu, on the first operation
+	// that needs g/tree/maint — so cold start never pays the master build.
+	// masterReady gates the lock-free fast paths; g, tree and maint are
+	// immutable once it reads true.
+	lazyBoot    func() (*graph.Graph, *core.Tree)
+	masterReady atomic.Bool
 }
 
 // newGraph wraps an internal graph (and optional prebuilt tree) in the
@@ -144,7 +159,43 @@ func newGraph(g *graph.Graph, tree *core.Tree) *Graph {
 	if tree != nil {
 		G.maint = core.NewMaintainer(tree)
 	}
+	G.masterReady.Store(true)
 	return G
+}
+
+// newLazyGraph wraps a deferred master: boot is invoked once, under mu, on
+// the first operation that needs the mutable graph (a mutation, an index
+// rebuild, a checkpoint capture). Until then the caller must publish a
+// snapshot for the read paths to serve from.
+func newLazyGraph(boot func() (*graph.Graph, *core.Tree)) *Graph {
+	return &Graph{lazyBoot: boot, stats: &cacheStats{}}
+}
+
+// ensureMaster materialises the deferred master; the fast path is one atomic
+// load.
+func (G *Graph) ensureMaster() {
+	if G.masterReady.Load() {
+		return
+	}
+	G.mu.Lock()
+	defer G.mu.Unlock()
+	G.ensureMasterLocked()
+}
+
+// ensureMasterLocked installs the mutable master, its tree and the
+// maintainer from the deferred boot closure. Callers hold mu.
+func (G *Graph) ensureMasterLocked() {
+	if G.masterReady.Load() {
+		return
+	}
+	g, tree := G.lazyBoot()
+	G.lazyBoot = nil
+	G.g = g
+	G.tree = tree
+	if tree != nil {
+		G.maint = core.NewMaintainer(tree)
+	}
+	G.masterReady.Store(true)
 }
 
 // Builder constructs a Graph.
@@ -202,12 +253,13 @@ func LoadSnapshot(r io.Reader) (*Graph, error) {
 }
 
 // Save writes the graph in the text interchange format.
-func (G *Graph) Save(w io.Writer) error { return dataio.WriteText(w, G.g) }
+func (G *Graph) Save(w io.Writer) error { return dataio.WriteText(w, G.view().g) }
 
 // SaveSnapshot writes the graph and, if built, the index as a binary
 // snapshot file.
 func (G *Graph) SaveSnapshot(w io.Writer) error {
-	return dataio.WriteSnapshot(w, G.g, G.tree)
+	v := G.view()
+	return dataio.WriteSnapshot(w, v.g, v.tree)
 }
 
 // Synthetic generates one of the built-in synthetic dataset analogues
@@ -258,6 +310,7 @@ func (G *Graph) BuildIndexWith(m IndexMethod) { G.BuildIndexOpts(BuildOptions{Me
 func (G *Graph) BuildIndexOpts(o BuildOptions) {
 	G.mu.Lock()
 	defer G.mu.Unlock()
+	G.ensureMasterLocked()
 	workers := o.Workers
 	if workers == 0 {
 		workers = G.buildWorkers
@@ -308,7 +361,7 @@ func (G *Graph) IndexBuildStats() (d time.Duration, workers int) {
 }
 
 // HasIndex reports whether a CL-tree is available.
-func (G *Graph) HasIndex() bool { return G.tree != nil }
+func (G *Graph) HasIndex() bool { return G.view().tree != nil }
 
 // Stats summarises the graph and index.
 type Stats struct {
@@ -326,23 +379,23 @@ type Stats struct {
 func (G *Graph) Stats() Stats { return G.view().stats() }
 
 // NumVertices returns |V|.
-func (G *Graph) NumVertices() int { return G.g.NumVertices() }
+func (G *Graph) NumVertices() int { return G.view().g.NumVertices() }
 
 // NumEdges returns |E|.
-func (G *Graph) NumEdges() int { return G.g.NumEdges() }
+func (G *Graph) NumEdges() int { return G.view().g.NumEdges() }
 
 // VertexID resolves a label.
 func (G *Graph) VertexID(label string) (int32, bool) {
-	v, ok := G.g.VertexByLabel(label)
+	v, ok := G.view().g.VertexByLabel(label)
 	return int32(v), ok
 }
 
 // Label returns the label of a vertex ID ("" if unlabelled).
-func (G *Graph) Label(v int32) string { return G.g.Label(graph.VertexID(v)) }
+func (G *Graph) Label(v int32) string { return G.view().g.Label(graph.VertexID(v)) }
 
 // Keywords returns the keyword strings of a vertex.
 func (G *Graph) Keywords(v int32) []string {
-	return G.g.KeywordStrings(graph.VertexID(v))
+	return G.view().g.KeywordStrings(graph.VertexID(v))
 }
 
 // CoreNumber returns the core number of a vertex (requires an index).
@@ -453,6 +506,7 @@ func (G *Graph) afterWriteLocked() {
 // shallow tree rebind (see write.go) — and otherwise a full freeze, which
 // also (re)initialises tracking unless SetCompactionThreshold disabled it.
 func (G *Graph) publishLocked() *Snapshot {
+	G.ensureMasterLocked()
 	if G.base == nil || G.compactThreshold.Load() < 0 {
 		return G.publishFullLocked()
 	}
@@ -529,8 +583,11 @@ func (G *Graph) SnapshotStats() (publish time.Duration, bytes int) {
 func (G *Graph) InsertEdge(u, v int32) bool {
 	G.mu.Lock()
 	defer G.mu.Unlock()
+	G.ensureMasterLocked()
+	v0 := G.version.Load()
 	changed := G.applyInsertEdgeLocked(graph.VertexID(u), graph.VertexID(v))
 	if changed {
+		G.durAppendLocked(v0, []wal.Op{{Kind: wal.OpInsertEdge, U: u, V: v}})
 		G.mutatedLocked()
 	}
 	return changed
@@ -540,8 +597,11 @@ func (G *Graph) InsertEdge(u, v int32) bool {
 func (G *Graph) RemoveEdge(u, v int32) bool {
 	G.mu.Lock()
 	defer G.mu.Unlock()
+	G.ensureMasterLocked()
+	v0 := G.version.Load()
 	changed := G.applyRemoveEdgeLocked(graph.VertexID(u), graph.VertexID(v))
 	if changed {
+		G.durAppendLocked(v0, []wal.Op{{Kind: wal.OpRemoveEdge, U: u, V: v}})
 		G.mutatedLocked()
 	}
 	return changed
@@ -551,8 +611,11 @@ func (G *Graph) RemoveEdge(u, v int32) bool {
 func (G *Graph) AddKeyword(v int32, word string) bool {
 	G.mu.Lock()
 	defer G.mu.Unlock()
+	G.ensureMasterLocked()
+	v0 := G.version.Load()
 	changed := G.applyAddKeywordLocked(graph.VertexID(v), word)
 	if changed {
+		G.durAppendLocked(v0, []wal.Op{{Kind: wal.OpAddKeyword, U: v, Word: word}})
 		G.mutatedLocked()
 	}
 	return changed
@@ -562,8 +625,11 @@ func (G *Graph) AddKeyword(v int32, word string) bool {
 func (G *Graph) RemoveKeyword(v int32, word string) bool {
 	G.mu.Lock()
 	defer G.mu.Unlock()
+	G.ensureMasterLocked()
+	v0 := G.version.Load()
 	changed := G.applyRemoveKeywordLocked(graph.VertexID(v), word)
 	if changed {
+		G.durAppendLocked(v0, []wal.Op{{Kind: wal.OpRemoveKeyword, U: v, Word: word}})
 		G.mutatedLocked()
 	}
 	return changed

@@ -10,7 +10,7 @@
 // table3, fig7, fig8, fig9, fig11, table4, table5-6, fig12, table7, fig13,
 // fig14a-d, fig14e-h, fig14i-l, fig14m-p, fig14q-t, fig15, fig16, fig17a-d,
 // fig17e-h, index-parallel, snapshot-publish, frozen-query,
-// collection-routing, mutation-throughput, ablations.
+// collection-routing, mutation-throughput, cold-start, ablations.
 // "all" runs everything; "quality" and "perf" select the two groups.
 //
 // -json additionally writes every selected experiment's results as a
@@ -132,6 +132,9 @@ func main() {
 		runSampled("mutation-throughput", func() (*bench.Table, []bench.Sample) {
 			return bench.MutationThroughput(ds, *scale)
 		})
+		runSampled("cold-start", func() (*bench.Table, []bench.Sample) {
+			return bench.ColdStart(ds, *scale)
+		})
 		run("fig14a-d", func() *bench.Table { return bench.Fig14QueryVsCS(ds) })
 		run("fig14e-h", func() *bench.Table { return bench.Fig14EffectK(ds, !*noBasic) })
 		run("fig14i-l", func() *bench.Table { return bench.Fig14KeywordScale(ds, fracs) })
@@ -179,7 +182,7 @@ func parseWorkers(arg string) ([]int, error) {
 
 func expandSelection(arg string) map[string]bool {
 	quality := []string{"table3", "fig7", "fig8", "fig9", "fig11", "table4", "table5-6", "fig12", "table7"}
-	perf := []string{"fig13", "index-parallel", "snapshot-publish", "frozen-query", "collection-routing", "mutation-throughput",
+	perf := []string{"fig13", "index-parallel", "snapshot-publish", "frozen-query", "collection-routing", "mutation-throughput", "cold-start",
 		"fig14a-d", "fig14e-h", "fig14i-l", "fig14m-p", "fig14q-t",
 		"fig15", "fig16", "fig17a-d", "fig17e-h", "ext-truss", "ext-influence", "ablations"}
 	out := map[string]bool{}

@@ -11,6 +11,12 @@
 // Further collections can be created and dropped at runtime via
 // POST/DELETE /v1/collections.
 //
+// With -data-dir, collections are durable: every acknowledged mutation batch
+// is WAL-logged under <data-dir>/<name>/ and folded into a memory-mapped
+// snapshot by periodic checkpoints, and on restart every collection found
+// there is recovered before any preload flags run (a recovered collection
+// wins over a same-named -in/-preset/-collection seed).
+//
 // Usage:
 //
 //	acqd -in graph.snap [-addr :8475]
@@ -18,6 +24,8 @@
 //	acqd -preset dblp -default-timeout 5s -max-timeout 30s
 //	acqd -in main.snap -collection wiki=wiki.snap \
 //	     -collection social=preset:flickr@0.5    # multi-dataset serving
+//	acqd -preset dblp -data-dir /var/lib/acqd   # durable: WAL + recovery
+//	acqd -data-dir /var/lib/acqd                # recover-only boot
 package main
 
 import (
@@ -83,14 +91,23 @@ func main() {
 	maxMutations := flag.Int("max-batch-mutations", 0, "max operations accepted per mutations request (0 = default, negative = unlimited)")
 	maxBody := flag.Int64("max-body-bytes", 0, "max request body size in bytes (0 = default, negative = unlimited)")
 	compactThreshold := flag.Int("compact-threshold", 0, "effective mutations absorbed into the delta overlay before background compaction (0 = default, negative = republish a full snapshot per write)")
+	dataDir := flag.String("data-dir", "", "directory for durable collection state (WAL + snapshots); enables crash recovery")
+	fsync := flag.String("fsync", "", "WAL fsync policy, always or never (default always; requires -data-dir)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "effective mutations between automatic checkpoints (0 = default, negative = manual only; requires -data-dir)")
 	var collections collectionFlags
 	flag.Var(&collections, "collection", "preload a named collection, name=path or name=preset:NAME[@scale] (repeatable)")
 	flag.Parse()
 
-	if *in == "" && *preset == "" && len(collections) == 0 {
-		log.Fatal("acqd: need a graph (-in or -preset) or at least one -collection")
+	if *in == "" && *preset == "" && len(collections) == 0 && *dataDir == "" {
+		log.Fatal("acqd: need a graph (-in or -preset), a -collection, or a -data-dir to recover from")
+	}
+	if *dataDir == "" && (*fsync != "" || *checkpointEvery != 0) {
+		log.Fatal("acqd: -fsync and -checkpoint-every require -data-dir")
 	}
 
+	// New recovers every durable collection found under -data-dir before the
+	// preloads below run, so a recovered collection wins over a same-named
+	// preload (the WAL state is newer than the seed file).
 	e := engine.New(nil, engine.Config{
 		Addr:                *addr,
 		CacheSize:           *cache,
@@ -102,20 +119,31 @@ func main() {
 		MaxBatchMutations:   *maxMutations,
 		MaxBodyBytes:        *maxBody,
 		CompactionThreshold: *compactThreshold,
+		DataDir:             *dataDir,
+		SyncMode:            *fsync,
+		CheckpointEvery:     *checkpointEvery,
 	})
 	if *in != "" || *preset != "" {
-		g, err := engine.LoadSource(*in, *preset, *scale)
-		if err != nil {
-			log.Fatal("acqd: ", err)
-		}
-		if _, err := e.AddCollection(engine.DefaultCollection, g); err != nil {
-			log.Fatal("acqd: ", err)
+		if _, ok := e.Collection(engine.DefaultCollection); ok {
+			log.Printf("acqd: default collection recovered from %s; ignoring -in/-preset", *dataDir)
+		} else {
+			g, err := engine.LoadSource(*in, *preset, *scale)
+			if err != nil {
+				log.Fatal("acqd: ", err)
+			}
+			if _, err := e.AddCollection(engine.DefaultCollection, g); err != nil {
+				log.Fatal("acqd: ", err)
+			}
 		}
 	}
 	for _, spec := range collections {
 		name, src, err := parseCollectionSpec(spec)
 		if err != nil {
 			log.Fatal("acqd: ", err)
+		}
+		if _, ok := e.Collection(name); ok {
+			log.Printf("acqd: collection %q recovered from %s; ignoring -collection %s", name, *dataDir, spec)
+			continue
 		}
 		g, err := src.Load()
 		if err != nil {

@@ -40,7 +40,7 @@ func TestServeFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := engine.New(g, engine.Config{Logf: func(string, ...any) {}})
-	req := httptest.NewRequest("GET", "/query?q=a&k=2", nil)
+	req := httptest.NewRequest("POST", "/v1/search", strings.NewReader(`{"query":{"vertex":"a","k":2}}`))
 	rec := httptest.NewRecorder()
 	e.Handler().ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {

@@ -62,6 +62,28 @@
 //	q.Mode, q.Theta = acq.ModeThreshold, 0.5
 //	g.Search(ctx, q)                                      // after
 //
+// The HTTP surface completed the same sunset in this release: the single-op
+// write endpoints POST /v1/edges and /v1/keywords (with their
+// per-collection forms and legacy /edges, /keywords aliases) and the legacy
+// GET /query now answer a structured 410 endpoint_removed naming the
+// replacement. Writes move to POST /v1/mutations — each former call becomes
+// a one-element batch ({"op":"insert_edge","u":...,"v":...} and friends) —
+// and queries to POST /v1/search.
+//
+// # Durability
+//
+// EnableDurability(DurableOptions{Dir: ...}) makes a graph crash-safe:
+// every acknowledged mutation batch is appended to a write-ahead log before
+// the mutator returns (SyncMode "always" survives machine crashes, "never"
+// process kills), and checkpoints — automatic every CheckpointEvery
+// effective mutations, or on demand via Checkpoint — fold the log into a
+// memory-mappable snapshot. OpenDurable recovers the directory after any
+// crash: it mmaps the snapshot, replays whatever the log holds past it, and
+// settles the directory back to one-snapshot/one-log. A clean boot (empty
+// log) serves entirely off the mapping — zero parse, zero copy — and defers
+// building the mutable master until the first write. DurabilityStats
+// reports WAL size, checkpoint progress and recovery telemetry.
+//
 // # Concurrency and serving
 //
 // A Graph is safe for concurrent direct Search calls, and mutators

@@ -2,13 +2,12 @@ package engine
 
 // Tests for the multi-collection serving surface: the named-collection
 // registry, the /v1/collections lifecycle endpoints, per-collection routing
-// of search/batch/edges/keywords, the v1 mutation protocol (and its
-// deprecated aliases), per-collection readiness in /healthz and /metrics,
-// and the concurrent create/drop/swap lifecycle under load (run with -race).
+// of search/batch/mutations, per-collection readiness in /healthz and
+// /metrics, and the concurrent create/drop/swap lifecycle under load (run
+// with -race).
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -157,7 +156,7 @@ func TestCollectionLifecycle(t *testing.T) {
 
 	// Mutations on tri are invisible to default.
 	v0 := e.Graph().Version()
-	rec = do(t, h, "POST", "/v1/collections/tri/edges", `{"op":"remove","u":"a","v":"b"}`)
+	rec = do(t, h, "POST", "/v1/collections/tri/mutations", `{"mutations":[{"op":"remove_edge","u":"a","v":"b"}]}`)
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
 		t.Fatalf("tri edge remove: %d %s", rec.Code, rec.Body)
 	}
@@ -218,8 +217,8 @@ func TestCollectionCreateErrors(t *testing.T) {
 		{"DELETE", "/v1/collections/ghost"},
 		{"POST", "/v1/collections/ghost/search"},
 		{"POST", "/v1/collections/ghost/batch"},
-		{"POST", "/v1/collections/ghost/edges"},
-		{"POST", "/v1/collections/ghost/keywords"},
+		{"POST", "/v1/collections/ghost/mutations"},
+		{"POST", "/v1/collections/ghost/checkpoint"},
 	} {
 		rec := do(t, h, req[0], req[1], `{}`)
 		if rec.Code != http.StatusNotFound || decodeErr(t, rec).Code != codeCollectionNotFound {
@@ -280,7 +279,7 @@ func TestIndexBuildingResponses(t *testing.T) {
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"building"`) {
 		t.Fatalf("status while building: %d %s", rec.Code, rec.Body)
 	}
-	for _, target := range []string{"search", "batch", "edges", "keywords"} {
+	for _, target := range []string{"search", "batch", "mutations"} {
 		rec := do(t, h, "POST", "/v1/collections/slow/"+target, `{}`)
 		if rec.Code != http.StatusServiceUnavailable || decodeErr(t, rec).Code != codeIndexBuilding {
 			t.Fatalf("%s while building: %d %s", target, rec.Code, rec.Body)
@@ -372,7 +371,7 @@ func TestNoDefaultCollection(t *testing.T) {
 	if rec.Code != http.StatusNotFound || decodeErr(t, rec).Code != codeCollectionNotFound {
 		t.Fatalf("sugar search: %d %s", rec.Code, rec.Body)
 	}
-	for _, req := range [][2]string{{"GET", "/stats"}, {"GET", "/query?q=a&k=2"}, {"POST", "/batch"}, {"POST", "/edges"}} {
+	for _, req := range [][2]string{{"GET", "/stats"}, {"POST", "/batch"}, {"POST", "/v1/mutations"}} {
 		rec := do(t, h, req[0], req[1], `{}`)
 		if rec.Code != http.StatusNotFound {
 			t.Fatalf("%s %s without default: %d %s", req[0], req[1], rec.Code, rec.Body)
@@ -380,76 +379,21 @@ func TestNoDefaultCollection(t *testing.T) {
 	}
 }
 
-// TestV1MutationProtocol: the v1 mutation endpoints (and their deprecated
-// aliases) speak the structured error protocol, return the new snapshot
-// version, and honour request cancellation.
-func TestV1MutationProtocol(t *testing.T) {
-	e := testEngine(t)
-	h := e.Handler()
-
-	rec := do(t, h, "POST", "/v1/edges", `{"op":"insert","u":"loner","v":"jack"}`)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("insert: %d %s", rec.Code, rec.Body)
-	}
-	var mut struct {
-		Changed bool   `json:"changed"`
-		Version uint64 `json:"version"`
-	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &mut); err != nil {
-		t.Fatal(err)
-	}
-	if !mut.Changed || mut.Version != e.Graph().Version() {
-		t.Fatalf("mutation response = %+v (graph version %d)", mut, e.Graph().Version())
-	}
-
-	rec = do(t, h, "POST", "/v1/keywords", `{"op":"add","vertex":"loner","keyword":"go"}`)
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"changed":true`) {
-		t.Fatalf("keyword add: %d %s", rec.Code, rec.Body)
-	}
-
-	// Structured errors on both the v1 paths and the deprecated aliases.
-	for _, target := range []string{"/v1/edges", "/edges", "/v1/collections/default/edges"} {
-		rec = do(t, h, "POST", target, `{"op":"explode","u":"jack","v":"bob"}`)
-		if rec.Code != http.StatusBadRequest || decodeErr(t, rec).Code != codeBadRequest {
-			t.Fatalf("%s bad op: %d %s", target, rec.Code, rec.Body)
-		}
-		rec = do(t, h, "POST", target, `{"op":"insert","u":"ghost","v":"jack"}`)
-		if rec.Code != http.StatusNotFound || decodeErr(t, rec).Code != codeVertexNotFound {
-			t.Fatalf("%s unknown vertex: %d %s", target, rec.Code, rec.Body)
-		}
-	}
-	for _, target := range []string{"/v1/keywords", "/keywords"} {
-		rec = do(t, h, "POST", target, `{"op":"zap","vertex":"loner","keyword":"x"}`)
-		if rec.Code != http.StatusBadRequest || decodeErr(t, rec).Code != codeBadRequest {
-			t.Fatalf("%s bad op: %d %s", target, rec.Code, rec.Body)
-		}
-	}
-
-	// Oversized mutation bodies get the structured 413.
+// TestMutationBodyLimit: oversized mutation bodies get the structured 413
+// before any parsing or graph work. (The wider mutation protocol —
+// per-item results, errors, cancellation — lives in mutations_test.go; the
+// retired single-op endpoints are pinned to 410 in TestRemovedEndpoints.)
+func TestMutationBodyLimit(t *testing.T) {
 	small := New(testGraph(t), Config{MaxBodyBytes: 8, Logf: func(string, ...any) {}})
-	rec = do(t, small.Handler(), "POST", "/v1/edges", `{"op":"insert","u":"loner","v":"jack"}`)
+	rec := do(t, small.Handler(), "POST", "/v1/mutations", `{"mutations":[{"op":"insert_edge","u":"loner","v":"jack"}]}`)
 	if rec.Code != http.StatusRequestEntityTooLarge || decodeErr(t, rec).Code != codeBodyTooLarge {
 		t.Fatalf("oversized mutation: %d %s", rec.Code, rec.Body)
-	}
-
-	// A canceled request is refused before mutating.
-	v0 := e.Graph().Version()
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	req := httptest.NewRequest("POST", "/v1/edges", strings.NewReader(`{"op":"remove","u":"loner","v":"jack"}`)).WithContext(ctx)
-	rr := httptest.NewRecorder()
-	h.ServeHTTP(rr, req)
-	if rr.Code != statusClientClosedRequest || decodeErr(t, rr).Code != codeCanceled {
-		t.Fatalf("canceled mutation: %d %s", rr.Code, rr.Body)
-	}
-	if e.Graph().Version() != v0 {
-		t.Fatal("canceled request still mutated the graph")
 	}
 }
 
 // TestDefaultRouteDifferential: the sugar route and the explicit
 // default-collection route are the same endpoint — byte-identical responses
-// for search, batch, edges and keywords.
+// for search, batch and mutations.
 func TestDefaultRouteDifferential(t *testing.T) {
 	pairs := []struct {
 		name         string
@@ -462,8 +406,8 @@ func TestDefaultRouteDifferential(t *testing.T) {
 			`{"queries":[{"vertex":"jack","k":3},{"vertex":"ghost","k":3},{"vertex":"mike","k":3,"mode":"truss","max_hops":1}]}`},
 		{"search-error", "/v1/search", "/v1/collections/default/search",
 			`{"query":{"vertex":"ghost","k":3}}`},
-		{"keywords", "/v1/keywords", "/v1/collections/default/keywords",
-			`{"op":"add","vertex":"loner","keyword":"diff"}`},
+		{"mutations", "/v1/mutations", "/v1/collections/default/mutations",
+			`{"mutations":[{"op":"add_keyword","vertex":"loner","keyword":"diff"}]}`},
 	}
 	for _, p := range pairs {
 		t.Run(p.name, func(t *testing.T) {
@@ -491,7 +435,7 @@ func TestPerCollectionMetrics(t *testing.T) {
 	do(t, h, "POST", "/v1/search", `{"query":{"vertex":"jack","k":3}}`)
 	do(t, h, "POST", "/v1/search", `{"query":{"vertex":"jack","k":3}}`)
 	do(t, h, "POST", "/v1/collections/b/search", `{"query":{"vertex":"bob","k":3}}`)
-	do(t, h, "POST", "/v1/collections/b/edges", `{"op":"insert","u":"loner","v":"jack"}`)
+	do(t, h, "POST", "/v1/collections/b/mutations", `{"mutations":[{"op":"insert_edge","u":"loner","v":"jack"}]}`)
 
 	m := e.Metrics()
 	def, b := m.Collections["default"], m.Collections["b"]
@@ -586,13 +530,14 @@ func TestConcurrentCollectionLifecycle(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 40; i++ {
-			op := "insert"
+			op := "insert_edge"
 			if i%2 == 1 {
-				op = "remove"
+				op = "remove_edge"
 			}
-			do(t, h, "POST", "/v1/edges", `{"op":"`+op+`","u":"loner","v":"jack"}`)
-			do(t, h, "POST", "/v1/collections/sibling/edges", `{"op":"`+op+`","u":"loner","v":"mike"}`)
-			do(t, h, "POST", "/v1/collections/sibling/keywords", `{"op":"add","vertex":"loner","keyword":"k`+fmt.Sprint(i%5)+`"}`)
+			do(t, h, "POST", "/v1/mutations", `{"mutations":[{"op":"`+op+`","u":"loner","v":"jack"}]}`)
+			do(t, h, "POST", "/v1/collections/sibling/mutations", `{"mutations":[
+				{"op":"`+op+`","u":"loner","v":"mike"},
+				{"op":"add_keyword","vertex":"loner","keyword":"k`+fmt.Sprint(i%5)+`"}]}`)
 		}
 	}()
 

@@ -1,0 +1,214 @@
+package engine
+
+// Tests for the engine-level durability surface: recovery of every
+// collection found under Config.DataDir at New time, the checkpoint
+// endpoint, the {"durable": true} create flag, delete removing the on-disk
+// state, and the durability telemetry in /healthz, /metrics and the
+// collection detail view.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func durableConfig(dir string) Config {
+	return Config{DataDir: dir, Logf: func(string, ...any) {}}
+}
+
+// collectionDetail decodes GET /v1/collections/{name}.
+func collectionDetail(t *testing.T, h http.Handler, name string) collectionInfo {
+	t.Helper()
+	rec := do(t, h, "GET", "/v1/collections/"+name, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET collection %s: %d %s", name, rec.Code, rec.Body)
+	}
+	var info collectionInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// TestEngineRecovery: a preloaded collection under DataDir is durable, its
+// acknowledged batches survive into a second engine booted over the same
+// directory, and both engines report the durability telemetry.
+func TestEngineRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(testGraph(t), durableConfig(dir))
+	h1 := e1.Handler()
+
+	// Two acknowledged batches: loner joins the K4.
+	for _, body := range []string{
+		`{"mutations":[
+			{"op":"add_keyword","vertex":"loner","keyword":"research"},
+			{"op":"add_keyword","vertex":"loner","keyword":"sports"}]}`,
+		`{"mutations":[
+			{"op":"insert_edge","u":"loner","v":"jack"},
+			{"op":"insert_edge","u":"loner","v":"bob"},
+			{"op":"insert_edge","u":"loner","v":"john"}]}`,
+	} {
+		if rec := do(t, h1, "POST", "/v1/mutations", body); rec.Code != http.StatusOK {
+			t.Fatalf("mutations: %d %s", rec.Code, rec.Body)
+		}
+	}
+	v1 := e1.Graph().Version()
+
+	info := collectionDetail(t, h1, "default")
+	if !info.Durable || info.WALBytes <= 0 {
+		t.Fatalf("live engine durability telemetry = %+v", info)
+	}
+	// EnableDurability wrote the initial checkpoint before the batches, so the
+	// checkpoint version trails the live version by the five logged ops.
+	if info.LastCheckpointVersion != v1-5 {
+		t.Fatalf("last_checkpoint_version = %d, want %d", info.LastCheckpointVersion, v1-5)
+	}
+
+	// Second engine over the same directory: no preload, pure recovery.
+	e2 := New(nil, durableConfig(dir))
+	h2 := e2.Handler()
+	g2 := e2.Graph()
+	if g2 == nil {
+		t.Fatal("recovery did not restore the default collection")
+	}
+	if g2.Version() != v1 {
+		t.Fatalf("recovered version = %d, want %d", g2.Version(), v1)
+	}
+	info = collectionDetail(t, h2, "default")
+	if !info.Durable || info.RecoveredBatches != 2 {
+		t.Fatalf("recovered telemetry = %+v, want 2 recovered batches", info)
+	}
+	if !strings.HasPrefix(info.Source, "durable:") {
+		t.Fatalf("recovered source = %q", info.Source)
+	}
+	rec := do(t, h2, "POST", "/v1/search", `{"query":{"vertex":"loner","k":3}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recovered search: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Result struct {
+			Communities []struct {
+				Members []string `json:"members"`
+			} `json:"communities"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Result.Communities) != 1 || len(resp.Result.Communities[0].Members) != 5 {
+		t.Fatalf("recovered community = %s", rec.Body)
+	}
+
+	// The recovery settled with a checkpoint, so a third boot is clean: zero
+	// replayed batches and a zero-copy mapped cold start.
+	e3 := New(nil, durableConfig(dir))
+	info = collectionDetail(t, e3.Handler(), "default")
+	if info.RecoveredBatches != 0 || !info.MappedColdStart {
+		t.Fatalf("clean reboot telemetry = %+v, want 0 batches and mapped cold start", info)
+	}
+
+	// A same-named preload loses to recovered durable state.
+	e4 := New(testGraph(t), durableConfig(dir))
+	if got := e4.Graph().Version(); got != v1 {
+		t.Fatalf("preload overrode recovery: version %d, want %d", got, v1)
+	}
+
+	// Durability telemetry also flows through /healthz and /metrics.
+	rec = do(t, h2, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"durable":true`) {
+		t.Fatalf("healthz durability: %d %s", rec.Code, rec.Body)
+	}
+	m := e2.Metrics().Collections["default"]
+	if !m.Durable || m.RecoveredBatches != 2 {
+		t.Fatalf("metrics durability = %+v", m)
+	}
+}
+
+// TestCheckpointEndpoint: POST .../checkpoint folds the WAL into a fresh
+// snapshot on a durable collection and answers 409 not_durable otherwise.
+func TestCheckpointEndpoint(t *testing.T) {
+	e := New(testGraph(t), durableConfig(t.TempDir()))
+	h := e.Handler()
+	if rec := do(t, h, "POST", "/v1/mutations",
+		`{"mutations":[{"op":"insert_edge","u":"loner","v":"jack"}]}`); rec.Code != http.StatusOK {
+		t.Fatalf("mutation: %d %s", rec.Code, rec.Body)
+	}
+	rec := do(t, h, "POST", "/v1/collections/default/checkpoint", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Checkpointed          bool   `json:"checkpointed"`
+		Version               uint64 `json:"version"`
+		LastCheckpointVersion uint64 `json:"last_checkpoint_version"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Checkpointed || resp.LastCheckpointVersion != resp.Version {
+		t.Fatalf("checkpoint response = %s", rec.Body)
+	}
+
+	volatile := testEngine(t) // no DataDir
+	rec = do(t, volatile.Handler(), "POST", "/v1/collections/default/checkpoint", "")
+	if rec.Code != http.StatusConflict || decodeErr(t, rec).Code != codeNotDurable {
+		t.Fatalf("non-durable checkpoint: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestDurableCreateFlag: HTTP-created collections opt into durability with
+// {"durable": true}; without a server data dir the create is rejected.
+func TestDurableCreateFlag(t *testing.T) {
+	dir := t.TempDir()
+	e := New(nil, durableConfig(dir))
+	h := e.Handler()
+	rec := do(t, h, "POST", "/v1/collections", `{"name":"d","durable":true}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("durable create: %d %s", rec.Code, rec.Body)
+	}
+	waitState(t, e, "d", CollectionReady)
+	if info := collectionDetail(t, h, "d"); !info.Durable {
+		t.Fatalf("created collection not durable: %+v", info)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "d", "snapshot.acqm")); err != nil {
+		t.Fatalf("durable create left no snapshot: %v", err)
+	}
+	// Without the flag the collection stays volatile even with a data dir.
+	rec = do(t, h, "POST", "/v1/collections", `{"name":"v"}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("volatile create: %d %s", rec.Code, rec.Body)
+	}
+	waitState(t, e, "v", CollectionReady)
+	if info := collectionDetail(t, h, "v"); info.Durable {
+		t.Fatalf("opt-out collection became durable: %+v", info)
+	}
+
+	noDir := New(nil, Config{Logf: func(string, ...any) {}})
+	rec = do(t, noDir.Handler(), "POST", "/v1/collections", `{"name":"d","durable":true}`)
+	if rec.Code != http.StatusBadRequest || decodeErr(t, rec).Code != codeBadRequest {
+		t.Fatalf("durable create without data dir: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestDeleteRemovesDurableState: deleting a durable collection removes its
+// directory, so the next boot does not resurrect it.
+func TestDeleteRemovesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	e := New(testGraph(t), durableConfig(dir))
+	h := e.Handler()
+	if _, err := os.Stat(filepath.Join(dir, "default")); err != nil {
+		t.Fatalf("no durable state before delete: %v", err)
+	}
+	if rec := do(t, h, "DELETE", "/v1/collections/default", ""); rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", rec.Code, rec.Body)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "default")); !os.IsNotExist(err) {
+		t.Fatalf("durable state survived the delete: %v", err)
+	}
+	if e2 := New(nil, durableConfig(dir)); e2.Graph() != nil {
+		t.Fatal("deleted collection resurrected on reboot")
+	}
+}

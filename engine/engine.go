@@ -27,9 +27,27 @@
 // Writes go through POST /v1/mutations (and its per-collection form): one
 // JSON batch of insert_edge/remove_edge/add_keyword/remove_keyword
 // operations, applied under a single lock hold with per-item results and
-// exactly one snapshot publication per batch. The older single-operation
-// endpoints POST /v1/edges and /v1/keywords are deprecated in its favour
-// and kept for one compatibility release.
+// exactly one snapshot publication per batch. It is the only write
+// endpoint: the deprecated single-operation endpoints POST /v1/edges and
+// /v1/keywords (and the legacy /edges, /keywords and GET /query aliases)
+// completed their one-release compatibility window and now answer a
+// structured 410 endpoint_removed. Migration: send each former single-op
+// body as a one-entry mutations batch, and former GET /query requests as
+// POST /v1/search.
+//
+// # Durability
+//
+// With Config.DataDir set, collections persist across restarts: every
+// acknowledged mutation batch is appended to a per-collection write-ahead
+// log before it publishes, and checkpoints fold the log into a
+// memory-mappable snapshot (see the acq package's Durability documentation
+// for the WAL format and crash-recovery guarantees). At startup the engine
+// recovers every collection found under DataDir — replaying whatever WAL
+// tail the last checkpoint had not absorbed — and a clean shutdown-to-start
+// cycle serves its first snapshot zero-copy from the mapped file.
+// POST /v1/collections/{name}/checkpoint forces a checkpoint; /healthz,
+// /metrics and GET /v1/collections/{name} report WAL size, checkpoint
+// version and recovery counters per collection.
 //
 // # Architecture
 //
@@ -51,10 +69,12 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -110,6 +130,23 @@ type Config struct {
 	// path entirely so every mutation republishes a full snapshot (the
 	// pre-overlay behaviour, kept as an escape hatch).
 	CompactionThreshold int
+	// DataDir enables per-collection durability: each durable collection
+	// keeps a write-ahead log and memory-mappable snapshots under
+	// DataDir/<name>. At New time every subdirectory holding durable state is
+	// recovered (WAL replayed over the last snapshot) and registered as a
+	// ready collection — recovered state takes precedence over preloading the
+	// same name. Preloaded collections (AddCollection) become durable
+	// automatically; HTTP-created ones opt in with {"durable": true}. Empty
+	// disables durability entirely.
+	DataDir string
+	// SyncMode is the WAL fsync policy for durable collections: "always"
+	// (default; fsync per acknowledged batch) or "never" (rely on the OS page
+	// cache; a power failure may lose the tail).
+	SyncMode string
+	// CheckpointEvery is the number of effective mutations between automatic
+	// checkpoints of each durable collection; 0 keeps
+	// acq.DefaultCheckpointEvery.
+	CheckpointEvery int
 	// Logf receives serving log lines; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -178,13 +215,87 @@ func New(g *acq.Graph, cfg Config) *Engine {
 		cfg.Logf = log.Printf
 	}
 	e := &Engine{reg: NewRegistry(), cfg: cfg}
+	if cfg.DataDir != "" {
+		e.recoverCollections()
+	}
 	if g != nil {
-		if _, err := e.AddCollection(DefaultCollection, g); err != nil {
-			// Unreachable: the registry is empty and the name is valid.
+		if _, ok := e.reg.Get(DefaultCollection); ok {
+			// Recovered durable state wins over the preload: the disk copy
+			// carries acknowledged writes the caller's graph does not.
+			cfg.Logf("engine: collection %q recovered from %s; ignoring the preloaded graph",
+				DefaultCollection, cfg.DataDir)
+		} else if _, err := e.AddCollection(DefaultCollection, g); err != nil {
+			// The registry is empty and the name is valid, so only a
+			// durability failure (unwritable DataDir) lands here.
 			panic(err)
 		}
 	}
 	return e
+}
+
+// durableOptions resolves the acq durability options for one collection.
+func (e *Engine) durableOptions(name string) acq.DurableOptions {
+	return acq.DurableOptions{
+		Dir:             filepath.Join(e.cfg.DataDir, name),
+		SyncMode:        e.cfg.SyncMode,
+		CheckpointEvery: e.cfg.CheckpointEvery,
+	}
+}
+
+// recoverCollections scans DataDir at startup and registers every
+// subdirectory holding durable state as a ready collection. Clean
+// recoveries serve their first snapshot zero-copy from the memory-mapped
+// file; dirty ones replay the WAL and settle with a fresh checkpoint.
+// A directory that fails to recover registers as a failed collection, so
+// the damage is observable over /healthz instead of silently dropped.
+func (e *Engine) recoverCollections() {
+	entries, err := os.ReadDir(e.cfg.DataDir)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			e.cfg.Logf("engine: cannot scan data dir %s: %v", e.cfg.DataDir, err)
+		}
+		return
+	}
+	for _, entry := range entries {
+		name := entry.Name()
+		if !entry.IsDir() || validateCollectionName(name) != nil {
+			continue
+		}
+		start := time.Now()
+		g, err := acq.OpenDurable(e.durableOptions(name))
+		if errors.Is(err, acq.ErrNoDurableState) {
+			continue // directory exists but never finished EnableDurability
+		}
+		c, rerr := e.reg.reserve(name, "durable:"+filepath.Join(e.cfg.DataDir, name))
+		if rerr != nil {
+			e.cfg.Logf("engine: cannot register recovered collection %q: %v", name, rerr)
+			continue
+		}
+		if err != nil {
+			e.cfg.Logf("engine: collection %q failed to recover: %v", name, err)
+			c.fail(err)
+			continue
+		}
+		e.prepare(name, g)
+		c.complete(g)
+		ds := g.DurabilityStats()
+		e.cfg.Logf("engine: collection %q recovered in %v: version %d, %d WAL batch(es) replayed, mapped=%v",
+			name, time.Since(start).Round(time.Millisecond), g.Version(), ds.RecoveredBatches, ds.MappedColdStart)
+	}
+}
+
+// armDurability enables the WAL + snapshot machinery for a collection when
+// the engine has a data directory. A graph that is already durable (an
+// OpenDurable recovery handed to AddCollection) passes through untouched.
+func (e *Engine) armDurability(name string, g *acq.Graph) error {
+	if e.cfg.DataDir == "" {
+		return nil
+	}
+	err := g.EnableDurability(e.durableOptions(name))
+	if err != nil && !errors.Is(err, acq.ErrAlreadyDurable) {
+		return fmt.Errorf("engine: collection %q: enabling durability: %w", name, err)
+	}
+	return nil
 }
 
 // Registry returns the engine's collection registry.
@@ -204,6 +315,13 @@ func (e *Engine) AddCollection(name string, g *acq.Graph) (*Collection, error) {
 		return nil, err
 	}
 	e.prepare(name, g)
+	// With a data dir, preloaded collections persist: the initial checkpoint
+	// writes the snapshot and subsequent mutations hit the WAL. A failure
+	// leaves the slot failed (observable) rather than silently volatile.
+	if err := e.armDurability(name, g); err != nil {
+		c.fail(err)
+		return nil, err
+	}
 	c.complete(g)
 	return c, nil
 }
@@ -218,6 +336,9 @@ func (e *Engine) CreateCollection(name string, src Source) (*Collection, error) 
 	if err := src.validate(); err != nil {
 		return nil, err
 	}
+	if src.Durable && e.cfg.DataDir == "" {
+		return nil, fmt.Errorf("engine: collection %q asks for durability but the server has no data dir (-data-dir)", name)
+	}
 	c, err := e.reg.reserve(name, src.describe())
 	if err != nil {
 		return nil, err
@@ -230,6 +351,13 @@ func (e *Engine) CreateCollection(name string, src Source) (*Collection, error) 
 			return
 		}
 		e.prepare(name, g)
+		if src.Durable {
+			if err := e.armDurability(name, g); err != nil {
+				e.cfg.Logf("engine: %v", err)
+				c.fail(err)
+				return
+			}
+		}
 		// Stats before complete: once the collection is ready, mutations can
 		// hit the master concurrently, and direct Stats reads must not
 		// overlap with mutators.

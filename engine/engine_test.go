@@ -59,116 +59,49 @@ func TestHandleStats(t *testing.T) {
 	}
 }
 
-func TestHandleQuery(t *testing.T) {
-	h := testEngine(t).Handler()
-	rec := do(t, h, "GET", "/query?q=jack&k=3", "")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
-	}
-	var res acq.Result
-	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
-		t.Fatal(err)
-	}
-	if res.LabelSize != 2 || len(res.Communities) != 1 || len(res.Communities[0].Members) != 4 {
-		t.Fatalf("result = %+v", res)
-	}
-}
-
-func TestHandleQueryVariants(t *testing.T) {
-	h := testEngine(t).Handler()
-	rec := do(t, h, "GET", "/query?q=jack&k=3&s=research,sports&fixed=1", "")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("fixed: status = %d body=%s", rec.Code, rec.Body)
-	}
-	rec = do(t, h, "GET", "/query?q=jack&k=3&s=research,sports,web&theta=0.5", "")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("theta: status = %d body=%s", rec.Code, rec.Body)
-	}
-	rec = do(t, h, "GET", "/query?q=jack&k=3&theta=oops", "")
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad theta accepted: %d", rec.Code)
-	}
-	rec = do(t, h, "GET", "/query?q=jack&k=3&s=reserch&fuzz=1", "")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("fuzz: status = %d body=%s", rec.Code, rec.Body)
-	}
-	rec = do(t, h, "GET", "/query?id=0&k=3", "") // jack by dense ID
-	if rec.Code != http.StatusOK {
-		t.Fatalf("id: status = %d body=%s", rec.Code, rec.Body)
-	}
-	rec = do(t, h, "GET", "/query?id=oops&k=3", "")
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad id accepted: %d", rec.Code)
-	}
-}
-
-func TestHandleQueryErrors(t *testing.T) {
+// TestRemovedEndpoints pins the sunset contract: every retired route — the
+// legacy unversioned trio and the v1 single-op endpoints — answers a
+// structured 410 naming its replacement, for default and named collections
+// alike.
+func TestRemovedEndpoints(t *testing.T) {
 	h := testEngine(t).Handler()
 	cases := []struct {
-		target string
-		status int
+		method, target, replacement string
 	}{
-		{"/query?k=3", http.StatusBadRequest},           // missing q
-		{"/query?q=ghost&k=3", http.StatusNotFound},     // unknown vertex
-		{"/query?q=jack&k=zero", http.StatusBadRequest}, // malformed k
-		{"/query?q=jack&k=0", http.StatusBadRequest},    // bad k
-		{"/query?q=loner&k=1", http.StatusBadRequest},   // no k-core
-		{"/query?q=jack&k=3&algo=bad", http.StatusBadRequest},
+		{"GET", "/query?q=jack&k=3", "/v1/search"},
+		{"POST", "/edges", "/v1/mutations"},
+		{"POST", "/keywords", "/v1/mutations"},
+		{"POST", "/v1/edges", "/v1/mutations"},
+		{"POST", "/v1/keywords", "/v1/mutations"},
+		{"POST", "/v1/collections/default/edges", "/v1/mutations"},
+		{"POST", "/v1/collections/default/keywords", "/v1/mutations"},
 	}
 	for _, c := range cases {
-		rec := do(t, h, "GET", c.target, "")
-		if rec.Code != c.status {
-			t.Errorf("%s: status = %d, want %d (%s)", c.target, rec.Code, c.status, rec.Body)
+		rec := do(t, h, c.method, c.target, `{"op":"insert","u":"loner","v":"jack"}`)
+		if rec.Code != http.StatusGone {
+			t.Errorf("%s %s: status = %d, want 410 (%s)", c.method, c.target, rec.Code, rec.Body)
+			continue
+		}
+		var resp struct {
+			Error *wireError `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("%s %s: bad body %q: %v", c.method, c.target, rec.Body, err)
+		}
+		if resp.Error == nil || resp.Error.Code != codeEndpointRemoved {
+			t.Errorf("%s %s: error = %+v, want code %q", c.method, c.target, resp.Error, codeEndpointRemoved)
+			continue
+		}
+		if !strings.Contains(resp.Error.Message, c.replacement) {
+			t.Errorf("%s %s: message %q does not name replacement %s", c.method, c.target, resp.Error.Message, c.replacement)
 		}
 	}
-}
-
-func TestHandleEdges(t *testing.T) {
-	h := testEngine(t).Handler()
-	rec := do(t, h, "POST", "/edges", `{"op":"insert","u":"loner","v":"jack"}`)
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
-		t.Fatalf("insert: %d %s", rec.Code, rec.Body)
+	// Removal must not have taken the kept routes with it.
+	if rec := do(t, h, "GET", "/stats", ""); rec.Code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", rec.Code)
 	}
-	// Duplicate insert reports changed=false.
-	rec = do(t, h, "POST", "/edges", `{"op":"insert","u":"loner","v":"jack"}`)
-	if !strings.Contains(rec.Body.String(), "false") {
-		t.Fatalf("duplicate insert: %s", rec.Body)
-	}
-	rec = do(t, h, "POST", "/edges", `{"op":"remove","u":"loner","v":"jack"}`)
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
-		t.Fatalf("remove: %d %s", rec.Code, rec.Body)
-	}
-	rec = do(t, h, "POST", "/edges", `{"op":"explode","u":"jack","v":"bob"}`)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad op: %d", rec.Code)
-	}
-	rec = do(t, h, "POST", "/edges", `{"op":"insert","u":"ghost","v":"jack"}`)
-	if rec.Code != http.StatusNotFound {
-		t.Fatalf("unknown vertex: %d", rec.Code)
-	}
-	rec = do(t, h, "POST", "/edges", `not json`)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("garbage body: %d", rec.Code)
-	}
-}
-
-func TestHandleKeywords(t *testing.T) {
-	h := testEngine(t).Handler()
-	rec := do(t, h, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"research"}`)
-	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
-		t.Fatalf("add: %d %s", rec.Code, rec.Body)
-	}
-	rec = do(t, h, "POST", "/keywords", `{"op":"remove","vertex":"loner","keyword":"research"}`)
-	if !strings.Contains(rec.Body.String(), "true") {
-		t.Fatalf("remove: %s", rec.Body)
-	}
-	rec = do(t, h, "POST", "/keywords", `{"op":"zap","vertex":"loner","keyword":"x"}`)
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("bad op: %d", rec.Code)
-	}
-	rec = do(t, h, "POST", "/keywords", `{"op":"add","vertex":"ghost","keyword":"x"}`)
-	if rec.Code != http.StatusNotFound {
-		t.Fatalf("unknown vertex: %d", rec.Code)
+	if rec := do(t, h, "POST", "/batch", `{"queries":[{"q":"jack","k":3}]}`); rec.Code != http.StatusOK {
+		t.Fatalf("POST /batch: %d %s", rec.Code, rec.Body)
 	}
 }
 
@@ -178,22 +111,28 @@ func TestUpdateThenQuery(t *testing.T) {
 	e := testEngine(t)
 	h := e.Handler()
 	v0 := e.Graph().Version()
-	do(t, h, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"sports"}`)
-	do(t, h, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"research"}`)
-	for _, other := range []string{"jack", "bob", "john"} {
-		do(t, h, "POST", "/edges", `{"op":"insert","u":"loner","v":"`+other+`"}`)
+	rec := do(t, h, "POST", "/v1/mutations", `{"mutations":[
+		{"op":"add_keyword","vertex":"loner","keyword":"sports"},
+		{"op":"add_keyword","vertex":"loner","keyword":"research"},
+		{"op":"insert_edge","u":"loner","v":"jack"},
+		{"op":"insert_edge","u":"loner","v":"bob"},
+		{"op":"insert_edge","u":"loner","v":"john"}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mutations: %d %s", rec.Code, rec.Body)
 	}
 	if e.Graph().Version() != v0+5 {
 		t.Fatalf("version = %d, want %d", e.Graph().Version(), v0+5)
 	}
-	rec := do(t, h, "GET", "/query?q=loner&k=3", "")
+	rec = do(t, h, "POST", "/v1/search", `{"query":{"vertex":"loner","k":3}}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d %s", rec.Code, rec.Body)
 	}
-	var res acq.Result
-	json.Unmarshal(rec.Body.Bytes(), &res)
-	if len(res.Communities) != 1 || len(res.Communities[0].Members) != 5 {
-		t.Fatalf("loner's community = %+v", res)
+	var resp struct {
+		Result *acq.Result `json:"result"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.Result == nil || len(resp.Result.Communities) != 1 || len(resp.Result.Communities[0].Members) != 5 {
+		t.Fatalf("loner's community = %s", rec.Body)
 	}
 }
 
@@ -254,7 +193,7 @@ func TestMetricsAndCaching(t *testing.T) {
 	e := testEngine(t)
 	h := e.Handler()
 	for i := 0; i < 3; i++ {
-		if rec := do(t, h, "GET", "/query?q=jack&k=3", ""); rec.Code != http.StatusOK {
+		if rec := do(t, h, "POST", "/v1/search", `{"query":{"vertex":"jack","k":3}}`); rec.Code != http.StatusOK {
 			t.Fatalf("query %d: %d", i, rec.Code)
 		}
 	}
@@ -267,8 +206,8 @@ func TestMetricsAndCaching(t *testing.T) {
 		t.Fatalf("cache hits/misses = %d/%d, want 2/1", m.CacheHits, m.CacheMisses)
 	}
 	// An update publishes a new snapshot with a cold cache.
-	do(t, h, "POST", "/edges", `{"op":"insert","u":"loner","v":"jack"}`)
-	do(t, h, "GET", "/query?q=jack&k=3", "")
+	do(t, h, "POST", "/v1/mutations", `{"mutations":[{"op":"insert_edge","u":"loner","v":"jack"}]}`)
+	do(t, h, "POST", "/v1/search", `{"query":{"vertex":"jack","k":3}}`)
 	m = e.Metrics()
 	if m.Updates != 1 {
 		t.Fatalf("updates = %d", m.Updates)
@@ -298,7 +237,7 @@ func TestCacheDisabled(t *testing.T) {
 	e := New(testGraph(t), Config{CacheSize: -1, Logf: func(string, ...any) {}})
 	h := e.Handler()
 	for i := 0; i < 3; i++ {
-		do(t, h, "GET", "/query?q=jack&k=3", "")
+		do(t, h, "POST", "/v1/search", `{"query":{"vertex":"jack","k":3}}`)
 	}
 	m := e.Metrics()
 	if m.CacheHits != 0 || m.CacheMisses != 0 {
@@ -325,8 +264,9 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 					return
 				default:
 				}
-				rec := do(t, h, "GET", fmt.Sprintf("/query?q=%s&k=3", targets[(r+i)%len(targets)]), "")
-				if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+				body := fmt.Sprintf(`{"query":{"vertex":%q,"k":3}}`, targets[(r+i)%len(targets)])
+				rec := do(t, h, "POST", "/v1/search", body)
+				if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
 					t.Errorf("reader: unexpected status %d: %s", rec.Code, rec.Body)
 					return
 				}
@@ -334,12 +274,13 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 		}(r)
 	}
 	for i := 0; i < 60; i++ {
-		op := "insert"
+		op := "insert_edge"
 		if i%2 == 1 {
-			op = "remove"
+			op = "remove_edge"
 		}
-		do(t, h, "POST", "/edges", `{"op":"`+op+`","u":"loner","v":"jack"}`)
-		do(t, h, "POST", "/keywords", `{"op":"add","vertex":"loner","keyword":"k`+fmt.Sprint(i%7)+`"}`)
+		do(t, h, "POST", "/v1/mutations", `{"mutations":[
+			{"op":"`+op+`","u":"loner","v":"jack"},
+			{"op":"add_keyword","vertex":"loner","keyword":"k`+fmt.Sprint(i%7)+`"}]}`)
 	}
 	close(stop)
 	wg.Wait()

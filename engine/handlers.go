@@ -6,10 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"net/url"
+	"os"
+	"path/filepath"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	acq "github.com/acq-search/acq"
@@ -30,27 +29,22 @@ import (
 //
 // Per-collection data plane (and the "default"-collection sugar forms):
 //
-//	POST /v1/collections/{name}/search     POST /v1/search
-//	POST /v1/collections/{name}/batch      POST /v1/batch
-//	POST /v1/collections/{name}/mutations  POST /v1/mutations
-//	POST /v1/collections/{name}/edges      POST /v1/edges
-//	POST /v1/collections/{name}/keywords   POST /v1/keywords
+//	POST /v1/collections/{name}/search      POST /v1/search
+//	POST /v1/collections/{name}/batch       POST /v1/batch
+//	POST /v1/collections/{name}/mutations   POST /v1/mutations
+//	POST /v1/collections/{name}/checkpoint  force a durability checkpoint
 //
 //	POST .../search  {"query": {...}, "timeout_ms": 250}
 //	POST .../batch   {"queries": [{...}, ...], "workers": 4,
 //	                  "timeout_ms": 2000, "per_query_timeout_ms": 100}
 //	POST .../mutations {"mutations": [{"op":"insert_edge","u":"a","v":"b"},
 //	                    {"op":"add_keyword","vertex":"a","keyword":"yoga"}]}
-//	POST .../edges   {"op":"insert"|"remove","u":"<label>","v":"<label>"}
-//	POST .../keywords {"op":"add"|"remove","vertex":"<label>","keyword":"yoga"}
 //
 // POST .../mutations is the write endpoint: it applies many edge/keyword
 // operations under one writer-lock acquisition with at most one snapshot
 // publication for the whole batch, reporting a per-operation outcome list.
 // Mutation vertices are addressed by label (u/v/vertex) or dense ID
-// (u_id/v_id/id), like queries. The single-op .../edges and .../keywords
-// forms are deprecated in favour of it and kept for one compatibility
-// release.
+// (u_id/v_id/id), like queries.
 //
 // Every v1 query object addresses its vertex by "vertex" (label) or "id"
 // (dense vertex ID) and selects the community model with "mode"
@@ -62,29 +56,30 @@ import (
 // contexts derive from the request (a client disconnect cancels the search)
 // bounded by the server's default/max timeouts.
 //
-// Legacy endpoints, kept for one compatibility release (all serve the
-// default collection; /edges and /keywords are aliases of their /v1 forms
-// and now speak the structured v1 error protocol):
+// Removed endpoints: the deprecated single-op write endpoints POST
+// /v1/edges and /v1/keywords (and their per-collection forms), their legacy
+// /edges and /keywords aliases, and the legacy GET /query completed their
+// one-release compatibility window. They answer a structured 410
+// endpoint_removed; writes belong in POST /v1/mutations, queries in
+// POST /v1/search.
 //
-//	GET  /query     one community query (?q=&k=&s=&algo=&fixed=&theta=&fuzz=)
+// Legacy endpoints still served:
+//
 //	POST /batch     many queries against one pinned snapshot
-//	POST /edges     deprecated alias of POST /v1/edges
-//	POST /keywords  deprecated alias of POST /v1/keywords
 //
 // Unversioned operational endpoints:
 //
 //	GET  /stats     default collection's graph + index summary
 //	GET  /metrics   serving counters, aggregated + per collection
-//	GET  /healthz   readiness: per-collection build/index state; 503 while
-//	                the default collection is not ready
+//	GET  /healthz   readiness: per-collection build/index state plus
+//	                durability state (WAL bytes, checkpoint version); 503
+//	                while the default collection is not ready
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// Default-collection sugar: the pre-registry single-graph surface.
 	mux.HandleFunc("POST /v1/search", e.defaultCol(e.serveSearchV1))
 	mux.HandleFunc("POST /v1/batch", e.defaultCol(e.serveBatchV1))
 	mux.HandleFunc("POST /v1/mutations", e.defaultCol(e.serveMutationsV1))
-	mux.HandleFunc("POST /v1/edges", e.defaultCol(e.serveEdgesV1))
-	mux.HandleFunc("POST /v1/keywords", e.defaultCol(e.serveKeywordsV1))
 	// Collection lifecycle.
 	mux.HandleFunc("POST /v1/collections", e.handleCollectionCreate)
 	mux.HandleFunc("GET /v1/collections", e.handleCollectionList)
@@ -94,17 +89,38 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/collections/{name}/search", e.namedCol(e.serveSearchV1))
 	mux.HandleFunc("POST /v1/collections/{name}/batch", e.namedCol(e.serveBatchV1))
 	mux.HandleFunc("POST /v1/collections/{name}/mutations", e.namedCol(e.serveMutationsV1))
-	mux.HandleFunc("POST /v1/collections/{name}/edges", e.namedCol(e.serveEdgesV1))
-	mux.HandleFunc("POST /v1/collections/{name}/keywords", e.namedCol(e.serveKeywordsV1))
+	mux.HandleFunc("POST /v1/collections/{name}/checkpoint", e.namedCol(e.serveCheckpointV1))
+	// Removed endpoints: their compatibility window (one release) is up.
+	// Mounted explicitly so clients get a structured 410 pointing at the
+	// replacement instead of a bare mux 404.
+	for _, route := range []string{
+		"POST /v1/edges", "POST /v1/keywords",
+		"POST /v1/collections/{name}/edges", "POST /v1/collections/{name}/keywords",
+		"POST /edges", "POST /keywords",
+		"GET /query",
+	} {
+		mux.HandleFunc(route, handleRemoved)
+	}
 	// Legacy + operational.
 	mux.HandleFunc("GET /stats", e.handleStats)
-	mux.HandleFunc("GET /query", e.handleQuery)
 	mux.HandleFunc("POST /batch", e.handleBatch)
-	mux.HandleFunc("POST /edges", e.defaultCol(e.serveEdgesV1))       // deprecated alias
-	mux.HandleFunc("POST /keywords", e.defaultCol(e.serveKeywordsV1)) // deprecated alias
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	return mux
+}
+
+// handleRemoved answers the endpoints whose deprecation window ended with a
+// structured 410 naming the replacement, so old clients fail loudly and
+// actionably rather than with a shapeless 404.
+func handleRemoved(w http.ResponseWriter, r *http.Request) {
+	replacement := "POST /v1/mutations"
+	if r.Method == http.MethodGet {
+		replacement = "POST /v1/search"
+	}
+	writeJSON(w, http.StatusGone, map[string]any{"error": wireError{
+		Code:    codeEndpointRemoved,
+		Message: fmt.Sprintf("%s %s was removed; use %s instead", r.Method, r.URL.Path, replacement),
+	}})
 }
 
 // colHandler is a data-plane handler bound to a resolved, ready collection.
@@ -162,6 +178,15 @@ type healthCollection struct {
 	DeltaOps             int  `json:"delta_ops"`
 	DeltaBytes           int  `json:"delta_bytes"`
 	CompactionInProgress bool `json:"compaction_in_progress,omitempty"`
+	// Durability state: WAL bytes pending the next checkpoint, the version
+	// the last checkpoint covered, and how many WAL batches the boot replay
+	// recovered. Zero/absent for non-durable collections.
+	Durable               bool   `json:"durable,omitempty"`
+	WALBytes              int64  `json:"wal_bytes,omitempty"`
+	LastCheckpointVersion uint64 `json:"last_checkpoint_version,omitempty"`
+	RecoveredBatches      int    `json:"recovered_batches,omitempty"`
+	CheckpointInProgress  bool   `json:"checkpoint_in_progress,omitempty"`
+	DurabilityError       string `json:"durability_error,omitempty"`
 }
 
 // handleHealthz reports per-collection readiness. The probe returns 503
@@ -189,6 +214,14 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			hc.DeltaOps = ws.DeltaOps
 			hc.DeltaBytes = ws.DeltaBytes
 			hc.CompactionInProgress = ws.CompactionInProgress
+			if ds := g.DurabilityStats(); ds.Durable {
+				hc.Durable = true
+				hc.WALBytes = ds.WALBytes
+				hc.LastCheckpointVersion = ds.LastCheckpointVersion
+				hc.RecoveredBatches = ds.RecoveredBatches
+				hc.CheckpointInProgress = ds.CheckpointInProgress
+				hc.DurabilityError = ds.Err
+			}
 		case CollectionBuilding:
 			hc.BuildInProgress = true
 		case CollectionFailed:
@@ -234,6 +267,15 @@ type collectionInfo struct {
 	DeltaOps             int  `json:"delta_ops"`
 	DeltaBytes           int  `json:"delta_bytes"`
 	CompactionInProgress bool `json:"compaction_in_progress,omitempty"`
+	// Durability state (zero/absent for non-durable collections); see
+	// acq.DurabilityStats for field semantics.
+	Durable               bool   `json:"durable,omitempty"`
+	WALBytes              int64  `json:"wal_bytes,omitempty"`
+	LastCheckpointVersion uint64 `json:"last_checkpoint_version,omitempty"`
+	RecoveredBatches      int    `json:"recovered_batches,omitempty"`
+	CheckpointInProgress  bool   `json:"checkpoint_in_progress,omitempty"`
+	MappedColdStart       bool   `json:"mapped_cold_start,omitempty"`
+	DurabilityError       string `json:"durability_error,omitempty"`
 }
 
 func infoOf(c *Collection) collectionInfo {
@@ -254,6 +296,15 @@ func infoOf(c *Collection) collectionInfo {
 		info.DeltaOps = ws.DeltaOps
 		info.DeltaBytes = ws.DeltaBytes
 		info.CompactionInProgress = ws.CompactionInProgress
+		if ds := g.DurabilityStats(); ds.Durable {
+			info.Durable = true
+			info.WALBytes = ds.WALBytes
+			info.LastCheckpointVersion = ds.LastCheckpointVersion
+			info.RecoveredBatches = ds.RecoveredBatches
+			info.CheckpointInProgress = ds.CheckpointInProgress
+			info.MappedColdStart = ds.MappedColdStart
+			info.DurabilityError = ds.Err
+		}
 	}
 	return info
 }
@@ -322,6 +373,18 @@ func (e *Engine) handleCollectionDelete(w http.ResponseWriter, r *http.Request) 
 	if !ok {
 		writeV1Error(w, fmt.Errorf("%w: %q", ErrCollectionNotFound, name))
 		return
+	}
+	// A durable collection's delete covers its on-disk state too — otherwise
+	// the next restart would silently resurrect it. The name passed the
+	// registry grammar (no separators, no leading dot), so the join cannot
+	// escape the data dir. In-flight requests finish against their pinned
+	// snapshots; on unix, unlinking files a live mapping still references is
+	// safe.
+	if e.cfg.DataDir != "" {
+		dir := filepath.Join(e.cfg.DataDir, name)
+		if err := os.RemoveAll(dir); err != nil {
+			e.cfg.Logf("engine: collection %q: removing durable state %s: %v", name, dir, err)
+		}
 	}
 	e.cfg.Logf("engine: collection %q deleted (state %s)", name, c.State())
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "name": name})
@@ -395,6 +458,8 @@ const (
 	codeNoKCore            = "no_k_core"            // 404: no community can satisfy k
 	codeCollectionNotFound = "collection_not_found" // 404: unknown collection name
 	codeCollectionExists   = "collection_exists"    // 409: create against a taken name
+	codeNotDurable         = "not_durable"          // 409: checkpoint on a non-durable collection
+	codeEndpointRemoved    = "endpoint_removed"     // 410: the endpoint's deprecation window ended
 	codeBodyTooLarge       = "body_too_large"       // 413: body over MaxBodyBytes
 	codeCanceled           = "canceled"             // 499: client went away
 	codeCollectionFailed   = "collection_failed"    // 500: async load/build failed
@@ -436,6 +501,8 @@ func errorInfo(err error) (code string, status int) {
 		return codeCollectionNotFound, http.StatusNotFound
 	case errors.Is(err, ErrCollectionExists):
 		return codeCollectionExists, http.StatusConflict
+	case errors.Is(err, acq.ErrNotDurable):
+		return codeNotDurable, http.StatusConflict
 	case errors.Is(err, ErrIndexBuilding):
 		return codeIndexBuilding, http.StatusServiceUnavailable
 	case errors.Is(err, errCollectionFailed):
@@ -637,58 +704,24 @@ func (e *Engine) clampWorkers(requested int) int {
 	return requested
 }
 
-// --- v1 mutation endpoints (also mounted as the deprecated /edges and
-// /keywords aliases for one release).
+// --- v1 mutation + durability endpoints.
 
-type edgeReq struct {
-	Op string `json:"op"`
-	U  string `json:"u"`
-	V  string `json:"v"`
-}
-
-func (e *Engine) serveEdgesV1(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph) {
-	var req edgeReq
-	if err := e.decodeBody(w, r, &req); err != nil {
-		writeV1Error(w, fmt.Errorf("bad body: %w", err))
-		return
-	}
-	// Mutations are quick but not free (incremental maintenance + snapshot
-	// republication): honour a disconnect or expired deadline before
-	// mutating rather than paying for a write nobody waits for.
-	if err := context.Cause(r.Context()); err != nil {
+// serveCheckpointV1 forces a durability checkpoint: fold the overlay, write
+// a fresh mapped snapshot, retire the WAL. Synchronous — when it returns
+// 200, the state it covers is on disk.
+func (e *Engine) serveCheckpointV1(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph) {
+	if err := g.Checkpoint(); err != nil {
 		writeV1Error(w, err)
 		return
 	}
-	changed, err := c.applyEdge(g, req.Op, req.U, req.V)
-	if err != nil {
-		writeV1Error(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"changed": changed, "version": g.Version()})
-}
-
-type keywordReq struct {
-	Op      string `json:"op"`
-	Vertex  string `json:"vertex"`
-	Keyword string `json:"keyword"`
-}
-
-func (e *Engine) serveKeywordsV1(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph) {
-	var req keywordReq
-	if err := e.decodeBody(w, r, &req); err != nil {
-		writeV1Error(w, fmt.Errorf("bad body: %w", err))
-		return
-	}
-	if err := context.Cause(r.Context()); err != nil {
-		writeV1Error(w, err)
-		return
-	}
-	changed, err := c.applyKeyword(g, req.Op, req.Vertex, req.Keyword)
-	if err != nil {
-		writeV1Error(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"changed": changed, "version": g.Version()})
+	ds := g.DurabilityStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpointed":            true,
+		"version":                 g.Version(),
+		"last_checkpoint_version": ds.LastCheckpointVersion,
+		"wal_bytes":               ds.WALBytes,
+		"checkpoints_total":       ds.Checkpoints,
+	})
 }
 
 // wireMutation is one entry of POST .../mutations. Edge ops address their
@@ -829,90 +862,6 @@ func (e *Engine) serveMutationsV1(w http.ResponseWriter, r *http.Request, c *Col
 // --- Legacy endpoints (deprecated, one compatibility release). All serve
 // the default collection.
 
-// parseQuery decodes the shared query parameters of the legacy GET /query.
-// The query vertex is addressed by label (q=) or, for unlabelled graphs such
-// as the synthetic presets, by dense vertex ID (id=). fixed=/theta= select
-// the variant modes.
-func parseQuery(qp url.Values) (acq.Query, error) {
-	q := acq.Query{
-		Vertex:    qp.Get("q"),
-		K:         DefaultK,
-		Algorithm: acq.Algorithm(qp.Get("algo")),
-	}
-	if q.Vertex == "" {
-		idArg := qp.Get("id")
-		if idArg == "" {
-			return q, fmt.Errorf("missing q (label) or id (vertex ID) parameter")
-		}
-		id, err := strconv.ParseInt(idArg, 10, 32)
-		if err != nil {
-			return q, fmt.Errorf("bad id: %v", err)
-		}
-		q.VertexID = int32(id)
-	}
-	if v := qp.Get("k"); v != "" {
-		k, err := strconv.Atoi(v)
-		if err != nil {
-			return q, fmt.Errorf("bad k: %v", err)
-		}
-		q.K = k
-	}
-	if s := qp.Get("s"); s != "" {
-		q.Keywords = strings.Split(s, ",")
-	}
-	if f := qp.Get("fuzz"); f != "" {
-		d, err := strconv.Atoi(f)
-		if err != nil {
-			return q, fmt.Errorf("bad fuzz: %v", err)
-		}
-		q.FuzzDistance = d
-	}
-	switch {
-	case qp.Get("fixed") != "":
-		q.Mode = acq.ModeFixed
-	case qp.Get("theta") != "":
-		theta, err := strconv.ParseFloat(qp.Get("theta"), 64)
-		if err != nil {
-			return q, fmt.Errorf("bad theta: %v", err)
-		}
-		q.Mode, q.Theta = acq.ModeThreshold, theta
-	}
-	return q, nil
-}
-
-func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
-	c, g, err := e.resolveReady(DefaultCollection)
-	if err != nil {
-		code, status := errorInfo(err)
-		httpError(w, status, "%s: %v", code, err)
-		return
-	}
-	query, err := parseQuery(r.URL.Query())
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	// The evaluation runs under the request context (bounded by the server
-	// timeouts): a client disconnect stops the search instead of letting it
-	// run to completion against a socket nobody reads.
-	ctx, cancel := e.queryContext(r, 0)
-	defer cancel()
-
-	// Pin once: the whole request, including variant dispatch, observes one
-	// immutable graph version without taking any lock.
-	snap := pin(g)
-	start := time.Now()
-	res, err := snap.Search(ctx, query)
-	c.met.queries.Add(1)
-	c.met.queryNanos.Add(time.Since(start).Nanoseconds())
-	if err != nil {
-		c.met.recordQueryError(err)
-		httpError(w, legacyStatus(err), "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, res)
-}
-
 // batchReq is the wire format of the legacy POST /batch. Each query
 // addresses its vertex by label ("q") or dense ID ("id").
 type batchReq struct {
@@ -1001,22 +950,6 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"version": snap.Version(),
 		"results": items,
 	})
-}
-
-// legacyStatus maps a search error to the legacy GET /query HTTP status:
-// 404 for unknown vertices, 499/504 for cancellation, 400 otherwise (the
-// legacy endpoint predates the structured error codes).
-func legacyStatus(err error) int {
-	switch {
-	case errors.Is(err, acq.ErrVertexNotFound):
-		return http.StatusNotFound
-	case errors.Is(err, acq.ErrCanceled) && errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, acq.ErrCanceled):
-		return statusClientClosedRequest
-	default:
-		return http.StatusBadRequest
-	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

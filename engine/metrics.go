@@ -92,6 +92,18 @@ type CollectionMetrics struct {
 	CompactionNanos      int64  `json:"compaction_nanos"`
 	FullPublishes        uint64 `json:"full_publishes"`
 	DeltaPublishes       uint64 `json:"delta_publishes"`
+	// Durability observability (acq.Graph.DurabilityStats): present only for
+	// collections with a WAL behind them. WALBytes is the size of the live
+	// WAL segment (bounded by checkpointing); RecoveredBatches is how many
+	// logged batches the last boot replayed; MappedColdStart reports whether
+	// that boot served its first snapshot zero-copy from the mmap'd v2 file.
+	Durable               bool   `json:"durable,omitempty"`
+	WALBytes              int64  `json:"wal_bytes,omitempty"`
+	LastCheckpointVersion uint64 `json:"last_checkpoint_version,omitempty"`
+	RecoveredBatches      uint64 `json:"recovered_batches,omitempty"`
+	CheckpointsTotal      uint64 `json:"checkpoints_total,omitempty"`
+	CheckpointNanos       int64  `json:"checkpoint_nanos,omitempty"`
+	MappedColdStart       bool   `json:"mapped_cold_start,omitempty"`
 }
 
 // Metrics is the exported counter snapshot returned by Engine.Metrics and
@@ -203,6 +215,15 @@ func (c *Collection) metricsSnapshot() CollectionMetrics {
 		cm.CompactionNanos = ws.LastCompaction.Nanoseconds()
 		cm.FullPublishes = ws.FullPublishes
 		cm.DeltaPublishes = ws.DeltaPublishes
+		if ds := g.DurabilityStats(); ds.Durable {
+			cm.Durable = true
+			cm.WALBytes = ds.WALBytes
+			cm.LastCheckpointVersion = ds.LastCheckpointVersion
+			cm.RecoveredBatches = uint64(ds.RecoveredBatches)
+			cm.CheckpointsTotal = ds.Checkpoints
+			cm.CheckpointNanos = ds.LastCheckpoint.Nanoseconds()
+			cm.MappedColdStart = ds.MappedColdStart
+		}
 	}
 	return cm
 }

@@ -160,7 +160,7 @@ func TestWritePathObservability(t *testing.T) {
 	e := testEngine(t)
 	h := e.Handler()
 	// Pin once so the next write eagerly publishes (the delta path).
-	if rec := do(t, h, "GET", "/query?q=jack&k=3", ""); rec.Code != http.StatusOK {
+	if rec := do(t, h, "POST", "/v1/search", `{"query":{"vertex":"jack","k":3}}`); rec.Code != http.StatusOK {
 		t.Fatalf("warm query: %d", rec.Code)
 	}
 	rec, resp := doMutations(t, h, "/v1/mutations", `{"mutations":[

@@ -19,8 +19,8 @@ import (
 // serves many independently-maintained graphs behind one versioned surface.
 
 // DefaultCollection is the collection name served by the unsuffixed
-// single-graph endpoints (/v1/search, /v1/batch, /v1/edges, /v1/keywords and
-// the legacy paths). Engines constructed with New(g, cfg) register g under
+// single-graph endpoints (/v1/search, /v1/batch, /v1/mutations and the
+// legacy paths). Engines constructed with New(g, cfg) register g under
 // this name.
 const DefaultCollection = "default"
 
@@ -82,6 +82,10 @@ type Source struct {
 	// dbpedia); Scale multiplies its size (0 means 1.0).
 	Preset string  `json:"preset,omitempty"`
 	Scale  float64 `json:"scale,omitempty"`
+	// Durable persists the collection under the server's data dir: mutations
+	// are WAL-logged and checkpointed, and the collection is recovered on
+	// restart. Requires Config.DataDir; the create is rejected otherwise.
+	Durable bool `json:"durable,omitempty"`
 }
 
 // validate rejects ambiguous or malformed sources before any loading

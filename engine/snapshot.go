@@ -12,18 +12,16 @@ import (
 //
 //   - pin, the read path: one atomic load yields the immutable snapshot a
 //     request (or a whole batch) runs against. No lock, no copy.
-//   - applyEdge/applyKeyword, the write path: label resolution plus the
-//     mutators of acq.Graph, which serialise internally, maintain the
-//     CL-tree incrementally and publish the next snapshot copy-on-write.
+//   - the write path: label resolution (toMutation) plus acq.ApplyMutations,
+//     which serialises internally, maintains the CL-tree incrementally and
+//     publishes the next snapshot copy-on-write.
 //
 // Handlers resolve the collection once (resolveReady) and pass it down, so
 // one request observes one collection even while the registry churns.
 
-// Errors surfaced by the write path; handlers map them to HTTP statuses.
-var (
-	errUnknownVertex = errors.New("unknown vertex")
-	errBadOp         = errors.New("bad op")
-)
+// errUnknownVertex reports a mutation addressing a label the graph does not
+// have; handlers map it to 404 vertex_not_found.
+var errUnknownVertex = errors.New("unknown vertex")
 
 // resolveReady looks the collection up and requires it to be servable:
 // unknown names yield ErrCollectionNotFound, building collections
@@ -45,48 +43,3 @@ func (e *Engine) resolveReady(name string) (*Collection, *acq.Graph, error) {
 // lock-free; two pins during one request may observe different versions, so
 // handlers pin exactly once and pass the snapshot down.
 func pin(g *acq.Graph) *acq.Snapshot { return g.Snapshot() }
-
-// applyEdge applies one edge update by vertex labels. It reports whether the
-// graph changed (false for duplicate inserts / missing removals).
-func (c *Collection) applyEdge(g *acq.Graph, op, uLabel, vLabel string) (bool, error) {
-	// Labels resolve against the master graph directly: the label table is
-	// immutable after build, so this is safe without a lock — and unlike
-	// pin(), it does not mark the snapshot consumed, so write-only bursts
-	// keep coalescing instead of paying a full copy per HTTP update.
-	u, ok1 := g.VertexID(uLabel)
-	v, ok2 := g.VertexID(vLabel)
-	if !ok1 || !ok2 {
-		return false, errUnknownVertex
-	}
-	var changed bool
-	switch op {
-	case "insert":
-		changed = g.InsertEdge(u, v)
-	case "remove":
-		changed = g.RemoveEdge(u, v)
-	default:
-		return false, fmt.Errorf("%w: edge op must be insert or remove, got %q", errBadOp, op)
-	}
-	c.met.updates.Add(1)
-	return changed, nil
-}
-
-// applyKeyword applies one keyword update by vertex label; label resolution
-// follows the same non-consuming rule as applyEdge.
-func (c *Collection) applyKeyword(g *acq.Graph, op, vertexLabel, keyword string) (bool, error) {
-	v, ok := g.VertexID(vertexLabel)
-	if !ok {
-		return false, errUnknownVertex
-	}
-	var changed bool
-	switch op {
-	case "add":
-		changed = g.AddKeyword(v, keyword)
-	case "remove":
-		changed = g.RemoveKeyword(v, keyword)
-	default:
-		return false, fmt.Errorf("%w: keyword op must be add or remove, got %q", errBadOp, op)
-	}
-	c.met.updates.Add(1)
-	return changed, nil
-}

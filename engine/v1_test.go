@@ -145,25 +145,6 @@ func TestV1SearchDeadline(t *testing.T) {
 	}
 }
 
-// TestLegacyQueryHonoursRequestContext is the satellite regression: the
-// legacy GET /query must stop evaluating when the client disconnects,
-// instead of running to completion.
-func TestLegacyQueryHonoursRequestContext(t *testing.T) {
-	e := testEngine(t)
-	h := e.Handler()
-	ctx, cancelFn := context.WithCancel(context.Background())
-	cancelFn()
-	req := httptest.NewRequest("GET", "/query?q=jack&k=3", nil).WithContext(ctx)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != statusClientClosedRequest {
-		t.Fatalf("status = %d, want 499 (%s)", rec.Code, rec.Body)
-	}
-	if m := e.Metrics(); m.CanceledQueries != 1 {
-		t.Fatalf("metrics = %+v, want 1 canceled query", m)
-	}
-}
-
 func TestV1Batch(t *testing.T) {
 	h := testEngine(t).Handler()
 	body := `{"queries":[

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/acq-search/acq/internal/graph"
 	"github.com/acq-search/acq/internal/kcore"
@@ -332,38 +333,55 @@ func (t *Tree) finalizeOwn(n *Node) {
 	buildPostings(t.g, n)
 }
 
+// postingScratch is the per-keyword counter array buildPostings indexes by
+// KeywordID instead of hashing into maps — posting rebuilds are the hot loop
+// of both tree construction and snapshot rehydration, and the array turns
+// every per-occurrence map operation into an indexed add. Entries are zeroed
+// after each node (only the touched keys), so a pooled scratch stays clean
+// between uses and across goroutines.
+type postingScratch struct {
+	count []int32
+}
+
+var postingScratchPool = sync.Pool{New: func() any { return new(postingScratch) }}
+
 // buildPostings rebuilds n's flattened inverted index from scratch. Vertices
 // are visited in ascending order, so each keyword's posting comes out sorted
 // without a per-list sort.
 func buildPostings(g graph.View, n *Node) {
-	counts := make(map[graph.KeywordID]int32)
+	sc := postingScratchPool.Get().(*postingScratch)
+	if w := g.Dict().Size(); len(sc.count) < w {
+		sc.count = make([]int32, w)
+	}
+	count := sc.count
+	keys := make([]graph.KeywordID, 0, 16)
 	total := int32(0)
 	for _, v := range n.Vertices {
 		for _, w := range g.Keywords(v) {
-			counts[w]++
+			if count[w] == 0 {
+				keys = append(keys, w)
+			}
+			count[w]++
 			total++
 		}
 	}
-	keys := make([]graph.KeywordID, 0, len(counts))
-	for w := range counts {
-		keys = append(keys, w)
-	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	off := make([]int32, len(keys)+1)
-	slot := make(map[graph.KeywordID]int32, len(keys))
 	for i, w := range keys {
-		off[i+1] = off[i] + counts[w]
-		slot[w] = int32(i)
+		off[i+1] = off[i] + count[w]
+		count[w] = off[i] // repurpose as the write cursor for the fill pass
 	}
 	post := make([]graph.VertexID, total)
-	cur := append([]int32(nil), off[:len(keys)]...)
 	for _, v := range n.Vertices {
 		for _, w := range g.Keywords(v) {
-			s := slot[w]
-			post[cur[s]] = v
-			cur[s]++
+			post[count[w]] = v
+			count[w]++
 		}
 	}
+	for _, w := range keys {
+		count[w] = 0
+	}
+	postingScratchPool.Put(sc)
 	n.InvKeys, n.InvOff, n.InvPost = keys, off, post
 }
 
@@ -395,6 +413,14 @@ func firstVertex(n *Node) graph.VertexID {
 // tables are rebuilt. It fails if the nodes do not partition the graph's
 // vertices.
 func Rehydrate(g graph.View, root *Node) (*Tree, error) {
+	return RehydrateOpts(g, root, BuildOptions{Workers: 1})
+}
+
+// RehydrateOpts is Rehydrate with a worker bound for the per-node
+// canonicalisation pass (the posting rebuild dominates rehydration on
+// keyword-heavy graphs). As with the builders, any worker count yields an
+// identical tree.
+func RehydrateOpts(g graph.View, root *Node, o BuildOptions) (*Tree, error) {
 	t := &Tree{g: g, Root: root, Core: make([]int32, g.NumVertices())}
 	seen := make([]bool, g.NumVertices())
 	count := 0
@@ -424,7 +450,7 @@ func Rehydrate(g graph.View, root *Node) (*Tree, error) {
 	if count != g.NumVertices() {
 		return nil, fmt.Errorf("cltree: rehydrate: %d of %d vertices covered", count, g.NumVertices())
 	}
-	t.finalize()
+	t.finalizeWorkers(o.ResolvedWorkers(g))
 	return t, nil
 }
 

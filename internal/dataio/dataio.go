@@ -219,6 +219,21 @@ func ReadSnapshot(r io.Reader) (*graph.Graph, *core.Tree, error) {
 	return g, t, nil
 }
 
+// FlatTree is the flattened CL-tree skeleton — four flat arrays, immutable
+// once built. FlattenTree captures it in O(tree) array copies, which lets a
+// checkpoint snapshot the index under the writer lock and serialise the
+// capture off-lock while mutations continue.
+type FlatTree = flatTree
+
+// FlattenTree captures t's skeleton (core numbers, parent links, vertex
+// lists) as immutable flat arrays. Nil in, nil out.
+func FlattenTree(t *core.Tree) *FlatTree {
+	if t == nil {
+		return nil
+	}
+	return flattenTree(t)
+}
+
 func flattenTree(t *core.Tree) *flatTree {
 	ft := &flatTree{VertOff: []int32{0}}
 	var walk func(n *core.Node, parent int32)
@@ -263,5 +278,7 @@ func unflattenTree(g graph.View, ft *flatTree) (*core.Tree, error) {
 		nodes[i].Parent = nodes[p]
 		nodes[p].Children = append(nodes[p].Children, nodes[i])
 	}
-	return core.Rehydrate(g, nodes[0])
+	// Auto worker count: posting rebuilds dominate rehydration on
+	// keyword-heavy graphs and parallelise per node; small graphs stay serial.
+	return core.RehydrateOpts(g, nodes[0], core.BuildOptions{})
 }

@@ -210,9 +210,19 @@ func (f *Frozen) Validate() error {
 	if err := validateOffsets("keyword", f.kwOff, len(f.kw)); err != nil {
 		return err
 	}
+	// Symmetry is checked as a merge rather than a per-edge binary search:
+	// with every adjacency list sorted, the reverse entries for v's upper
+	// neighbors arrive at each u in increasing v, so a single cursor per
+	// vertex pairs every edge with its reverse in O(n+m) total.
+	cur := make([]int32, n)
 	for v := 0; v < n; v++ {
 		id := VertexID(v)
 		ns := f.Neighbors(id)
+		// Entries below v were each consumed by their smaller endpoint's
+		// pass; one still pending means its reverse edge never showed up.
+		if c := int(cur[v]); c < len(ns) && ns[c] < id {
+			return fmt.Errorf("graph: edge %d->%d has no reverse edge", v, ns[c])
+		}
 		for i, u := range ns {
 			if u == id {
 				return fmt.Errorf("graph: self-loop at vertex %d", v)
@@ -223,8 +233,12 @@ func (f *Frozen) Validate() error {
 			if i > 0 && ns[i-1] >= u {
 				return fmt.Errorf("graph: adjacency of vertex %d not strictly sorted", v)
 			}
-			if !containsVertex(f.Neighbors(u), id) {
-				return fmt.Errorf("graph: edge %d->%d has no reverse edge", v, u)
+			if u > id {
+				nu := f.Neighbors(u)
+				if c := int(cur[u]); c >= len(nu) || nu[c] != id {
+					return fmt.Errorf("graph: edge %d->%d has no reverse edge", v, u)
+				}
+				cur[u]++
 			}
 		}
 		ws := f.Keywords(id)
@@ -256,6 +270,65 @@ func validateOffsets(what string, off []int32, total int) error {
 		return fmt.Errorf("graph: %s offsets end at %d, payload has %d entries", what, off[len(off)-1], total)
 	}
 	return nil
+}
+
+// NewFrozenFromFlat assembles an immutable Frozen directly over flat CSR
+// arrays — the zero-copy inverse of Flat, used when serving straight from a
+// memory-mapped snapshot. The argument slices become the frozen view's own
+// storage and MUST never be written again: for a mapping that means a private
+// mapping nothing else mutates, for heap arrays it means ownership transfer.
+// A fresh dictionary and the label→vertex index are built here (they are
+// O(vocabulary) and O(n) — the n+m payload is what stays unmaterialised).
+//
+// validate runs the full representation Validate; callers loading an
+// untrusted or possibly-corrupt file should pass true, callers re-wrapping
+// arrays already validated in this process may skip it.
+func NewFrozenFromFlat(labels, words []string, kwOff []int32, kw []KeywordID, adjOff []int32, adj []VertexID, validate bool) (*Frozen, error) {
+	if len(adjOff) == 0 || len(adjOff) != len(kwOff) {
+		return nil, fmt.Errorf("graph: NewFrozenFromFlat: offset arrays disagree (%d vs %d)", len(adjOff), len(kwOff))
+	}
+	n := len(adjOff) - 1
+	if len(labels) > n {
+		return nil, fmt.Errorf("graph: NewFrozenFromFlat: %d labels for %d vertices", len(labels), n)
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: NewFrozenFromFlat: odd adjacency total %d", len(adj))
+	}
+	dict := NewDict()
+	for i, w := range words {
+		if id := dict.Intern(w); int(id) != i {
+			return nil, fmt.Errorf("graph: NewFrozenFromFlat: duplicate dictionary word %q", w)
+		}
+	}
+	if len(labels) < n {
+		labels = append(labels, make([]string, n-len(labels))...)
+	}
+	byName := make(map[string]VertexID, n)
+	for v, label := range labels {
+		if label == "" {
+			continue
+		}
+		if _, dup := byName[label]; dup {
+			return nil, fmt.Errorf("graph: NewFrozenFromFlat: duplicate vertex label %q", label)
+		}
+		byName[label] = VertexID(v)
+	}
+	f := &Frozen{
+		adjOff: adjOff,
+		adj:    adj,
+		kwOff:  kwOff,
+		kw:     kw,
+		dict:   dict,
+		labels: labels,
+		byName: byName,
+		m:      len(adj) / 2,
+	}
+	if validate {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
 }
 
 // FromFlat assembles a mutable Graph from flat CSR arrays — the inverse of

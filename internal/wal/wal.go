@@ -1,0 +1,396 @@
+// Package wal implements the per-collection write-ahead log behind durable
+// graphs: every acknowledged mutation batch is appended as one length-prefixed,
+// CRC-checked record before the caller's write returns, and replayed on boot
+// to reconstruct the batches that landed after the last checkpoint.
+//
+// # File format
+//
+// A log file is an 8-byte header followed by records:
+//
+//	header:  magic "ACQW" | version u8 (1) | 3 reserved bytes
+//	record:  payloadLen u32 | crc32c(payload) u32 | payload
+//	payload: preVersion u64 | opCount u32 | ops
+//	op:      kind u8 | int32 operands | (keyword ops) wordLen u16 | word bytes
+//
+// Everything is little-endian. preVersion is the graph's mutation version
+// immediately before the batch applied; replay uses it to skip records whose
+// effects a later snapshot already contains (a crash between the checkpoint
+// rename and the old log's removal leaves such records behind) and to detect
+// gaps. Only effective operations are logged — no-ops neither advance the
+// version nor change state, so logging them would only skew the version
+// arithmetic replay depends on.
+//
+// # Durability contract
+//
+// Append writes the whole record with one write(2) and, under SyncAlways,
+// fsyncs before returning — an acknowledged batch then survives both process
+// kill and machine crash. Under SyncNever the OS decides when pages reach the
+// disk: a process kill still loses nothing (the page cache survives the
+// process), only a machine crash can drop the tail. A torn tail — the partial
+// record of an append that never returned — is detected by the length prefix
+// and CRC on the next Open and truncated away: it was never acknowledged, so
+// dropping it is correct, not lossy.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged batch survives a
+	// machine crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS: acknowledged batches survive a
+	// process kill but a machine crash may drop the tail.
+	SyncNever
+)
+
+// String returns the wire spelling used by flags and stats.
+func (p SyncPolicy) String() string {
+	if p == SyncNever {
+		return "never"
+	}
+	return "always"
+}
+
+// ParseSyncPolicy parses the -fsync flag values "always" and "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return SyncAlways, fmt.Errorf("wal: unknown sync policy %q (want always or never)", s)
+	}
+}
+
+// Op kinds. They mirror the four acq mutation kinds; the package deliberately
+// does not import acq (acq imports wal), so the mapping lives with the caller.
+const (
+	OpInsertEdge    uint8 = 1
+	OpRemoveEdge    uint8 = 2
+	OpAddKeyword    uint8 = 3
+	OpRemoveKeyword uint8 = 4
+)
+
+// Op is one logged mutation. Edge kinds use U and V; keyword kinds use U (the
+// vertex) and Word.
+type Op struct {
+	Kind uint8
+	U, V int32
+	Word string
+}
+
+// Record is one logged mutation batch: the ops that changed the graph,
+// stamped with the graph version immediately before the first of them.
+type Record struct {
+	PreVersion uint64
+	Ops        []Op
+}
+
+const (
+	headerSize = 8
+	// maxRecordBytes bounds one record's payload so a corrupt length prefix
+	// cannot trigger a multi-gigabyte allocation during replay. 64 MiB fits
+	// far beyond any real batch (the engine caps batches in the thousands).
+	maxRecordBytes = 64 << 20
+	// maxWordBytes bounds one keyword; matches the u16 length prefix.
+	maxWordBytes = 1<<16 - 1
+)
+
+var magic = [4]byte{'A', 'C', 'Q', 'W'}
+
+const formatVersion = 1
+
+// castagnoli is the CRC-32C table (the usual checksum for storage formats,
+// hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFormat reports a log whose header is not a WAL header — as opposed to
+// a torn tail, which Open repairs silently.
+var ErrBadFormat = errors.New("wal: not a write-ahead log")
+
+// Log is an open write-ahead log positioned for appending.
+type Log struct {
+	f      *os.File
+	path   string
+	policy SyncPolicy
+	size   int64
+	buf    []byte // append scratch, reused across records
+}
+
+// Create creates a new, empty log at path (truncating any existing file),
+// fsyncing the file and its directory so the log survives a crash straight
+// after creation.
+func Create(path string, policy SyncPolicy) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic[:])
+	hdr[4] = formatVersion
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, path: path, policy: policy, size: headerSize}, nil
+}
+
+// Open opens an existing log, replays every intact record through fn in file
+// order, truncates a torn tail if one exists, and returns the log positioned
+// for appending plus the number of records replayed. A replay error from fn
+// aborts the open.
+func Open(path string, policy SyncPolicy, fn func(Record) error) (*Log, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	end, n, err := scan(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if fi.Size() > end {
+		// Torn tail: a record that never finished writing. It was never
+		// acknowledged, so cutting it off restores the invariant that the log
+		// is a prefix of acknowledged history.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return &Log{f: f, path: path, policy: policy, size: end}, n, nil
+}
+
+// Replay reads the records of the log at path without opening it for
+// appending — used for the rotated previous-generation log a crashed
+// checkpoint left behind. A torn tail is skipped, not repaired.
+func Replay(path string, fn func(Record) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	_, n, err := scan(f, fn)
+	return n, err
+}
+
+// scan reads the header and every intact record, returning the byte offset
+// just past the last intact record and the record count. Corruption —
+// truncation, a short payload, a CRC mismatch — ends the scan at the last
+// good record, the standard torn-tail rule.
+func scan(f *os.File, fn func(Record) error) (end int64, n int, err error) {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, 0, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
+	}
+	if hdr[4] != formatVersion {
+		return 0, 0, fmt.Errorf("wal: unsupported format version %d", hdr[4])
+	}
+	end = headerSize
+	var pre [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, pre[:]); err != nil {
+			return end, n, nil // clean EOF or torn length prefix
+		}
+		length := binary.LittleEndian.Uint32(pre[:4])
+		sum := binary.LittleEndian.Uint32(pre[4:])
+		if length > maxRecordBytes {
+			return end, n, nil // corrupt length: treat as tail damage
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return end, n, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return end, n, nil // bit rot or torn write inside the payload
+		}
+		rec, ok := decodeRecord(payload)
+		if !ok {
+			return end, n, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return end, n, err
+			}
+		}
+		end += 8 + int64(length)
+		n++
+	}
+}
+
+// decodeRecord parses one CRC-verified payload.
+func decodeRecord(p []byte) (Record, bool) {
+	if len(p) < 12 {
+		return Record{}, false
+	}
+	rec := Record{PreVersion: binary.LittleEndian.Uint64(p[:8])}
+	count := binary.LittleEndian.Uint32(p[8:12])
+	p = p[12:]
+	rec.Ops = make([]Op, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 1 {
+			return Record{}, false
+		}
+		op := Op{Kind: p[0]}
+		p = p[1:]
+		switch op.Kind {
+		case OpInsertEdge, OpRemoveEdge:
+			if len(p) < 8 {
+				return Record{}, false
+			}
+			op.U = int32(binary.LittleEndian.Uint32(p[:4]))
+			op.V = int32(binary.LittleEndian.Uint32(p[4:8]))
+			p = p[8:]
+		case OpAddKeyword, OpRemoveKeyword:
+			if len(p) < 6 {
+				return Record{}, false
+			}
+			op.U = int32(binary.LittleEndian.Uint32(p[:4]))
+			wl := int(binary.LittleEndian.Uint16(p[4:6]))
+			p = p[6:]
+			if len(p) < wl {
+				return Record{}, false
+			}
+			op.Word = string(p[:wl])
+			p = p[wl:]
+		default:
+			return Record{}, false
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	if len(p) != 0 {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Append serialises rec, writes it with a single write call and — under
+// SyncAlways — fsyncs before returning. The record is durable (to the policy's
+// standard) once Append returns nil.
+func (l *Log) Append(rec Record) error {
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, rec.PreVersion)
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		l.buf = append(l.buf, op.Kind)
+		switch op.Kind {
+		case OpInsertEdge, OpRemoveEdge:
+			l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(op.U))
+			l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(op.V))
+		case OpAddKeyword, OpRemoveKeyword:
+			if len(op.Word) > maxWordBytes {
+				return fmt.Errorf("wal: keyword of %d bytes exceeds the record format's %d-byte limit", len(op.Word), maxWordBytes)
+			}
+			l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(op.U))
+			l.buf = binary.LittleEndian.AppendUint16(l.buf, uint16(len(op.Word)))
+			l.buf = append(l.buf, op.Word...)
+		default:
+			return fmt.Errorf("wal: unknown op kind %d", op.Kind)
+		}
+	}
+	payload := l.buf[8:]
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	binary.LittleEndian.PutUint32(l.buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.buf[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	l.size += int64(len(l.buf))
+	if l.policy == SyncAlways {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// Size returns the log's current size in bytes, header included.
+func (l *Log) Size() int64 { return l.size }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Sync flushes the log to stable storage regardless of policy.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// syncDir fsyncs the directory containing path, making a just-created or
+// just-renamed entry durable.
+func syncDir(path string) error {
+	dir := "."
+	if i := lastSlash(path); i >= 0 {
+		dir = path[:i+1]
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems reject fsync on directories; the rename itself is
+	// still atomic there, so degrade silently rather than failing the write.
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+func lastSlash(path string) int {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return i
+		}
+	}
+	return -1
+}
+
+// SyncDir exposes the directory fsync for the checkpoint machinery (snapshot
+// rename durability lives in the same package-level discipline as the log's).
+func SyncDir(path string) error { return syncDir(path) }

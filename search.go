@@ -143,7 +143,21 @@ type view struct {
 // view captures the master graph and index. The returned view aliases live
 // state: it is only safe to query while no mutator runs concurrently. Use
 // Snapshot for lock-free reads under concurrent updates.
-func (G *Graph) view() view { return view{g: G.g, tree: G.tree} }
+//
+// While a mapped boot's master is still deferred (OpenDurable clean
+// recovery), the published zero-copy snapshot stands in — it is exactly the
+// current state until the first mutation, and the first mutation
+// materialises the master.
+func (G *Graph) view() view {
+	if G.masterReady.Load() {
+		return view{g: G.g, tree: G.tree}
+	}
+	if s := G.snap.Load(); s != nil {
+		return s.v
+	}
+	G.ensureMaster()
+	return view{g: G.g, tree: G.tree}
+}
 
 // Search evaluates one attributed community query. It is the single
 // evaluation entrypoint: Query.Mode selects the community model (Problem 1

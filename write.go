@@ -7,6 +7,7 @@ import (
 
 	"github.com/acq-search/acq/internal/core"
 	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/wal"
 )
 
 // This file implements the LSM-style write path: once a graph is serving,
@@ -62,7 +63,11 @@ func (G *Graph) ApplyMutations(ops []Mutation) []MutationResult {
 	out := make([]MutationResult, len(ops))
 	G.mu.Lock()
 	defer G.mu.Unlock()
+	G.ensureMasterLocked()
 	n := int32(G.g.NumVertices())
+	v0 := G.version.Load()
+	var logOps []wal.Op // effective ops for the WAL, in application order
+	logging := G.dur != nil && G.dur.log != nil
 	effective := 0
 	for i, op := range ops {
 		switch op.Op {
@@ -95,9 +100,16 @@ func (G *Graph) ApplyMutations(ops []Mutation) []MutationResult {
 		if changed {
 			G.version.Add(1)
 			effective++
+			if logging {
+				logOps = append(logOps, walOpOfMutation(op))
+			}
 		}
 	}
 	if effective > 0 {
+		// The WAL record lands before the batch publishes or the caller is
+		// acknowledged: a snapshot never exposes state that a crash could
+		// take back.
+		G.durAppendLocked(v0, logOps)
 		G.afterWriteLocked()
 	}
 	return out
@@ -250,7 +262,10 @@ func (G *Graph) syncDeltaBytesLocked() {
 // frozen base fz, with t2 (the tree clone just published, may be nil) as the
 // reusable publication tree.
 func (G *Graph) resetDeltaLocked(fz *graph.Frozen, t2 *core.Tree) {
-	n := G.g.NumVertices()
+	// Counts come from fz, not the master: at every reset point the base is
+	// an exact freeze of the current state, and on a mapped boot the master
+	// does not exist yet.
+	n := fz.NumVertices()
 	G.base = fz
 	G.ovAdjIdx = fillNegOne(G.ovAdjIdx, n)
 	G.ovKwIdx = fillNegOne(G.ovKwIdx, n)
@@ -259,7 +274,7 @@ func (G *Graph) resetDeltaLocked(fz *graph.Frozen, t2 *core.Tree) {
 	G.ovDict, G.ovDictSize = nil, 0
 	total := 0
 	for v := 0; v < n; v++ {
-		total += len(G.g.Keywords(graph.VertexID(v)))
+		total += len(fz.Keywords(graph.VertexID(v)))
 	}
 	G.ovKwTotal = total
 	G.deltaOps.Store(0)
