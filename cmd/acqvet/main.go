@@ -1,0 +1,116 @@
+// Command acqvet runs the project's invariant analyzers (internal/analysis)
+// over Go packages. It speaks two protocols:
+//
+//	acqvet ./...                         # standalone, like `go vet ./...`
+//	go vet -vettool=$(which acqvet) ./... # unit protocol driven by the go command
+//
+// In both modes diagnostics print as file:line:col: message (analyzer), and
+// a non-zero exit reports findings (2) or an internal failure (1). Each
+// diagnostic can be suppressed at the offending line with an
+// `//acqvet:allow <analyzer>` comment carrying a justification; see
+// internal/analysis for the rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/acq-search/acq/internal/analysis"
+	"github.com/acq-search/acq/internal/analysis/cancelcheck"
+	"github.com/acq-search/acq/internal/analysis/errcodes"
+	"github.com/acq-search/acq/internal/analysis/lockio"
+	"github.com/acq-search/acq/internal/analysis/viewpurity"
+)
+
+// version participates in the go command's tool-ID handshake (-V=full); bump
+// it when analyzer behavior changes so vet caches invalidate.
+const version = "acqvet version 1.0.0"
+
+// suite is every analyzer acqvet runs, in reporting order.
+var suite = []*analysis.Analyzer{
+	cancelcheck.Analyzer,
+	errcodes.Analyzer,
+	lockio.Analyzer,
+	viewpurity.Analyzer,
+}
+
+func main() {
+	os.Exit(acqvetMain(os.Args[1:]))
+}
+
+func acqvetMain(args []string) int {
+	fs := flag.NewFlagSet("acqvet", flag.ContinueOnError)
+	fs.Usage = usage
+	vFlag := fs.String("V", "", "print version information ('full' is used by the go command)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flag set as JSON (go command protocol)")
+	jsonFlag := fs.Bool("json", false, "accepted for go vet compatibility; output format is unchanged")
+	_ = jsonFlag
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *vFlag != "" {
+		fmt.Println(version)
+		return 0
+	}
+	if *flagsFlag {
+		// No tool-specific flags are exposed to `go vet`.
+		fmt.Println("[]")
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && rest[0] == "help" {
+		usage()
+		return 0
+	}
+
+	// The go command invokes the tool with a single *.cfg argument per
+	// package unit.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		n, err := analysis.RunUnit(rest[0], suite, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acqvet:", err)
+			return 1
+		}
+		if n > 0 {
+			return 2
+		}
+		return 0
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acqvet:", err)
+		return 1
+	}
+	if err := analysis.FirstTypeError(pkgs); err != nil {
+		fmt.Fprintln(os.Stderr, "acqvet: typecheck:", err)
+		return 1
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acqvet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: acqvet [packages]\n       go vet -vettool=$(which acqvet) [packages]\n\nanalyzers:\n")
+	for _, a := range suite {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress a finding with an '//acqvet:allow <analyzer> — reason' comment\non the flagged line or the line above it.\n")
+}

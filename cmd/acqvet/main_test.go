@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/acq-search/acq/internal/analysis"
+)
+
+// TestSuiteCleanOnTree is the rot gate: the full analyzer suite must run
+// clean over the entire repository. A new invariant violation — an fsync
+// smuggled under a lock, a checkpoint-free hot loop, a View downcast, a raw
+// error code — fails this test (and CI's `go vet -vettool` step) until it is
+// fixed or carries a reviewed //acqvet:allow.
+func TestSuiteCleanOnTree(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := analysis.FirstTypeError(pkgs); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestStandaloneExitCodes drives the CLI entrypoint: findings exit 2 (over
+// the deliberately-violating fixture module), a clean package exits 0, and
+// the go command's -V=full handshake prints a version line.
+func TestStandaloneExitCodes(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures := filepath.Join(root, "internal", "analysis", "testdata", "src")
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := os.Chdir(fixtures); err != nil {
+		t.Fatal(err)
+	}
+	if got := acqvetMain([]string{"./lockio"}); got != 2 {
+		restore()
+		t.Fatalf("acqvet over the violating fixture: exit %d, want 2", got)
+	}
+	restore()
+
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	if got := acqvetMain([]string{"./internal/cancel"}); got != 0 {
+		restore()
+		t.Fatalf("acqvet over a clean package: exit %d, want 0", got)
+	}
+	restore()
+
+	if got := acqvetMain([]string{"-V=full"}); got != 0 {
+		t.Fatalf("acqvet -V=full: exit %d, want 0", got)
+	}
+}
+
+// TestGoVetVettool exercises the `go vet -vettool` unit protocol end to end
+// with a real acqvet binary: clean over a repository package, failing with
+// relayed diagnostics over the fixture module.
+func TestGoVetVettool(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "acqvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/acqvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building acqvet: %v\n%s", err, out)
+	}
+
+	clean := exec.Command("go", "vet", "-vettool="+tool, "./internal/cancel", "./internal/wal")
+	clean.Dir = root
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over clean packages: %v\n%s", err, out)
+	}
+
+	dirty := exec.Command("go", "vet", "-vettool="+tool, "./lockio")
+	dirty.Dir = filepath.Join(root, "internal", "analysis", "testdata", "src")
+	out, err := dirty.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool over the violating fixture passed:\n%s", out)
+	}
+	if !strings.Contains(string(out), "lockio") {
+		t.Fatalf("go vet output does not relay the lockio diagnostics:\n%s", out)
+	}
+}

@@ -117,4 +117,18 @@
 // build status), and every data endpoint exists per collection under
 // /v1/collections/{name}/... with the unsuffixed forms serving the
 // "default" collection.
+//
+// # Checked invariants
+//
+// Several of the guarantees above are enforced mechanically, not by
+// convention. The analyzers in internal/analysis — run by cmd/acqvet,
+// standalone or via go vet -vettool, and by CI — check that no blocking I/O
+// happens while a mutex is held (the durability path stages WAL rotations
+// and checkpoints off-lock), that graph-sized loops poll their
+// cancel.Checker, that served graph.View snapshots are never downcast or
+// mutated outside the owning packages, and that HTTP error codes come from
+// the generated registry (engine/errorcodes.go, regenerated from the README
+// table by go generate ./engine). Contributors adding a loop, a lock region
+// or an error code get a diagnostic — with a line-level, justified
+// //acqvet:allow escape hatch for the rare intentional exception.
 package acq

@@ -25,24 +25,37 @@ import (
 //	snapshot.acqm        the last checkpoint (mapped container, internal/dataio)
 //	snapshot.acqm.tmp    an in-flight checkpoint write; ignored and removed on open
 //	wal.log              the active write-ahead log (internal/wal)
+//	wal.log.tmp          the next log, staged by an in-flight rotation
 //	wal.prev-*           logs rotated out by a checkpoint that has not finished
 //
 // # Protocol
 //
 // Every mutation batch that changed the graph appends one WAL record — the
 // effective ops plus the graph version before them — under the writer lock,
-// before the mutator returns. A checkpoint then runs in three steps:
+// before the mutator returns. A checkpoint then runs in four steps:
 //
-//  1. Under the writer lock: fold the overlay (Compact ran just before),
-//     capture the frozen CSR arrays and the flattened tree skeleton, rotate
-//     wal.log aside to a version-stamped wal.prev-* and start a fresh log.
-//  2. Off-lock: write the capture to snapshot.acqm.tmp, fsync, atomically
-//     rename over snapshot.acqm, fsync the directory.
-//  3. Delete the rotated logs — every record they hold predates the new
+//  1. Off-lock: create the next log at wal.log.tmp (header written, file and
+//     directory fsynced) and probe the wal.prev-* rotation name, so the
+//     critical section never creates, fsyncs or closes a file.
+//  2. Under the writer lock: fold the overlay (Compact ran just before),
+//     capture the frozen CSR arrays and the flattened tree skeleton, then
+//     rotate — rename wal.log aside to the version-stamped wal.prev-* and
+//     rename wal.log.tmp into place as wal.log. The two renames are the only
+//     filesystem work under the lock (metadata-only, no fsync); they must
+//     sit here so the log split is atomic with the captured version.
+//  3. Off-lock: close the rotated-out log, write the capture to
+//     snapshot.acqm.tmp, fsync, atomically rename over snapshot.acqm, fsync
+//     the directory (which also makes the step-2 renames durable).
+//  4. Delete the rotated logs — every record they hold predates the new
 //     snapshot's version.
 //
-// A crash at any point loses nothing acknowledged: before the rename,
-// recovery replays snapshot + wal.prev-* + wal.log; after it, replay skips
+// A crash at any point loses nothing acknowledged: before the snapshot
+// rename, recovery replays snapshot + wal.prev-* + wal.log + wal.log.tmp
+// (the tmp log is replayed last: if the crash hit the window where the
+// step-2 renames were not yet durable, the records appended after rotation
+// live in the file whose durable name is still wal.log.tmp — journaled
+// metadata ordering guarantees the rotation rename is never less durable
+// than the swap that follows it). After the snapshot rename, replay skips
 // the rotated records by version (each record carries its pre-version, and
 // batches align with the captured version boundary). OpenDurable finishes by
 // checkpointing whenever it replayed records or found rotated logs, so a
@@ -52,6 +65,7 @@ import (
 const (
 	snapshotFile = "snapshot.acqm"
 	walFile      = "wal.log"
+	walTmpFile   = "wal.log.tmp"
 	walPrevGlob  = "wal.prev-*"
 
 	// DefaultCheckpointEvery is the number of effective mutations between
@@ -98,7 +112,8 @@ func (o DurableOptions) every() int {
 }
 
 // crashPoint, when non-nil, is called at the named durability crash windows
-// ("wal-append", "checkpoint-written", "checkpoint-renamed"). The crash-
+// ("wal-append", "wal-rotated", "checkpoint-written", "checkpoint-renamed").
+// The crash-
 // injection tests point it at os.Exit to prove every acknowledged batch
 // survives a kill inside any window. Always nil in production.
 var crashPoint func(string)
@@ -278,6 +293,7 @@ func OpenDurable(o DurableOptions) (*Graph, error) {
 	os.Remove(snapPath + ".tmp")
 	snapV := mapped.GraphVersion()
 	walPath := filepath.Join(o.Dir, walFile)
+	walTmpPath := filepath.Join(o.Dir, walTmpFile)
 	prevs, err := sortedWalPrevs(o.Dir)
 	if err != nil {
 		return nil, err
@@ -286,10 +302,16 @@ func OpenDurable(o DurableOptions) (*Graph, error) {
 
 	// Pre-scan: does any intact record postdate the snapshot? Read-only and
 	// O(records) — it decides whether boot can stay on the zero-copy fast
-	// path without materialising the mutable master at all.
+	// path without materialising the mutable master at all. wal.log.tmp is
+	// scanned too: a crash inside a checkpoint's rotation window can leave
+	// the newest acknowledged records under the staged name (see the
+	// protocol comment).
 	dirty := len(prevs) > 0
-	if !dirty {
-		if _, err := wal.Replay(walPath, func(rec wal.Record) error {
+	for _, p := range []string{walPath, walTmpPath} {
+		if dirty {
+			break
+		}
+		if _, err := wal.Replay(p, func(rec wal.Record) error {
 			if rec.PreVersion+uint64(len(rec.Ops)) > snapV {
 				dirty = true
 			}
@@ -300,6 +322,9 @@ func OpenDurable(o DurableOptions) (*Graph, error) {
 	}
 
 	if !dirty && mapped.HasTree() {
+		// A staged rotation that never recorded anything past the snapshot
+		// is inert; clear it so the directory is clean again.
+		os.Remove(walTmpPath)
 		// Clean recovery: the mapped arrays are exactly the current state, so
 		// the first served snapshot reads straight from the mapping — the
 		// zero-copy cold start. The mutable master (a second, copy-on-write
@@ -391,12 +416,36 @@ func OpenDurable(o DurableOptions) (*Graph, error) {
 	if log, _, err := wal.Open(walPath, policy, replay); err == nil {
 		d.log = log
 	} else if errors.Is(err, os.ErrNotExist) {
-		// Crash between the snapshot rename and the log creation: recreate.
+		// Crash inside a rotation window: the live records, if any, are
+		// still under the staged name, replayed just below. Recreate.
 		if d.log, err = wal.Create(walPath, policy); err != nil {
 			return nil, err
 		}
 	} else {
 		return nil, err
+	}
+	// The staged log replays last: its records (appended after a rotation
+	// whose renames never became durable) are the newest.
+	vWal := G.version.Load()
+	appliedBeforeTmp := applied
+	if _, err := wal.Replay(walTmpPath, replay); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	if applied > appliedBeforeTmp {
+		// The staged log holds live records, and the settle checkpoint below
+		// stages its own rotation at the same name (truncating it). Move
+		// both logs aside as wal.prev-* first — active then staged, the
+		// order a second crash must replay them in — and start clean.
+		if err := d.log.RenameInto(walPrevName(o.Dir, vWal)); err != nil {
+			return nil, err
+		}
+		if err := os.Rename(walTmpPath, walPrevName(o.Dir, G.version.Load())); err != nil {
+			return nil, err
+		}
+		d.log.Close()
+		if d.log, err = wal.Create(walPath, policy); err != nil {
+			return nil, err
+		}
 	}
 	d.walBytes.Store(d.log.Size())
 	d.lastCkptVersion.Store(snapV)
@@ -411,6 +460,10 @@ func OpenDurable(o DurableOptions) (*Graph, error) {
 			return nil, err
 		}
 	}
+	// The staged log is fully accounted for: any record it held either
+	// predated the snapshot or was replayed and folded by the settle
+	// checkpoint above.
+	os.Remove(walTmpPath)
 	ok = true
 	return G, nil
 }
@@ -468,8 +521,10 @@ func (G *Graph) durAppendLocked(preVersion uint64, ops []wal.Op) {
 	if d == nil || d.log == nil || len(ops) == 0 {
 		return
 	}
+	//acqvet:allow lockio — the deliberate exception: a batch's record must be on the log (fsync per policy) before the write acks, and acks are ordered by G.mu
 	if err := d.log.Append(wal.Record{PreVersion: preVersion, Ops: ops}); err != nil {
 		d.setErr(err)
+		//acqvet:allow lockio — teardown on a failing disk; logging is being disabled, there is no good time
 		d.log.Close()
 		d.log = nil
 		return
@@ -530,11 +585,41 @@ func (G *Graph) checkpointOnce() error {
 	}
 
 	G.mu.Lock()
-	v := G.version.Load()
-	if d.everCheckpointed.Load() && v == d.lastCkptVersion.Load() && len(prevs) == 0 && d.log != nil {
+	if d.everCheckpointed.Load() && G.version.Load() == d.lastCkptVersion.Load() &&
+		len(prevs) == 0 && d.log != nil {
 		G.mu.Unlock()
 		return nil // nothing new, nothing to settle
 	}
+	G.mu.Unlock()
+
+	// Step 1 of the protocol (see the file comment): stage the rotation
+	// off-lock. The next log is created — header written, file and directory
+	// fsynced — at wal.log.tmp, and the rotation name for the current log is
+	// probed now. The probe's version stamp may lag the one captured under
+	// the lock below; rotation order (all the stamp exists for) stays
+	// monotone because ckptMu serialises checkpoints and the -NNN suffix
+	// breaks ties.
+	prevName := walPrevName(d.dir, G.version.Load())
+	fresh, err := wal.Create(filepath.Join(d.dir, walTmpFile), d.policy)
+	if err != nil {
+		// The current log, if any, keeps logging; the next checkpoint
+		// retries the rotation.
+		d.setErr(err)
+		return err
+	}
+	discardFresh := func() {
+		fresh.Close()
+		os.Remove(filepath.Join(d.dir, walTmpFile))
+	}
+
+	// Step 2: the critical section — capture and rotate. The two renames
+	// below are the only filesystem work done while G.mu is held: they make
+	// the log split atomic with the captured version, and they are
+	// metadata-only (no fsync — durability of the new names rides on the
+	// snapshot path's directory fsync, and recovery replays wal.log.tmp for
+	// the window before that lands).
+	G.mu.Lock()
+	v := G.version.Load()
 	// Anything past the no-op check writes a snapshot, and that capture needs
 	// the master's tree — materialise a deferred mapped boot first.
 	G.ensureMasterLocked()
@@ -548,29 +633,43 @@ func (G *Graph) checkpointOnce() error {
 		fz = G.g.FreezeReuse(workers, G.base)
 	}
 	ft := dataio.FlattenTree(G.tree)
-	// Rotate: records up to v move aside, the fresh log takes everything
-	// after. Both are replayed on recovery until the rename below lands.
-	if d.log != nil {
-		d.log.Close()
-		if err := os.Rename(d.log.Path(), walPrevName(d.dir, v)); err != nil {
+	// Rotate: records up to v move aside, the staged log takes everything
+	// after. Both are replayed on recovery until the snapshot rename lands.
+	retire := d.log
+	if retire != nil {
+		//acqvet:allow lockio — rotation rename: metadata-only, must be atomic with the version capture
+		if err := retire.RenameInto(prevName); err != nil {
 			d.log = nil
 			d.setErr(err)
 			G.mu.Unlock()
+			retire.Close()
+			discardFresh()
 			return err
 		}
 	}
-	log, err := wal.Create(filepath.Join(d.dir, walFile), d.policy)
-	if err != nil {
+	//acqvet:allow lockio — swap rename: metadata-only, second half of the atomic rotation
+	if err := fresh.RenameInto(filepath.Join(d.dir, walFile)); err != nil {
 		d.log = nil
 		d.setErr(err)
 		G.mu.Unlock()
+		if retire != nil {
+			retire.Close()
+		}
+		discardFresh()
 		return err
 	}
-	d.log = log
-	d.walBytes.Store(log.Size())
+	d.log = fresh
+	d.walBytes.Store(fresh.Size())
 	d.checkpointing.Store(true)
 	defer d.checkpointing.Store(false)
 	G.mu.Unlock()
+
+	// Step 3, off-lock: retire the rotated-out descriptor (its records are
+	// already as durable as the sync policy promised) and write the capture.
+	crash("wal-rotated")
+	if retire != nil {
+		retire.Close()
+	}
 
 	// Write + atomic install, off-lock.
 	snapPath := filepath.Join(d.dir, snapshotFile)

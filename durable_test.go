@@ -266,9 +266,10 @@ func TestCrashHelper(t *testing.T) {
 	case "wal-append":
 		// Dies inside ApplyMutations, right after the record hit the log.
 		G.ApplyMutations(last)
-	case "checkpoint-written", "checkpoint-renamed":
-		// The acked batches are in the WAL; the checkpoint dies after
-		// writing the temp snapshot / after renaming it.
+	case "wal-rotated", "checkpoint-written", "checkpoint-renamed":
+		// The acked batches are in the WAL; the checkpoint dies right after
+		// the rotation critical section / after writing the temp snapshot /
+		// after renaming it.
 		if err := G.Checkpoint(); err != nil {
 			t.Fatal(err)
 		}
@@ -284,7 +285,7 @@ func TestCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, point := range []string{"wal-append", "checkpoint-written", "checkpoint-renamed"} {
+	for _, point := range []string{"wal-append", "wal-rotated", "checkpoint-written", "checkpoint-renamed"} {
 		t.Run(point, func(t *testing.T) {
 			dir := filepath.Join(t.TempDir(), "col")
 			cmd := exec.Command(exe, "-test.run", "^TestCrashHelper$")

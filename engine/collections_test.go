@@ -186,7 +186,7 @@ func TestCollectionCreateErrors(t *testing.T) {
 	cases := []struct {
 		name   string
 		body   string
-		code   string
+		code   errorCode
 		status int
 	}{
 		{"garbage", `not json`, codeBadRequest, 400},

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// readmeCodeRow matches one row of README's error-code table:
+// `| `code` | 400 | meaning |`. Kept in sync with engine/gen, which renders
+// the same rows into errorcodes.go.
+var readmeCodeRow = regexp.MustCompile("^\\|\\s*`([a-z0-9_]+)`\\s*\\|\\s*(\\d{3})\\s*\\|")
+
+// TestErrorCodesMatchREADME pins the generated registry to README's table
+// from the documentation side: every table row must be a registry constant
+// with the same status, and every registry code must have a table row. The
+// errcodes analyzer (cmd/acqvet) pins it from the code side — no raw
+// literals, no unreachable constants — so the three views (README, registry,
+// handlers) cannot drift apart without failing a gate.
+func TestErrorCodesMatchREADME(t *testing.T) {
+	readme, err := os.ReadFile("../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(readme), "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.TrimSpace(l) == "| Code | HTTP | Meaning |" {
+			if start >= 0 {
+				t.Fatal("README.md has two error-code tables")
+			}
+			start = i
+		}
+	}
+	if start < 0 {
+		t.Fatal("README.md has no error-code table")
+	}
+
+	documented := make(map[errorCode]int)
+	for _, l := range lines[start+1:] {
+		if !strings.HasPrefix(strings.TrimSpace(l), "|") {
+			break
+		}
+		m := readmeCodeRow.FindStringSubmatch(l)
+		if m == nil {
+			continue // the |---| separator
+		}
+		status, err := strconv.Atoi(m[2])
+		if err != nil {
+			t.Fatalf("row %q: %v", l, err)
+		}
+		code := errorCode(m[1])
+		if _, dup := documented[code]; dup {
+			t.Errorf("README documents %q twice", code)
+		}
+		documented[code] = status
+	}
+	if len(documented) == 0 {
+		t.Fatal("README error-code table has no rows")
+	}
+
+	for code, status := range documented {
+		got, ok := codeStatus[code]
+		if !ok {
+			t.Errorf("README documents %q but the registry lacks it; run `go generate ./engine`", code)
+			continue
+		}
+		if got != status {
+			t.Errorf("code %q: README says HTTP %d, registry says %d; run `go generate ./engine`", code, status, got)
+		}
+	}
+	for code := range codeStatus {
+		if _, ok := documented[code]; !ok {
+			t.Errorf("registry has %q but README's table does not document it", code)
+		}
+	}
+}

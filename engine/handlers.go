@@ -117,7 +117,7 @@ func handleRemoved(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodGet {
 		replacement = "POST /v1/search"
 	}
-	writeJSON(w, http.StatusGone, map[string]any{"error": wireError{
+	writeJSON(w, codeStatus[codeEndpointRemoved], map[string]any{"error": wireError{
 		Code:    codeEndpointRemoved,
 		Message: fmt.Sprintf("%s %s was removed; use %s instead", r.Method, r.URL.Path, replacement),
 	}})
@@ -439,85 +439,69 @@ func (wq wireQuery) toQuery() (acq.Query, error) {
 
 var errMissingVertex = errors.New("missing vertex (label) or id (dense vertex ID)")
 
-// wireError is the structured error envelope of the v1 protocol.
+// wireError is the structured error envelope of the v1 protocol. Code is
+// typed: the errcodes analyzer (cmd/acqvet) rejects raw string literals in
+// errorCode positions, so every code a handler can emit is a constant from
+// the generated registry below — and therefore a row of README's table.
 type wireError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code    errorCode `json:"code"`
+	Message string    `json:"message"`
 }
 
-// v1 error codes, and the HTTP statuses they ride on.
-const (
-	codeBadRequest         = "bad_request"          // 400: malformed JSON, missing vertex, bad op/name
-	codeBadK               = "bad_k"                // 400
-	codeBadTheta           = "bad_theta"            // 400: θ or τ outside (0, 1]
-	codeBadMode            = "bad_mode"             // 400
-	codeBadAlgorithm       = "bad_algorithm"        // 400
-	codeTooManyQueries     = "too_many_queries"     // 400: batch over MaxBatchQueries
-	codeTooManyMutations   = "too_many_mutations"   // 400: mutation batch over MaxBatchMutations
-	codeVertexNotFound     = "vertex_not_found"     // 404
-	codeNoKCore            = "no_k_core"            // 404: no community can satisfy k
-	codeCollectionNotFound = "collection_not_found" // 404: unknown collection name
-	codeCollectionExists   = "collection_exists"    // 409: create against a taken name
-	codeNotDurable         = "not_durable"          // 409: checkpoint on a non-durable collection
-	codeEndpointRemoved    = "endpoint_removed"     // 410: the endpoint's deprecation window ended
-	codeBodyTooLarge       = "body_too_large"       // 413: body over MaxBodyBytes
-	codeCanceled           = "canceled"             // 499: client went away
-	codeCollectionFailed   = "collection_failed"    // 500: async load/build failed
-	codeNoIndex            = "no_index"             // 503
-	codeIndexBuilding      = "index_building"       // 503: collection still loading/indexing
-	codeDeadlineExceeded   = "deadline_exceeded"    // 504: server/request timeout
-)
-
-// statusClientClosedRequest is nginx's non-standard 499: the client
-// disconnected before the response was written. Nothing standard fits
-// "evaluation canceled because nobody is listening", and the code is widely
-// understood by proxies and dashboards.
-const statusClientClosedRequest = 499
+// The registry (errorcodes.go: the errorCode constants + codeStatus map) is
+// rendered from README.md's error-code table.
+//go:generate go run ./gen
 
 // errorInfo classifies a search, mutation or lifecycle error into its v1
-// code and HTTP status.
-func errorInfo(err error) (code string, status int) {
+// code and the HTTP status that code rides on. The code→status pairing
+// lives only in the generated registry, i.e. in README's table.
+func errorInfo(err error) (errorCode, int) {
+	code := errorCodeOf(err)
+	return code, codeStatus[code]
+}
+
+func errorCodeOf(err error) errorCode {
 	var tooLarge *http.MaxBytesError
 	switch {
 	case errors.Is(err, acq.ErrCanceled) && errors.Is(err, context.DeadlineExceeded):
-		return codeDeadlineExceeded, http.StatusGatewayTimeout
+		return codeDeadlineExceeded
 	case errors.Is(err, acq.ErrCanceled):
-		return codeCanceled, statusClientClosedRequest
+		return codeCanceled
 	case errors.Is(err, acq.ErrVertexNotFound), errors.Is(err, errUnknownVertex):
-		return codeVertexNotFound, http.StatusNotFound
+		return codeVertexNotFound
 	case errors.Is(err, acq.ErrNoKCore):
-		return codeNoKCore, http.StatusNotFound
+		return codeNoKCore
 	case errors.Is(err, acq.ErrBadK):
-		return codeBadK, http.StatusBadRequest
+		return codeBadK
 	case errors.Is(err, acq.ErrBadTheta):
-		return codeBadTheta, http.StatusBadRequest
+		return codeBadTheta
 	case errors.Is(err, acq.ErrBadMode):
-		return codeBadMode, http.StatusBadRequest
+		return codeBadMode
 	case errors.Is(err, acq.ErrBadAlgorithm):
-		return codeBadAlgorithm, http.StatusBadRequest
+		return codeBadAlgorithm
 	case errors.Is(err, acq.ErrNoIndex):
-		return codeNoIndex, http.StatusServiceUnavailable
+		return codeNoIndex
 	case errors.Is(err, ErrCollectionNotFound):
-		return codeCollectionNotFound, http.StatusNotFound
+		return codeCollectionNotFound
 	case errors.Is(err, ErrCollectionExists):
-		return codeCollectionExists, http.StatusConflict
+		return codeCollectionExists
 	case errors.Is(err, acq.ErrNotDurable):
-		return codeNotDurable, http.StatusConflict
+		return codeNotDurable
 	case errors.Is(err, ErrIndexBuilding):
-		return codeIndexBuilding, http.StatusServiceUnavailable
+		return codeIndexBuilding
 	case errors.Is(err, errCollectionFailed):
-		return codeCollectionFailed, http.StatusInternalServerError
+		return codeCollectionFailed
 	// Raw context errors surface from the write path, which checks the
 	// request context before applying a mutation (searches wrap them in
 	// acq.ErrCanceled, handled above).
 	case errors.Is(err, context.DeadlineExceeded):
-		return codeDeadlineExceeded, http.StatusGatewayTimeout
+		return codeDeadlineExceeded
 	case errors.Is(err, context.Canceled):
-		return codeCanceled, statusClientClosedRequest
+		return codeCanceled
 	case errors.As(err, &tooLarge):
-		return codeBodyTooLarge, http.StatusRequestEntityTooLarge
+		return codeBodyTooLarge
 	default:
-		return codeBadRequest, http.StatusBadRequest
+		return codeBadRequest
 	}
 }
 
@@ -634,7 +618,7 @@ func (e *Engine) serveBatchV1(w http.ResponseWriter, r *http.Request, c *Collect
 		return
 	}
 	if maxQ := e.cfg.maxBatchQueries(); maxQ > 0 && len(req.Queries) > maxQ {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": wireError{
+		writeJSON(w, codeStatus[codeTooManyQueries], map[string]any{"error": wireError{
 			Code:    codeTooManyQueries,
 			Message: fmt.Sprintf("batch of %d queries exceeds the server limit of %d", len(req.Queries), maxQ),
 		}})
@@ -807,7 +791,7 @@ func (e *Engine) serveMutationsV1(w http.ResponseWriter, r *http.Request, c *Col
 		return
 	}
 	if maxM := e.cfg.maxBatchMutations(); maxM > 0 && len(req.Mutations) > maxM {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": wireError{
+		writeJSON(w, codeStatus[codeTooManyMutations], map[string]any{"error": wireError{
 			Code:    codeTooManyMutations,
 			Message: fmt.Sprintf("batch of %d mutations exceeds the server limit of %d", len(req.Mutations), maxM),
 		}})

@@ -145,7 +145,7 @@ func TestV1MutationsClientGone(t *testing.T) {
 		strings.NewReader(`{"mutations":[{"op":"insert_edge","u":"loner","v":"jack"}]}`)).WithContext(ctx)
 	rec := httptest.NewRecorder()
 	e.Handler().ServeHTTP(rec, req)
-	if rec.Code != statusClientClosedRequest {
+	if rec.Code != codeStatus[codeCanceled] {
 		t.Fatalf("status = %d, want 499 (%s)", rec.Code, rec.Body)
 	}
 	if e.Graph().NumEdges() != 6 {

@@ -76,7 +76,7 @@ func TestV1SearchStructuredErrors(t *testing.T) {
 	cases := []struct {
 		name   string
 		body   string
-		code   string
+		code   errorCode
 		status int
 	}{
 		{"garbage", `not json`, "bad_request", 400},
@@ -113,7 +113,7 @@ func TestV1SearchClientDisconnect(t *testing.T) {
 	req := httptest.NewRequest("POST", "/v1/search", strings.NewReader(`{"query":{"vertex":"jack","k":3}}`)).WithContext(ctx)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	if rec.Code != statusClientClosedRequest {
+	if rec.Code != codeStatus[codeCanceled] {
 		t.Fatalf("status = %d, want 499 (%s)", rec.Code, rec.Body)
 	}
 	if !strings.Contains(rec.Body.String(), `"canceled"`) {
@@ -187,7 +187,7 @@ func TestV1BatchTooManyQueries(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400 (%s)", rec.Code, rec.Body)
 	}
-	if !strings.Contains(rec.Body.String(), codeTooManyQueries) {
+	if !strings.Contains(rec.Body.String(), string(codeTooManyQueries)) {
 		t.Fatalf("body = %s, want too_many_queries", rec.Body)
 	}
 	// Legacy /batch honours the same limit with its legacy error shape.
@@ -206,7 +206,7 @@ func TestV1BodyTooLarge(t *testing.T) {
 		if rec.Code != http.StatusRequestEntityTooLarge {
 			t.Fatalf("%s: status = %d, want 413 (%s)", target, rec.Code, rec.Body)
 		}
-		if !strings.Contains(rec.Body.String(), codeBodyTooLarge) {
+		if !strings.Contains(rec.Body.String(), string(codeBodyTooLarge)) {
 			t.Fatalf("%s: body = %s, want body_too_large", target, rec.Body)
 		}
 	}

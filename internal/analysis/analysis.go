@@ -1,0 +1,219 @@
+// Package analysis is the project's static-analysis framework: a small,
+// dependency-free core in the shape of golang.org/x/tools/go/analysis, plus a
+// package loader built on `go list -export` and the standard library's gc
+// export-data importer. The engine's correctness rests on invariants that a
+// compiler cannot see — no blocking I/O under the publication locks, a
+// cancellation checkpoint in every graph-sized query loop, algorithms never
+// downcasting graph.View to the mutable graph, and a closed vocabulary of
+// structured error codes — and the analyzers under internal/analysis/...
+// enforce exactly those. cmd/acqvet drives them, standalone and as a
+// `go vet -vettool`.
+//
+// # Suppressions
+//
+// A diagnostic is suppressed by an `//acqvet:allow <name>` comment on the
+// flagged line or the line directly above it, where <name> is the analyzer's
+// name (a comma-separated list suppresses several). Everything after the
+// name list is free-text justification; by convention every allow carries
+// one, because each marks a deliberate, reviewed exception to an invariant:
+//
+//	//acqvet:allow lockio — the WAL append must ack under the writer lock
+//	d.log.Append(rec)
+//
+// The framework deliberately has no cross-package fact propagation: every
+// analyzer is intra-package (and mostly intra-procedural), which keeps the
+// `go vet` unit protocol trivial and the diagnostics explainable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //acqvet:allow comments.
+	Name string
+	// Doc is the one-paragraph description printed by `acqvet help`.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package and
+// collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	// allowed maps filename → line → analyzer names suppressed on that line
+	// (built once per package, shared across passes).
+	allowed map[string]map[int][]string
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless an //acqvet:allow comment on the
+// same or preceding line names this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant shorthand for p.TypesInfo.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes (a package
+// function, method, or promoted method), or nil for calls through function
+// values, built-ins and conversions.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := p.TypesInfo.Uses[id].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// IsTestFile reports whether f is a _test.go file. The analyzers skip test
+// files: tests legitimately hold locks around fault injection, mutate master
+// graphs directly, and compare raw error-code strings.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+func (p *Pass) allowedAt(pos token.Position) bool {
+	lines := p.allowed[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//acqvet:allow"
+
+// buildAllowed indexes every //acqvet:allow comment of the package by file
+// and line. A comment suppresses the named analyzers on its own line (end-of-
+// line form) and on the line that follows it (own-line form).
+func buildAllowed(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	allowed := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				names := parseAllowNames(rest)
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := allowed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					allowed[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+			}
+		}
+	}
+	return allowed
+}
+
+// parseAllowNames extracts the analyzer-name list from the text after the
+// allow marker: the first whitespace-delimited field, split on commas; the
+// rest of the comment is free-text justification.
+func parseAllowNames(rest string) []string {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Analyzer errors (not findings) abort the
+// run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := buildAllowed(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+				allowed:   allowed,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

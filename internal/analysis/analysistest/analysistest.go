@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over the fixture module in
+// internal/analysis/testdata/src and checks its diagnostics against
+// expectations written in the fixtures themselves, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	for _, v := range vs { // want "graph-sized loop without a cancellation checkpoint"
+//
+// A `// want "substring"` comment demands exactly one diagnostic on its line
+// whose message contains the quoted substring; every diagnostic must be
+// demanded by some want. Suppression fixtures need no annotation at all — an
+// //acqvet:allow line that still produced a diagnostic fails as an unwanted
+// finding, which is precisely the regression being guarded.
+//
+// The fixture tree is its own Go module (fixture.example) so `go list` can
+// load it offline; its internal/graph, internal/cancel, internal/truss and
+// internal/wal packages are miniature stand-ins with the same import-path
+// suffixes the analyzers key on.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/acq-search/acq/internal/analysis"
+)
+
+// wantRE extracts the quoted substring of a `// want "..."` comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture packages matching patterns from the fixture module
+// rooted at srcDir (usually "../testdata/src" relative to the analyzer's
+// test file) and asserts that a's diagnostics exactly match the fixtures'
+// want comments.
+func Run(t *testing.T, srcDir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	dir, err := filepath.Abs(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages match %q", patterns)
+	}
+	if err := analysis.FirstTypeError(pkgs); err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(pkgs)
+	for _, d := range diags {
+		key := posKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if !w.matched && strings.Contains(d.Message, w.substr) {
+				wants[key][i].matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: expected a diagnostic containing %q, got none",
+					a.Name, key.file, key.line, w.substr)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	substr  string
+	matched bool
+}
+
+// collectWants indexes every want comment of the loaded fixture files by
+// file and line.
+func collectWants(pkgs []*analysis.Package) map[posKey][]want {
+	wants := make(map[posKey][]want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					substr, err := unquoteWant(m[1])
+					if err != nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := posKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], want{substr: substr})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// unquoteWant resolves the \" and \\ escapes the wantRE capture allows.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			if i == len(s) {
+				return "", fmt.Errorf("trailing backslash in want %q", s)
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,346 @@
+// Package cancelcheck enforces the cooperative-cancellation contract from
+// PR 3: any loop whose trip count scales with the graph must reach an
+// internal/cancel checkpoint — a Checker method call in its body, or a call
+// that hands the Checker (directly or inside a receiver struct) to a callee
+// that checkpoints on the caller's behalf. Without this, a canceled or
+// deadline-expired query keeps burning a CPU until its peeling loop finishes
+// on its own.
+//
+// The analyzer is deliberately scoped to functions that already have a
+// *cancel.Checker in scope (parameter, local, or a field of the receiver):
+// those are the query paths that opted into cancellation, and the invariant
+// is that having opted in, no graph-sized loop may sit outside it. A loop is
+// "graph-sized" when it ranges over vertex/keyword/edge identifier
+// collections (graph.VertexID, graph.KeywordID, truss.EdgeID), over the
+// result of a View adjacency/keyword scan, or when its condition consults
+// NumVertices/NumEdges/Degree or the length of such a collection. Loops that
+// a human can see are small (fixed bounds, option lists) do not match the
+// heuristic; genuinely exempt matches carry //acqvet:allow cancelcheck.
+package cancelcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/acq-search/acq/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "cancelcheck",
+	Doc:  "require a cancellation checkpoint in every graph-sized loop of checker-scoped functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !checkerInScope(pass, fd) {
+				continue
+			}
+			// A checkpoint in the function's straight-line code (before any
+			// loop) covers the body the same way a ticking outer loop
+			// covers its inner ones: the call itself was metered, so its
+			// loops are the amortized per-call work. This is the
+			// "ticked once per expansion" recursion pattern.
+			checkBody(pass, fd.Body, directCheckpoint(pass, fd.Body))
+		}
+	}
+	return nil
+}
+
+// isCheckerType reports whether t is *cancel.Checker.
+func isCheckerType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Checker" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/cancel")
+}
+
+// hasCheckerField reports whether t (after pointer indirection) is a struct
+// with a *cancel.Checker field — the env-struct convention the query paths
+// use to thread one checker through a whole traversal.
+func hasCheckerField(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isCheckerType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkerInScope reports whether fd has a *cancel.Checker reachable without
+// a call: a parameter or named result, a local, or a field of the receiver.
+func checkerInScope(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			if t := pass.TypeOf(f.Type); t != nil && hasCheckerField(t) {
+				return true
+			}
+		}
+	}
+	for _, f := range fd.Type.Params.List {
+		if t := pass.TypeOf(f.Type); t != nil && (isCheckerType(t) || hasCheckerField(t)) {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, isDef := pass.TypesInfo.Defs[id]; isDef && obj != nil {
+				if isCheckerType(obj.Type()) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// graphElemType reports whether t is one of the graph-scale identifier
+// types the hot loops iterate: graph.VertexID, graph.KeywordID, truss.EdgeID.
+func graphElemType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Name() {
+	case "VertexID", "KeywordID":
+		return strings.HasSuffix(obj.Pkg().Path(), "internal/graph")
+	case "EdgeID":
+		return strings.HasSuffix(obj.Pkg().Path(), "internal/truss")
+	}
+	return false
+}
+
+// graphSizedCollection reports whether t is a slice/array/map over
+// graph-scale identifiers.
+func graphSizedCollection(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return graphElemType(u.Elem())
+	case *types.Array:
+		return graphElemType(u.Elem())
+	case *types.Map:
+		return graphElemType(u.Key()) || graphElemType(u.Elem())
+	}
+	return false
+}
+
+// viewScanMethods are View methods whose results are adjacency- or
+// vertex-set-sized; ranging over one is a graph-sized loop even before the
+// element heuristic fires.
+var viewScanMethods = map[string]bool{
+	"Neighbors":      true,
+	"Keywords":       true,
+	"KeywordStrings": true,
+}
+
+// sizeMethods are the View methods a for-condition consults when counting to
+// graph scale.
+var sizeMethods = map[string]bool{
+	"NumVertices": true,
+	"NumEdges":    true,
+	"Degree":      true,
+}
+
+func isGraphMethodCall(pass *analysis.Pass, call *ast.CallExpr, set map[string]bool) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || !set[fn.Name()] {
+		return false
+	}
+	pkg := fn.Pkg()
+	return pkg != nil && (strings.HasSuffix(pkg.Path(), "internal/graph") ||
+		strings.HasSuffix(pkg.Path(), "internal/truss"))
+}
+
+// graphSizedLoop classifies a loop statement.
+func graphSizedLoop(pass *analysis.Pass, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.RangeStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok &&
+			isGraphMethodCall(pass, call, viewScanMethods) {
+			return true
+		}
+		return graphSizedCollection(pass.TypeOf(s.X))
+	case *ast.ForStmt:
+		if s.Cond == nil {
+			return false
+		}
+		sized := false
+		ast.Inspect(s.Cond, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || sized {
+				return !sized
+			}
+			if isGraphMethodCall(pass, call, sizeMethods) {
+				sized = true
+				return false
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" && len(call.Args) == 1 {
+				if graphSizedCollection(pass.TypeOf(call.Args[0])) {
+					sized = true
+					return false
+				}
+			}
+			return true
+		})
+		return sized
+	}
+	return false
+}
+
+// isCheckpointCall reports whether call reaches the checker: a method call
+// on a *cancel.Checker, a call passing one as an argument, or a method call
+// on a value whose struct carries one (delegation by env).
+func isCheckpointCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		if recv := pass.TypeOf(sel.X); recv != nil && (isCheckerType(recv) || hasCheckerField(recv)) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if t := pass.TypeOf(arg); t != nil && (isCheckerType(t) || hasCheckerField(t)) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkpoints reports whether any checkpoint call appears under body,
+// however deeply nested.
+func checkpoints(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall && isCheckpointCall(pass, call) {
+			ok = true
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// directCheckpoint reports whether body checkpoints outside any nested loop
+// or function literal — the per-element tick that, by the PR 3 convention,
+// amortizes over everything one iteration does (including its inner
+// adjacency scans, which are degree-bounded).
+func directCheckpoint(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt, *ast.ForStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isCheckpointCall(pass, n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkBody reports graph-sized loops that neither checkpoint themselves nor
+// run under an enclosing loop whose body ticks per iteration. When both an
+// outer and its inner loop offend, only the innermost is reported — that is
+// where the fix belongs.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, covered0 bool) {
+	var visitLoops func(root ast.Node, covered bool)
+	visitLoops = func(root ast.Node, covered bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil || n == root {
+				return true
+			}
+			if lit, isLit := n.(*ast.FuncLit); isLit {
+				// A literal's loops are analyzed, but coverage does not
+				// cross the closure boundary: the literal may run outside
+				// the ticking loop. Its own entry checkpoint, if any,
+				// covers it (per-call amortization).
+				visitLoops(lit.Body, directCheckpoint(pass, lit.Body))
+				return false
+			}
+			lb := loopBodyOf(n)
+			if lb == nil {
+				return true
+			}
+			if graphSizedLoop(pass, n.(ast.Stmt)) && !covered &&
+				!checkpoints(pass, lb) && !hasOffendingInner(pass, lb) {
+				pass.Reportf(n.Pos(), "graph-sized loop without a cancellation checkpoint (call check.Tick or delegate the *cancel.Checker)")
+			}
+			visitLoops(lb, covered || directCheckpoint(pass, lb))
+			return false
+		})
+	}
+	visitLoops(body, covered0)
+}
+
+// hasOffendingInner reports whether a nested loop under body is itself
+// graph-sized; body is known checkpoint-free when this is asked, so such a
+// loop is the innermost offender and takes the report.
+func hasOffendingInner(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	inner := false
+	ast.Inspect(body, func(m ast.Node) bool {
+		if inner || m == nil {
+			return false
+		}
+		switch m.(type) {
+		case *ast.RangeStmt, *ast.ForStmt:
+			if graphSizedLoop(pass, m.(ast.Stmt)) {
+				inner = true
+				return false
+			}
+		}
+		return true
+	})
+	return inner
+}
+
+func loopBodyOf(n ast.Node) *ast.BlockStmt {
+	switch s := n.(type) {
+	case *ast.RangeStmt:
+		return s.Body
+	case *ast.ForStmt:
+		return s.Body
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package cancelcheck_test
+
+import (
+	"testing"
+
+	"github.com/acq-search/acq/internal/analysis/analysistest"
+	"github.com/acq-search/acq/internal/analysis/cancelcheck"
+)
+
+func TestCancelCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", cancelcheck.Analyzer, "fixture.example/cancelcheck")
+}

@@ -1,0 +1,152 @@
+// Package errcodes keeps the structured error-code vocabulary closed. The
+// engine documents every wire code in README's error table, a go:generate
+// step renders that table into engine/errorcodes.go (the typed errorCode
+// constants plus the code→status map), and this analyzer pins the code to
+// the registry from both sides:
+//
+//   - no raw string literal may flow into a position typed errorCode
+//     outside the generated registry file — handlers must name constants,
+//     so an undocumented code cannot be returned;
+//   - every registry constant must be used somewhere outside the generated
+//     file — a documented code that no handler can return is dead
+//     documentation and fails the build until the table row is removed.
+//
+// The analyzer activates only in packages that declare a defined string
+// type named errorCode, so fixtures and future sub-engines get the same
+// enforcement by adopting the same shape.
+package errcodes
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/acq-search/acq/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errcodes",
+	Doc:  "require engine error codes to be registry constants that are both documented and reachable",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	codeType, genFile := findRegistry(pass)
+	if codeType == nil {
+		return nil
+	}
+
+	// Pass 1: every string literal the type-checker assigns type errorCode,
+	// outside the generated file, is a code bypassing the registry.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) || file == genFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind != token.STRING {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[ast.Expr(n)]
+				if ok && types.Identical(tv.Type, codeType) {
+					pass.Reportf(n.Pos(), "raw error-code literal %s; use the generated errorCode constant", n.Value)
+				}
+			case *ast.CallExpr:
+				// Explicit conversion form: errorCode("...").
+				if len(n.Args) != 1 {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && types.Identical(tv.Type, codeType) {
+					if lit, isLit := ast.Unparen(n.Args[0]).(*ast.BasicLit); isLit && lit.Kind == token.STRING {
+						if tvArg, okArg := pass.TypesInfo.Types[ast.Expr(lit)]; !okArg || !types.Identical(tvArg.Type, codeType) {
+							pass.Reportf(lit.Pos(), "raw error-code literal %s; use the generated errorCode constant", lit.Value)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: collect the registry constants and every use of them outside
+	// the generated file; constants with no such use are documented but
+	// unreachable.
+	consts := make(map[types.Object]ast.Node)
+	if genFile != nil {
+		ast.Inspect(genFile, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for _, name := range vs.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if c, isConst := obj.(*types.Const); isConst && types.Identical(c.Type(), codeType) {
+					consts[obj] = name
+				}
+			}
+			return true
+		})
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+	used := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		if file == genFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					if _, isRegistry := consts[obj]; isRegistry {
+						used[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for obj, decl := range consts {
+		if !used[obj] {
+			pass.Reportf(decl.Pos(), "error code %s is documented in the registry but never returned by any handler", obj.Name())
+		}
+	}
+	return nil
+}
+
+// findRegistry locates the package's defined `type errorCode string` and the
+// file declaring it — by construction the generated registry file. Returns
+// (nil, nil) when the package has no such type, which disables the analyzer
+// for it.
+func findRegistry(pass *analysis.Pass) (types.Type, *ast.File) {
+	if pass.Pkg == nil {
+		return nil, nil
+	}
+	obj := pass.Pkg.Scope().Lookup("errorCode")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	if basic, ok := named.Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		found := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if ok && pass.TypesInfo.Defs[ts.Name] == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return named, file
+		}
+	}
+	return named, nil
+}

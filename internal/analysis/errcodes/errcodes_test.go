@@ -1,0 +1,36 @@
+package errcodes_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/acq-search/acq/internal/analysis"
+	"github.com/acq-search/acq/internal/analysis/analysistest"
+	"github.com/acq-search/acq/internal/analysis/errcodes"
+)
+
+func TestErrCodes(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", errcodes.Analyzer, "fixture.example/errcodes")
+}
+
+func TestErrCodesInertWithoutRegistry(t *testing.T) {
+	// A package with no errorCode type is out of the analyzer's scope: the
+	// lockio fixtures are full of string literals and must produce nothing.
+	// (Straight Load+Run, not the harness — the fixture's want comments
+	// belong to lockio.)
+	dir, err := filepath.Abs("../testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(dir, "fixture.example/lockio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{errcodes.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("errcodes fired in a registry-free package: %s", d)
+	}
+}

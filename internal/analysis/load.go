@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked unit handed to the analyzers.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors holds soft type-check failures. Analysis still runs on a
+	// partially typed package; the driver decides whether to surface them.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+}
+
+// Load lists the packages matching patterns (resolved from dir), compiles
+// export data for their dependencies via the go command, and type-checks the
+// matched packages from source. It is the standalone-mode counterpart of the
+// `go vet` unit protocol in unit.go: both feed analyzers the same shape.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var targets []*listedPackage
+	exports := make(map[string]string)   // import path → export data file
+	importMap := make(map[string]string) // import path as written → canonical
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		for from, to := range lp.ImportMap {
+			importMap[from] = to
+		}
+		if !lp.DepOnly && len(lp.GoFiles) > 0 {
+			targets = append(targets, &lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports, importMap)
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// newExportImporter returns a types.Importer that resolves dependencies from
+// gc export-data files produced by `go list -export` (or recorded in a vet
+// config). importMap translates vendored/aliased import paths; it may be
+// empty.
+func newExportImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typecheck parses goFiles (resolved against dir when relative) and
+// type-checks them as the package at pkgPath, resolving imports through imp.
+func typecheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var softErrs []error
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Error:       func(err error) { softErrs = append(softErrs, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath:    pkgPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		TypeErrors: softErrs,
+	}, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory. Test
+// helpers use it to run the suite over the whole repository regardless of
+// which package the test binary runs in.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// FirstTypeError returns the first soft type-check error of pkgs, or nil.
+func FirstTypeError(pkgs []*Package) error {
+	for _, pkg := range pkgs {
+		for _, err := range pkg.TypeErrors {
+			// The gc importer has no answer for "C"; FakeImportC covers the
+			// rest. Packages in this module never use cgo, so any surviving
+			// error is real.
+			if strings.Contains(err.Error(), `could not import C`) {
+				continue
+			}
+			return fmt.Errorf("%s: %v", pkg.PkgPath, err)
+		}
+	}
+	return nil
+}

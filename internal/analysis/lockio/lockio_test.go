@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"github.com/acq-search/acq/internal/analysis/analysistest"
+	"github.com/acq-search/acq/internal/analysis/lockio"
+)
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", lockio.Analyzer, "fixture.example/lockio")
+}

@@ -1,0 +1,119 @@
+// Fixtures for the cancelcheck analyzer: graph-sized loops in functions
+// that have a *cancel.Checker in scope must reach a checkpoint; delegation
+// through an env struct counts, and functions without a checker are out of
+// scope by design.
+package cancelcheck
+
+import (
+	"fixture.example/internal/cancel"
+	"fixture.example/internal/graph"
+	"fixture.example/internal/truss"
+)
+
+// --- Violations.
+
+func sumDegrees(g graph.View, vs []graph.VertexID, check *cancel.Checker) int {
+	total := 0
+	for _, v := range vs { // want "graph-sized loop without a cancellation checkpoint"
+		total += g.Degree(v)
+	}
+	return total
+}
+
+func countVertices(g graph.View, check *cancel.Checker) int {
+	n := 0
+	for i := 0; i < g.NumVertices(); i++ { // want "graph-sized loop without a cancellation checkpoint"
+		n++
+	}
+	return n
+}
+
+func scanNeighbors(g graph.View, q graph.VertexID, check *cancel.Checker) int {
+	n := 0
+	for range g.Neighbors(q) { // want "graph-sized loop without a cancellation checkpoint"
+		n++
+	}
+	return n
+}
+
+func liveEdges(alive map[truss.EdgeID]bool, check *cancel.Checker) int {
+	n := 0
+	for _, ok := range alive { // want "graph-sized loop without a cancellation checkpoint"
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Suppressed: a construction-path loop exempted by design.
+
+func buildOffline(vs []graph.VertexID, check *cancel.Checker) {
+	//acqvet:allow cancelcheck — index construction runs off the query path
+	for _, v := range vs {
+		_ = v
+	}
+}
+
+// --- Clean.
+
+func sumDegreesChecked(g graph.View, vs []graph.VertexID, check *cancel.Checker) int {
+	total := 0
+	for _, v := range vs {
+		check.Tick(1)
+		total += g.Degree(v)
+	}
+	return total
+}
+
+// env is the checker-carrying environment struct the traversal code uses;
+// a method call on it counts as reaching the checkpoint.
+type env struct {
+	g     graph.View
+	check *cancel.Checker
+}
+
+func (e *env) visit(v graph.VertexID) int {
+	e.check.Tick(1)
+	return e.g.Degree(v)
+}
+
+func (e *env) scanDelegated(vs []graph.VertexID) int {
+	total := 0
+	for _, v := range vs {
+		total += e.visit(v)
+	}
+	return total
+}
+
+// tickedOuterCoversInner: the outer loop's per-element tick amortizes the
+// inner adjacency scan, so only uncovered loops are reported.
+func tickedOuterCoversInner(g graph.View, vs []graph.VertexID, check *cancel.Checker) int {
+	total := 0
+	for _, v := range vs {
+		check.Tick(1)
+		for _, u := range g.Neighbors(v) {
+			total += int(u)
+		}
+	}
+	return total
+}
+
+// noCheckerInScope opted out of cancellation entirely; the analyzer only
+// holds functions to the contract they joined.
+func noCheckerInScope(vs []graph.VertexID) int {
+	n := 0
+	for range vs {
+		n++
+	}
+	return n
+}
+
+// smallLoop is not graph-sized: fixed bounds stay out of the heuristic.
+func smallLoop(check *cancel.Checker) int {
+	n := 0
+	for i := 0; i < 8; i++ {
+		n++
+	}
+	return n
+}

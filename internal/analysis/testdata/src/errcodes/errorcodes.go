@@ -1,0 +1,22 @@
+// Fixtures for the errcodes analyzer, registry side: this file declares the
+// package's errorCode type, so the analyzer treats it as the generated
+// registry. Constants no handler references are documented-but-unreachable
+// and must be flagged here.
+package errcodes
+
+// errorCode mirrors the engine's generated registry type.
+type errorCode string
+
+const (
+	codeOK       errorCode = "ok"       // referenced by handlers.go
+	codeBad      errorCode = "bad"      // referenced by handlers.go
+	codeOrphaned errorCode = "orphaned" // want "documented in the registry but never returned"
+)
+
+// codeStatus mirrors the generated code→status map; map keys are reads of
+// the constants inside the registry file and must not count as uses.
+var codeStatus = map[errorCode]int{
+	codeOK:       200,
+	codeBad:      400,
+	codeOrphaned: 410,
+}

@@ -1,0 +1,38 @@
+// Fixtures for the errcodes analyzer, handler side: codes must be named
+// registry constants, never raw string literals.
+package errcodes
+
+type wireError struct {
+	Code    errorCode
+	Message string
+}
+
+// --- Violations.
+
+func rawLiteral() wireError {
+	return wireError{Code: "undocumented_code"} // want "raw error-code literal"
+}
+
+func rawConversion() errorCode {
+	return errorCode("sneaky_code") // want "raw error-code literal"
+}
+
+func rawAssignment() {
+	var c errorCode
+	c = "drive_by" // want "raw error-code literal"
+	_ = c
+}
+
+// --- Suppressed: a frozen pre-registry code kept verbatim.
+
+func legacyLiteral() wireError {
+	//acqvet:allow errcodes — frozen pre-v1 code, kept verbatim for old clients
+	return wireError{Code: "legacy_code"}
+}
+
+// --- Clean.
+
+func ok() wireError  { return wireError{Code: codeOK, Message: "fine"} }
+func bad() wireError { return wireError{Code: codeBad, Message: "nope"} }
+
+func statusOf(c errorCode) int { return codeStatus[c] }

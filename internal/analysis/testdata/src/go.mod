@@ -1,0 +1,8 @@
+// The analyzer-fixture module: a self-contained miniature of the real
+// repository's shape (internal/graph, internal/cancel, internal/truss,
+// internal/wal) that the analysistest harness loads with `go list`. A
+// separate module so fixtures with deliberate violations never leak into
+// the real build, vet, or lint runs (Go tooling skips testdata trees).
+module fixture.example
+
+go 1.23

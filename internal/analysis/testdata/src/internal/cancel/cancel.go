@@ -1,0 +1,19 @@
+// Package cancel is the fixture stand-in for the repository's
+// internal/cancel: the analyzers key on the "internal/cancel" import-path
+// suffix and the *Checker type name, which this package reproduces.
+package cancel
+
+// Checker meters cooperative cancellation checkpoints.
+type Checker struct {
+	ticks int
+}
+
+// Tick records n units of work and polls for cancellation.
+func (c *Checker) Tick(n int) {
+	if c != nil {
+		c.ticks += n
+	}
+}
+
+// Canceled reports whether the checker observed a cancellation.
+func (c *Checker) Canceled() bool { return false }

@@ -1,0 +1,7 @@
+// Package truss is the fixture stand-in for the repository's
+// internal/truss: it supplies the EdgeID identifier type the cancelcheck
+// analyzer treats as graph-scale.
+package truss
+
+// EdgeID packs an undirected edge into one comparable identifier.
+type EdgeID uint64

@@ -1,0 +1,30 @@
+// Package wal is the fixture stand-in for the repository's internal/wal:
+// the lockio analyzer treats every exported function of an "internal/wal"
+// package except the in-memory getters Size and Path as an fsync path.
+package wal
+
+// Record is one logged mutation batch.
+type Record struct {
+	PreVersion uint64
+}
+
+// Log is a write-ahead log handle.
+type Log struct {
+	path string
+	size int64
+}
+
+// Append writes and (per policy) fsyncs one record.
+func (l *Log) Append(rec Record) error { return nil }
+
+// Sync flushes the log to stable storage.
+func (l *Log) Sync() error { return nil }
+
+// Close flushes and closes the log.
+func (l *Log) Close() error { return nil }
+
+// Size reports the log's current byte size (in-memory getter).
+func (l *Log) Size() int64 { return l.size }
+
+// Path reports the log's file path (in-memory getter).
+func (l *Log) Path() string { return l.path }

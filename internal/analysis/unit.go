@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// unitConfig mirrors the JSON configuration the go command hands a
+// -vettool for each package unit (the same shape x/tools' unitchecker
+// consumes). Fields the suite does not need are still listed so the decoder
+// stays strict-compatible with future go releases that add to it (unknown
+// fields are ignored by encoding/json anyway).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes analyzers on the single package described by the vet
+// config at cfgPath, printing diagnostics to w in the file:line:col form the
+// go command relays. It returns the number of diagnostics; the caller maps
+// that to the exit status `go vet` expects (0 clean, 2 findings).
+func RunUnit(cfgPath string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("%s: parsing vet config: %v", cfgPath, err)
+	}
+
+	// The go command requires the facts ("vetx") output to exist even though
+	// this suite is fact-free: write it first so every exit path satisfies
+	// the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("acqvet: no facts\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := typecheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("%s: %v", cfg.ImportPath, err)
+	}
+	if err := FirstTypeError([]*Package{pkg}); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,16 @@
+package viewpurity_test
+
+import (
+	"testing"
+
+	"github.com/acq-search/acq/internal/analysis/analysistest"
+	"github.com/acq-search/acq/internal/analysis/viewpurity"
+)
+
+func TestViewPurity(t *testing.T) {
+	// The second pattern is the fixture module's root package — the analogue
+	// of the acq package — whose downcasts and mutator calls the whitelist
+	// must leave unreported.
+	analysistest.Run(t, "../testdata/src", viewpurity.Analyzer,
+		"fixture.example/viewpurity", "fixture.example")
+}

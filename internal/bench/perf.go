@@ -572,12 +572,14 @@ func AblationMaintenance(ds *Dataset, edits int) *Table {
 			if m != nil {
 				m.RemoveEdge(e.u, e.v)
 			} else {
+				//acqvet:allow viewpurity — the bench driver owns this private mutable graph; it is never a served view
 				g.RemoveEdge(e.u, e.v)
 			}
 		} else {
 			if m != nil {
 				m.InsertEdge(e.u, e.v)
 			} else {
+				//acqvet:allow viewpurity — the bench driver owns this private mutable graph; it is never a served view
 				g.InsertEdge(e.u, e.v)
 			}
 		}

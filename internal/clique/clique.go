@@ -30,9 +30,11 @@ const MaxCliques = 200000
 func Maximal(g graph.View, cand []graph.VertexID, check *cancel.Checker) (cliques [][]graph.VertexID, ok bool) {
 	in := map[graph.VertexID]bool{}
 	for _, v := range cand {
+		check.Tick(1)
 		in[v] = true
 	}
 	neighbors := func(v graph.VertexID) []graph.VertexID {
+		check.Tick(1)
 		var out []graph.VertexID
 		for _, u := range g.Neighbors(v) {
 			if in[u] {

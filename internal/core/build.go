@@ -71,6 +71,7 @@ func BuildBasic(g graph.View) *Tree {
 // passed through, which compresses away empty chain nodes.
 func buildDown(t *Tree, ops *graph.SetOps, vs []graph.VertexID, level int32, parent *Node, asRoot bool) {
 	var own, deeper []graph.VertexID
+	//acqvet:allow cancelcheck — index construction runs off the query path; builds are not cancellable by design
 	for _, v := range vs {
 		if t.Core[v] == level {
 			own = append(own, v)

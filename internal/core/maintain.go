@@ -34,6 +34,7 @@ type Maintainer struct {
 // built for exactly this graph, in its mutable form — a tree bound to a
 // frozen snapshot view is immutable by construction and cannot be maintained.
 func NewMaintainer(t *Tree) *Maintainer {
+	//acqvet:allow viewpurity — maintainers must bind to the mutable master; the assertion is the documented precondition check
 	g, ok := t.g.(*graph.Graph)
 	if !ok {
 		panic("core: NewMaintainer requires a tree built on a mutable *graph.Graph")
@@ -58,6 +59,7 @@ func (m *Maintainer) StructRev() uint64 { return m.structRev }
 // AddKeyword attaches a keyword to v and splices it into the owning node's
 // flattened postings. It reports whether anything changed.
 func (m *Maintainer) AddKeyword(v graph.VertexID, word string) bool {
+	//acqvet:allow viewpurity — the maintainer is the designated writer for its master graph
 	if !m.g.AddKeyword(v, word) {
 		return false
 	}
@@ -69,6 +71,7 @@ func (m *Maintainer) AddKeyword(v graph.VertexID, word string) bool {
 // RemoveKeyword detaches a keyword from v and splices it out of the owning
 // node's flattened postings. It reports whether anything changed.
 func (m *Maintainer) RemoveKeyword(v graph.VertexID, word string) bool {
+	//acqvet:allow viewpurity — the maintainer is the designated writer for its master graph
 	if !m.g.RemoveKeyword(v, word) {
 		return false
 	}

@@ -159,6 +159,7 @@ func WriteSnapshot(w io.Writer, g graph.View, t *core.Tree) error {
 	switch v := g.(type) {
 	case *graph.Frozen:
 		s.AdjOff, s.Adj, s.KwOff, s.Kw = v.Flat()
+	//acqvet:allow viewpurity — the serializer only reads: the downcast picks the flattening path, it never mutates
 	case *graph.Graph:
 		// Freeze owns the flattening (including the int32 offset-overflow
 		// guard); the throwaway dictionary clone is noise next to the encode.

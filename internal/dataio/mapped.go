@@ -496,6 +496,7 @@ func (m *Mapped) Tree(v graph.View) (*core.Tree, error) {
 		return nil, fmt.Errorf("dataio: %s: mapped snapshot stores no CL-tree", m.path)
 	}
 	buf := m.ro
+	//acqvet:allow viewpurity — read-only capability probe: mutable masters get the writable mapping, no mutation here
 	if _, mutable := v.(*graph.Graph); mutable {
 		buf = m.rw
 	}

@@ -158,6 +158,7 @@ func (s *SetOps) PeelToMinDegree(cand []VertexID, k int) []VertexID {
 	}
 	s.queue = s.queue[:0]
 	for _, v := range cand {
+		s.check.Tick(1)
 		if s.deg[v] < int32(k) {
 			s.queue = append(s.queue, v)
 			s.alive.Remove(v)
@@ -178,6 +179,7 @@ func (s *SetOps) PeelToMinDegree(cand []VertexID, k int) []VertexID {
 	}
 	out := make([]VertexID, 0, len(cand))
 	for _, v := range cand {
+		s.check.Tick(1)
 		if s.alive.Has(v) {
 			out = append(out, v)
 		}
@@ -209,6 +211,7 @@ func (s *SetOps) InducedDegrees(cand []VertexID) []int {
 	s.in.AddAll(cand)
 	out := make([]int, len(cand))
 	for i, v := range cand {
+		s.check.Tick(1)
 		d := 0
 		for _, u := range s.g.Neighbors(v) {
 			if s.in.Has(u) {

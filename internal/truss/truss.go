@@ -217,6 +217,7 @@ func CommunityOf(g graph.View, cand []graph.VertexID, q graph.VertexID, k int, c
 	}
 	in := map[graph.VertexID]bool{}
 	for _, v := range cand {
+		check.Tick(1)
 		in[v] = true
 	}
 	if !in[q] {
@@ -233,6 +234,7 @@ func CommunityOf(g graph.View, cand []graph.VertexID, q graph.VertexID, k int, c
 		return edge{u, v}
 	}
 	for _, u := range cand {
+		check.Tick(1)
 		for _, v := range g.Neighbors(u) {
 			if u < v && in[v] {
 				alive[mk(u, v)] = true
@@ -240,6 +242,7 @@ func CommunityOf(g graph.View, cand []graph.VertexID, q graph.VertexID, k int, c
 		}
 	}
 	neighbors := func(u graph.VertexID) []graph.VertexID {
+		check.Tick(1)
 		var out []graph.VertexID
 		for _, v := range g.Neighbors(u) {
 			if in[v] && alive[mk(u, v)] {
@@ -314,6 +317,7 @@ func CommunityOf(g graph.View, cand []graph.VertexID, q graph.VertexID, k int, c
 	}
 	var edges [][2]graph.VertexID
 	for _, u := range comp {
+		check.Tick(1)
 		for _, v := range neighbors(u) {
 			if u < v {
 				edges = append(edges, [2]graph.VertexID{u, v})

@@ -353,6 +353,20 @@ func (l *Log) Path() string { return l.path }
 // Sync flushes the log to stable storage regardless of policy.
 func (l *Log) Sync() error { return l.f.Sync() }
 
+// RenameInto moves the open log's backing file to newPath (atomically, via
+// rename) and updates Path. The descriptor is untouched — appending
+// continues seamlessly — which lets the checkpoint rotation keep only this
+// metadata operation inside its critical section and do every blocking
+// create/fsync/close outside it. Durability of the new name follows the
+// caller's next SyncDir, exactly like Create's.
+func (l *Log) RenameInto(newPath string) error {
+	if err := os.Rename(l.path, newPath); err != nil {
+		return err
+	}
+	l.path = newPath
+	return nil
+}
+
 // Close flushes and closes the log file.
 func (l *Log) Close() error {
 	if err := l.f.Sync(); err != nil {
