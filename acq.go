@@ -33,6 +33,17 @@ var (
 	ErrBadAlgorithm = errors.New("acq: unknown algorithm")
 	// ErrNoIndex reports an index-requiring operation on an unindexed graph.
 	ErrNoIndex = errors.New("acq: no index built; call BuildIndex first")
+	// ErrBadEpsilon reports a Query.Epsilon outside [0, 1).
+	ErrBadEpsilon = errors.New("acq: epsilon must be in [0, 1)")
+	// ErrBadBudget reports a negative Query.Budget.
+	ErrBadBudget = errors.New("acq: budget must be ≥ 0")
+	// ErrBadTopR reports a negative Query.TopR.
+	ErrBadTopR = errors.New("acq: top_r must be ≥ 0")
+	// ErrBudgetExhausted re-exports the work-budget sentinel. Search itself
+	// converts budget exhaustion into a partial Result with BudgetExhausted
+	// set rather than an error; the sentinel surfaces from lower-level
+	// evaluation helpers and is exported for errors.Is symmetry.
+	ErrBudgetExhausted = cancel.ErrBudget
 	// ErrCanceled reports a search stopped by context cancellation or
 	// deadline expiry before completing. The returned error additionally
 	// wraps context.Cause(ctx), so errors.Is(err, context.DeadlineExceeded)

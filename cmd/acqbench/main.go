@@ -10,7 +10,8 @@
 // table3, fig7, fig8, fig9, fig11, table4, table5-6, fig12, table7, fig13,
 // fig14a-d, fig14e-h, fig14i-l, fig14m-p, fig14q-t, fig15, fig16, fig17a-d,
 // fig17e-h, index-parallel, snapshot-publish, frozen-query,
-// collection-routing, mutation-throughput, cold-start, ablations.
+// collection-routing, mutation-throughput, cold-start, approx-search,
+// ablations.
 // "all" runs everything; "quality" and "perf" select the two groups.
 //
 // -json additionally writes every selected experiment's results as a
@@ -135,6 +136,9 @@ func main() {
 		runSampled("cold-start", func() (*bench.Table, []bench.Sample) {
 			return bench.ColdStart(ds, *scale)
 		})
+		runSampled("approx-search", func() (*bench.Table, []bench.Sample) {
+			return bench.ApproxSearch(ds, *scale)
+		})
 		run("fig14a-d", func() *bench.Table { return bench.Fig14QueryVsCS(ds) })
 		run("fig14e-h", func() *bench.Table { return bench.Fig14EffectK(ds, !*noBasic) })
 		run("fig14i-l", func() *bench.Table { return bench.Fig14KeywordScale(ds, fracs) })
@@ -182,7 +186,7 @@ func parseWorkers(arg string) ([]int, error) {
 
 func expandSelection(arg string) map[string]bool {
 	quality := []string{"table3", "fig7", "fig8", "fig9", "fig11", "table4", "table5-6", "fig12", "table7"}
-	perf := []string{"fig13", "index-parallel", "snapshot-publish", "frozen-query", "collection-routing", "mutation-throughput", "cold-start",
+	perf := []string{"fig13", "index-parallel", "snapshot-publish", "frozen-query", "collection-routing", "mutation-throughput", "cold-start", "approx-search",
 		"fig14a-d", "fig14e-h", "fig14i-l", "fig14m-p", "fig14q-t",
 		"fig15", "fig16", "fig17a-d", "fig17e-h", "ext-truss", "ext-influence", "ablations"}
 	out := map[string]bool{}

@@ -51,6 +51,18 @@
 // and per-query deadlines (BatchOptions.PerQueryTimeout) with input-order
 // results.
 //
+// # Approximate search
+//
+// Query.Epsilon, Query.Budget and Query.TopR trade exactness for latency:
+// ε bounds the relative attribute-score error, the budget hard-caps the
+// vertices/edges a query may touch (enforced at the same cancellation
+// checkpoints, in every mode), and top-r truncates the candidate sets
+// verified per label size. Result reports what was achieved —
+// ScoreLowerBound ≤ exact score ≤ ScoreUpperBound always holds, Exact
+// marks answers identical to the exact evaluator's, and BudgetExhausted
+// with a partial result (nil error) marks a query its budget cut short.
+// The zero knobs keep the exact path byte-for-byte.
+//
 // # Removed variant methods
 //
 // The pre-v1 per-variant entrypoints — SearchFixed, SearchThreshold,

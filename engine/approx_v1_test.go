@@ -1,0 +1,104 @@
+package engine
+
+// Tests for the approximate-search surface of the v1 protocol: the
+// epsilon/budget/top_r query knobs, the score-bound result fields, the
+// bad_epsilon error code, and the approx serving counters.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestV1SearchApproxKnobsRoundTrip: an ε=0-equivalent approximate query (a
+// generous budget) must answer exactly like the plain query and report exact
+// bounds on the wire; an ε query must answer with bounds that bracket its
+// own score.
+func TestV1SearchApproxKnobsRoundTrip(t *testing.T) {
+	h := testEngine(t).Handler()
+	rec, exact := doV1Search(t, h, `{"query":{"vertex":"jack","k":3}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("exact: %d %s", rec.Code, rec.Body)
+	}
+	if !exact.Result.Exact || exact.Result.ScoreLowerBound != exact.Result.LabelSize {
+		t.Fatalf("exact result does not self-report exact bounds: %s", rec.Body)
+	}
+
+	rec, resp := doV1Search(t, h, `{"query":{"vertex":"jack","k":3,"budget":1099511627776}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("budgeted: %d %s", rec.Code, rec.Body)
+	}
+	if !resp.Result.Exact || resp.Result.LabelSize != exact.Result.LabelSize {
+		t.Fatalf("unspent budget changed the answer: %s", rec.Body)
+	}
+	if resp.Result.BudgetExhausted {
+		t.Fatalf("generous budget reported exhausted: %s", rec.Body)
+	}
+
+	rec, resp = doV1Search(t, h, `{"query":{"vertex":"jack","k":3,"epsilon":0.2,"top_r":2}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("epsilon: %d %s", rec.Code, rec.Body)
+	}
+	if resp.Result.ScoreLowerBound > exact.Result.LabelSize || resp.Result.ScoreUpperBound < exact.Result.LabelSize {
+		t.Fatalf("ε bounds [%d,%d] miss the exact score %d: %s",
+			resp.Result.ScoreLowerBound, resp.Result.ScoreUpperBound, exact.Result.LabelSize, rec.Body)
+	}
+}
+
+// TestV1SearchBadEpsilon pins the new error-code rows: ε outside [0, 1) is
+// bad_epsilon; negative budget/top_r are plain bad_request.
+func TestV1SearchBadEpsilon(t *testing.T) {
+	h := testEngine(t).Handler()
+	cases := []struct {
+		name string
+		body string
+		code errorCode
+	}{
+		{"epsilon-negative", `{"query":{"vertex":"jack","k":3,"epsilon":-0.1}}`, codeBadEpsilon},
+		{"epsilon-one", `{"query":{"vertex":"jack","k":3,"epsilon":1}}`, codeBadEpsilon},
+		{"epsilon-large", `{"query":{"vertex":"jack","k":3,"epsilon":2.5}}`, codeBadEpsilon},
+		{"budget-negative", `{"query":{"vertex":"jack","k":3,"budget":-1}}`, codeBadRequest},
+		{"topr-negative", `{"query":{"vertex":"jack","k":3,"top_r":-1}}`, codeBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec, resp := doV1Search(t, h, c.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (%s)", rec.Code, rec.Body)
+			}
+			if resp.Error == nil || resp.Error.Code != c.code {
+				t.Fatalf("error = %+v, want code %q", resp.Error, c.code)
+			}
+		})
+	}
+}
+
+// TestMetricsExposeApproxCounters: approximate queries (single and batch)
+// feed the approx_queries counter, and the JSON payload carries the new
+// fields.
+func TestMetricsExposeApproxCounters(t *testing.T) {
+	e := testEngine(t)
+	h := e.Handler()
+	if rec, _ := doV1Search(t, h, `{"query":{"vertex":"jack","k":3,"epsilon":0.1}}`); rec.Code != http.StatusOK {
+		t.Fatalf("approx search: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "POST", "/v1/batch",
+		`{"queries":[{"vertex":"jack","k":3,"budget":1099511627776},{"vertex":"jack","k":3}]}`); rec.Code != http.StatusOK {
+		t.Fatalf("approx batch: %d %s", rec.Code, rec.Body)
+	}
+	m := e.Metrics()
+	if m.ApproxQueries != 2 {
+		t.Fatalf("ApproxQueries = %d, want 2 (one single + one batch item): %+v", m.ApproxQueries, m)
+	}
+	rec := do(t, h, "GET", "/metrics", "")
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"approx_queries", "inexact_results", "budget_exhausted"} {
+		if !strings.Contains(rec.Body.String(), field) {
+			t.Fatalf("metrics missing %q: %s", field, rec.Body)
+		}
+	}
+}

@@ -49,7 +49,11 @@ import (
 // Every v1 query object addresses its vertex by "vertex" (label) or "id"
 // (dense vertex ID) and selects the community model with "mode"
 // (core|fixed|threshold|clique|similar|truss, default core) plus the
-// mode parameters "theta" / "tau" / "max_hops". v1 errors are structured:
+// mode parameters "theta" / "tau" / "max_hops". The approximation knobs
+// "epsilon" (ε-bounded early termination), "budget" (per-query work cap)
+// and "top_r" (per-level candidate cutoff) ride on the same query object;
+// results then report score bounds, exactness, and work spent (see
+// acq.Query / acq.Result). v1 errors are structured:
 // {"error": {"code": "vertex_not_found", "message": "..."}} — see README.md
 // for the full code table, including the lifecycle codes collection_not_found
 // (404), collection_exists (409) and index_building (503). Evaluation
@@ -405,6 +409,14 @@ type wireQuery struct {
 	Algo     string   `json:"algo,omitempty"`
 	Fuzz     int      `json:"fuzz,omitempty"`
 	MaxHops  int      `json:"max_hops,omitempty"`
+	// Approximation knobs (see acq.Query): ε ∈ [0, 1) relative score
+	// tolerance, a per-query work budget in graph-operation units, and a
+	// per-level candidate cutoff. Responses carry the resulting bounds in
+	// the ScoreLowerBound/ScoreUpperBound/Exact/Work/BudgetExhausted result
+	// fields.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Budget  int64   `json:"budget,omitempty"`
+	TopR    int     `json:"top_r,omitempty"`
 }
 
 // DefaultK is the degree bound assumed when a request omits "k".
@@ -427,6 +439,9 @@ func (wq wireQuery) toQuery() (acq.Query, error) {
 		Algorithm:    acq.Algorithm(wq.Algo),
 		FuzzDistance: wq.Fuzz,
 		MaxHops:      wq.MaxHops,
+		Epsilon:      wq.Epsilon,
+		Budget:       wq.Budget,
+		TopR:         wq.TopR,
 	}
 	if wq.ID != nil {
 		q.VertexID = *wq.ID
@@ -475,6 +490,12 @@ func errorCodeOf(err error) errorCode {
 		return codeBadK
 	case errors.Is(err, acq.ErrBadTheta):
 		return codeBadTheta
+	case errors.Is(err, acq.ErrBadEpsilon):
+		return codeBadEpsilon
+	// A negative budget or top_r is a garden-variety malformed request —
+	// unlike ε they need no numeric-domain explanation of their own.
+	case errors.Is(err, acq.ErrBadBudget), errors.Is(err, acq.ErrBadTopR):
+		return codeBadRequest
 	case errors.Is(err, acq.ErrBadMode):
 		return codeBadMode
 	case errors.Is(err, acq.ErrBadAlgorithm):
@@ -592,6 +613,7 @@ func (e *Engine) serveSearchV1(w http.ResponseWriter, r *http.Request, c *Collec
 		writeV1Error(w, err)
 		return
 	}
+	c.met.recordApprox(query, &res)
 	writeJSON(w, http.StatusOK, map[string]any{"version": snap.Version(), "result": res})
 }
 
@@ -665,6 +687,7 @@ func (e *Engine) serveBatchV1(w http.ResponseWriter, r *http.Request, c *Collect
 			code, _ := errorInfo(err)
 			items[i].Error = &wireError{Code: code, Message: err.Error()}
 		} else {
+			c.met.recordApprox(queries[j], &results[j].Result)
 			items[i].Result = &results[j].Result
 		}
 	}

@@ -23,6 +23,26 @@ type metrics struct {
 	batchQueryErrors atomic.Uint64 // failed queries inside batches
 	canceled         atomic.Uint64 // queries stopped by client cancellation
 	timedOut         atomic.Uint64 // queries stopped by a deadline
+	approxQueries    atomic.Uint64 // queries with an approximation knob set
+	inexactResults   atomic.Uint64 // approx results returned without an exactness guarantee
+	budgetExhausted  atomic.Uint64 // approx results clipped by their work budget
+}
+
+// recordApprox accounts one successfully answered query that carried an
+// approximation knob (epsilon / budget / top_r), splitting out how often the
+// answers were actually inexact and how often a budget clipped evaluation —
+// the operator-facing view of the quality-vs-latency trade.
+func (m *metrics) recordApprox(q acq.Query, res *acq.Result) {
+	if q.Epsilon <= 0 && q.Budget <= 0 && q.TopR <= 0 {
+		return
+	}
+	m.approxQueries.Add(1)
+	if !res.Exact {
+		m.inexactResults.Add(1)
+	}
+	if res.BudgetExhausted {
+		m.budgetExhausted.Add(1)
+	}
 }
 
 // recordQueryError accounts a failed single-query request; failed batch
@@ -71,6 +91,9 @@ type CollectionMetrics struct {
 	BatchQueryErrors     uint64 `json:"batch_query_errors"`
 	Updates              uint64 `json:"updates"`
 	MutationBatches      uint64 `json:"mutation_batches"`
+	ApproxQueries        uint64 `json:"approx_queries"`
+	InexactResults       uint64 `json:"inexact_results"`
+	BudgetExhausted      uint64 `json:"budget_exhausted"`
 	QueryNanos           int64  `json:"query_nanos"`
 	SnapshotVersion      uint64 `json:"snapshot_version"`
 	CacheHits            uint64 `json:"cache_hits"`
@@ -136,6 +159,13 @@ type Metrics struct {
 	// counts POST .../mutations requests.
 	Updates         uint64 `json:"updates"`
 	MutationBatches uint64 `json:"mutation_batches"`
+	// ApproxQueries counts answered queries that carried an approximation
+	// knob (epsilon / budget / top_r); InexactResults how many of those came
+	// back without an exactness guarantee (Exact=false); BudgetExhausted how
+	// many were clipped by their per-query work budget.
+	ApproxQueries   uint64 `json:"approx_queries"`
+	InexactResults  uint64 `json:"inexact_results"`
+	BudgetExhausted uint64 `json:"budget_exhausted"`
 	// QueryNanos is the cumulative wall time spent evaluating queries.
 	QueryNanos int64 `json:"query_nanos"`
 	// SnapshotVersion is the graph version of the default collection's
@@ -188,6 +218,9 @@ func (c *Collection) metricsSnapshot() CollectionMetrics {
 		BatchQueryErrors: c.met.batchQueryErrors.Load(),
 		Updates:          c.met.updates.Load(),
 		MutationBatches:  c.met.mutationBatches.Load(),
+		ApproxQueries:    c.met.approxQueries.Load(),
+		InexactResults:   c.met.inexactResults.Load(),
+		BudgetExhausted:  c.met.budgetExhausted.Load(),
 		QueryNanos:       c.met.queryNanos.Load(),
 	}
 	if err := c.Err(); err != nil {
@@ -244,6 +277,9 @@ func (e *Engine) Metrics() Metrics {
 		m.BatchQueryErrors += cm.BatchQueryErrors
 		m.Updates += cm.Updates
 		m.MutationBatches += cm.MutationBatches
+		m.ApproxQueries += cm.ApproxQueries
+		m.InexactResults += cm.InexactResults
+		m.BudgetExhausted += cm.BudgetExhausted
 		m.QueryNanos += cm.QueryNanos
 		m.CacheHits += cm.CacheHits
 		m.CacheMisses += cm.CacheMisses

@@ -117,3 +117,84 @@ func smallLoop(check *cancel.Checker) int {
 	}
 	return n
 }
+
+// --- Budget-aware checkpoints (the PR 9 surface).
+
+// meterOnlyPolling is a violation: consulting the budget Meter each
+// iteration observes work but never polls for cancellation — only a
+// Checker checkpoint does. The budget rides the checker, not the other
+// way around.
+func meterOnlyPolling(vs []graph.VertexID, check *cancel.Checker, m *cancel.Meter) int {
+	n := 0
+	for range vs { // want "graph-sized loop without a cancellation checkpoint"
+		if m.Exhausted() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// flushIsACheckpoint: the budget-aware Flush is a Checker method, so a loop
+// reaching it has reached the checker.
+func flushIsACheckpoint(g graph.View, vs []graph.VertexID, check *cancel.Checker) int {
+	total := 0
+	for _, v := range vs {
+		check.Flush()
+		total += g.Degree(v)
+	}
+	return total
+}
+
+// catchBudgetDelegation mirrors the approximate drivers: each iteration
+// probes under cancel.CatchBudget, and the closure delegates to the ticking
+// checker — the checkpoint inside the closure covers the loop because the
+// closure runs per iteration.
+func catchBudgetDelegation(g graph.View, vs []graph.VertexID, check *cancel.Checker) int {
+	total := 0
+	for _, v := range vs {
+		exhausted := cancel.CatchBudget(func() {
+			check.Tick(1)
+			total += g.Degree(v)
+		})
+		if exhausted {
+			break
+		}
+	}
+	return total
+}
+
+// catchBudgetWithoutCheckpoint is still a violation: wrapping the body in
+// CatchBudget does not itself poll anything — only the checker inside
+// would, and there is none.
+func catchBudgetWithoutCheckpoint(g graph.View, vs []graph.VertexID, check *cancel.Checker) int {
+	total := 0
+	for _, v := range vs { // want "graph-sized loop without a cancellation checkpoint"
+		cancel.CatchBudget(func() {
+			total += g.Degree(v)
+		})
+	}
+	return total
+}
+
+// meteredEnv carries both the checker and its meter, like the approximate
+// evaluation environment; delegation through it still counts because the
+// struct carries the Checker.
+type meteredEnv struct {
+	g     graph.View
+	check *cancel.Checker
+	m     *cancel.Meter
+}
+
+func (e *meteredEnv) probe(v graph.VertexID) int {
+	e.check.Tick(1)
+	return e.g.Degree(v)
+}
+
+func (e *meteredEnv) scanBudgeted(vs []graph.VertexID) int {
+	total := 0
+	for _, v := range vs {
+		total += e.probe(v)
+	}
+	return total
+}

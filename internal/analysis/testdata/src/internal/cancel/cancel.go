@@ -1,14 +1,37 @@
 // Package cancel is the fixture stand-in for the repository's
 // internal/cancel: the analyzers key on the "internal/cancel" import-path
-// suffix and the *Checker type name, which this package reproduces.
+// suffix and the *Checker type name, which this package reproduces —
+// including the budget-aware surface (Meter, Flush, CatchBudget), so the
+// fixtures can pin that budget-aware checkpoints count and meter-only
+// observation does not.
 package cancel
 
-// Checker meters cooperative cancellation checkpoints.
-type Checker struct {
-	ticks int
+// Meter accumulates work spent against an optional budget cap. A Meter is
+// observational: consulting it is NOT a cancellation checkpoint.
+type Meter struct {
+	cap, spent int64
 }
 
-// Tick records n units of work and polls for cancellation.
+// Spent returns the work charged so far.
+func (m *Meter) Spent() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.spent
+}
+
+// Exhausted reports whether the budget cap has been reached.
+func (m *Meter) Exhausted() bool { return m != nil && m.cap > 0 && m.spent >= m.cap }
+
+// Checker meters cooperative cancellation checkpoints, charging an attached
+// budget Meter as strides are consumed.
+type Checker struct {
+	ticks int
+	m     *Meter
+}
+
+// Tick records n units of work and polls for cancellation and budget
+// exhaustion.
 func (c *Checker) Tick(n int) {
 	if c != nil {
 		c.ticks += n
@@ -17,3 +40,17 @@ func (c *Checker) Tick(n int) {
 
 // Canceled reports whether the checker observed a cancellation.
 func (c *Checker) Canceled() bool { return false }
+
+// Flush charges the trailing partial stride to the meter without polling.
+func (c *Checker) Flush() {
+	if c != nil && c.m != nil {
+		c.m.spent += int64(c.ticks)
+	}
+}
+
+// CatchBudget runs fn, absorbing a budget-exhaustion unwind raised by a
+// checker checkpoint inside it.
+func CatchBudget(fn func()) (exhausted bool) {
+	fn()
+	return false
+}

@@ -1,0 +1,108 @@
+package bench
+
+// Tests for the approx-search quality-vs-latency harness. The quality gate
+// below is also CI's bench-smoke guard: it is timing-free (F1 and exactness
+// only), so it cannot flake on a noisy runner, yet any regression that makes
+// ε = 0.1 answers drift from the exact ones fails it deterministically.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	acq "github.com/acq-search/acq"
+)
+
+func TestApproxSearchDriverProducesRows(t *testing.T) {
+	ds := loadTest(t, "flickr")
+	tab, samples := ApproxSearch(ds, testConfig().Scale)
+	if len(tab.Rows) != len(ApproxEpsilons)+2 {
+		t.Fatalf("rows = %d, want %d (ε sweep + top-r + budget)", len(tab.Rows), len(ApproxEpsilons)+2)
+	}
+	if len(samples) != 2*len(tab.Rows) {
+		t.Fatalf("samples = %d, want %d (exact+approx per row)", len(samples), 2*len(tab.Rows))
+	}
+	for _, s := range samples {
+		if s.NsPerOp <= 0 {
+			t.Fatalf("sample %s/%s has no timing: %+v", s.Row, s.Series, s)
+		}
+	}
+}
+
+// TestApproxQualityGate is the CI quality gate: at ε = 0.1 the mean
+// community-membership F1 against the exact answers must stay ≥ 0.9 on
+// every preset (the shipped approximate evaluator proves its probes, so the
+// expectation is F1 = 1; the 0.9 bar leaves room for a future lever that
+// genuinely trades membership for latency without letting quality silently
+// collapse).
+func TestApproxQualityGate(t *testing.T) {
+	const (
+		gateEps = 0.1
+		gateF1  = 0.9
+	)
+	cfg := testConfig()
+	cfg.Scale = 0.2
+	cfg.Queries = 15
+	for _, name := range DatasetNames() {
+		ds, err := LoadDataset(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := acq.Synthetic(name, cfg.Scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetResultCacheSize(-1)
+		g.BuildIndex()
+		snap := g.Snapshot()
+		k := dsK(ds)
+		sumF1 := 0.0
+		for _, qv := range ds.Queries {
+			exact, err := snap.Search(bgCtx, acq.Query{VertexID: int32(qv), K: k})
+			if err != nil {
+				t.Fatalf("%s: exact query %d: %v", name, qv, err)
+			}
+			approx, err := snap.Search(bgCtx, acq.Query{VertexID: int32(qv), K: k, Epsilon: gateEps})
+			if err != nil {
+				t.Fatalf("%s: approx query %d: %v", name, qv, err)
+			}
+			if approx.ScoreLowerBound > exact.LabelSize || approx.ScoreUpperBound < exact.LabelSize {
+				t.Errorf("%s: query %d: bounds [%d,%d] miss exact score %d",
+					name, qv, approx.ScoreLowerBound, approx.ScoreUpperBound, exact.LabelSize)
+			}
+			sumF1 += communityF1(approx, exact)
+		}
+		meanF1 := sumF1 / float64(len(ds.Queries))
+		if meanF1 < gateF1 {
+			t.Errorf("%s: mean F1 at ε=%.2f is %.3f, below the %.2f gate", name, gateEps, meanF1, gateF1)
+		}
+	}
+}
+
+// TestApproxSearchRowF1Parses pins the table shape the JSON artifact
+// carries: the mean-F1 column must be a parseable float in [0, 1] for every
+// row, so downstream tooling reading BENCH_pr9_approx_search.json never has
+// to guess the format.
+func TestApproxSearchRowF1Parses(t *testing.T) {
+	ds := loadTest(t, "dblp")
+	tab, _ := ApproxSearch(ds, testConfig().Scale)
+	col := -1
+	for i, h := range tab.Header {
+		if h == "mean-F1" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("no mean-F1 column in %v", tab.Header)
+	}
+	for _, row := range tab.Rows {
+		f, err := strconv.ParseFloat(strings.TrimSpace(row[col]), 64)
+		if err != nil || f < 0 || f > 1 {
+			t.Fatalf("row %q: bad mean-F1 cell %q: %v", row[0], row[col], err)
+		}
+		if strings.HasPrefix(row[0], fmt.Sprintf("eps=%.2f", 0.0)) && f != 1 {
+			t.Fatalf("ε=0 row reports F1 %v, want exactly 1 (exact path)", f)
+		}
+	}
+}

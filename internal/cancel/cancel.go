@@ -1,17 +1,28 @@
-// Package cancel threads context cancellation through the query algorithms
-// with amortised cost. The hot loops of attributed community search (core
-// peeling, BFS over induced subgraphs, truss support peeling, clique
-// expansion) run millions of iterations per query; polling ctx.Err() on each
-// one would be measurable. A Checker instead counts work units and polls the
-// context once every stride, so the common non-cancellable path costs a nil
-// check and the cancellable path a decrement-and-branch.
+// Package cancel threads context cancellation — and per-query work budgets —
+// through the query algorithms with amortised cost. The hot loops of
+// attributed community search (core peeling, BFS over induced subgraphs,
+// truss support peeling, clique expansion) run millions of iterations per
+// query; polling ctx.Err() on each one would be measurable. A Checker instead
+// counts work units and polls the context once every stride, so the common
+// non-cancellable path costs a nil check and the cancellable path a
+// decrement-and-branch.
+//
+// A Meter attached to the context (WithMeter) rides the same checkpoints: the
+// Checker charges every consumed stride against the meter and, when a hard
+// cap is set, stops the evaluation the moment the cap is reached. Because
+// every graph-sized loop already ticks a Checker, a budget bounds the
+// vertices and edges touched by any query mode without per-mode code.
 //
 // Cancellation unwinds via panic rather than error returns: the induced
 // subgraph primitives (ComponentOf, PeelToMinDegree, ...) sit many frames
 // below the public entry points and return bare slices. Every public query
 // function installs Recover, which converts the private unwind token back
-// into an error wrapping both ErrCanceled and context.Cause, and re-raises
-// anything else. The token never escapes a properly guarded entry point.
+// into an error wrapping either ErrCanceled and context.Cause, or ErrBudget
+// for an exhausted work budget, and re-raises anything else. Callers that
+// want to keep partial results at a known-safe boundary (the approximate
+// evaluation drivers probe candidate levels this way) wrap the probe in
+// CatchBudget, which absorbs only the budget unwind and leaves cancellation
+// to propagate. The token never escapes a properly guarded entry point.
 package cancel
 
 import (
@@ -26,46 +37,142 @@ import (
 // cancel (context.Canceled) from a deadline (context.DeadlineExceeded).
 var ErrCanceled = errors.New("acq: search canceled")
 
+// ErrBudget reports a search stopped by exhausting its per-query work budget
+// before completing. Unlike cancellation it is not an external event: the
+// query itself asked for at most N work units, so callers typically convert
+// it into a partial result with honest bounds rather than a failure.
+var ErrBudget = errors.New("acq: query budget exhausted")
+
 // DefaultStride is the number of Tick work units between two context polls.
 // At roughly one unit per vertex or edge visited, a poll every 4096 units
 // keeps the added latency of a cancelled query far below a millisecond while
 // making the per-unit cost vanish against the graph work itself.
 const DefaultStride = 4096
 
-// Checker amortises context cancellation polls over units of work. A nil
-// *Checker is valid and means "not cancellable": every method is a no-op, so
-// call sites never branch on the context's nature themselves.
+// Meter carries a per-query work budget and its consumption. One Meter is
+// created per query evaluation and attached to the context with WithMeter;
+// every Checker built from that context charges consumed strides against it,
+// so the count spans all helpers of one evaluation. Spent advances at
+// checkpoint granularity (once per consumed stride), which also bounds the
+// overshoot past the cap to under one stride.
+//
+// Like the Checker it is single-goroutine state; batch evaluation gives each
+// query its own Meter.
+type Meter struct {
+	cap   int64
+	spent int64
+}
+
+// NewMeter returns a Meter enforcing a hard cap of the given number of work
+// units, or a pure counting meter (never exhausts) when cap <= 0.
+func NewMeter(cap int64) *Meter {
+	if cap < 0 {
+		cap = 0
+	}
+	return &Meter{cap: cap}
+}
+
+// Spent returns the work units charged so far, at checkpoint granularity.
+func (m *Meter) Spent() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.spent
+}
+
+// Cap returns the hard work cap, or 0 when the meter only counts.
+func (m *Meter) Cap() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cap
+}
+
+// Exhausted reports whether a capped meter has reached its cap.
+func (m *Meter) Exhausted() bool {
+	return m != nil && m.cap > 0 && m.spent >= m.cap
+}
+
+// meterKey is the context key WithMeter stores the evaluation's Meter under.
+type meterKey struct{}
+
+// WithMeter returns a context carrying m. Checkers built by New from the
+// returned context (or any context derived from it) meter their work against
+// m, which makes the budget reach every mode's hot loops through the
+// checkpoints they already have.
+func WithMeter(ctx context.Context, m *Meter) context.Context {
+	if m == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, meterKey{}, m)
+}
+
+// MeterFrom returns the Meter carried by ctx, or nil.
+func MeterFrom(ctx context.Context) *Meter {
+	if ctx == nil {
+		return nil
+	}
+	m, _ := ctx.Value(meterKey{}).(*Meter)
+	return m
+}
+
+// Checker amortises context cancellation polls — and work-budget accounting —
+// over units of work. A nil *Checker is valid and means "not cancellable, not
+// metered": every method is a no-op, so call sites never branch on the
+// context's nature themselves.
 //
 // A Checker is single-goroutine state (one per query evaluation), like the
 // SetOps scratch space it usually travels with.
 type Checker struct {
-	ctx    context.Context
-	budget int
+	ctx    context.Context // nil when only metering
+	m      *Meter          // nil when only cancellation
+	budget int             // work units until the next slow-path poll
+	stride int             // the interval budget was last refilled to
 }
 
 // New returns a Checker polling ctx, or nil — the no-op checker — when ctx
-// can never be canceled (nil, context.Background, ...).
+// can never be canceled (nil, context.Background, ...) and carries no Meter.
+// A context carrying a Meter always yields a live Checker, even without a
+// cancellable deadline, so budgets work on otherwise plain contexts.
 func New(ctx context.Context) *Checker {
-	if ctx == nil || ctx.Done() == nil {
+	m := MeterFrom(ctx)
+	cancellable := ctx != nil && ctx.Done() != nil
+	if !cancellable && m == nil {
 		return nil
 	}
-	return &Checker{ctx: ctx, budget: DefaultStride}
+	c := &Checker{m: m}
+	if cancellable {
+		c.ctx = ctx
+	}
+	c.refill()
+	return c
 }
 
-// Err polls the context immediately, returning the wrapped sentinel error if
-// it is already canceled. Entry points call it once up front so an
-// already-expired context returns before any graph work starts.
+// Err polls the context and budget immediately, returning the wrapped
+// sentinel error if the evaluation cannot proceed. Entry points call it once
+// up front so an already-expired context or already-exhausted budget returns
+// before any graph work starts.
 func (c *Checker) Err() error {
-	if c == nil || c.ctx.Err() == nil {
+	if c == nil {
+		return nil
+	}
+	if c.m.Exhausted() {
+		return budgetErr(c.m)
+	}
+	if c.ctx == nil || c.ctx.Err() == nil {
 		return nil
 	}
 	return Wrap(c.ctx)
 }
 
 // Tick consumes n units of work. Once a stride's worth has accumulated it
-// polls the context and, if canceled, unwinds the evaluation by panicking
-// with a private token that Recover (deferred at every public entry point)
-// converts into the wrapped error. Tick on a nil Checker is free.
+// charges the meter, polls the context and, if the budget is exhausted or the
+// context canceled, unwinds the evaluation by panicking with a private token
+// that Recover (deferred at every public entry point) converts into the
+// wrapped error. Tick on a nil Checker is free.
 func (c *Checker) Tick(n int) {
 	if c == nil {
 		return
@@ -78,10 +185,46 @@ func (c *Checker) Tick(n int) {
 
 // poll is Tick's slow path, kept out of line so Tick stays inlinable.
 func (c *Checker) poll() {
-	c.budget = DefaultStride
-	if c.ctx.Err() != nil {
-		panic(unwind{Wrap(c.ctx)})
+	if c.m != nil {
+		c.m.spent += int64(c.stride - c.budget) // budget <= 0: the full stride and any overshoot
+		if c.m.Exhausted() {
+			c.budget, c.stride = 0, 0
+			panic(unwind{err: budgetErr(c.m), budget: true})
+		}
 	}
+	if c.ctx != nil && c.ctx.Err() != nil {
+		panic(unwind{err: Wrap(c.ctx)})
+	}
+	c.refill()
+}
+
+// Flush charges any partially consumed stride to the meter without polling,
+// so it never unwinds and is safe in defers. Evaluations that report work
+// call it before reading the meter; without it, spent lags actual work by up
+// to one stride.
+func (c *Checker) Flush() {
+	if c == nil || c.m == nil {
+		return
+	}
+	if n := c.stride - c.budget; n > 0 {
+		c.m.spent += int64(n)
+		c.budget = c.stride
+	}
+}
+
+// refill sets the next poll interval: a full stride, clamped so a capped
+// meter is polled again exactly at (within one tick of) its cap.
+func (c *Checker) refill() {
+	s := DefaultStride
+	if c.m != nil && c.m.cap > 0 {
+		if rem := c.m.cap - c.m.spent; rem < int64(s) {
+			s = int(rem)
+			if s < 1 {
+				s = 1
+			}
+		}
+	}
+	c.budget, c.stride = s, s
 }
 
 // Wrap builds the error a canceled search returns: ErrCanceled wrapping the
@@ -91,13 +234,21 @@ func Wrap(ctx context.Context) error {
 	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
 }
 
-// unwind is the panic token Tick raises. It is deliberately unexported: only
-// Recover can translate it, so an unguarded escape is a loud bug, not a
-// silent wrong answer.
-type unwind struct{ err error }
+// budgetErr builds the error an exhausted budget surfaces as.
+func budgetErr(m *Meter) error {
+	return fmt.Errorf("%w: cap %d reached after %d work units", ErrBudget, m.cap, m.spent)
+}
 
-// Recover converts a cancellation unwind into *errp and re-raises any other
-// panic. Use it as
+// unwind is the panic token Tick raises. It is deliberately unexported: only
+// Recover and CatchBudget can translate it, so an unguarded escape is a loud
+// bug, not a silent wrong answer.
+type unwind struct {
+	err    error
+	budget bool
+}
+
+// Recover converts a cancellation or budget unwind into *errp and re-raises
+// any other panic. Use it as
 //
 //	func Query(ctx context.Context, ...) (res Result, err error) {
 //	    check := cancel.New(ctx)
@@ -112,4 +263,27 @@ func Recover(errp *error) {
 	default:
 		panic(r)
 	}
+}
+
+// CatchBudget runs fn and reports whether it was cut short by a budget
+// unwind, which it absorbs. Cancellation unwinds and foreign panics propagate
+// untouched. The approximate drivers wrap each candidate-level probe in it:
+// an exhausted budget ends the probe, and the driver returns the best result
+// found so far with honest bounds.
+func CatchBudget(fn func()) (exhausted bool) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case unwind:
+			if r.budget {
+				exhausted = true
+				return
+			}
+			panic(r)
+		default:
+			panic(r)
+		}
+	}()
+	fn()
+	return false
 }

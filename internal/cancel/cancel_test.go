@@ -75,6 +75,129 @@ func TestDeadlineCauseSurvivesWrap(t *testing.T) {
 	}
 }
 
+func TestMeterBudgetUnwinds(t *testing.T) {
+	m := NewMeter(10 * DefaultStride)
+	run := func() (err error) {
+		c := New(WithMeter(context.Background(), m))
+		if c == nil {
+			t.Fatal("metered context yielded nil checker")
+		}
+		defer Recover(&err)
+		for i := 0; ; i++ {
+			c.Tick(1)
+			if i > 20*DefaultStride {
+				t.Fatal("Tick never unwound on an exhausted budget")
+			}
+		}
+	}
+	if err := run(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if !m.Exhausted() {
+		t.Fatal("meter not exhausted after budget unwind")
+	}
+	if m.Spent() < m.Cap() {
+		t.Fatalf("Spent() = %d below cap %d after exhaustion", m.Spent(), m.Cap())
+	}
+	// Overshoot past the cap is bounded by one tick (we tick 1 unit at a time).
+	if m.Spent() > m.Cap()+1 {
+		t.Fatalf("Spent() = %d overshoots cap %d by more than checkpoint granularity", m.Spent(), m.Cap())
+	}
+}
+
+func TestMeterCountsWithoutCap(t *testing.T) {
+	m := NewMeter(0)
+	c := New(WithMeter(context.Background(), m))
+	const units = 3*DefaultStride + 7
+	for i := 0; i < units; i++ {
+		c.Tick(1)
+	}
+	if m.Exhausted() {
+		t.Fatal("capless meter reported exhaustion")
+	}
+	// Spent advances at checkpoint granularity: full strides are charged, the
+	// trailing partial stride is not.
+	if got := m.Spent(); got != 3*DefaultStride {
+		t.Fatalf("Spent() = %d, want %d", got, 3*DefaultStride)
+	}
+}
+
+func TestErrReportsExhaustedBudgetUpFront(t *testing.T) {
+	m := NewMeter(1)
+	c := New(WithMeter(context.Background(), m))
+	func() {
+		defer func() { recover() }()
+		c.Tick(2)
+	}()
+	c2 := New(WithMeter(context.Background(), m))
+	if err := c2.Err(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("Err() = %v, want ErrBudget for an already-exhausted meter", err)
+	}
+}
+
+func TestCatchBudgetAbsorbsOnlyBudget(t *testing.T) {
+	m := NewMeter(1)
+	c := New(WithMeter(context.Background(), m))
+	exhausted := CatchBudget(func() {
+		for i := 0; i < 10; i++ {
+			c.Tick(1)
+		}
+		t.Fatal("budget unwind did not fire")
+	})
+	if !exhausted {
+		t.Fatal("CatchBudget did not report exhaustion")
+	}
+	if CatchBudget(func() {}) {
+		t.Fatal("CatchBudget reported exhaustion for a clean run")
+	}
+
+	// Cancellation must pass through CatchBudget to the outer Recover.
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	run := func() (err error) {
+		cc := New(ctx)
+		defer Recover(&err)
+		CatchBudget(func() {
+			for i := 0; i < 10*DefaultStride; i++ {
+				cc.Tick(1)
+			}
+			t.Fatal("cancellation unwind did not fire")
+		})
+		t.Fatal("CatchBudget absorbed a cancellation unwind")
+		return nil
+	}
+	if err := run(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled through CatchBudget", err)
+	}
+}
+
+func TestCatchBudgetPassesForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("foreign panic swallowed: %v", r)
+		}
+	}()
+	CatchBudget(func() { panic("boom") })
+}
+
+func TestBudgetComposesWithCancellation(t *testing.T) {
+	// Both a meter and a cancellable context: cancellation fires even when
+	// the budget still has headroom.
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	run := func() (err error) {
+		c := New(WithMeter(ctx, NewMeter(1<<40)))
+		defer Recover(&err)
+		for i := 0; i < 10*DefaultStride; i++ {
+			c.Tick(1)
+		}
+		return nil
+	}
+	if err := run(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled with an unspent budget", err)
+	}
+}
+
 func TestRecoverPassesForeignPanics(t *testing.T) {
 	defer func() {
 		if r := recover(); r != "boom" {

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/acq-search/acq/internal/cancel"
+	"github.com/acq-search/acq/internal/graph"
+	"github.com/acq-search/acq/internal/testutil"
+)
+
+// approxRunners pairs each approximate driver with its exact counterpart.
+func approxRunners(tr *Tree, q graph.VertexID, k int, s []graph.KeywordID) map[string][2]func(ap Approx) (Result, Bounds, error) {
+	opt := DefaultOptions()
+	exactly := func(run func() (Result, error)) func(Approx) (Result, Bounds, error) {
+		return func(Approx) (Result, Bounds, error) {
+			res, err := run()
+			return res, Bounds{}, err
+		}
+	}
+	return map[string][2]func(ap Approx) (Result, Bounds, error){
+		"dec": {
+			func(ap Approx) (Result, Bounds, error) { return DecApprox(bgCtx, tr, q, k, s, opt, ap) },
+			exactly(func() (Result, error) { return Dec(bgCtx, tr, q, k, s, opt) }),
+		},
+		"clique": {
+			func(ap Approx) (Result, Bounds, error) { return CliqueApprox(bgCtx, tr, q, k, s, ap) },
+			exactly(func() (Result, error) { return CliqueSearch(bgCtx, tr, q, k, s) }),
+		},
+		"truss": {
+			func(ap Approx) (Result, Bounds, error) { return TrussApprox(bgCtx, tr, q, k, 0, s, ap) },
+			exactly(func() (Result, error) { return TrussSearch(bgCtx, tr, q, k, s) }),
+		},
+		"truss-d": {
+			func(ap Approx) (Result, Bounds, error) { return TrussApprox(bgCtx, tr, q, k, 2, s, ap) },
+			exactly(func() (Result, error) { return TrussSearchD(bgCtx, tr, q, k, 2, s) }),
+		},
+	}
+}
+
+// TestApproxZeroEpsilonMatchesExact: the zero Approx with no budget must
+// reproduce the exact evaluators byte for byte, including errors, and report
+// tight exact bounds.
+func TestApproxZeroEpsilonMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		g := testutil.RandomGraph(rng, 5+rng.Intn(40), 1+5*rng.Float64(), 6, 4)
+		tr := BuildAdvanced(g)
+		q := graph.VertexID(rng.Intn(g.NumVertices()))
+		k := 1 + rng.Intn(4)
+		for name, pair := range approxRunners(tr, q, k, nil) {
+			approx, exact := pair[0], pair[1]
+			got, b, gotErr := approx(Approx{})
+			want, _, wantErr := exact(Approx{})
+			if (gotErr == nil) != (wantErr == nil) || (gotErr != nil && gotErr.Error() != wantErr.Error()) {
+				t.Fatalf("%s trial %d: err = %v, exact err = %v", name, trial, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(canonical(got), canonical(want)) || got.LabelSize != want.LabelSize || got.Fallback != want.Fallback {
+				t.Fatalf("%s trial %d: approx ε=0 result differs from exact\napprox: %+v\nexact:  %+v", name, trial, got, want)
+			}
+			if !b.Exact || b.Lower != want.LabelSize || b.Upper != want.LabelSize {
+				t.Fatalf("%s trial %d: bounds = %+v, want exact at %d", name, trial, b, want.LabelSize)
+			}
+			if b.BudgetExhausted || b.Truncated {
+				t.Fatalf("%s trial %d: spurious exhaustion/truncation: %+v", name, trial, b)
+			}
+		}
+	}
+}
+
+// TestApproxBoundsBracketExactScore: at every ε and top-r the reported bounds
+// must bracket the exact score, and without a budget the ε contract
+// LabelSize ≥ (1−ε)·exact must hold.
+func TestApproxBoundsBracketExactScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	epsilons := []float64{0, 0.05, 0.1, 0.2, 0.5}
+	for trial := 0; trial < 40; trial++ {
+		g := testutil.RandomGraph(rng, 5+rng.Intn(40), 1+5*rng.Float64(), 6, 4)
+		tr := BuildAdvanced(g)
+		q := graph.VertexID(rng.Intn(g.NumVertices()))
+		k := 1 + rng.Intn(4)
+		for name, pair := range approxRunners(tr, q, k, nil) {
+			approx, exact := pair[0], pair[1]
+			want, _, wantErr := exact(Approx{})
+			if wantErr != nil {
+				continue
+			}
+			for _, eps := range epsilons {
+				for _, topR := range []int{0, 1, 2} {
+					res, b, err := approx(Approx{Epsilon: eps, TopR: topR})
+					if err != nil {
+						t.Fatalf("%s trial %d ε=%g r=%d: %v", name, trial, eps, topR, err)
+					}
+					if b.Lower > want.LabelSize || b.Upper < want.LabelSize {
+						t.Fatalf("%s trial %d ε=%g r=%d: bounds [%d,%d] miss exact score %d",
+							name, trial, eps, topR, b.Lower, b.Upper, want.LabelSize)
+					}
+					if len(res.Communities) > 0 && !res.Fallback && res.LabelSize != b.Lower {
+						t.Fatalf("%s trial %d ε=%g r=%d: LabelSize %d != Lower %d",
+							name, trial, eps, topR, res.LabelSize, b.Lower)
+					}
+					if topR == 0 && float64(res.LabelSize) < (1-eps)*float64(want.LabelSize) {
+						t.Fatalf("%s trial %d ε=%g: LabelSize %d below (1-ε)·%d",
+							name, trial, eps, res.LabelSize, want.LabelSize)
+					}
+					if b.BudgetExhausted {
+						t.Fatalf("%s trial %d ε=%g r=%d: exhausted without a budget", name, trial, eps, topR)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApproxBudgetExhaustion: a tiny budget must stop the evaluation with
+// BudgetExhausted and bounds that still bracket the exact score; an ample
+// budget must leave the exact result untouched while counting work.
+func TestApproxBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	exhausted := 0
+	for trial := 0; trial < 60; trial++ {
+		g := testutil.RandomGraph(rng, 20+rng.Intn(40), 2+5*rng.Float64(), 6, 4)
+		tr := BuildAdvanced(g)
+		q := graph.VertexID(rng.Intn(g.NumVertices()))
+		k := 1 + rng.Intn(3)
+		want, wantErr := Dec(bgCtx, tr, q, k, nil, DefaultOptions())
+		if wantErr != nil {
+			continue
+		}
+
+		tiny := cancel.NewMeter(1)
+		res, b, err := DecApprox(cancel.WithMeter(bgCtx, tiny), tr, q, k, nil, DefaultOptions(), Approx{})
+		if err != nil {
+			t.Fatalf("trial %d tiny budget: %v", trial, err)
+		}
+		if b.BudgetExhausted {
+			exhausted++
+			if b.Lower > want.LabelSize || b.Upper < want.LabelSize {
+				t.Fatalf("trial %d: exhausted bounds [%d,%d] miss exact %d", trial, b.Lower, b.Upper, want.LabelSize)
+			}
+			if b.Exact {
+				t.Fatalf("trial %d: exhausted evaluation claims Exact", trial)
+			}
+			if res.LabelSize != b.Lower {
+				if len(res.Communities) > 0 && !res.Fallback {
+					t.Fatalf("trial %d: partial LabelSize %d != Lower %d", trial, res.LabelSize, b.Lower)
+				}
+			}
+		}
+
+		ample := cancel.NewMeter(1 << 40)
+		got, b2, err := DecApprox(cancel.WithMeter(bgCtx, ample), tr, q, k, nil, DefaultOptions(), Approx{})
+		if err != nil {
+			t.Fatalf("trial %d ample budget: %v", trial, err)
+		}
+		if !reflect.DeepEqual(canonical(got), canonical(want)) || !b2.Exact {
+			t.Fatalf("trial %d: ample budget changed the result (bounds %+v)", trial, b2)
+		}
+		if !want.Fallback && b2.Work == 0 {
+			t.Fatalf("trial %d: metered verification reported zero work", trial)
+		}
+	}
+	if exhausted == 0 {
+		t.Fatal("no trial exhausted a 1-unit budget; the meter is not wired into the driver")
+	}
+}
+
+// TestApproxBudgetReachesExactEvaluators: the meter rides the context, so
+// the EXACT evaluators inherit the cap through their existing checkpoints
+// and surface cancel.ErrBudget.
+func TestApproxBudgetReachesExactEvaluators(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := testutil.RandomGraph(rng, 200, 6, 6, 4)
+	tr := BuildAdvanced(g)
+	ctx := cancel.WithMeter(bgCtx, cancel.NewMeter(1))
+	hit := 0
+	for q := 0; q < g.NumVertices() && hit == 0; q++ {
+		for _, run := range []func() error{
+			func() error { _, err := Dec(ctx, tr, graph.VertexID(q), 2, nil, DefaultOptions()); return err },
+			func() error { _, err := IncS(ctx, tr, graph.VertexID(q), 2, nil, DefaultOptions()); return err },
+			func() error { _, err := TrussSearch(ctx, tr, graph.VertexID(q), 3, nil); return err },
+			func() error { _, err := SW(ctx, tr, graph.VertexID(q), 2, kws(g, g.Dict().Word(0))); return err },
+		} {
+			if err := run(); errors.Is(err, cancel.ErrBudget) {
+				hit++
+				break
+			}
+		}
+	}
+	if hit == 0 {
+		t.Fatal("no exact evaluator surfaced ErrBudget under a 1-unit meter")
+	}
+}

@@ -111,6 +111,33 @@ func (s *SetOps) ComponentOf(cand []VertexID, q VertexID) []VertexID {
 	return comp
 }
 
+// ExpandComponentOf returns the connected component containing q in the
+// subgraph induced by the vertices satisfying keep, grown by BFS from q
+// without materialising that vertex set first. keep is consulted at most
+// once per vertex (results are memoised for the duration of the call), so
+// the cost is proportional to the component and its boundary rather than to
+// the graph. keep(q) is assumed true and not consulted. The result is in
+// BFS order, matching ComponentOf over the materialised set.
+func (s *SetOps) ExpandComponentOf(q VertexID, keep func(VertexID) bool) []VertexID {
+	s.in.Reset() // tested: accepted vertices are enqueued at test time
+	s.in.Add(q)
+	comp := []VertexID{q}
+	for head := 0; head < len(comp); head++ {
+		v := comp[head]
+		s.check.Tick(1)
+		for _, u := range s.g.Neighbors(v) {
+			if s.in.Has(u) {
+				continue
+			}
+			s.in.Add(u)
+			if keep(u) {
+				comp = append(comp, u)
+			}
+		}
+	}
+	return comp
+}
+
 // Components returns the connected components of the subgraph induced by
 // cand, each in BFS order.
 func (s *SetOps) Components(cand []VertexID) [][]VertexID {

@@ -2,7 +2,9 @@ package acq
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"github.com/acq-search/acq/internal/cancel"
 	"github.com/acq-search/acq/internal/core"
@@ -91,6 +93,26 @@ type Query struct {
 	// the community — the (k,d)-truss constraint. Only honoured by
 	// ModeTruss; 0 means unbounded.
 	MaxHops int
+	// Epsilon, in [0, 1), allows approximate evaluation: the returned
+	// attribute score (AC-label size) is guaranteed ≥ (1−ε) times the
+	// maximum achievable, and Result reports the achieved bounds. 0 (the
+	// default) keeps evaluation exact. Epsilon steers the multi-candidate
+	// modes (core, clique, truss), whose approximate evaluator follows the
+	// decremental strategy regardless of Algorithm; the single-candidate
+	// modes satisfy any ε trivially and evaluate exactly. Index-free
+	// algorithms ignore ε the same way.
+	Epsilon float64
+	// Budget, when > 0, caps the work spent on the query, measured in
+	// vertices/edges touched at the evaluators' cancellation checkpoints.
+	// An exhausted budget ends the evaluation early: the result carries
+	// whatever was proven by then (possibly no communities) with
+	// BudgetExhausted set and sound score bounds. Every mode and algorithm
+	// honours the budget. 0 means unbounded.
+	Budget int64
+	// TopR, when > 0, caps the candidate keyword sets verified per label
+	// size in the multi-candidate modes, trading completeness of the
+	// returned community set for latency. 0 verifies all candidates.
+	TopR int
 }
 
 // Community is one attributed community.
@@ -112,6 +134,23 @@ type Result struct {
 	// Fallback is true when no keywords could be shared and the plain
 	// k-ĉore was returned instead.
 	Fallback bool
+	// ScoreLowerBound and ScoreUpperBound bracket the exact attribute score
+	// (the maximal AC-label size): lower ≤ exact ≤ upper. An exact
+	// evaluation reports both equal to LabelSize; an approximate one may
+	// leave a gap of at most Epsilon·upper.
+	ScoreLowerBound int
+	ScoreUpperBound int
+	// Exact reports that the result is identical to what exact evaluation
+	// would return: the bounds met and no candidate was skipped. Always
+	// true when Epsilon, Budget and TopR are all zero; possibly true even
+	// with ε > 0 when the search happened to complete exactly.
+	Exact bool
+	// Work counts the work units actually spent, at checkpoint granularity.
+	// Only metered when Epsilon, Budget or TopR is set; 0 otherwise.
+	Work int64
+	// BudgetExhausted reports that Query.Budget ran out mid-evaluation and
+	// the result is whatever had been established by then.
+	BudgetExhausted bool
 }
 
 // Searcher is the query surface shared by Graph (direct reads against the
@@ -195,9 +234,10 @@ func knownAlgorithm(a Algorithm) bool {
 	return false
 }
 
-// validateDispatch rejects unknown Mode and Algorithm values. It runs before
-// any evaluation — and, on the Snapshot path, before the cache probe, so a
-// typo'd mode can never alias a cached result of a different model.
+// validateDispatch rejects unknown Mode and Algorithm values and
+// out-of-range approximation knobs. It runs before any evaluation — and, on
+// the Snapshot path, before the cache probe, so a typo'd mode can never
+// alias a cached result of a different model.
 func validateDispatch(q Query) error {
 	if !knownMode(q.Mode) {
 		return fmt.Errorf("%w: %q", ErrBadMode, q.Mode)
@@ -205,7 +245,22 @@ func validateDispatch(q Query) error {
 	if !knownAlgorithm(q.Algorithm) {
 		return fmt.Errorf("%w: %q", ErrBadAlgorithm, q.Algorithm)
 	}
+	if q.Epsilon < 0 || q.Epsilon >= 1 || math.IsNaN(q.Epsilon) {
+		return fmt.Errorf("%w: %v", ErrBadEpsilon, q.Epsilon)
+	}
+	if q.Budget < 0 {
+		return fmt.Errorf("%w: budget %d", ErrBadBudget, q.Budget)
+	}
+	if q.TopR < 0 {
+		return fmt.Errorf("%w: top_r %d", ErrBadTopR, q.TopR)
+	}
 	return nil
+}
+
+// approxActive reports whether any approximation knob is set. When none is,
+// evaluation takes the exact code path untouched — the ε=0 contract.
+func (q Query) approxActive() bool {
+	return q.Epsilon > 0 || q.Budget > 0 || q.TopR > 0
 }
 
 // evaluate dispatches a query to its mode's algorithm. It is the one funnel
@@ -217,6 +272,20 @@ func (v view) evaluate(ctx context.Context, q Query) (Result, error) {
 	if err := validateDispatch(q); err != nil {
 		return Result{}, err
 	}
+	if q.approxActive() {
+		return v.evaluateApprox(ctx, q)
+	}
+	res, err := v.dispatch(ctx, q)
+	if err != nil {
+		return Result{}, err
+	}
+	res.ScoreLowerBound, res.ScoreUpperBound = res.LabelSize, res.LabelSize
+	res.Exact = true
+	return res, nil
+}
+
+// dispatch routes a query to its mode's exact evaluator.
+func (v view) dispatch(ctx context.Context, q Query) (Result, error) {
 	switch q.Mode {
 	case "", ModeCore:
 		return v.search(ctx, q)
@@ -230,6 +299,99 @@ func (v view) evaluate(ctx context.Context, q Query) (Result, error) {
 		return v.searchSimilar(ctx, q, q.Tau)
 	default: // ModeTruss; validateDispatch rejected everything else
 		return v.searchTruss(ctx, q)
+	}
+}
+
+// evaluateApprox is the approximate counterpart of dispatch: it attaches the
+// query's work budget to the context as a cancel.Meter (so every evaluator
+// inherits the cap through its existing checkpoints) and routes ε/top-r to
+// the dedicated approximate drivers of the multi-candidate modes. Modes
+// without a dedicated driver run their exact evaluator under the meter —
+// which satisfies any ε trivially — and convert budget exhaustion into a
+// partial result with sound bounds instead of an error.
+func (v view) evaluateApprox(ctx context.Context, q Query) (Result, error) {
+	meter := cancel.NewMeter(q.Budget)
+	ctx = cancel.WithMeter(ctx, meter)
+	ap := core.Approx{Epsilon: q.Epsilon, TopR: q.TopR}
+	if q.Epsilon > 0 || q.TopR > 0 {
+		switch q.Mode {
+		case "", ModeCore:
+			if q.Algorithm != AlgoBasicG && q.Algorithm != AlgoBasicW {
+				return v.approxMulti(ctx, q, func(qv graph.VertexID, s []graph.KeywordID) (core.Result, core.Bounds, error) {
+					opt := core.DefaultOptions()
+					opt.UseInvertedLists = !q.DisableInvertedLists
+					return core.DecApprox(ctx, v.tree, qv, q.K, s, opt, ap)
+				})
+			}
+		case ModeClique:
+			return v.approxMulti(ctx, q, func(qv graph.VertexID, s []graph.KeywordID) (core.Result, core.Bounds, error) {
+				return core.CliqueApprox(ctx, v.tree, qv, q.K, s, ap)
+			})
+		case ModeTruss:
+			return v.approxMulti(ctx, q, func(qv graph.VertexID, s []graph.KeywordID) (core.Result, core.Bounds, error) {
+				return core.TrussApprox(ctx, v.tree, qv, q.K, q.MaxHops, s, ap)
+			})
+		}
+	}
+	res, err := v.dispatch(ctx, q)
+	if err != nil {
+		if errors.Is(err, cancel.ErrBudget) {
+			return v.exhaustedResult(q, meter), nil
+		}
+		return Result{}, err
+	}
+	res.ScoreLowerBound, res.ScoreUpperBound = res.LabelSize, res.LabelSize
+	res.Exact = true
+	res.Work = meter.Spent()
+	return res, nil
+}
+
+// approxMulti resolves the query and runs one of the approximate
+// multi-candidate drivers, rendering its result and achieved bounds.
+func (v view) approxMulti(ctx context.Context, q Query, run func(qv graph.VertexID, s []graph.KeywordID) (core.Result, core.Bounds, error)) (Result, error) {
+	qv, s, err := v.resolve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	if v.tree == nil {
+		return Result{}, ErrNoIndex
+	}
+	res, b, err := run(qv, s)
+	if err != nil {
+		return Result{}, err
+	}
+	out := v.render(res)
+	out.ScoreLowerBound = b.Lower
+	out.ScoreUpperBound = b.Upper
+	out.Exact = b.Exact
+	out.Work = b.Work
+	out.BudgetExhausted = b.BudgetExhausted
+	return out, nil
+}
+
+// exhaustedResult is the partial result of an exact evaluator cut short by
+// its work budget: no communities were established, so the score bounds are
+// the trivial sound bracket [0, max achievable for the mode].
+func (v view) exhaustedResult(q Query, meter *cancel.Meter) Result {
+	upper := 0
+	if qv, s, err := v.resolve(q); err == nil {
+		switch q.Mode {
+		case ModeFixed, ModeThreshold:
+			// The label is S as given when a community exists.
+			upper = len(s)
+		default:
+			// The label can only contain keywords q itself carries.
+			if s == nil {
+				upper = len(v.g.Keywords(qv))
+			} else {
+				upper = v.g.CountSharedKeywords(qv, s)
+			}
+		}
+	}
+	return Result{
+		ScoreUpperBound: upper,
+		Work:            meter.Spent(),
+		BudgetExhausted: true,
 	}
 }
 

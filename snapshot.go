@@ -167,7 +167,15 @@ func (s *Snapshot) cached(ctx context.Context, q Query) (Result, error) {
 // clone deep-copies a Result so cache-resident values are never aliased by
 // callers.
 func (r Result) clone() Result {
-	out := Result{LabelSize: r.LabelSize, Fallback: r.Fallback}
+	out := Result{
+		LabelSize:       r.LabelSize,
+		Fallback:        r.Fallback,
+		ScoreLowerBound: r.ScoreLowerBound,
+		ScoreUpperBound: r.ScoreUpperBound,
+		Exact:           r.Exact,
+		Work:            r.Work,
+		BudgetExhausted: r.BudgetExhausted,
+	}
 	if r.Communities != nil {
 		out.Communities = make([]Community, len(r.Communities))
 		for i, c := range r.Communities {
@@ -241,6 +249,20 @@ func cacheKey(q Query) string {
 	if q.MaxHops > 0 {
 		b.WriteByte('h')
 		b.WriteString(strconv.Itoa(q.MaxHops))
+	}
+	// The approximation knobs change the result contract, so they must be
+	// part of the key — an approximate result may never alias an exact one.
+	if q.Epsilon > 0 {
+		b.WriteByte('e')
+		b.WriteString(strconv.FormatFloat(q.Epsilon, 'g', -1, 64))
+	}
+	if q.Budget > 0 {
+		b.WriteByte('b')
+		b.WriteString(strconv.FormatInt(q.Budget, 10))
+	}
+	if q.TopR > 0 {
+		b.WriteByte('r')
+		b.WriteString(strconv.Itoa(q.TopR))
 	}
 	b.WriteByte('|')
 	if len(q.Keywords) > 0 {
