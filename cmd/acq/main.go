@@ -17,8 +17,7 @@
 //	    -mode selects the community model (core|fixed|threshold|clique|
 //	    similar|truss) with -theta/-tau as its parameters; -timeout bounds
 //	    the evaluation (the search is interrupted mid-evaluation when it
-//	    expires). -fixed is a deprecated alias for -mode fixed, and a bare
-//	    -theta implies -mode threshold.
+//	    expires). A bare -theta implies -mode threshold.
 package main
 
 import (
@@ -64,7 +63,7 @@ func usage() {
   stats  -in graph.txt|graph.snap
   query  -in graph.snap -q <vertex> -k 6 [-s kw1,kw2] [-algo dec|inc-s|inc-t|basic-g|basic-w]
          [-mode core|fixed|threshold|clique|similar|truss] [-theta 0.6] [-tau 0.5]
-         [-timeout 5s] [-fixed (deprecated alias for -mode fixed)]`)
+         [-timeout 5s]`)
 	os.Exit(2)
 }
 
@@ -142,7 +141,6 @@ func cmdQuery(args []string) error {
 	s := fs.String("s", "", "comma-separated query keywords (default: all of q's)")
 	algo := fs.String("algo", "dec", "algorithm (dec|inc-s|inc-t|basic-g|basic-w)")
 	mode := fs.String("mode", "", "community model (core|fixed|threshold|clique|similar|truss)")
-	fixed := fs.Bool("fixed", false, "deprecated alias for -mode fixed")
 	theta := fs.Float64("theta", 0, "threshold mode: require ⌈θ·|S|⌉ shared keywords, θ ∈ (0,1]")
 	tau := fs.Float64("tau", 0, "similar mode: Jaccard similarity bound τ ∈ (0,1]")
 	timeout := fs.Duration("timeout", 0, "bound the evaluation; 0 = no deadline")
@@ -168,14 +166,9 @@ func cmdQuery(args []string) error {
 	if *s != "" {
 		query.Keywords = strings.Split(*s, ",")
 	}
-	// Back-compat conveniences from before the unified Mode field.
-	if query.Mode == "" {
-		switch {
-		case *fixed:
-			query.Mode = acq.ModeFixed
-		case *theta > 0:
-			query.Mode = acq.ModeThreshold
-		}
+	// Back-compat convenience from before the unified Mode field.
+	if query.Mode == "" && *theta > 0 {
+		query.Mode = acq.ModeThreshold
 	}
 	ctx := context.Background()
 	if *timeout > 0 {

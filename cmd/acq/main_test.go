@@ -68,7 +68,7 @@ func TestCmdQueryPaths(t *testing.T) {
 		{"-in", snap, "-q", "jack", "-k", "3", "-s", "research,sports"},
 		{"-in", snap, "-q", "jack", "-k", "3", "-algo", "inc-t"},
 		{"-in", snap, "-q", "jack", "-k", "3", "-algo", "basic-g"},
-		{"-in", snap, "-q", "jack", "-k", "3", "-s", "research", "-fixed"},
+		{"-in", snap, "-q", "jack", "-k", "3", "-s", "research", "-mode", "fixed"},
 		{"-in", snap, "-q", "jack", "-k", "3", "-s", "research,web", "-theta", "0.5"},
 		{"-in", txt, "-q", "jack", "-k", "3"}, // text input builds the index on the fly
 	}

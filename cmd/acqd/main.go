@@ -26,6 +26,16 @@
 //	     -collection social=preset:flickr@0.5    # multi-dataset serving
 //	acqd -preset dblp -data-dir /var/lib/acqd   # durable: WAL + recovery
 //	acqd -data-dir /var/lib/acqd                # recover-only boot
+//	acqd -follow http://leader:8475 -data-dir /var/lib/acqd-replica
+//	                                            # read replica of a leader
+//
+// With -follow, the process is a read replica: it bootstraps every durable
+// collection from the leader's snapshot endpoint, keeps them caught up by
+// polling the leader's WAL tail, and serves the read surface from its own
+// snapshots. Writes answer a structured 403 not_leader naming the leader;
+// -max-replica-lag bounds how stale reads may get. -max-concurrent-queries
+// adds per-collection admission control (bounded wait queue, 429 overloaded
+// + Retry-After under saturation) on leaders and replicas alike.
 package main
 
 import (
@@ -94,34 +104,55 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for durable collection state (WAL + snapshots); enables crash recovery")
 	fsync := flag.String("fsync", "", "WAL fsync policy, always or never (default always; requires -data-dir)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "effective mutations between automatic checkpoints (0 = default, negative = manual only; requires -data-dir)")
+	follow := flag.String("follow", "", "run as a read replica of the leader at this URL (requires -data-dir; writes answer 403 not_leader)")
+	followInterval := flag.Duration("follow-interval", 0, "replica tail-poll cadence (0 = default; requires -follow)")
+	maxReplicaLag := flag.Uint64("max-replica-lag", 0, "answer 503 replica_lagging when this many mutations behind the leader (0 = always answer; requires -follow)")
+	maxConcurrent := flag.Int("max-concurrent-queries", 0, "per-collection admission quota for search/batch evaluations (0 = unlimited)")
+	maxQueued := flag.Int("max-queued-queries", 0, "per-collection admission wait queue (0 = 2x quota, negative = shed immediately)")
 	var collections collectionFlags
 	flag.Var(&collections, "collection", "preload a named collection, name=path or name=preset:NAME[@scale] (repeatable)")
 	flag.Parse()
 
 	if *in == "" && *preset == "" && len(collections) == 0 && *dataDir == "" {
-		log.Fatal("acqd: need a graph (-in or -preset), a -collection, or a -data-dir to recover from")
+		log.Fatal("acqd: need a graph (-in or -preset), a -collection, a -data-dir to recover from, or a leader to -follow")
 	}
 	if *dataDir == "" && (*fsync != "" || *checkpointEvery != 0) {
 		log.Fatal("acqd: -fsync and -checkpoint-every require -data-dir")
+	}
+	if *follow == "" && (*followInterval != 0 || *maxReplicaLag != 0) {
+		log.Fatal("acqd: -follow-interval and -max-replica-lag require -follow")
+	}
+	if *follow != "" {
+		if *dataDir == "" {
+			log.Fatal("acqd: -follow requires -data-dir (the replica stores shipped snapshots there)")
+		}
+		if *in != "" || *preset != "" || len(collections) != 0 {
+			log.Fatal("acqd: -follow replicates the leader's collections; drop -in/-preset/-collection")
+		}
 	}
 
 	// New recovers every durable collection found under -data-dir before the
 	// preloads below run, so a recovered collection wins over a same-named
 	// preload (the WAL state is newer than the seed file).
 	e := engine.New(nil, engine.Config{
-		Addr:                *addr,
-		CacheSize:           *cache,
-		BatchWorkers:        *workers,
-		BuildWorkers:        *buildWorkers,
-		DefaultTimeout:      *defaultTimeout,
-		MaxTimeout:          *maxTimeout,
-		MaxBatchQueries:     *maxBatch,
-		MaxBatchMutations:   *maxMutations,
-		MaxBodyBytes:        *maxBody,
-		CompactionThreshold: *compactThreshold,
-		DataDir:             *dataDir,
-		SyncMode:            *fsync,
-		CheckpointEvery:     *checkpointEvery,
+		Addr:                 *addr,
+		CacheSize:            *cache,
+		BatchWorkers:         *workers,
+		BuildWorkers:         *buildWorkers,
+		DefaultTimeout:       *defaultTimeout,
+		MaxTimeout:           *maxTimeout,
+		MaxBatchQueries:      *maxBatch,
+		MaxBatchMutations:    *maxMutations,
+		MaxBodyBytes:         *maxBody,
+		CompactionThreshold:  *compactThreshold,
+		DataDir:              *dataDir,
+		SyncMode:             *fsync,
+		CheckpointEvery:      *checkpointEvery,
+		FollowURL:            *follow,
+		FollowInterval:       *followInterval,
+		MaxReplicaLag:        *maxReplicaLag,
+		MaxConcurrentQueries: *maxConcurrent,
+		MaxQueuedQueries:     *maxQueued,
 	})
 	if *in != "" || *preset != "" {
 		if _, ok := e.Collection(engine.DefaultCollection); ok {

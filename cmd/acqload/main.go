@@ -1,0 +1,374 @@
+// Command acqload is the cluster tier's traffic harness: a closed- and
+// open-loop HTTP load generator for acqd (or acqrouter) that drives a
+// zipfian mix of collections and query modes and reports latency
+// percentiles plus a status breakdown — including the 429 overloaded sheds
+// that admission control produces under saturation.
+//
+// Two loop disciplines, chosen by -qps:
+//
+//   - Closed loop (-qps 0, the default): -concurrency workers each issue
+//     requests back-to-back. Throughput is whatever the server sustains;
+//     latency excludes queueing the generator itself caused.
+//   - Open loop (-qps N): requests are dispatched on a fixed schedule and
+//     latency is measured from the *intended* send time, so server-side
+//     slowdowns show up as growing latency instead of silently throttling
+//     the generator (no coordinated omission).
+//
+// Usage:
+//
+//	acqload -url http://localhost:8475 -duration 10s -concurrency 8
+//	acqload -url http://localhost:8480 -qps 500 -collections main,wiki \
+//	    -zipf 1.2 -modes core,truss -json load.json
+//
+// The JSON artifact follows the acqbench report schema (acqbench/v1), so the
+// same tooling that tracks the offline benchmark trajectory can track load
+// results. Methodology note: on a single dev box the generator and server
+// share CPUs, so absolute throughput numbers are not replica-scaling
+// evidence — use the paired CI artifacts and the replication correctness
+// suites for those claims.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/acq-search/acq/internal/bench"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8475", "server or router base URL")
+	colsArg := flag.String("collections", "", "comma-separated collections to target (default: every ready collection)")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	concurrency := flag.Int("concurrency", 8, "workers (closed loop) / max in-flight (open loop)")
+	qps := flag.Float64("qps", 0, "target request rate; 0 = closed loop")
+	zipfS := flag.Float64("zipf", 1.1, "zipf skew across collections (<=1 = uniform)")
+	k := flag.Int("k", 4, "degree bound sent with every query")
+	modesArg := flag.String("modes", "core", "comma-separated query modes, cycled per request")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	jsonOut := flag.String("json", "", "write an acqbench/v1 JSON report here")
+	flag.Parse()
+
+	base := strings.TrimRight(*url, "/")
+	cols, err := discover(base, splitList(*colsArg))
+	if err != nil {
+		log.Fatal("acqload: ", err)
+	}
+	modes := splitList(*modesArg)
+	if len(modes) == 0 {
+		modes = []string{"core"}
+	}
+	log.Printf("acqload: %d collection(s), modes %v, %s for %v",
+		len(cols), modes, loopName(*qps), *duration)
+
+	run := &runner{
+		base: base, cols: cols, modes: modes, k: *k,
+		zipfS: *zipfS, seed: *seed,
+		hc: &http.Client{Timeout: 30 * time.Second},
+	}
+	var recs []*recorder
+	start := time.Now()
+	if *qps > 0 {
+		recs = run.openLoop(*duration, *qps, *concurrency)
+	} else {
+		recs = run.closedLoop(*duration, *concurrency)
+	}
+	elapsed := time.Since(start)
+
+	report(os.Stdout, recs, cols, elapsed, *qps, *jsonOut)
+}
+
+func loopName(qps float64) string {
+	if qps > 0 {
+		return fmt.Sprintf("open loop @ %g qps", qps)
+	}
+	return "closed loop"
+}
+
+func splitList(arg string) []string {
+	var out []string
+	for _, s := range strings.Split(arg, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// target is one collection in the workload: its name and vertex count (query
+// vertices are drawn uniformly from [0, vertices)).
+type target struct {
+	name     string
+	vertices int
+}
+
+// discover resolves the target collections against GET /v1/collections:
+// either the requested names (which must exist and be ready) or every ready
+// collection with at least one vertex.
+func discover(base string, want []string) ([]target, error) {
+	resp, err := http.Get(base + "/v1/collections")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Collections []struct {
+			Name     string `json:"name"`
+			State    string `json:"state"`
+			Vertices int    `json:"vertices"`
+		} `json:"collections"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decoding collection listing: %w", err)
+	}
+	byName := make(map[string]target)
+	var all []target
+	for _, c := range body.Collections {
+		if c.State != "ready" || c.Vertices == 0 {
+			continue
+		}
+		t := target{name: c.Name, vertices: c.Vertices}
+		byName[c.Name] = t
+		all = append(all, t)
+	}
+	if len(want) == 0 {
+		if len(all) == 0 {
+			return nil, fmt.Errorf("no ready collections at %s", base)
+		}
+		return all, nil
+	}
+	out := make([]target, 0, len(want))
+	for _, name := range want {
+		t, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("collection %q is not ready at %s", name, base)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// recorder accumulates one worker's observations; workers never share a
+// recorder, so the hot path takes no lock.
+type recorder struct {
+	latencies []time.Duration // successful (200) requests only
+	byStatus  map[int]int
+	byCol     map[string]int
+	errors    int
+}
+
+func newRecorder() *recorder {
+	return &recorder{byStatus: make(map[int]int), byCol: make(map[string]int)}
+}
+
+type runner struct {
+	base  string
+	cols  []target
+	modes []string
+	k     int
+	zipfS float64
+	seed  int64
+	hc    *http.Client
+}
+
+// pick draws the next (collection, vertex, mode) from the workload
+// distribution: zipfian across collections, uniform across vertices, modes
+// cycled.
+func (r *runner) pick(rng *rand.Rand, zipf *rand.Zipf, n int) (target, int, string) {
+	var col target
+	if zipf != nil {
+		col = r.cols[int(zipf.Uint64())]
+	} else {
+		col = r.cols[rng.Intn(len(r.cols))]
+	}
+	return col, rng.Intn(col.vertices), r.modes[n%len(r.modes)]
+}
+
+func (r *runner) newZipf(rng *rand.Rand) *rand.Zipf {
+	if r.zipfS <= 1 || len(r.cols) < 2 {
+		return nil
+	}
+	return rand.NewZipf(rng, r.zipfS, 1, uint64(len(r.cols)-1))
+}
+
+// query issues one search and records it. start is the latency origin: the
+// actual send time in closed loop, the intended send time in open loop.
+func (r *runner) query(rec *recorder, col target, vertex int, mode string, start time.Time) {
+	body := fmt.Sprintf(`{"query":{"id":%d,"k":%d,"mode":%q}}`, vertex, r.k, mode)
+	resp, err := r.hc.Post(r.base+"/v1/collections/"+col.name+"/search",
+		"application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		rec.errors++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rec.byStatus[resp.StatusCode]++
+	rec.byCol[col.name]++
+	if resp.StatusCode == http.StatusOK {
+		rec.latencies = append(rec.latencies, time.Since(start))
+	}
+}
+
+// closedLoop: workers hammer back-to-back until the deadline.
+func (r *runner) closedLoop(d time.Duration, workers int) []*recorder {
+	recs := make([]*recorder, workers)
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec := newRecorder()
+		recs[w] = rec
+		rng := rand.New(rand.NewSource(r.seed + int64(w)))
+		zipf := r.newZipf(rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; time.Now().Before(deadline); n++ {
+				col, vertex, mode := r.pick(rng, zipf, n)
+				r.query(rec, col, vertex, mode, time.Now())
+			}
+		}()
+	}
+	wg.Wait()
+	return recs
+}
+
+// openLoop: a dispatcher emits intended send times on a fixed schedule;
+// workers consume them and measure latency from the intended time, so a
+// saturated server accumulates queue delay into the percentiles instead of
+// slowing the generator down (no coordinated omission). Ticks that find the
+// queue full are counted as dropped.
+func (r *runner) openLoop(d time.Duration, qps float64, workers int) []*recorder {
+	interval := time.Duration(float64(time.Second) / qps)
+	ticks := make(chan time.Time, 4*workers)
+	recs := make([]*recorder, workers+1)
+	dropRec := newRecorder() // dispatcher-side: dropped ticks as errors
+	recs[workers] = dropRec
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec := newRecorder()
+		recs[w] = rec
+		rng := rand.New(rand.NewSource(r.seed + int64(w)))
+		zipf := r.newZipf(rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				intended, ok := <-ticks
+				if !ok {
+					return
+				}
+				col, vertex, mode := r.pick(rng, zipf, n)
+				r.query(rec, col, vertex, mode, intended)
+			}
+		}()
+	}
+	deadline := time.Now().Add(d)
+	for intended := time.Now(); intended.Before(deadline); intended = intended.Add(interval) {
+		if wait := time.Until(intended); wait > 0 {
+			time.Sleep(wait)
+		}
+		select {
+		case ticks <- intended:
+		default:
+			dropRec.errors++ // all workers busy and the queue is full
+		}
+	}
+	close(ticks)
+	wg.Wait()
+	return recs
+}
+
+// report merges the recorders and prints the aligned table (and the JSON
+// artifact when requested).
+func report(w io.Writer, recs []*recorder, cols []target, elapsed time.Duration, qps float64, jsonOut string) {
+	var lat []time.Duration
+	byStatus := make(map[int]int)
+	byCol := make(map[string]int)
+	errors, total := 0, 0
+	for _, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		lat = append(lat, rec.latencies...)
+		for s, n := range rec.byStatus {
+			byStatus[s] += n
+			total += n
+		}
+		for c, n := range rec.byCol {
+			byCol[c] += n
+		}
+		errors += rec.errors
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6) }
+
+	t := &bench.Table{
+		ID:     "load",
+		Title:  fmt.Sprintf("%s, %v elapsed", loopName(qps), elapsed.Round(time.Millisecond)),
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("requests", fmt.Sprint(total))
+	t.AddRow("achieved_qps", fmt.Sprintf("%.1f", float64(total)/elapsed.Seconds()))
+	t.AddRow("transport_errors", fmt.Sprint(errors))
+	var statuses []int
+	for s := range byStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	for _, s := range statuses {
+		t.AddRow(fmt.Sprintf("status_%d", s), fmt.Sprint(byStatus[s]))
+	}
+	t.AddRow("p50_ms", ms(pct(0.50)))
+	t.AddRow("p90_ms", ms(pct(0.90)))
+	t.AddRow("p99_ms", ms(pct(0.99)))
+	t.AddRow("max_ms", ms(pct(1.0)))
+	var colNames []string
+	for c := range byCol {
+		colNames = append(colNames, c)
+	}
+	sort.Strings(colNames)
+	for _, c := range colNames {
+		t.AddRow("collection_"+c, fmt.Sprint(byCol[c]))
+	}
+	t.Fprint(w)
+
+	if jsonOut == "" {
+		return
+	}
+	rep := bench.NewReport(bench.Config{})
+	rep.AddTable("", t)
+	for _, p := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+		rep.AddSamples(bench.Sample{
+			Experiment: "load",
+			Row:        "latency",
+			Series:     p.name,
+			NsPerOp:    float64(pct(p.q).Nanoseconds()),
+		})
+	}
+	if err := rep.WriteFile(jsonOut); err != nil {
+		log.Fatal("acqload: ", err)
+	}
+	log.Printf("acqload: wrote %s", jsonOut)
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Admission control bounds each collection's read concurrency: a quota of
+// in-flight search/batch evaluations (Config.MaxConcurrentQueries) plus a
+// bounded wait queue (Config.MaxQueuedQueries). A request that finds the
+// quota full waits in the queue — bounded by its own context, so a client
+// disconnect or deadline frees the slot request — and one that finds the
+// queue full too is shed immediately with a structured 429 `overloaded` and
+// a Retry-After hint. Shedding is per collection: one collection saturating
+// its quota never starves another's requests, and the write path (mutations
+// serialise on the graph's writer lock anyway) is not gated.
+
+// ErrOverloaded reports a read shed by admission control: the collection's
+// concurrency quota and wait queue are both full.
+var ErrOverloaded = errors.New("engine: collection is over its concurrency quota")
+
+// admission is one collection's quota state. The nil *admission means
+// admission control is off (Config.MaxConcurrentQueries == 0): acquire and
+// release degrade to no-ops, so the serving path stays branch-cheap.
+type admission struct {
+	slots    chan struct{} // buffered to the concurrency quota
+	maxQueue int
+	queued   atomic.Int64  // current wait-queue depth (the queue_depth gauge)
+	shed     atomic.Uint64 // requests rejected with overloaded
+	admitted atomic.Uint64 // requests that got a slot
+}
+
+// newAdmission builds a collection's admission state from the engine config:
+// nil when no quota is configured, otherwise maxConcurrent slots with a wait
+// queue of maxQueue (0 defaults to 2×maxConcurrent, negative disables
+// queueing so over-quota requests shed immediately).
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	if maxConcurrent <= 0 {
+		return nil
+	}
+	switch {
+	case maxQueue == 0:
+		maxQueue = 2 * maxConcurrent
+	case maxQueue < 0:
+		maxQueue = 0
+	}
+	return &admission{slots: make(chan struct{}, maxConcurrent), maxQueue: maxQueue}
+}
+
+// acquire claims a slot, queueing (bounded) when the quota is full. Returns
+// ErrOverloaded when the queue is full too, or the context's cause when the
+// caller gave up while queued. A nil receiver admits everything.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	if int(a.queued.Add(1)) > a.maxQueue {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return ErrOverloaded
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// release frees an acquired slot. A nil receiver is a no-op.
+func (a *admission) release() {
+	if a != nil {
+		<-a.slots
+	}
+}
+
+// queueDepth reports the current wait-queue depth. Nil-safe.
+func (a *admission) queueDepth() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.queued.Load()
+}
+
+// retryAfterSeconds is the Retry-After hint on shed responses: long enough
+// to drain a queue slot under typical query latencies, short enough that a
+// well-behaved client's backoff stays responsive.
+const retryAfterSeconds = "1"
+
+// admitQuery applies the read-side guards for one search/batch request:
+// the replica-lag bound (a follower too far behind answers 503
+// replica_lagging rather than serving stale results), then the collection's
+// admission quota. On success the returned release must be called when the
+// evaluation finishes; on rejection the response is already written and
+// release is nil.
+func (e *Engine) admitQuery(w http.ResponseWriter, r *http.Request, c *Collection) (release func(), ok bool) {
+	if e.cfg.MaxReplicaLag > 0 {
+		if rs := c.ReplicaStatus(); rs != nil && rs.LagOps > e.cfg.MaxReplicaLag {
+			writeJSON(w, codeStatus[codeReplicaLagging], map[string]any{"error": wireError{
+				Code: codeReplicaLagging,
+				Message: fmt.Sprintf("replica is %d ops behind the leader at %s (bound %d); retry another replica",
+					rs.LagOps, rs.Leader, e.cfg.MaxReplicaLag),
+			}})
+			return nil, false
+		}
+	}
+	a := c.adm
+	if err := a.acquire(r.Context()); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeJSON(w, codeStatus[codeOverloaded], map[string]any{"error": wireError{
+				Code: codeOverloaded,
+				Message: fmt.Sprintf("collection %q is over its concurrency quota (%d in flight, %d queued); retry after backoff",
+					c.Name(), cap(a.slots), a.maxQueue),
+			}})
+			return nil, false
+		}
+		writeV1Error(w, err) // canceled / deadline while queued
+		return nil, false
+	}
+	return a.release, true
+}

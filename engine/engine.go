@@ -147,8 +147,46 @@ type Config struct {
 	// checkpoints of each durable collection; 0 keeps
 	// acq.DefaultCheckpointEvery.
 	CheckpointEvery int
+	// FollowURL turns this engine into a read replica of the leader at the
+	// given base URL (e.g. "http://leader:8475"). The engine bootstraps every
+	// replicable collection from the leader's snapshot endpoint into DataDir
+	// (required), keeps them caught up by polling the leader's WAL tail, and
+	// serves the full read surface from its own snapshots; write endpoints
+	// answer a structured 403 not_leader naming the leader. Empty (the
+	// default) makes this engine a leader.
+	FollowURL string
+	// FollowInterval is the follower's tail-poll cadence; 0 means
+	// DefaultFollowInterval. Ignored on a leader.
+	FollowInterval time.Duration
+	// MaxReplicaLag bounds how stale a replica may answer reads: a follower
+	// collection more than this many effective mutations behind the leader
+	// returns a structured 503 replica_lagging instead of stale results.
+	// 0 disables the bound (replicas always answer). Ignored on a leader.
+	MaxReplicaLag uint64
+	// MaxConcurrentQueries is the per-collection admission quota: at most this
+	// many search/batch evaluations run concurrently per collection, with at
+	// most MaxQueuedQueries more waiting. Requests beyond both bounds are shed
+	// with a structured 429 overloaded and a Retry-After hint. 0 disables
+	// admission control.
+	MaxConcurrentQueries int
+	// MaxQueuedQueries bounds the admission wait queue per collection:
+	// 0 means 2×MaxConcurrentQueries, negative disables queueing (over-quota
+	// requests shed immediately).
+	MaxQueuedQueries int
 	// Logf receives serving log lines; nil means log.Printf.
 	Logf func(format string, args ...any)
+}
+
+// DefaultFollowInterval is the tail-poll cadence applied when
+// Config.FollowInterval is 0.
+const DefaultFollowInterval = 500 * time.Millisecond
+
+// followInterval resolves Config.FollowInterval.
+func (c Config) followInterval() time.Duration {
+	if c.FollowInterval <= 0 {
+		return DefaultFollowInterval
+	}
+	return c.FollowInterval
 }
 
 // DefaultAddr is the address served when Config.Addr is empty.
@@ -199,6 +237,7 @@ func (c Config) maxBatchMutations() int {
 type Engine struct {
 	reg *Registry
 	cfg Config
+	fol *follower // nil on a leader
 }
 
 // New returns a serving engine whose "default" collection is g: the index is
@@ -215,6 +254,11 @@ func New(g *acq.Graph, cfg Config) *Engine {
 		cfg.Logf = log.Printf
 	}
 	e := &Engine{reg: NewRegistry(), cfg: cfg}
+	if cfg.FollowURL != "" && cfg.DataDir == "" {
+		// No error return to thread this through; a follower without a place
+		// to put the shipped snapshots is a config bug, not a runtime state.
+		panic("engine: Config.FollowURL requires Config.DataDir (the follower stores shipped snapshots there)")
+	}
 	if cfg.DataDir != "" {
 		e.recoverCollections()
 	}
@@ -230,7 +274,39 @@ func New(g *acq.Graph, cfg Config) *Engine {
 			panic(err)
 		}
 	}
+	if cfg.FollowURL != "" {
+		e.fol = newFollower(e)
+		go e.fol.run()
+	}
 	return e
+}
+
+// IsFollower reports whether this engine is a read replica (Config.FollowURL
+// set). Followers reject writes with a structured 403 not_leader.
+func (e *Engine) IsFollower() bool { return e.fol != nil }
+
+// Leader returns the leader URL this engine follows, or "" on a leader.
+func (e *Engine) Leader() string { return e.cfg.FollowURL }
+
+// Close stops the engine's background work (the follower sync loop). It does
+// not close collections — in-flight requests finish against their pinned
+// snapshots. Safe to call multiple times; a leader's Close is a no-op.
+func (e *Engine) Close() {
+	if e.fol != nil {
+		e.fol.stop()
+	}
+}
+
+// reserve claims a collection slot and attaches the engine-level per-
+// collection machinery (the admission quota) that the bare registry does not
+// know about. All engine paths that create collections go through here.
+func (e *Engine) reserve(name, source string) (*Collection, error) {
+	c, err := e.reg.reserve(name, source)
+	if err != nil {
+		return nil, err
+	}
+	c.adm = newAdmission(e.cfg.MaxConcurrentQueries, e.cfg.MaxQueuedQueries)
+	return c, nil
 }
 
 // durableOptions resolves the acq durability options for one collection.
@@ -266,7 +342,7 @@ func (e *Engine) recoverCollections() {
 		if errors.Is(err, acq.ErrNoDurableState) {
 			continue // directory exists but never finished EnableDurability
 		}
-		c, rerr := e.reg.reserve(name, "durable:"+filepath.Join(e.cfg.DataDir, name))
+		c, rerr := e.reserve(name, "durable:"+filepath.Join(e.cfg.DataDir, name))
 		if rerr != nil {
 			e.cfg.Logf("engine: cannot register recovered collection %q: %v", name, rerr)
 			continue
@@ -310,7 +386,7 @@ func (e *Engine) Collection(name string) (*Collection, bool) { return e.reg.Get(
 // ready when AddCollection returns. Use CreateCollection for the
 // asynchronous path.
 func (e *Engine) AddCollection(name string, g *acq.Graph) (*Collection, error) {
-	c, err := e.reg.reserve(name, "preloaded")
+	c, err := e.reserve(name, "preloaded")
 	if err != nil {
 		return nil, err
 	}
@@ -339,7 +415,7 @@ func (e *Engine) CreateCollection(name string, src Source) (*Collection, error) 
 	if src.Durable && e.cfg.DataDir == "" {
 		return nil, fmt.Errorf("engine: collection %q asks for durability but the server has no data dir (-data-dir)", name)
 	}
-	c, err := e.reg.reserve(name, src.describe())
+	c, err := e.reserve(name, src.describe())
 	if err != nil {
 		return nil, err
 	}

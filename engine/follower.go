@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"context"
+	"path/filepath"
+	"time"
+
+	"github.com/acq-search/acq/internal/replica"
+)
+
+// follower is the read-replica sync loop: one goroutine that polls the
+// leader's replication listing every Config.FollowInterval, bootstraps newly
+// discovered collections from the snapshot endpoint, and applies each known
+// collection's WAL tail through replica.Syncer. All replication state lives
+// on this goroutine; the serving path only ever reads the atomically
+// published ReplicaStatus, so queries never contend with syncing.
+//
+// Collections the engine recovered from DataDir at startup are this
+// replica's own durable copies from a previous run: the loop adopts them and
+// fetches only the tail they missed, exactly like a leader restart would
+// replay its local WAL.
+type follower struct {
+	e      *Engine
+	client *replica.Client
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	cols   map[string]*followerCol // loop-goroutine private
+}
+
+// followerCol is the loop's private per-collection state: the syncer and the
+// monotone counters that feed ReplicaStatus.
+type followerCol struct {
+	syncer     *replica.Syncer
+	bootstraps uint64
+	appliedOps uint64
+	lastSyncMs int64
+	lastErr    string
+}
+
+func newFollower(e *Engine) *follower {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &follower{
+		e:      e,
+		client: replica.NewClient(e.cfg.FollowURL, nil),
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		cols:   make(map[string]*followerCol),
+	}
+}
+
+// run is the sync loop body; New starts it on its own goroutine.
+func (f *follower) run() {
+	defer close(f.done)
+	f.e.cfg.Logf("engine: following leader %s (poll every %v)", f.client.BaseURL(), f.e.cfg.followInterval())
+	ticker := time.NewTicker(f.e.cfg.followInterval())
+	defer ticker.Stop()
+	for {
+		f.round()
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// stop cancels the loop and waits for the in-flight round to finish.
+func (f *follower) stop() {
+	f.cancel()
+	<-f.done
+}
+
+// round polls the leader once: list collections, sync each. A listing
+// failure is logged and retried next tick — the published statuses keep
+// their last lastSyncMs, so replication_lag_ms keeps growing during a leader
+// outage and the staleness is observable without the loop doing anything.
+func (f *follower) round() {
+	infos, err := f.client.Collections(f.ctx)
+	if err != nil {
+		if f.ctx.Err() == nil {
+			f.e.cfg.Logf("engine: replica: listing leader collections: %v", err)
+		}
+		return
+	}
+	for _, info := range infos {
+		if f.ctx.Err() != nil {
+			return
+		}
+		f.syncCollection(info)
+	}
+}
+
+// syncCollection brings one collection up to date: bootstrap it if this
+// replica has never seen it, otherwise apply the leader's tail since the
+// local version (re-bootstrapping when the leader signals the tail is gone
+// or the histories diverged).
+func (f *follower) syncCollection(info replica.CollectionInfo) {
+	fc := f.cols[info.Name]
+	if fc == nil {
+		fc = &followerCol{syncer: &replica.Syncer{
+			Client:          f.client,
+			Collection:      info.Name,
+			Dir:             filepath.Join(f.e.cfg.DataDir, info.Name),
+			SyncMode:        f.e.cfg.SyncMode,
+			CheckpointEvery: f.e.cfg.CheckpointEvery,
+		}}
+		f.cols[info.Name] = fc
+	}
+	c, ok := f.e.reg.Get(info.Name)
+	if !ok {
+		var err error
+		if c, err = f.adopt(fc, info); err != nil {
+			if f.ctx.Err() == nil {
+				f.e.cfg.Logf("engine: replica: bootstrapping %q from %s: %v", info.Name, f.client.BaseURL(), err)
+			}
+			fc.lastErr = err.Error()
+			return
+		}
+	}
+	g, err := c.Ready()
+	if err != nil {
+		if c.State() == CollectionFailed {
+			// A damaged local recovery: free the slot so the next round
+			// re-creates the collection from a fresh leader snapshot.
+			f.e.reg.Delete(info.Name)
+			delete(f.cols, info.Name)
+			f.e.cfg.Logf("engine: replica: collection %q failed locally (%v); re-bootstrapping next round", info.Name, c.Err())
+		}
+		return
+	}
+	applied, leaderV, reset, err := fc.syncer.Sync(f.ctx, g)
+	fc.appliedOps += uint64(applied)
+	if reset {
+		// The tail from our version is gone (leader checkpointed past it) or
+		// the histories diverged: re-bootstrap and swap the fresh graph in
+		// atomically. In-flight reads finish on their pinned snapshots; the
+		// old graph's mapped file stays valid until they drop it.
+		f.e.cfg.Logf("engine: replica: collection %q needs re-bootstrap (local version %d, leader %d)",
+			info.Name, g.Version(), leaderV)
+		ng, berr := fc.syncer.Bootstrap(f.ctx)
+		if berr != nil {
+			if f.ctx.Err() == nil {
+				f.e.cfg.Logf("engine: replica: re-bootstrapping %q: %v", info.Name, berr)
+			}
+			fc.lastErr = berr.Error()
+			f.publish(c, fc, leaderV, g.Version())
+			return
+		}
+		fc.bootstraps++
+		f.e.prepare(info.Name, ng)
+		c.complete(ng)
+		g = ng
+		err = nil
+	}
+	if err != nil {
+		if f.ctx.Err() == nil {
+			f.e.cfg.Logf("engine: replica: syncing %q: %v", info.Name, err)
+		}
+		fc.lastErr = err.Error()
+	} else {
+		fc.lastErr = ""
+		fc.lastSyncMs = time.Now().UnixMilli()
+	}
+	f.publish(c, fc, leaderV, g.Version())
+}
+
+// adopt registers a collection this replica has never served: open (local
+// recovery or fresh bootstrap), prepare, complete.
+func (f *follower) adopt(fc *followerCol, info replica.CollectionInfo) (*Collection, error) {
+	c, err := f.e.reserve(info.Name, "replica:"+f.client.BaseURL())
+	if err != nil {
+		return nil, err
+	}
+	g, bootstrapped, err := fc.syncer.Open(f.ctx)
+	if err != nil {
+		// Free the slot: the next round retries from scratch instead of
+		// leaving a permanently failed collection behind a transient error.
+		f.e.reg.Delete(info.Name)
+		return nil, err
+	}
+	if bootstrapped {
+		fc.bootstraps++
+	}
+	f.e.prepare(info.Name, g)
+	c.complete(g)
+	fc.lastSyncMs = time.Now().UnixMilli()
+	f.publish(c, fc, info.Version, g.Version())
+	f.e.cfg.Logf("engine: replica: collection %q serving at version %d (leader %d, bootstrapped=%v)",
+		info.Name, g.Version(), info.Version, bootstrapped)
+	return c, nil
+}
+
+// publish stores the collection's refreshed ReplicaStatus.
+func (f *follower) publish(c *Collection, fc *followerCol, leaderV, localV uint64) {
+	var lag uint64
+	if leaderV > localV {
+		lag = leaderV - localV
+	}
+	c.replica.Store(&ReplicaStatus{
+		Leader:        f.client.BaseURL(),
+		LeaderVersion: leaderV,
+		LagOps:        lag,
+		AppliedOps:    fc.appliedOps,
+		Bootstraps:    fc.bootstraps,
+		LastErr:       fc.lastErr,
+		lastSyncMs:    fc.lastSyncMs,
+	})
+}

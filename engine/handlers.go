@@ -94,16 +94,18 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/collections/{name}/batch", e.namedCol(e.serveBatchV1))
 	mux.HandleFunc("POST /v1/collections/{name}/mutations", e.namedCol(e.serveMutationsV1))
 	mux.HandleFunc("POST /v1/collections/{name}/checkpoint", e.namedCol(e.serveCheckpointV1))
+	// Replication plane: followers bootstrap and catch up from here. Always
+	// mounted — any durable collection is replicable, and a follower's own
+	// collections are durable, so replicas can be chained.
+	mux.HandleFunc("GET /v1/replication/collections", e.handleReplicationList)
+	mux.HandleFunc("GET /v1/replication/collections/{name}/snapshot", e.namedCol(e.serveReplicationSnapshot))
+	mux.HandleFunc("GET /v1/replication/collections/{name}/tail", e.namedCol(e.serveReplicationTail))
 	// Removed endpoints: their compatibility window (one release) is up.
 	// Mounted explicitly so clients get a structured 410 pointing at the
-	// replacement instead of a bare mux 404.
-	for _, route := range []string{
-		"POST /v1/edges", "POST /v1/keywords",
-		"POST /v1/collections/{name}/edges", "POST /v1/collections/{name}/keywords",
-		"POST /edges", "POST /keywords",
-		"GET /query",
-	} {
-		mux.HandleFunc(route, handleRemoved)
+	// replacement instead of a bare mux 404. One registry row per removed
+	// endpoint: route → replacement.
+	for route, replacement := range removedRoutes {
+		mux.HandleFunc(route, goneHandler(replacement))
 	}
 	// Legacy + operational.
 	mux.HandleFunc("GET /stats", e.handleStats)
@@ -113,18 +115,28 @@ func (e *Engine) Handler() http.Handler {
 	return mux
 }
 
-// handleRemoved answers the endpoints whose deprecation window ended with a
-// structured 410 naming the replacement, so old clients fail loudly and
-// actionably rather than with a shapeless 404.
-func handleRemoved(w http.ResponseWriter, r *http.Request) {
-	replacement := "POST /v1/mutations"
-	if r.Method == http.MethodGet {
-		replacement = "POST /v1/search"
+// removedRoutes is the registry of endpoints whose deprecation window ended:
+// each row maps the dead route to the endpoint that replaced it.
+var removedRoutes = map[string]string{
+	"POST /v1/edges":                       "POST /v1/mutations",
+	"POST /v1/keywords":                    "POST /v1/mutations",
+	"POST /v1/collections/{name}/edges":    "POST /v1/mutations",
+	"POST /v1/collections/{name}/keywords": "POST /v1/mutations",
+	"POST /edges":                          "POST /v1/mutations",
+	"POST /keywords":                       "POST /v1/mutations",
+	"GET /query":                           "POST /v1/search",
+}
+
+// goneHandler answers a removed endpoint with a structured 410 naming its
+// replacement, so old clients fail loudly and actionably rather than with a
+// shapeless 404.
+func goneHandler(replacement string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, codeStatus[codeEndpointRemoved], map[string]any{"error": wireError{
+			Code:    codeEndpointRemoved,
+			Message: fmt.Sprintf("%s %s was removed; use %s instead", r.Method, r.URL.Path, replacement),
+		}})
 	}
-	writeJSON(w, codeStatus[codeEndpointRemoved], map[string]any{"error": wireError{
-		Code:    codeEndpointRemoved,
-		Message: fmt.Sprintf("%s %s was removed; use %s instead", r.Method, r.URL.Path, replacement),
-	}})
 }
 
 // colHandler is a data-plane handler bound to a resolved, ready collection.
@@ -191,6 +203,11 @@ type healthCollection struct {
 	RecoveredBatches      int    `json:"recovered_batches,omitempty"`
 	CheckpointInProgress  bool   `json:"checkpoint_in_progress,omitempty"`
 	DurabilityError       string `json:"durability_error,omitempty"`
+	// Admission state: current wait-queue depth and requests shed with 429.
+	QueueDepth int64  `json:"queue_depth"`
+	ShedTotal  uint64 `json:"shed_total"`
+	// Replica carries this collection's replication lag on a follower.
+	Replica *ReplicaStatus `json:"replica,omitempty"`
 }
 
 // handleHealthz reports per-collection readiness. The probe returns 503
@@ -209,6 +226,14 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// two loads must not yield a self-contradictory entry.
 		st := c.State()
 		hc := healthCollection{State: st.String()}
+		if a := c.adm; a != nil {
+			hc.QueueDepth = a.queueDepth()
+			hc.ShedTotal = a.shed.Load()
+		}
+		if rs := c.ReplicaStatus(); rs != nil {
+			snap := rs.snapshot(time.Now())
+			hc.Replica = &snap
+		}
 		switch st {
 		case CollectionReady:
 			g := c.Graph()
@@ -321,6 +346,9 @@ type createCollectionReq struct {
 }
 
 func (e *Engine) handleCollectionCreate(w http.ResponseWriter, r *http.Request) {
+	if e.rejectFollowerWrite(w) {
+		return
+	}
 	var req createCollectionReq
 	if err := e.decodeBody(w, r, &req); err != nil {
 		writeV1Error(w, fmt.Errorf("bad body: %w", err))
@@ -372,6 +400,9 @@ func (e *Engine) handleCollectionGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (e *Engine) handleCollectionDelete(w http.ResponseWriter, r *http.Request) {
+	if e.rejectFollowerWrite(w) {
+		return
+	}
 	name := r.PathValue("name")
 	c, ok := e.reg.Delete(name)
 	if !ok {
@@ -602,6 +633,11 @@ func (e *Engine) serveSearchV1(w http.ResponseWriter, r *http.Request, c *Collec
 	}
 	ctx, cancel := e.queryContext(r, req.TimeoutMS)
 	defer cancel()
+	release, ok := e.admitQuery(w, r, c)
+	if !ok {
+		return
+	}
+	defer release()
 
 	snap := pin(g)
 	start := time.Now()
@@ -665,6 +701,13 @@ func (e *Engine) serveBatchV1(w http.ResponseWriter, r *http.Request, c *Collect
 
 	ctx, cancel := e.batchContext(r, req.TimeoutMS)
 	defer cancel()
+	// One admission slot covers the whole batch: its queries already share
+	// the worker pool, so per-query slots would double-count the quota.
+	release, ok := e.admitQuery(w, r, c)
+	if !ok {
+		return
+	}
+	defer release()
 	opts := acq.BatchOptions{
 		Workers: e.clampWorkers(req.Workers),
 		// boundTimeout substitutes the server's DefaultTimeout when the
@@ -808,6 +851,9 @@ type mutationV1Item struct {
 // batch instead of once per operation. Entries are validated independently —
 // a bad entry is reported in its result item and never aborts the rest.
 func (e *Engine) serveMutationsV1(w http.ResponseWriter, r *http.Request, c *Collection, g *acq.Graph) {
+	if e.rejectFollowerWrite(w) {
+		return
+	}
 	var req mutationsV1Req
 	if err := e.decodeBody(w, r, &req); err != nil {
 		writeV1Error(w, fmt.Errorf("bad body: %w", err))
@@ -933,6 +979,14 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := e.batchContext(r, 0)
 	defer cancel()
+	// Admission applies to the legacy surface too — a shed is a shed, and
+	// the structured 429 envelope is strictly more actionable than the
+	// legacy error string.
+	release, ok := e.admitQuery(w, r, c)
+	if !ok {
+		return
+	}
+	defer release()
 
 	snap := pin(g) // one snapshot for the whole batch
 	start := time.Now()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	acq "github.com/acq-search/acq"
 )
@@ -127,6 +128,16 @@ type CollectionMetrics struct {
 	CheckpointsTotal      uint64 `json:"checkpoints_total,omitempty"`
 	CheckpointNanos       int64  `json:"checkpoint_nanos,omitempty"`
 	MappedColdStart       bool   `json:"mapped_cold_start,omitempty"`
+	// Admission-control observability: the current wait-queue depth, how many
+	// requests were shed with 429 overloaded, and how many got a slot. All
+	// zero when admission control is off (Config.MaxConcurrentQueries == 0).
+	QueueDepth    int64  `json:"queue_depth"`
+	ShedTotal     uint64 `json:"shed_total"`
+	AdmittedTotal uint64 `json:"admitted_total"`
+	// Replication observability (followers only): how far this collection
+	// lags the leader, in effective mutations and in wall time since the
+	// last successful sync round.
+	Replica *ReplicaStatus `json:"replica,omitempty"`
 }
 
 // Metrics is the exported counter snapshot returned by Engine.Metrics and
@@ -195,6 +206,12 @@ type Metrics struct {
 	// collections; the per-collection breakdown carries the full write-path
 	// state (delta sizes, thresholds, publication kinds).
 	CompactionsTotal uint64 `json:"compactions_total"`
+	// QueueDepth aggregates the admission wait queues across collections at
+	// snapshot time; ShedTotal counts requests rejected with 429 overloaded.
+	QueueDepth int64  `json:"queue_depth"`
+	ShedTotal  uint64 `json:"shed_total"`
+	// Leader is the URL this engine replicates from; empty on a leader.
+	Leader string `json:"leader,omitempty"`
 	// Collections breaks every counter down per collection, keyed by
 	// collection name, including collections still building or failed.
 	Collections map[string]CollectionMetrics `json:"collections"`
@@ -225,6 +242,15 @@ func (c *Collection) metricsSnapshot() CollectionMetrics {
 	}
 	if err := c.Err(); err != nil {
 		cm.Error = err.Error()
+	}
+	if a := c.adm; a != nil {
+		cm.QueueDepth = a.queueDepth()
+		cm.ShedTotal = a.shed.Load()
+		cm.AdmittedTotal = a.admitted.Load()
+	}
+	if rs := c.ReplicaStatus(); rs != nil {
+		snap := rs.snapshot(time.Now())
+		cm.Replica = &snap
 	}
 	if g := c.Graph(); g != nil {
 		hits, misses := g.ResultCacheStats()
@@ -264,7 +290,7 @@ func (c *Collection) metricsSnapshot() CollectionMetrics {
 // Metrics returns the current serving counters: aggregates at the top
 // level, per-collection breakdown under Collections.
 func (e *Engine) Metrics() Metrics {
-	m := Metrics{Collections: make(map[string]CollectionMetrics)}
+	m := Metrics{Collections: make(map[string]CollectionMetrics), Leader: e.cfg.FollowURL}
 	for _, c := range e.reg.All() {
 		cm := c.metricsSnapshot()
 		m.Collections[c.Name()] = cm
@@ -284,6 +310,8 @@ func (e *Engine) Metrics() Metrics {
 		m.CacheHits += cm.CacheHits
 		m.CacheMisses += cm.CacheMisses
 		m.CompactionsTotal += cm.CompactionsTotal
+		m.QueueDepth += cm.QueueDepth
+		m.ShedTotal += cm.ShedTotal
 		if c.Name() == DefaultCollection {
 			m.SnapshotVersion = cm.SnapshotVersion
 			m.IndexBuildNanos = cm.IndexBuildNanos

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	acq "github.com/acq-search/acq"
 )
@@ -154,7 +155,50 @@ type Collection struct {
 	graph    atomic.Pointer[acq.Graph] // nil until CollectionReady
 	buildErr atomic.Pointer[error]     // set exactly once, on CollectionFailed
 	met      metrics
+	adm      *admission                    // nil when admission control is off
+	replica  atomic.Pointer[ReplicaStatus] // nil unless this engine follows a leader
 }
+
+// ReplicaStatus is a follower collection's replication state, refreshed by
+// the follower loop after every sync round and published atomically (status
+// probes never contend with the sync loop). Nil on a leader.
+type ReplicaStatus struct {
+	// Leader is the URL this collection replicates from.
+	Leader string `json:"leader"`
+	// LeaderVersion is the leader graph's version at the last successful poll.
+	LeaderVersion uint64 `json:"leader_version"`
+	// LagOps is LeaderVersion minus the local graph's version after the last
+	// sync round — the number of effective mutations this replica is behind.
+	LagOps uint64 `json:"replication_lag_ops"`
+	// LagMillis is the time since the last successful sync round, measured at
+	// snapshot time: a leader outage shows up here even while LagOps is 0.
+	LagMillis int64 `json:"replication_lag_ms"`
+	// AppliedOps counts mutations applied via replication since this process
+	// started; Bootstraps counts full snapshot re-bootstraps (1 for the
+	// initial one on a fresh follower, more after resets).
+	AppliedOps uint64 `json:"applied_ops"`
+	Bootstraps uint64 `json:"bootstraps"`
+	// LastErr is the most recent sync error ("" once a round succeeds again).
+	LastErr string `json:"last_error,omitempty"`
+
+	// lastSyncMs is the wall clock (unix ms) of the last successful sync
+	// round; snapshot derives LagMillis from it so the published number keeps
+	// growing during a leader outage without the loop re-publishing.
+	lastSyncMs int64
+}
+
+// snapshot copies the status with LagMillis computed against now.
+func (rs *ReplicaStatus) snapshot(now time.Time) ReplicaStatus {
+	out := *rs
+	if rs.lastSyncMs > 0 {
+		out.LagMillis = now.UnixMilli() - rs.lastSyncMs
+	}
+	return out
+}
+
+// ReplicaStatus returns the collection's replication state, or nil when this
+// engine is a leader (or the follower loop has not completed a round yet).
+func (c *Collection) ReplicaStatus() *ReplicaStatus { return c.replica.Load() }
 
 // Name returns the collection's registry name.
 func (c *Collection) Name() string { return c.name }

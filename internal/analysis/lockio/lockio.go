@@ -361,6 +361,18 @@ func blockingCall(fn *types.Func) string {
 			return "snapshot I/O"
 		}
 	}
+	if strings.HasSuffix(pkg.Path(), "internal/replica") {
+		// The getters, constructors and wire-format converters are pure
+		// in-memory code; every other exported entry point (Client methods,
+		// Syncer methods) talks to the leader over the network — a follower
+		// must never do that under its graph's writer lock.
+		switch fn.Name() {
+		case "BaseURL", "SnapshotPath", "NewClient",
+			"OpsOfMutations", "MutationsOfOps", "BatchesOfTail", "TailOfResult":
+			return ""
+		}
+		return "replication network I/O"
+	}
 	return ""
 }
 

@@ -4,10 +4,12 @@
 package lockio
 
 import (
+	"context"
 	"os"
 	"sync"
 	"time"
 
+	"fixture.example/internal/replica"
 	"fixture.example/internal/wal"
 )
 
@@ -97,4 +99,49 @@ func (s *store) inMemoryGettersUnderLock() (int64, string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.log.Size(), s.log.Path()
+}
+
+// --- Replication client: leader polling is network I/O, never under a lock.
+
+type follower struct {
+	mu     sync.Mutex
+	client *replica.Client
+	syncer *replica.Syncer
+}
+
+func (f *follower) tailUnderLock(ctx context.Context) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.client.Tail(ctx, "default", 7) // want "replication network I/O"
+}
+
+func (f *follower) bootstrapUnderLock(ctx context.Context) {
+	f.mu.Lock()
+	f.client.FetchSnapshot(ctx, "default", "/tmp/s.acqm") // want "replication network I/O"
+	f.mu.Unlock()
+}
+
+func (f *follower) syncUnderDeferredLock(ctx context.Context) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncer.Sync(ctx) // want "replication network I/O"
+}
+
+// replicaPureUnderLock: the getters and wire converters are in-memory and
+// stay clean under a held lock.
+func (f *follower) replicaPureUnderLock() (string, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_ = replica.NewClient("http://leader:8475")
+	_ = replica.SnapshotPath("/var/lib/acqd/default")
+	return f.client.BaseURL(), len(replica.OpsOfMutations(3))
+}
+
+// tailAfterUnlock: the compliant shape — snapshot state under the lock,
+// poll the leader outside it.
+func (f *follower) tailAfterUnlock(ctx context.Context) {
+	f.mu.Lock()
+	c := f.client
+	f.mu.Unlock()
+	c.Tail(ctx, "default", 7)
 }

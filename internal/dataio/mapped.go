@@ -291,6 +291,25 @@ func OpenMapped(path string) (*Mapped, error) {
 	return m, nil
 }
 
+// PeekMappedVersion reads the graph mutation version out of a mapped
+// container header without mapping or validating the payload. The replication
+// leader stamps the snapshot blob it serves with this version, so a follower
+// knows where the WAL tail it must replay begins; reading 16 bytes beats
+// re-opening the whole container on every poll.
+func PeekMappedVersion(r io.ReaderAt) (uint64, error) {
+	var hdr [16]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return 0, fmt.Errorf("%w: reading header: %v", ErrNotMapped, err)
+	}
+	if string(hdr[:4]) != mappedMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrNotMapped, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != mappedVersion {
+		return 0, fmt.Errorf("dataio: unsupported mapped snapshot version %d (want %d)", v, mappedVersion)
+	}
+	return binary.LittleEndian.Uint64(hdr[8:]), nil
+}
+
 // readAligned reads the whole file into an 8-byte-aligned heap buffer.
 func readAligned(f *os.File, size int64) ([]byte, error) {
 	buf := alignedBuf(int(size))[:size]

@@ -1,0 +1,156 @@
+package replica
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	acq "github.com/acq-search/acq"
+)
+
+func TestWireConversionRoundTrip(t *testing.T) {
+	ms := []acq.Mutation{
+		{Op: acq.OpInsertEdge, U: 1, V: 2},
+		{Op: acq.OpRemoveEdge, U: 2, V: 3},
+		{Op: acq.OpAddKeyword, Vertex: 4, Keyword: "research"},
+		{Op: acq.OpRemoveKeyword, Vertex: 4, Keyword: "yoga"},
+	}
+	back, err := MutationsOfOps(OpsOfMutations(ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ms, back) {
+		t.Fatalf("round trip lost data:\nin:  %+v\nout: %+v", ms, back)
+	}
+}
+
+func TestMutationsOfOpsRejectsUnknown(t *testing.T) {
+	// Protocol-version skew must fail loudly, not apply garbage.
+	if _, err := MutationsOfOps([]Op{{Op: "truncate_graph"}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestTailOfResultShape(t *testing.T) {
+	res := acq.ReplicationTailResult{
+		Batches: []acq.ReplicationBatch{
+			{PreVersion: 7, Ops: []acq.Mutation{{Op: acq.OpInsertEdge, U: 1, V: 2}}},
+		},
+	}
+	wire := TailOfResult(res, 7, 9)
+	if wire.LeaderVersion != 9 || wire.From != 7 || wire.Reset ||
+		len(wire.Batches) != 1 || wire.Batches[0].PreVersion != 7 || len(wire.Batches[0].Ops) != 1 {
+		t.Fatalf("wire = %+v", wire)
+	}
+	batches, err := BatchesOfTail(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Batches, batches) {
+		t.Fatalf("tail round trip:\nin:  %+v\nout: %+v", res.Batches, batches)
+	}
+
+	reset := TailOfResult(acq.ReplicationTailResult{Reset: true}, 3, 9)
+	if !reset.Reset || len(reset.Batches) != 0 {
+		t.Fatalf("reset wire = %+v", reset)
+	}
+}
+
+// fakeLeader serves a minimal replication surface from canned data.
+func fakeLeader(t *testing.T, blob []byte, version string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/replication/collections", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"collections":[{"name":"default","version":12,"last_checkpoint_version":10,"wal_bytes":64}]}`))
+	})
+	mux.HandleFunc("GET /v1/replication/collections/default/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if version != "" {
+			w.Header().Set(VersionHeader, version)
+		}
+		w.Write(blob)
+	})
+	mux.HandleFunc("GET /v1/replication/collections/default/tail", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("from") != "12" {
+			http.Error(w, `{"error":{"code":"bad_request"}}`, http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte(`{"leader_version":12,"from":12,"batches":[]}`))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClientAgainstFakeLeader(t *testing.T) {
+	blob := []byte("not a real snapshot, the client ships bytes blindly")
+	srv := fakeLeader(t, blob, "10")
+	c := NewClient(srv.URL+"/", nil) // trailing slash is normalised away
+	if c.BaseURL() != srv.URL {
+		t.Fatalf("base = %q", c.BaseURL())
+	}
+	ctx := context.Background()
+
+	infos, err := c.Collections(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CollectionInfo{Name: "default", Version: 12, LastCheckpointVersion: 10, WALBytes: 64}
+	if len(infos) != 1 || infos[0] != want {
+		t.Fatalf("collections = %+v", infos)
+	}
+
+	dst := SnapshotPath(t.TempDir())
+	v, err := c.FetchSnapshot(ctx, "default", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Fatalf("snapshot version = %d", v)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("blob = %q, %v", got, err)
+	}
+	if _, err := os.Stat(dst + ".dl"); !os.IsNotExist(err) {
+		t.Fatal("staging file left behind")
+	}
+
+	tail, err := c.Tail(ctx, "default", 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.LeaderVersion != 12 || tail.From != 12 || len(tail.Batches) != 0 || tail.Reset {
+		t.Fatalf("tail = %+v", tail)
+	}
+	// The leader's structured error surfaces in the client error.
+	if _, err := c.Tail(ctx, "default", 3, 0); err == nil {
+		t.Fatal("leader 400 not surfaced")
+	}
+}
+
+func TestFetchSnapshotMissingVersionHeader(t *testing.T) {
+	srv := fakeLeader(t, []byte("blob"), "")
+	c := NewClient(srv.URL, nil)
+	dir := t.TempDir()
+	if _, err := c.FetchSnapshot(context.Background(), "default", SnapshotPath(dir)); err == nil {
+		t.Fatal("missing version header accepted")
+	}
+	// The failed download must not leave a snapshot under the real name —
+	// acq.OpenDurable would otherwise try to map garbage on the next boot.
+	if _, err := os.Stat(SnapshotPath(dir)); !os.IsNotExist(err) {
+		t.Fatal("failed fetch left a snapshot file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".dl" {
+			t.Fatalf("staging file %s left behind", e.Name())
+		}
+	}
+}

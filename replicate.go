@@ -1,0 +1,213 @@
+package acq
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/acq-search/acq/internal/dataio"
+	"github.com/acq-search/acq/internal/wal"
+)
+
+// Replication rides entirely on the durability artefacts: the mapped snapshot
+// is the bootstrap blob a follower downloads, and the CRC-framed WAL is the
+// incremental stream it replays to stay caught up. A leader therefore needs
+// nothing beyond an armed durability directory — SnapshotBlob streams the
+// current snapshot.acqm and ReplicationTail reads the effective-mutation
+// records after a given version straight out of wal.log (and any wal.prev-*
+// a checkpoint left mid-rotation). Both are plain file reads against
+// immutable-once-written bytes: the snapshot is only ever replaced by an
+// atomic rename (the served descriptor survives it), and WAL records are
+// appended with a single write call, so a concurrent reader sees either a
+// whole record or a torn tail it stops at.
+//
+// A follower applies batches through ApplyReplicated, which enforces the
+// same version-continuity and effectiveness invariants as crash recovery:
+// every replicated op changed the graph on the leader, so it must change the
+// follower's graph too, and the version must advance in lockstep. Any
+// violation reports ErrReplicaDiverged — the follower's cue to throw its
+// state away and re-bootstrap from a fresh snapshot.
+
+// ErrReplicaDiverged reports a replicated batch that does not continue the
+// local graph's history: the version did not line up, or an op that was
+// effective on the leader was a no-op here. Recovery is a fresh bootstrap.
+var ErrReplicaDiverged = errors.New("acq: replica diverged from the leader's history")
+
+// DefaultReplicationTailOps bounds the effective ops returned by one
+// ReplicationTail call when the caller passes maxOps <= 0. A follower that
+// is far behind catches up over several polls instead of one unbounded
+// response.
+const DefaultReplicationTailOps = 1 << 14
+
+// ReplicationBatch is one leader mutation batch as shipped to followers:
+// the graph version it applies at and its effective ops, in application
+// order. Applying it to a graph at exactly PreVersion advances that graph to
+// PreVersion + len(Ops).
+type ReplicationBatch struct {
+	PreVersion uint64
+	Ops        []Mutation
+}
+
+// ReplicationTailResult is the outcome of one tail read.
+type ReplicationTailResult struct {
+	// Batches continue the follower's history starting exactly at the
+	// requested version; empty when the follower is already caught up.
+	Batches []ReplicationBatch
+	// Reset reports that no contiguous tail from the requested version exists
+	// anymore — the records were folded into a newer snapshot, or the
+	// follower is ahead of this leader's history. The follower must
+	// re-bootstrap from SnapshotBlob.
+	Reset bool
+}
+
+// SnapshotBlob opens the current on-disk snapshot for streaming to a
+// bootstrapping follower: the mapped container bytes, the graph version they
+// capture, and their size (for Content-Length). The descriptor stays valid
+// even if a checkpoint atomically replaces the file mid-transfer. Requires
+// durability (ErrNotDurable otherwise) — replication ships the durability
+// artefacts, it does not invent a second format.
+func (G *Graph) SnapshotBlob() (rc io.ReadCloser, version uint64, size int64, err error) {
+	d := G.dur
+	if d == nil {
+		return nil, 0, 0, ErrNotDurable
+	}
+	f, err := os.Open(filepath.Join(d.dir, snapshotFile))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	version, err = dataio.PeekMappedVersion(f)
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	return f, version, fi.Size(), nil
+}
+
+// errTailGap is the scan-internal signal that the on-disk records do not
+// continue contiguously from the requested version.
+var errTailGap = errors.New("acq: replication tail gap")
+
+// errTailFull stops a scan that collected maxOps effective ops.
+var errTailFull = errors.New("acq: replication tail full")
+
+// ReplicationTail reads the effective-mutation batches after version from,
+// up to maxOps ops (DefaultReplicationTailOps when <= 0). An empty result
+// with Reset false means the follower is caught up (for now); Reset true
+// means the tail from that version is gone and only a fresh SnapshotBlob
+// bootstrap can continue. Requires durability (ErrNotDurable otherwise).
+//
+// The scan races benignly with checkpoints: a rotation can move records
+// between files mid-scan, which at worst surfaces as a gap. One retry
+// absorbs that window; a gap on the second pass is reported as Reset.
+func (G *Graph) ReplicationTail(from uint64, maxOps int) (ReplicationTailResult, error) {
+	d := G.dur
+	if d == nil {
+		return ReplicationTailResult{}, ErrNotDurable
+	}
+	if maxOps <= 0 {
+		maxOps = DefaultReplicationTailOps
+	}
+	cur := G.Version()
+	if from > cur {
+		// The follower has history this leader does not: a divergent or
+		// rebuilt leader. Only a bootstrap reconciles that.
+		return ReplicationTailResult{Reset: true}, nil
+	}
+	if from == cur {
+		return ReplicationTailResult{}, nil
+	}
+	for attempt := 0; ; attempt++ {
+		batches, gap, err := scanTail(d.dir, from, maxOps)
+		if err != nil {
+			return ReplicationTailResult{}, err
+		}
+		if gap && attempt == 0 {
+			continue // likely a rotation mid-scan; one clean retry
+		}
+		if gap || len(batches) == 0 {
+			// from < cur but nothing on disk continues it: the records were
+			// checkpointed away (or a settle deleted the rotated logs).
+			return ReplicationTailResult{Reset: true}, nil
+		}
+		return ReplicationTailResult{Batches: batches}, nil
+	}
+}
+
+// scanTail walks the rotated logs (version order) then the active log,
+// collecting the contiguous run of ops after from. A record that straddles
+// from contributes only its suffix — checkpoints capture at batch
+// boundaries, but a defensive slice costs nothing.
+func scanTail(dir string, from uint64, maxOps int) (batches []ReplicationBatch, gap bool, err error) {
+	prevs, err := sortedWalPrevs(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	paths := append(prevs, filepath.Join(dir, walFile))
+	expect := from
+	total := 0
+	for _, p := range paths {
+		_, err := wal.Replay(p, func(rec wal.Record) error {
+			post := rec.PreVersion + uint64(len(rec.Ops))
+			if post <= expect {
+				return nil // fully behind the follower already
+			}
+			if rec.PreVersion > expect {
+				return errTailGap
+			}
+			ops := rec.Ops[expect-rec.PreVersion:]
+			batches = append(batches, ReplicationBatch{PreVersion: expect, Ops: mutationsOfWalOps(ops)})
+			expect = post
+			total += len(ops)
+			if total >= maxOps {
+				return errTailFull
+			}
+			return nil
+		})
+		switch {
+		case err == nil, errors.Is(err, os.ErrNotExist):
+			// A missing rotated log was deleted by a finishing checkpoint;
+			// continuity tracking catches any hole that opens.
+		case errors.Is(err, errTailGap):
+			return nil, true, nil
+		case errors.Is(err, errTailFull):
+			return batches, false, nil
+		default:
+			return nil, false, err
+		}
+	}
+	return batches, false, nil
+}
+
+// ApplyReplicated applies one leader batch to a follower graph, enforcing
+// the replay invariants: the graph must stand exactly at the batch's
+// PreVersion, and every op must be effective (it changed the leader, so a
+// no-op here means the states differ). Violations report ErrReplicaDiverged
+// without applying further ops; the caller re-bootstraps. On a durable
+// follower the batch is WAL-logged locally by the same ApplyMutations path
+// that logs leader writes, so follower restarts recover locally and only
+// fetch the tail they missed.
+func (G *Graph) ApplyReplicated(b ReplicationBatch) error {
+	if len(b.Ops) == 0 {
+		return nil
+	}
+	if cur := G.Version(); cur != b.PreVersion {
+		return fmt.Errorf("%w: batch at version %d, graph at %d", ErrReplicaDiverged, b.PreVersion, cur)
+	}
+	results := G.ApplyMutations(b.Ops)
+	for i, res := range results {
+		if res.Err != nil || !res.Changed {
+			return fmt.Errorf("%w: op %d of batch at version %d not effective (err=%v)", ErrReplicaDiverged, i, b.PreVersion, res.Err)
+		}
+	}
+	if got, want := G.Version(), b.PreVersion+uint64(len(b.Ops)); got != want {
+		return fmt.Errorf("%w: version %d after batch, want %d", ErrReplicaDiverged, got, want)
+	}
+	return nil
+}
